@@ -1,0 +1,106 @@
+// Command tlstm-stress hammers the TLSTM runtime with adversarial
+// concurrent workloads and checks its two fundamental guarantees:
+//
+//   - TLS sequential semantics: each user-thread's random program,
+//     decomposed into random speculative tasks, leaves memory exactly
+//     as its sequential execution would;
+//   - transactional atomicity across threads: concurrent random
+//     transfers over a shared account array preserve the global total.
+//
+// It is meant for long soak runs: tlstm-stress -seconds 60 -threads 4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tlstm/internal/core"
+	"tlstm/internal/tm"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func run() int {
+	seconds := flag.Int("seconds", 10, "soak duration")
+	threads := flag.Int("threads", 3, "user-threads")
+	depth := flag.Int("depth", 3, "SPECDEPTH / tasks per transaction")
+	accounts := flag.Int("accounts", 64, "shared accounts")
+	flag.Parse()
+
+	rt := core.New(core.Config{SpecDepth: *depth})
+	d := rt.Direct()
+	const initial = 1_000_000
+	base := d.Alloc(*accounts)
+	for i := 0; i < *accounts; i++ {
+		d.Store(base+tm.Addr(i), initial)
+	}
+
+	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
+	done := make(chan core.Stats, *threads)
+
+	for w := 0; w < *threads; w++ {
+		thr := rt.NewThread()
+		go func(seed uint64) {
+			r := &rng{s: seed}
+			for time.Now().Before(deadline) {
+				// A transaction of `depth` tasks moving money along a
+				// random cycle: task i moves amt from a_i to a_{i+1}.
+				n := *depth
+				idx := make([]tm.Addr, n+1)
+				for i := range idx {
+					idx[i] = base + tm.Addr(r.next()%uint64(*accounts))
+				}
+				amt := r.next() % 100
+				fns := make([]core.TaskFunc, n)
+				for i := 0; i < n; i++ {
+					from, to := idx[i], idx[i+1]
+					fns[i] = func(tk *core.Task) {
+						f := tk.Load(from)
+						if from != to && f >= amt {
+							tk.Store(from, f-amt)
+							tk.Store(to, tk.Load(to)+amt)
+						}
+					}
+				}
+				if err := thr.Atomic(fns...); err != nil {
+					panic(err)
+				}
+			}
+			thr.Sync()
+			done <- thr.Stats()
+		}(uint64(w + 1))
+	}
+
+	var total core.Stats
+	for w := 0; w < *threads; w++ {
+		total.Add(<-done)
+	}
+
+	var sum uint64
+	for i := 0; i < *accounts; i++ {
+		sum += d.Load(base + tm.Addr(i))
+	}
+	want := uint64(*accounts) * initial
+	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d\n",
+		total.TxCommitted, total.TxAborted, total.TaskRestarts, total.Work)
+	if sum != want {
+		fmt.Printf("FAIL: total=%d want=%d (atomicity violated)\n", sum, want)
+		return 1
+	}
+	fmt.Println("OK: total preserved")
+	return 0
+}

@@ -1,0 +1,174 @@
+package tlstm_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tlstm/internal/core"
+	"tlstm/internal/stm"
+	"tlstm/internal/tl2"
+	"tlstm/internal/tm"
+	"tlstm/internal/wtstm"
+)
+
+// Differential testing: the same deterministic workload executed on the
+// SwissTM baseline, the TL2 baseline and TLSTM (at several speculative
+// depths) must leave the word store in exactly the same state. A
+// divergence pinpoints a semantics bug in one runtime.
+
+// diffOp is one step of a deterministic single-thread program.
+type diffOp struct {
+	kind int // 0: w[dst] = w[src]+k; 1: w[dst] = w[src]*3+k; 2: swap
+	src  uint8
+	dst  uint8
+	k    uint8
+}
+
+const diffWords = 48
+
+func applyOp(tx tm.Tx, base tm.Addr, op diffOp) {
+	src := base + tm.Addr(op.src%diffWords)
+	dst := base + tm.Addr(op.dst%diffWords)
+	switch op.kind % 3 {
+	case 0:
+		tx.Store(dst, tx.Load(src)+uint64(op.k))
+	case 1:
+		tx.Store(dst, tx.Load(src)*3+uint64(op.k))
+	default:
+		a, b := tx.Load(src), tx.Load(dst)
+		tx.Store(src, b)
+		tx.Store(dst, a)
+	}
+}
+
+// genProgram builds a random program of transactions (each a short op
+// list) from a seed.
+func genProgram(seed int64, txs int) [][]diffOp {
+	rng := rand.New(rand.NewSource(seed))
+	prog := make([][]diffOp, txs)
+	for i := range prog {
+		n := 1 + rng.Intn(6)
+		ops := make([]diffOp, n)
+		for j := range ops {
+			ops[j] = diffOp{
+				kind: rng.Intn(3),
+				src:  uint8(rng.Intn(diffWords)),
+				dst:  uint8(rng.Intn(diffWords)),
+				k:    uint8(1 + rng.Intn(7)),
+			}
+		}
+		prog[i] = ops
+	}
+	return prog
+}
+
+func snapshot(d tm.Tx, base tm.Addr) [diffWords]uint64 {
+	var m [diffWords]uint64
+	for i := range m {
+		m[i] = d.Load(base + tm.Addr(i))
+	}
+	return m
+}
+
+func runOnSTM(prog [][]diffOp) [diffWords]uint64 {
+	rt := stm.New()
+	base := rt.Direct().Alloc(diffWords)
+	for _, ops := range prog {
+		ops := ops
+		rt.Atomic(nil, func(tx *stm.Tx) {
+			for _, op := range ops {
+				applyOp(tx, base, op)
+			}
+		})
+	}
+	return snapshot(rt.Direct(), base)
+}
+
+func runOnTL2(prog [][]diffOp) [diffWords]uint64 {
+	rt := tl2.New(16)
+	base := rt.Direct().Alloc(diffWords)
+	for _, ops := range prog {
+		ops := ops
+		rt.Atomic(nil, func(tx *tl2.Tx) {
+			for _, op := range ops {
+				applyOp(tx, base, op)
+			}
+		})
+	}
+	return snapshot(rt.Direct(), base)
+}
+
+func runOnWriteThrough(prog [][]diffOp) [diffWords]uint64 {
+	rt := wtstm.New(16)
+	base := rt.Direct().Alloc(diffWords)
+	for _, ops := range prog {
+		ops := ops
+		rt.Atomic(nil, func(tx *wtstm.Tx) {
+			for _, op := range ops {
+				applyOp(tx, base, op)
+			}
+		})
+	}
+	return snapshot(rt.Direct(), base)
+}
+
+func runOnTLSTM(prog [][]diffOp, depth int, split bool) [diffWords]uint64 {
+	rt := core.New(core.Config{SpecDepth: depth, LockTableBits: 14})
+	base := rt.Direct().Alloc(diffWords)
+	thr := rt.NewThread()
+	for _, ops := range prog {
+		var fns []core.TaskFunc
+		if split && len(ops) > 1 && depth > 1 {
+			mid := len(ops) / 2
+			first, second := ops[:mid], ops[mid:]
+			fns = []core.TaskFunc{
+				func(tk *core.Task) {
+					for _, op := range first {
+						applyOp(tk, base, op)
+					}
+				},
+				func(tk *core.Task) {
+					for _, op := range second {
+						applyOp(tk, base, op)
+					}
+				},
+			}
+		} else {
+			ops := ops
+			fns = []core.TaskFunc{func(tk *core.Task) {
+				for _, op := range ops {
+					applyOp(tk, base, op)
+				}
+			}}
+		}
+		if _, err := thr.Submit(fns...); err != nil {
+			panic(err)
+		}
+	}
+	thr.Sync()
+	return snapshot(rt.Direct(), base)
+}
+
+func TestDifferentialRuntimes(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		prog := genProgram(seed, 30)
+		want := runOnSTM(prog)
+
+		if got := runOnTL2(prog); got != want {
+			t.Fatalf("seed %d: TL2 diverges from SwissTM\n tl2: %v\n stm: %v", seed, got, want)
+		}
+		if got := runOnWriteThrough(prog); got != want {
+			t.Fatalf("seed %d: write-through diverges from SwissTM\n  wt: %v\n stm: %v", seed, got, want)
+		}
+		for _, depth := range []int{1, 2, 4} {
+			if got := runOnTLSTM(prog, depth, false); got != want {
+				t.Fatalf("seed %d: TLSTM depth %d (unsplit) diverges\n got: %v\nwant: %v", seed, depth, got, want)
+			}
+		}
+		for _, depth := range []int{2, 4} {
+			if got := runOnTLSTM(prog, depth, true); got != want {
+				t.Fatalf("seed %d: TLSTM depth %d (split) diverges\n got: %v\nwant: %v", seed, depth, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Pipeline: cross-transaction speculation. With SpecDepth larger than
+// the transaction size, Submit lets tasks of *future* transactions run
+// while earlier transactions are still active ("TLSTM can even be more
+// optimistic and speculatively execute future transactions", paper §1).
+//
+// This example demonstrates the semantics, not a speedup claim: orders
+// are admitted into a speculation window and commit strictly in program
+// order whatever the window depth; when consecutive orders touch the
+// same SKU, the runtime forwards the uncommitted stock level to the
+// speculated order (intra-thread forwarding) or rolls it back (WAW),
+// and the final state is always the sequential one.
+package main
+
+import (
+	"fmt"
+
+	"tlstm"
+)
+
+const (
+	orders = 300
+	skus   = 64
+)
+
+func run(depth int) (tlstm.Stats, uint64) {
+	rt := tlstm.New(tlstm.Config{SpecDepth: depth})
+	d := rt.Direct()
+
+	inventory := d.Alloc(skus)
+	sold := d.Alloc(skus)
+	for i := 0; i < skus; i++ {
+		d.Store(inventory+tlstm.Addr(i), 50)
+	}
+
+	thr := rt.NewThread()
+	var handles []*tlstm.TxHandle
+	for i := 0; i < orders; i++ {
+		sku := tlstm.Addr(uint64(i*2654435761>>8) % skus)
+		qty := uint64(i%3 + 1)
+		h, err := thr.Submit(func(t *tlstm.Task) {
+			stock := t.Load(inventory + sku)
+			if stock >= qty {
+				t.Store(inventory+sku, stock-qty)
+				t.Store(sold+sku, t.Load(sold+sku)+qty)
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		h.Wait()
+	}
+	thr.Sync()
+
+	var totalSold uint64
+	for i := 0; i < skus; i++ {
+		totalSold += d.Load(sold + tlstm.Addr(i))
+	}
+	return thr.Stats(), totalSold
+}
+
+func main() {
+	fmt.Printf("%d orders, one transaction each, speculation windows of 1/4/8:\n\n", orders)
+	var ref uint64
+	for _, depth := range []int{1, 4, 8} {
+		st, sold := run(depth)
+		if depth == 1 {
+			ref = sold
+		}
+		fmt.Printf("depth=%d: sold=%-5d committed=%d txAborts=%d taskRestarts=%d\n",
+			depth, sold, st.TxCommitted, st.TxAborted, st.TaskRestarts)
+		if sold != ref {
+			panic("speculation changed the committed result")
+		}
+	}
+	fmt.Println("\nevery window depth commits the identical sequential result;")
+	fmt.Println("restarts show where speculation crossed an order on the same SKU.")
+}

@@ -1,0 +1,69 @@
+// Traversal: STMBench7 long traversals split into speculative tasks
+// (§4, Figures 2a/2b). Shows the paper's central contrast on one
+// screen: read-only traversals split three ways enjoy near-full
+// speedup, while write traversals — whose tasks all update the shared
+// composite parts and module metadata — degenerate to nearly serial
+// execution and lose to the unsplit run.
+package main
+
+import (
+	"fmt"
+
+	"tlstm"
+	"tlstm/internal/harness"
+	"tlstm/internal/sb7"
+	"tlstm/internal/tm"
+)
+
+const traversals = 12
+
+func run(tasks, pctRead int) harness.Result {
+	rt := tlstm.New(tlstm.Config{SpecDepth: max(tasks, 1)})
+	b, err := sb7.Build(rt.Direct(), sb7.Default())
+	if err != nil {
+		panic(err)
+	}
+	w := harness.Workload{
+		Name:        fmt.Sprintf("sb7-%d-tasks-%d%%read", tasks, pctRead),
+		Threads:     1,
+		TxPerThread: traversals,
+		OpsPerTx:    1,
+		Make: func(thread, idx int) harness.TxSeq {
+			seed := uint64(idx)*0x9e3779b97f4a7c15 + 1
+			readOnly := idx%100 < pctRead
+			roots, level := b.SplitRoots(tasks)
+			var seq harness.TxSeq
+			for _, root := range roots {
+				root := root
+				seq = append(seq, func(tx tm.Tx) {
+					if readOnly {
+						b.TraverseRead(tx, root, level)
+					} else {
+						b.TraverseWrite(tx, root, level, seed)
+					}
+				})
+			}
+			return seq
+		},
+	}
+	return harness.RunTLSTM(rt, w)
+}
+
+func main() {
+	read1 := run(1, 100)
+	read3 := run(3, 100)
+	write1 := run(1, 0)
+	write3 := run(3, 0)
+
+	fmt.Println(read1.String())
+	fmt.Println(read3.String())
+	fmt.Println(write1.String())
+	fmt.Println(write3.String())
+
+	fmt.Printf("\nread-only split speedup:  %.2fx (paper: near-full with 3 tasks)\n",
+		read3.Throughput()/read1.Throughput())
+	fmt.Printf("write split speedup:      %.2fx (paper: below 1 — tasks conflict intra-thread)\n",
+		write3.Throughput()/write1.Throughput())
+	fmt.Printf("write-split task restarts: %d (the conflicts that serialize the tasks)\n",
+		write3.TaskRestarts)
+}

@@ -1,0 +1,104 @@
+// Package cm implements the contention-management policies of the paper:
+// SwissTM's two-phase greedy manager for inter-thread write/write
+// conflicts, and TLSTM's task-aware policy layered on top of it
+// (paper §3.2 "Preventing inter-thread deadlocks" and Alg. 2,
+// cm-should-abort).
+package cm
+
+import (
+	"sync/atomic"
+
+	"tlstm/internal/locktable"
+)
+
+// Decision is the outcome of resolving a write/write conflict between the
+// requesting transaction ("self") and the current lock owner.
+type Decision int
+
+const (
+	// AbortSelf: the requester must roll back (and retry).
+	AbortSelf Decision = iota + 1
+	// AbortOwner: the owner has been signalled to abort; the requester
+	// should wait for the lock to be released.
+	AbortOwner
+)
+
+// PoliteWrites is the two-phase threshold: a transaction that has
+// performed at most this many writes stays in the polite phase (it
+// backs off by aborting itself, never aborting others). Beyond it the
+// transaction acquires a greedy timestamp. SwissTM uses a small
+// constant for the same purpose.
+const PoliteWrites = 10
+
+// PoliteDefeats bounds how many conflicts a transaction may lose while
+// polite; past it the transaction escalates to the greedy phase even if
+// small. Without this bound, two small transactions whose earlier tasks
+// hold each other's next write lock would abort themselves forever
+// (circular wait) — the escalation gives one of them a timestamp and
+// breaks the cycle, which is the point of SwissTM's two-phase design.
+const PoliteDefeats = 1
+
+// Greedy is the two-phase greedy contention manager. The zero value is
+// ready to use; one instance is shared by all transactions of a runtime.
+type Greedy struct {
+	clock atomic.Uint64
+}
+
+// MakeGreedy assigns tx a greedy timestamp if it does not have one yet.
+// Lower timestamps are older and win subsequent conflicts. The timestamp
+// slot is shared by all tasks of a user-transaction.
+func (g *Greedy) MakeGreedy(ts *atomic.Uint64) {
+	if ts.Load() == 0 {
+		ts.CompareAndSwap(0, g.clock.Add(1))
+	}
+}
+
+// Resolve applies two-phase greedy between the requester (with greedy
+// timestamp slot selfTS, write count selfWrites, and defeats lost
+// conflicts so far) and the lock owner.
+func (g *Greedy) Resolve(selfTS *atomic.Uint64, selfWrites, defeats int, owner *locktable.OwnerRef) Decision {
+	my := selfTS.Load()
+	if my == 0 && selfWrites <= PoliteWrites && defeats < PoliteDefeats {
+		// Phase one: be polite, retry on our own dime.
+		return AbortSelf
+	}
+	if my == 0 {
+		g.MakeGreedy(selfTS)
+		my = selfTS.Load()
+	}
+	their := owner.Timestamp.Load()
+	if their == 0 {
+		// Owner is still polite; a greedy transaction beats it.
+		return AbortOwner
+	}
+	if my < their {
+		return AbortOwner
+	}
+	return AbortSelf
+}
+
+// TaskAware is TLSTM's inter-thread policy: on a write/write conflict
+// between tasks of different user-threads, abort the more speculative
+// user-transaction — the one whose thread has completed fewer of the
+// transaction's tasks (paper Alg. 2, cm-should-abort). Ties fall back to
+// two-phase greedy between the transactions.
+type TaskAware struct {
+	Greedy Greedy
+}
+
+// Resolve decides the conflict between the requesting task (thread
+// progress selfCompleted, transaction start selfStart, greedy slot
+// selfTS, selfWrites buffered writes, defeats lost conflicts) and the
+// entry's owner.
+func (t *TaskAware) Resolve(selfCompleted, selfStart int64, selfTS *atomic.Uint64, selfWrites, defeats int, owner *locktable.OwnerRef) Decision {
+	selfProgress := selfCompleted - selfStart
+	ownerProgress := owner.CompletedTask.Load() - owner.StartSerial
+	switch {
+	case selfProgress > ownerProgress:
+		return AbortOwner
+	case selfProgress < ownerProgress:
+		return AbortSelf
+	default:
+		return t.Greedy.Resolve(selfTS, selfWrites, defeats, owner)
+	}
+}

@@ -1,0 +1,109 @@
+package cm
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"tlstm/internal/locktable"
+)
+
+func newOwner(completed int64, startSerial int64, ts uint64) (*locktable.OwnerRef, *atomic.Int64) {
+	var c atomic.Int64
+	c.Store(completed)
+	var t atomic.Uint64
+	t.Store(ts)
+	return &locktable.OwnerRef{
+		ThreadID:      1,
+		StartSerial:   startSerial,
+		CompletedTask: &c,
+		Timestamp:     &t,
+	}, &c
+}
+
+func TestGreedyPolitePhaseAbortsSelf(t *testing.T) {
+	var g Greedy
+	var myTS atomic.Uint64
+	owner, _ := newOwner(0, 0, 0)
+	if d := g.Resolve(&myTS, 1, 0, owner); d != AbortSelf {
+		t.Fatalf("polite requester should abort self, got %v", d)
+	}
+	if myTS.Load() != 0 {
+		t.Fatal("polite requester must not acquire a timestamp")
+	}
+}
+
+func TestGreedyOlderWins(t *testing.T) {
+	var g Greedy
+	var oldTS, youngTS atomic.Uint64
+	g.MakeGreedy(&oldTS)
+	g.MakeGreedy(&youngTS)
+	if oldTS.Load() >= youngTS.Load() {
+		t.Fatal("timestamps must be monotonically increasing")
+	}
+
+	youngOwner, _ := newOwner(0, 0, youngTS.Load())
+	if d := g.Resolve(&oldTS, PoliteWrites+1, 0, youngOwner); d != AbortOwner {
+		t.Fatalf("older requester should beat younger owner, got %v", d)
+	}
+	oldOwner, _ := newOwner(0, 0, oldTS.Load())
+	if d := g.Resolve(&youngTS, PoliteWrites+1, 0, oldOwner); d != AbortSelf {
+		t.Fatalf("younger requester should yield to older owner, got %v", d)
+	}
+}
+
+func TestGreedyBeatsPoliteOwner(t *testing.T) {
+	var g Greedy
+	var myTS atomic.Uint64
+	owner, _ := newOwner(0, 0, 0) // polite owner, no timestamp
+	if d := g.Resolve(&myTS, PoliteWrites+1, 0, owner); d != AbortOwner {
+		t.Fatalf("greedy requester should beat polite owner, got %v", d)
+	}
+	if myTS.Load() == 0 {
+		t.Fatal("requester past the polite threshold must become greedy")
+	}
+}
+
+func TestMakeGreedyIdempotent(t *testing.T) {
+	var g Greedy
+	var ts atomic.Uint64
+	g.MakeGreedy(&ts)
+	first := ts.Load()
+	g.MakeGreedy(&ts)
+	if ts.Load() != first {
+		t.Fatal("MakeGreedy must not reassign an existing timestamp")
+	}
+}
+
+// The paper's rule: abort the more speculative transaction — the one
+// with fewer completed predecessor tasks (Alg. 2, cm-should-abort).
+func TestTaskAwareProgressWins(t *testing.T) {
+	var ta TaskAware
+	var myTS atomic.Uint64
+
+	// Owner progress: completed 5, tx started at serial 4 → progress 1.
+	owner, _ := newOwner(5, 4, 0)
+
+	// Requester progress 3 (completed 9, start 6): more progress → owner aborts.
+	if d := ta.Resolve(9, 6, &myTS, 0, 0, owner); d != AbortOwner {
+		t.Fatalf("less speculative requester must win, got %v", d)
+	}
+	// Requester progress 0: less progress → requester aborts.
+	if d := ta.Resolve(6, 6, &myTS, 0, 0, owner); d != AbortSelf {
+		t.Fatalf("more speculative requester must lose, got %v", d)
+	}
+}
+
+func TestTaskAwareTieFallsBackToGreedy(t *testing.T) {
+	var ta TaskAware
+	var myTS atomic.Uint64
+	ta.Greedy.MakeGreedy(&myTS)
+
+	var ownerTS atomic.Uint64
+	ta.Greedy.MakeGreedy(&ownerTS) // younger than myTS
+	owner, _ := newOwner(5, 4, ownerTS.Load())
+
+	// Equal progress (1 vs 1): greedy tie-break, older requester wins.
+	if d := ta.Resolve(7, 6, &myTS, PoliteWrites+1, 0, owner); d != AbortOwner {
+		t.Fatalf("tie must fall back to greedy (older wins), got %v", d)
+	}
+}

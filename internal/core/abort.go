@@ -1,0 +1,147 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"tlstm/internal/locktable"
+)
+
+// unwindWrites removes this task's redo-chain entries. It is idempotent:
+// a transaction-abort cleanup may already have removed them.
+func (t *Task) unwindWrites() {
+	if len(t.writeLog) == 0 {
+		return
+	}
+	t.thr.chainMu.Lock()
+	for _, e := range t.writeLog {
+		removeEntryLocked(e)
+	}
+	t.thr.chainMu.Unlock()
+	t.writeLog = t.writeLog[:0]
+}
+
+// removeEntryLocked unlinks e from its pair's redo chain. The caller
+// holds the owning thread's chainMu, which serializes all removals on
+// this thread's chains; pushes (head CAS by tasks of the same thread)
+// are handled by the retry loop.
+func removeEntryLocked(e *locktable.WEntry) {
+	p := e.Pair
+	for {
+		h := p.W.Load()
+		if h == nil {
+			return // chain already gone (e.g. committed and dropped)
+		}
+		if h == e {
+			if p.W.CompareAndSwap(e, e.Prev.Load()) {
+				return
+			}
+			continue // a push or a commit release raced us; retry
+		}
+		// e sits mid-chain: splice it out through its successor. Only
+		// removals mutate Prev links and they are serialized by
+		// chainMu, so the walk is stable.
+		s := h
+		for s != nil && s.Prev.Load() != e {
+			s = s.Prev.Load()
+		}
+		if s == nil {
+			return // e is no longer linked
+		}
+		s.Prev.Store(e.Prev.Load())
+		return
+	}
+}
+
+// rendezvous coordinates a whole-transaction abort (paper §3.2,
+// "Transaction abort"): every task of the user-transaction parks here;
+// the last one to arrive unwinds the transaction's speculative state and
+// opens a new round; everyone then restarts.
+//
+// A task may also arrive after the round already finished (it read the
+// abort flag just before it was cleared); it then simply returns and its
+// caller restarts it, which is harmless.
+func (t *Task) rendezvous() {
+	tx := t.tx
+
+	tx.mu.Lock()
+	if !tx.abortTx.Load() {
+		tx.mu.Unlock()
+		return
+	}
+	gen := tx.gen
+	tx.acks++
+	if tx.acks == tx.participants && !tx.cleaning {
+		tx.cleaning = true
+		tx.mu.Unlock()
+
+		t.cleanupTx()
+
+		tx.mu.Lock()
+		tx.acks = 0
+		tx.gen++
+		tx.cleaning = false
+		tx.abortTx.Store(false)
+		tx.mu.Unlock()
+		return
+	}
+	tx.mu.Unlock()
+
+	for {
+		tx.mu.Lock()
+		g := tx.gen
+		tx.mu.Unlock()
+		if g != gen {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// cleanupTx is Alg. 3 rollback-transaction, executed by exactly one task
+// while every participant of the transaction is parked:
+//
+//  1. every write-lock taken by any task of the transaction is unwound
+//     (line 96–99);
+//  2. the thread's completion counters are reset below the transaction
+//     (lines 100–101) — lowered only, since an earlier transaction of
+//     the thread may still be in flight below us;
+//  3. active tasks beyond the transaction are signalled aborted-
+//     internally: they may have read our speculative state, and the
+//     counter reset also invalidates their validation gates. (The paper
+//     resets "the tasks' state to their last known correct values";
+//     restarting the speculative suffix is the simple sound version.)
+func (t *Task) cleanupTx() {
+	tx := t.tx
+	thr := t.thr
+
+	thr.chainMu.Lock()
+	for _, task := range tx.tasks {
+		for _, e := range task.writeLog {
+			removeEntryLocked(e)
+		}
+	}
+	thr.chainMu.Unlock()
+
+	lowerCounter(&thr.completedTask, tx.startSerial-1)
+	lowerCounter(&thr.completedWriter, tx.startSerial-1)
+
+	for i := range thr.slots {
+		if p := thr.slots[i].Load(); p != nil && p.serial > tx.commitSerial {
+			p.abortInternal.Store(true)
+		}
+	}
+
+	tx.txAborts.Add(1)
+}
+
+// lowerCounter moves c down to v; it never raises it (completions of
+// earlier transactions may race with an abort and must win).
+func lowerCounter(c *atomic.Int64, v int64) {
+	for {
+		cur := c.Load()
+		if cur <= v || c.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"runtime"
+
+	"tlstm/internal/locktable"
+)
+
+// commitCost is the modeled per-task commit serialization cost in work
+// units, used by the virtual-time model (DESIGN.md §3).
+const commitCost = 2
+
+// commitStep is the task's commit procedure (Alg. 3 lines 65–77): wait
+// for all past tasks of the user-thread to complete, run the gated WAR
+// validation, then either mark this task completed and wait for the
+// user-transaction to commit (intermediate task) or commit the whole
+// user-transaction (commit-task).
+func (t *Task) commitStep() {
+	thr := t.thr
+
+	// Commits of tasks of the same user-thread are serialized: wait for
+	// every task with a lower serial to complete (lines 66–68).
+	for thr.completedTask.Load() < t.serial-1 {
+		t.checkSignals()
+		runtime.Gosched()
+	}
+	t.checkSignals()
+
+	// Previously undetected WAR conflicts (lines 69–70): validate when
+	// a writer completed since we last validated.
+	t.maybeValidate()
+
+	if !t.tryCommit {
+		// Intermediate task (lines 71–77): publish completion, then
+		// wait until the commit-task commits the user-transaction.
+		if len(t.writeLog) > 0 {
+			thr.completedWriter.Store(t.serial)
+		}
+		thr.completedTask.Store(t.serial)
+		for thr.completedTask.Load() < t.tx.commitSerial {
+			if t.tx.abortTx.Load() {
+				t.rendezvous()
+				panic(restartSignal{})
+			}
+			runtime.Gosched()
+		}
+		return
+	}
+
+	t.commitTransaction()
+}
+
+// commitTransaction is the commit-task's user-transaction commit
+// (Alg. 3 lines 78–94): it considers the read and write logs of every
+// task of the transaction, locks and publishes all buffered writes, and
+// finally signals completion of the whole transaction.
+func (t *Task) commitTransaction() {
+	tx := t.tx
+	thr := t.thr
+	rt := thr.rt
+
+	writeTx := false
+	for _, task := range tx.tasks {
+		if len(task.writeLog) > 0 {
+			writeTx = true
+			break
+		}
+	}
+
+	if !writeTx {
+		// Read-only transaction: tasks may have completed at different
+		// logical times; if their valid-ts values diverge the union of
+		// their reads must be revalidated, otherwise commit is free
+		// (§3.3, "Commit").
+		sameTS := true
+		for _, task := range tx.tasks {
+			if task.validTS != t.validTS {
+				sameTS = false
+				break
+			}
+		}
+		if !sameTS && !t.validateTxReads(nil) {
+			t.abortOwnTx()
+		}
+		t.finishCommit(0, false)
+		return
+	}
+
+	// Optimistic pre-lock validation (line 78): cheaper to discover a
+	// doomed transaction before acquiring r-locks.
+	if !t.validateTxReads(nil) {
+		t.abortOwnTx()
+	}
+
+	// Lock the r-locks of every written pair, remembering displaced
+	// versions for restoration on failure (lines 81–83). Several tasks
+	// may have written the same pair; lock it once.
+	saved := make(map[*locktable.Pair]uint64)
+	for _, task := range tx.tasks {
+		for _, e := range task.writeLog {
+			if _, dup := saved[e.Pair]; !dup {
+				saved[e.Pair] = e.Pair.R.Swap(locktable.Locked)
+				t.workAcc++
+			}
+		}
+	}
+
+	ts := rt.commitTS.Add(1) // line 84
+
+	if !t.validateTxReads(saved) { // line 85
+		for p, v := range saved {
+			p.R.Store(v)
+		}
+		t.abortOwnTx()
+	}
+
+	// Publish every task's buffered writes in serial order, so that when
+	// several tasks wrote the same word the latest in program order wins
+	// (lines 87–89; tx.tasks is already serial-ordered and each write
+	// log is in program order).
+	for _, task := range tx.tasks {
+		for _, e := range task.writeLog {
+			for _, w := range e.Words {
+				rt.store.StoreWord(w.Addr, w.Val)
+				t.workAcc++
+			}
+		}
+	}
+
+	// Release: publish the new version, then drop the redo chain if its
+	// head belongs to this transaction (lines 90–92). If a task of a
+	// future transaction already stacked an entry on top, the chain
+	// stays; the committed entries below it now mirror memory, and the
+	// future transaction's own commit or abort will unwind them.
+	for p := range saved {
+		p.R.Store(ts)
+		h := p.W.Load()
+		if h != nil && h.Owner.ThreadID == thr.id &&
+			h.Serial >= tx.startSerial && h.Serial <= tx.commitSerial {
+			p.W.CompareAndSwap(h, nil)
+		}
+	}
+
+	t.finishCommit(ts, true)
+}
+
+// validateTxReads validates the committed reads of every task of the
+// transaction against current r-lock versions. Pairs r-locked by this
+// commit (present in saved) compare against their displaced version.
+func (t *Task) validateTxReads(saved map[*locktable.Pair]uint64) bool {
+	for _, task := range t.tx.tasks {
+		for i, re := range task.readLog {
+			if re.version == noVersion {
+				continue // speculative read; validated intra-thread
+			}
+			if i%8 == 0 {
+				t.workAcc++
+			}
+			cur := re.pair.R.Load()
+			if cur == re.version {
+				continue
+			}
+			if cur == locktable.Locked && saved != nil {
+				if pre, ours := saved[re.pair]; ours && pre == re.version {
+					continue
+				}
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// abortOwnTx aborts this task's entire user-transaction: commit-time
+// inter-thread conflict (§3.2, "Transaction abort").
+func (t *Task) abortOwnTx() {
+	t.tx.abortTx.Store(true)
+	t.rendezvous()
+	panic(restartSignal{})
+}
+
+// finishCommit publishes the transaction's completion (Alg. 3 lines
+// 93–94), folds statistics and the virtual-time model, and releases
+// waiters.
+func (t *Task) finishCommit(ts uint64, writeTx bool) {
+	_ = ts
+	tx := t.tx
+	thr := t.thr
+
+	if writeTx {
+		thr.completedWriter.Store(t.serial)
+	}
+	thr.completedTask.Store(t.serial)
+
+	// Deferred frees of every task take effect now that the
+	// transaction's writes are durable.
+	for _, task := range tx.tasks {
+		for _, a := range task.frees {
+			thr.rt.alloc.Free(a)
+		}
+	}
+
+	// Virtual-time model: tasks start together; task k finishes at
+	// max(own work, finish of task k−1) + commit cost (serialized
+	// commits). See DESIGN.md §3.
+	var finish, work uint64
+	for _, task := range tx.tasks {
+		w := task.workAcc
+		work += w
+		if w > finish {
+			finish = w
+		}
+		finish += commitCost
+	}
+
+	thr.statsMu.Lock()
+	thr.stats.TxCommitted++
+	thr.stats.TxAborted += tx.txAborts.Load()
+	thr.stats.TaskRestarts += tx.taskRestarts.Load()
+	thr.stats.RestartWAR += tx.restartKind[restartWAR].Load()
+	thr.stats.RestartWAW += tx.restartKind[restartWAW].Load()
+	thr.stats.RestartExtend += tx.restartKind[restartExtend].Load()
+	thr.stats.RestartCM += tx.restartKind[restartCM].Load()
+	thr.stats.RestartSandbox += tx.restartKind[restartSandbox].Load()
+	thr.stats.Work += work
+	thr.stats.VirtualTime += finish
+	thr.statsMu.Unlock()
+
+	close(tx.done)
+}

@@ -1,0 +1,69 @@
+package core
+
+// Decomposition helpers. The paper leaves the choice of task
+// decomposition open ("Several standard techniques can be used for
+// user-thread decomposition, from loop iteration speculation (e.g.
+// spec-DOALL and spec-DOACROSS) to procedure fall-through speculation",
+// §3.3); these provide the two loop-speculation shapes directly over
+// the Thread API.
+
+// Nest runs fn as a nested user-transaction with flattening semantics:
+// the paper's model assumes flat user-transactions and notes the model
+// "can easily be extended to consider user-transaction nesting" — the
+// classic flat extension subsumes the nested transaction into the
+// enclosing task, which is exactly what executing fn inline does (an
+// abort of the enclosing transaction rolls the nested effects back with
+// it, and the nested transaction has no independent abort).
+func (t *Task) Nest(fn func(t *Task)) {
+	fn(t)
+}
+
+// SpecDOALL runs the loop body for i ∈ [0, n) as one user-transaction
+// decomposed into `tasks` speculative tasks over contiguous index
+// ranges (the spec-DOALL shape: iterations are speculated independent;
+// cross-iteration dependencies are detected and repaired by the
+// runtime's WAR/WAW machinery). It blocks until the transaction commits.
+func (thr *Thread) SpecDOALL(n, tasks int, body func(t *Task, i int)) error {
+	if tasks > thr.depth {
+		tasks = thr.depth
+	}
+	if tasks > n {
+		tasks = n
+	}
+	if tasks < 1 {
+		tasks = 1
+	}
+	fns := make([]TaskFunc, 0, tasks)
+	for k := 0; k < tasks; k++ {
+		lo := k * n / tasks
+		hi := (k + 1) * n / tasks
+		fns = append(fns, func(t *Task) {
+			for i := lo; i < hi; i++ {
+				body(t, i)
+			}
+		})
+	}
+	return thr.Atomic(fns...)
+}
+
+// SpecDOACROSS runs the loop body for i ∈ [0, n), one single-task
+// user-transaction per iteration, submitted speculatively so up to
+// SPECDEPTH iterations are in flight (the spec-DOACROSS shape:
+// iterations commit in order; dependencies between nearby iterations
+// cause rollbacks, distant ones pipeline freely). It blocks until every
+// iteration has committed.
+func (thr *Thread) SpecDOACROSS(n int, body func(t *Task, i int)) error {
+	handles := make([]*TxHandle, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		h, err := thr.Submit(func(t *Task) { body(t, i) })
+		if err != nil {
+			return err
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		h.Wait()
+	}
+	return nil
+}

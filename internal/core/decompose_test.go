@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"tlstm/internal/tm"
+)
+
+func TestNestFlattening(t *testing.T) {
+	rt := newRT(2)
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+
+	err := thr.Atomic(func(tk *Task) {
+		tk.Store(a, 1)
+		tk.Nest(func(tk *Task) {
+			tk.Store(a, tk.Load(a)+10)
+			tk.Nest(func(tk *Task) {
+				tk.Store(a, tk.Load(a)*2)
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr.Sync()
+	if got := d.Load(a); got != 22 {
+		t.Fatalf("nested effects = %d, want 22", got)
+	}
+}
+
+func TestSpecDOALLIndependentIterations(t *testing.T) {
+	rt := newRT(4)
+	thr := rt.NewThread()
+	d := rt.Direct()
+	const n = 40
+	base := d.Alloc(n)
+
+	err := thr.SpecDOALL(n, 4, func(tk *Task, i int) {
+		tk.Store(base+tm.Addr(i), uint64(i*i))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr.Sync()
+	for i := 0; i < n; i++ {
+		if got := d.Load(base + tm.Addr(i)); got != uint64(i*i) {
+			t.Fatalf("iteration %d wrote %d", i, got)
+		}
+	}
+	if st := thr.Stats(); st.TxCommitted != 1 {
+		t.Fatalf("SpecDOALL must be one transaction, committed %d", st.TxCommitted)
+	}
+}
+
+// Cross-iteration dependencies: a prefix-sum loop carries a dependency
+// from every iteration to the next; spec-DOALL must still produce the
+// sequential result via rollbacks.
+func TestSpecDOALLLoopCarriedDependency(t *testing.T) {
+	rt := newRT(3)
+	thr := rt.NewThread()
+	d := rt.Direct()
+	const n = 24
+	base := d.Alloc(n + 1)
+	for i := 0; i < n; i++ {
+		d.Store(base+tm.Addr(i), uint64(i+1))
+	}
+	acc := base + tm.Addr(n)
+
+	err := thr.SpecDOALL(n, 3, func(tk *Task, i int) {
+		tk.Store(acc, tk.Load(acc)+tk.Load(base+tm.Addr(i)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr.Sync()
+	if got := d.Load(acc); got != n*(n+1)/2 {
+		t.Fatalf("accumulator = %d, want %d", got, n*(n+1)/2)
+	}
+}
+
+func TestSpecDOALLTaskClamping(t *testing.T) {
+	rt := newRT(2)
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	// More tasks than depth and more tasks than iterations: both clamp.
+	if err := thr.SpecDOALL(1, 8, func(tk *Task, i int) { tk.Store(a, 9) }); err != nil {
+		t.Fatal(err)
+	}
+	thr.Sync()
+	if d.Load(a) != 9 {
+		t.Fatal("clamped SpecDOALL did not run")
+	}
+}
+
+func TestSpecDOACROSSPipelines(t *testing.T) {
+	rt := newRT(4)
+	thr := rt.NewThread()
+	d := rt.Direct()
+	const n = 60
+	base := d.Alloc(n)
+	acc := d.Alloc(1)
+
+	err := thr.SpecDOACROSS(n, func(tk *Task, i int) {
+		tk.Store(base+tm.Addr(i), uint64(i))
+		if i%10 == 0 {
+			tk.Store(acc, tk.Load(acc)+1) // occasional shared dependency
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr.Sync()
+	if got := d.Load(acc); got != 6 {
+		t.Fatalf("accumulator = %d, want 6", got)
+	}
+	st := thr.Stats()
+	if st.TxCommitted != n {
+		t.Fatalf("SpecDOACROSS must commit one transaction per iteration, got %d", st.TxCommitted)
+	}
+}

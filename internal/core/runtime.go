@@ -1,0 +1,134 @@
+// Package core implements TLSTM, the unified STM+TLS runtime of the
+// paper (Algorithms 1–3): SwissTM extended so that every user-thread is
+// decomposed into speculative tasks that execute out of order and commit
+// sequentially, while user-transactions spanning one or more tasks keep
+// SwissTM's opacity guarantees across threads.
+//
+// Key vocabulary (paper §2):
+//
+//   - user-thread: a hand-parallelized thread of the program, here a
+//     Thread;
+//   - user-transaction: a critical section delimited by the programmer,
+//     here one Submit/Atomic call, decomposed into tasks;
+//   - speculative task: the unit of speculative execution, here a Task.
+//     What used to be a SwissTM transaction is a task in TLSTM (§3.2).
+//
+// Within a user-thread, at most SPECDEPTH tasks are simultaneously
+// active; tasks carry monotonically increasing serial numbers and commit
+// in serial order. Intra-thread conflicts (WAR and WAW) are detected with
+// per-location redo-log chains and the validate-task procedure;
+// inter-thread conflicts reuse SwissTM's machinery plus the task-aware
+// contention manager.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"tlstm/internal/cm"
+	"tlstm/internal/locktable"
+	"tlstm/internal/mem"
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// SpecDepth is SPECDEPTH: the maximum number of simultaneously
+	// active tasks per user-thread (paper §3.3). It also bounds the
+	// number of tasks a single user-transaction may be split into,
+	// because every task of a transaction stays active until the
+	// transaction commits. Defaults to 4.
+	SpecDepth int
+	// LockTableBits sizes the global lock table at 2^bits pairs.
+	// Defaults to 20.
+	LockTableBits int
+	// PlainGreedyCM disables the task-aware inter-thread contention
+	// policy and falls back to bare two-phase greedy. The paper argues
+	// task-awareness is necessary to avoid inter-thread deadlocks and
+	// favour transactions likely to finish (§3.2); this switch exists
+	// for the ablation benchmark that quantifies it.
+	PlainGreedyCM bool
+}
+
+func (c *Config) fill() {
+	if c.SpecDepth <= 0 {
+		c.SpecDepth = 4
+	}
+	if c.LockTableBits == 0 {
+		c.LockTableBits = 20
+	}
+}
+
+// Runtime is one TLSTM instance. Independent Runtimes are fully isolated.
+type Runtime struct {
+	store *mem.Store
+	alloc *mem.Allocator
+	locks *locktable.Table
+
+	commitTS atomic.Uint64
+	cm       cm.TaskAware
+
+	specDepth     int
+	plainGreedyCM bool
+	nextThreadID  atomic.Int32
+}
+
+// New creates a TLSTM runtime.
+func New(cfg Config) *Runtime {
+	cfg.fill()
+	st := mem.NewStore()
+	return &Runtime{
+		store:         st,
+		alloc:         mem.NewAllocator(st),
+		locks:         locktable.NewTable(cfg.LockTableBits),
+		specDepth:     cfg.SpecDepth,
+		plainGreedyCM: cfg.PlainGreedyCM,
+	}
+}
+
+// SpecDepth reports the runtime's SPECDEPTH.
+func (rt *Runtime) SpecDepth() int { return rt.specDepth }
+
+// CommitTS exposes the global commit timestamp (tests and stats).
+func (rt *Runtime) CommitTS() uint64 { return rt.commitTS.Load() }
+
+// Direct returns a non-transactional tm.Tx for single-threaded setup,
+// before any user-thread runs.
+func (rt *Runtime) Direct() mem.Direct {
+	return mem.Direct{Mem: rt.store, Al: rt.alloc}
+}
+
+// Allocator exposes the runtime's allocator (tests).
+func (rt *Runtime) Allocator() *mem.Allocator { return rt.alloc }
+
+// NewThread creates a user-thread. A Thread must be driven by exactly
+// one goroutine (the "user-thread" itself); its speculative tasks run on
+// goroutines managed by the runtime.
+func (rt *Runtime) NewThread() *Thread {
+	id := rt.nextThreadID.Add(1) - 1
+	thr := &Thread{
+		rt:    rt,
+		id:    id,
+		depth: rt.specDepth,
+		slots: make([]atomic.Pointer[Task], rt.specDepth),
+	}
+	return thr
+}
+
+// TaskFunc is the body of one speculative task. It receives the Task as
+// its tm.Tx access handle. Bodies must be re-executable: the runtime may
+// run them several times (speculation may fail), so they must not have
+// external side effects. A body that panics while its speculative reads
+// were inconsistent is restarted (inconsistent-read sandboxing, §3.2);
+// a panic in a consistent state propagates as a genuine bug.
+type TaskFunc func(t *Task)
+
+// validateArity checks a Submit's task count against SPECDEPTH.
+func (rt *Runtime) validateArity(n int) error {
+	if n == 0 {
+		return fmt.Errorf("core: transaction needs at least one task")
+	}
+	if n > rt.specDepth {
+		return fmt.Errorf("core: transaction with %d tasks exceeds SPECDEPTH %d (all tasks of a transaction must be simultaneously active)", n, rt.specDepth)
+	}
+	return nil
+}

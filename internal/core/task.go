@@ -1,0 +1,576 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"tlstm/internal/cm"
+	"tlstm/internal/locktable"
+	"tlstm/internal/tm"
+)
+
+// noVersion marks read-log entries whose value came from a speculative
+// (intra-thread) source rather than committed state: they carry no
+// committed version to validate inter-thread; their validity is tracked
+// purely by redo-chain identity (validateTask).
+const noVersion = ^uint64(0)
+
+// Task is one speculative task (paper §2): the unit of speculative
+// execution, implementing tm.Tx for its body. What used to be a SwissTM
+// transaction is a task in TLSTM (§3.2).
+type Task struct {
+	thr *Thread
+	tx  *txState
+	fn  TaskFunc
+
+	serial    int64
+	tryCommit bool
+
+	// ownerRef is the stable cross-thread header installed in this
+	// task's write-log entries; see locktable.OwnerRef.
+	ownerRef locktable.OwnerRef
+
+	// abortInternal is the aborted-internally signal (paper Alg. 2
+	// line 47): set by a past task of the same thread that needs a
+	// write lock we hold, or by the abort of an earlier transaction
+	// whose speculative state we may have observed.
+	abortInternal atomic.Bool
+
+	// ---- per-incarnation state (reset by begin) ----
+
+	validTS    uint64
+	lastWriter int64
+
+	readLog  []readEntry
+	writeLog []*locktable.WEntry
+
+	allocs []tm.Addr
+	frees  []tm.Addr
+
+	workAcc uint64 // work units across all attempts (virtual-time model)
+
+	// waitBeforeRestart, when ≥ 0, is a completed-task serial the next
+	// attempt must wait for before re-executing. Set on intra-thread
+	// WAW rollbacks: restarting immediately would let this task re-grab
+	// the contended write lock before the past writer that evicted us,
+	// livelocking the pair. Waiting until the conflicting past tasks
+	// complete makes the conflicting suffix run serially — exactly the
+	// behaviour the paper reports for write-heavy workloads ("these
+	// transactions will execute almost serially", §4).
+	waitBeforeRestart int64
+
+	// backoff is the adaptive yield count applied before a restart that
+	// followed an inter-thread contention-manager defeat.
+	backoff int
+}
+
+// readEntry records one read at lock-pair granularity (SwissTM's
+// conflict granularity).
+//
+// version is the committed version observed (noVersion for reads served
+// from a redo-log chain). firstPast is the newest redo-chain entry from
+// a past task of this thread at read time (nil if none): validateTask
+// recomputes it and requires pointer identity, which subsumes the
+// paper's serial-number checks of both the task-read-log (Alg. 1 lines
+// 18–25) and the read-log (lines 26–31) and is additionally robust to a
+// writer aborting and re-executing with the same serial.
+type readEntry struct {
+	pair      *locktable.Pair
+	version   uint64
+	firstPast *locktable.WEntry
+}
+
+// restartSignal unwinds a task attempt back to its run loop. It never
+// escapes the package.
+type restartSignal struct{}
+
+// yieldQuantum is the forced-interleaving grain (see the identical
+// constant in internal/stm): tasks yield every yieldQuantum work units
+// so that cross-thread overlap — and therefore contention — exists on a
+// single-CPU simulator; inter-thread lock waits charge one quantum per
+// spin iteration.
+const yieldQuantum = 64
+
+// taskStartCost models per-task setup (descriptor, logs, counters) per
+// attempt; it matches the baseline's per-transaction constant — each
+// TLSTM task carries a full SwissTM-transaction skeleton (§3.2), which
+// is what keeps Figure 1a's speedups below the task count.
+const taskStartCost = 24
+
+// validationStride discounts validation steps: one work unit per this
+// many log entries checked (a version/pointer compare is much cheaper
+// than an instrumented load).
+const validationStride = 8
+
+// tick charges work units and enforces the interleaving grain.
+func (t *Task) tick(units uint64) {
+	t.workAcc += units
+	if t.workAcc%yieldQuantum < units {
+		runtime.Gosched()
+	}
+}
+
+func (t *Task) slot() *atomic.Pointer[Task] {
+	return &t.thr.slots[t.serial%int64(t.thr.depth)]
+}
+
+// run is the task goroutine: join the transaction, then execute attempts
+// until the enclosing user-transaction commits.
+func (t *Task) run() {
+	defer t.thr.pending.Done()
+	defer t.slot().Store(nil)
+	t.joinTx()
+	for t.attempt() {
+	}
+}
+
+// joinTx registers the task with its transaction's abort rendezvous
+// before it touches any shared state; if an abort round is in progress
+// the task waits it out (it has nothing to clean yet).
+func (t *Task) joinTx() {
+	tx := t.tx
+	tx.mu.Lock()
+	tx.participants++
+	tx.mu.Unlock()
+	if tx.abortTx.Load() {
+		t.rendezvous()
+	}
+}
+
+// attempt runs the body once; it reports whether the task must restart.
+func (t *Task) attempt() (restart bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, is := r.(restartSignal); is {
+			t.undoAttempt()
+			restart = true
+			return
+		}
+		// A panic out of the body: if our speculative reads were
+		// inconsistent, this is the sandboxing case of §3.2
+		// ("Inconsistent reads") — restart. Otherwise it is a genuine
+		// bug; release our state and propagate.
+		if !t.consistent() {
+			t.undoAttempt()
+			t.tx.taskRestarts.Add(1)
+			t.tx.restartKind[restartSandbox].Add(1)
+			restart = true
+			return
+		}
+		t.undoAttempt()
+		panic(r)
+	}()
+
+	t.preRestartWait()
+	t.begin()
+	t.fn(t)
+	t.commitStep()
+	t.backoff = 0
+	return false
+}
+
+// preRestartWait delays a restart while the condition that rolled us
+// back clears (see waitBeforeRestart and backoff). The wait is charged
+// one quantum per spin round: it is real serialization — the past
+// writer we conflicted with is executing during it — and it is exactly
+// what makes the paper's write traversals "execute almost serially".
+func (t *Task) preRestartWait() {
+	if w := t.waitBeforeRestart; w >= 0 {
+		for t.thr.completedTask.Load() < w {
+			if t.tx.abortTx.Load() {
+				t.rendezvous()
+				panic(restartSignal{})
+			}
+			t.workAcc += yieldQuantum
+			runtime.Gosched()
+		}
+		t.waitBeforeRestart = -1
+	}
+	for i := 0; i < t.backoff; i++ {
+		runtime.Gosched()
+	}
+	// Whole-transaction aborts back off progressively: repeated
+	// inter-thread defeats or failed commit validations mean the
+	// conflict window is being re-entered too eagerly.
+	if n := t.tx.txAborts.Load(); n > 0 {
+		yields := int(min(n*8, 256))
+		for i := 0; i < yields; i++ {
+			runtime.Gosched()
+		}
+	}
+}
+
+// begin is the paper's start() (Alg. 1 lines 1–4) for one incarnation.
+func (t *Task) begin() {
+	t.abortInternal.Store(false)
+	t.lastWriter = t.thr.completedWriter.Load()
+	t.validTS = t.thr.rt.commitTS.Load()
+	t.workAcc += taskStartCost
+	t.readLog = t.readLog[:0]
+	t.writeLog = t.writeLog[:0]
+	t.allocs = t.allocs[:0]
+	t.frees = t.frees[:0]
+}
+
+// undoAttempt releases everything a failed attempt left behind. Chain
+// removal is idempotent, so it is safe whether or not a transaction
+// abort already unwound our entries.
+func (t *Task) undoAttempt() {
+	t.unwindWrites()
+	for _, a := range t.allocs {
+		t.thr.rt.alloc.Free(a)
+	}
+	t.allocs = t.allocs[:0]
+}
+
+// consistent reports whether the attempt's reads are still valid (used
+// to distinguish speculation-induced panics from real bugs).
+func (t *Task) consistent() bool {
+	if !t.validateTask() {
+		return false
+	}
+	for _, re := range t.readLog {
+		if re.version == noVersion {
+			continue
+		}
+		cur := re.pair.R.Load()
+		if cur != re.version && !t.ownsPairW(re.pair) {
+			return false
+		}
+	}
+	return true
+}
+
+// restartKind classifies single-task rollbacks for Stats.
+type restartKind int
+
+const (
+	restartWAR restartKind = iota
+	restartWAW
+	restartExtend
+	restartCM
+	restartSandbox
+	numRestartKinds
+)
+
+// rollbackTask aborts just this task and restarts it, recording why.
+func (t *Task) rollbackTask(kind restartKind) {
+	t.tx.taskRestarts.Add(1)
+	t.tx.restartKind[kind].Add(1)
+	panic(restartSignal{})
+}
+
+// checkSignals honours both abort signals at a safe point (every loop in
+// Alg. 1–3 polls them).
+func (t *Task) checkSignals() {
+	if t.abortInternal.Load() {
+		// A past task evicted us from a write lock (or an earlier
+		// transaction we may have observed aborted): let every past
+		// task complete before re-running, or we would race it for the
+		// same lock again.
+		t.waitBeforeRestart = t.serial - 1
+		t.rollbackTask(restartWAW)
+	}
+	if t.tx.abortTx.Load() {
+		t.rendezvous()
+		panic(restartSignal{})
+	}
+}
+
+// ownsPairW reports whether this task's current incarnation holds the
+// pair's write lock (its entry is somewhere in the chain).
+func (t *Task) ownsPairW(p *locktable.Pair) bool {
+	for e := p.W.Load(); e != nil; e = e.Prev.Load() {
+		if e.Owner == &t.ownerRef {
+			return true
+		}
+	}
+	return false
+}
+
+// firstPastOf walks a chain for the newest entry written by a *past*
+// task of this thread (serial strictly below ours; our own and future
+// entries are skipped). It returns nil when the pair is unlocked or held
+// by another thread.
+func (t *Task) firstPastOf(head *locktable.WEntry) *locktable.WEntry {
+	if head == nil || head.Owner.ThreadID != t.thr.id {
+		return nil
+	}
+	for e := head; e != nil; e = e.Prev.Load() {
+		if e.Serial < t.serial {
+			return e
+		}
+	}
+	return nil
+}
+
+// Load implements tm.Tx: the read-word procedure of Alg. 1.
+func (t *Task) Load(a tm.Addr) uint64 {
+	t.tick(1)
+	p := t.thr.rt.locks.For(a)
+	for {
+		t.checkSignals()
+		head := p.W.Load()
+		if head == nil || head.Owner.ThreadID != t.thr.id {
+			// Unlocked or locked by another user-thread: read the
+			// committed value from memory (redo logging keeps it
+			// intact until the writer commits) — Alg. 1 line 16.
+			return t.loadCommitted(p, a)
+		}
+
+		// Locked by my user-thread: locate my own buffered value or the
+		// most recent speculative value from my past (Alg. 1 lines 8–15).
+		e := head
+		for e != nil && e.Serial >= t.serial {
+			if e.Serial == t.serial && e.Owner == &t.ownerRef {
+				if v, hit := e.Lookup(a); hit {
+					return v // read-own-write, no validation needed
+				}
+			}
+			e = e.Prev.Load()
+		}
+		firstPast := e // newest past entry, nil if none
+
+		if firstPast == nil {
+			// Only our own / future entries, none covering a: the
+			// committed value still stands.
+			return t.loadCommittedRecording(p, a, nil)
+		}
+
+		// Wait until the past writer completes; reading from running
+		// tasks would force validating intermediate values (§3.3).
+		t.waitCompleted(firstPast.Serial)
+		// Re-resolve: a running past task may have pushed a newer entry
+		// (or an abort may have unwound the chain) while we waited.
+		if t.firstPastOf(p.W.Load()) != firstPast {
+			continue
+		}
+
+		// WAR validation gate (Alg. 1 line 13).
+		t.maybeValidate()
+
+		// The chain below firstPast holds strictly older, completed
+		// entries; the newest one covering a supplies the value. If none
+		// covers a, the committed value stands (and its version must be
+		// recorded for inter-thread validation).
+		for e := firstPast; e != nil; e = e.Prev.Load() {
+			if v, hit := e.Lookup(a); hit {
+				t.readLog = append(t.readLog, readEntry{pair: p, version: noVersion, firstPast: firstPast})
+				t.workAcc++
+				return v
+			}
+		}
+		return t.loadCommittedRecording(p, a, firstPast)
+	}
+}
+
+// waitCompleted blocks until the thread's completed-task counter reaches
+// serial, honouring abort signals (which panic out via checkSignals).
+// The wait is charged one quantum per round: reading a running past
+// writer's location serializes this task behind it (paper §3.3,
+// "Reading"), and that serialization must appear in virtual time.
+func (t *Task) waitCompleted(serial int64) {
+	for t.thr.completedTask.Load() < serial {
+		t.checkSignals()
+		t.workAcc += yieldQuantum
+		runtime.Gosched()
+	}
+}
+
+// maybeValidate runs validate-task when a writer task completed since we
+// last validated (the check the paper performs at read, write and commit
+// time).
+func (t *Task) maybeValidate() {
+	cw := t.thr.completedWriter.Load()
+	if cw == t.lastWriter {
+		return
+	}
+	if !t.validateTask() {
+		t.rollbackTask(restartWAR)
+	}
+	t.lastWriter = cw
+}
+
+// loadCommittedRecording reads the committed value of a and records the
+// read with the given firstPast chain identity.
+func (t *Task) loadCommittedRecording(p *locktable.Pair, a tm.Addr, firstPast *locktable.WEntry) uint64 {
+	for {
+		t.checkSignals()
+		v1 := p.R.Load()
+		if v1 == locktable.Locked {
+			runtime.Gosched()
+			continue
+		}
+		val := t.thr.rt.store.LoadWord(a)
+		if p.R.Load() != v1 {
+			continue
+		}
+		if v1 > t.validTS && !t.extend() {
+			t.rollbackTask(restartExtend)
+		}
+		if v1 > t.validTS {
+			continue
+		}
+		t.readLog = append(t.readLog, readEntry{pair: p, version: v1, firstPast: firstPast})
+		return val
+	}
+}
+
+// loadCommitted is the plain SwissTM read path, with WAR bookkeeping for
+// the case where our thread later write-locks the pair.
+func (t *Task) loadCommitted(p *locktable.Pair, a tm.Addr) uint64 {
+	return t.loadCommittedRecording(p, a, nil)
+}
+
+// extend revalidates the read log at the current commit timestamp and
+// advances valid-ts (SwissTM's lazy snapshot extension).
+func (t *Task) extend() bool {
+	ts := t.thr.rt.commitTS.Load()
+	for i, re := range t.readLog {
+		if re.version == noVersion {
+			continue
+		}
+		if i%validationStride == 0 {
+			t.workAcc++
+		}
+		cur := re.pair.R.Load()
+		if cur == re.version {
+			continue
+		}
+		if t.ownsPairW(re.pair) {
+			continue
+		}
+		return false
+	}
+	t.validTS = ts
+	return true
+}
+
+// validateTask is Alg. 1 lines 17–31 at pair granularity: for every
+// recorded read, the newest past-task entry of the pair's redo chain
+// must be exactly the one observed at read time (nil included). Any new
+// past writer, any unwound writer, and any writer whose transaction
+// committed (chain unlocked) invalidates the read.
+func (t *Task) validateTask() bool {
+	for i, re := range t.readLog {
+		if i%validationStride == 0 {
+			t.workAcc++
+		}
+		if t.firstPastOf(re.pair.W.Load()) != re.firstPast {
+			return false
+		}
+	}
+	return true
+}
+
+// Store implements tm.Tx: the write-word procedure of Alg. 2.
+func (t *Task) Store(a tm.Addr, v uint64) {
+	t.tick(2)
+	p := t.thr.rt.locks.For(a)
+	for {
+		t.checkSignals()
+		e := p.W.Load()
+		if e == nil {
+			// Unlocked: install a fresh entry.
+			ne := &locktable.WEntry{
+				Owner:  &t.ownerRef,
+				Serial: t.serial,
+				Pair:   p,
+				Words:  []locktable.WordVal{{Addr: a, Val: v}},
+			}
+			if p.W.CompareAndSwap(nil, ne) {
+				t.writeLog = append(t.writeLog, ne)
+				break
+			}
+			continue
+		}
+		if e.Owner == &t.ownerRef {
+			// Already ours: update the buffered value (Alg. 2 line 37).
+			e.Update(a, v)
+			return
+		}
+		if e.Owner.ThreadID != t.thr.id {
+			// Write-locked by another user-thread: task-aware
+			// contention management (Alg. 2 lines 41–43, 54–64). If we
+			// lose, this task rolls back (Alg. 2 line 42); if the owner
+			// loses, its whole user-transaction is signalled to abort
+			// and we wait for the lock to be released.
+			var dec cm.Decision
+			if t.thr.rt.plainGreedyCM {
+				dec = t.thr.rt.cm.Greedy.Resolve(
+					&t.tx.greedTS, len(t.writeLog), int(t.tx.cmDefeats.Load()), e.Owner)
+			} else {
+				dec = t.thr.rt.cm.Resolve(
+					t.thr.completedTask.Load(), t.tx.startSerial,
+					&t.tx.greedTS, len(t.writeLog), int(t.tx.cmDefeats.Load()), e.Owner)
+			}
+			if dec == cm.AbortSelf {
+				t.tx.cmDefeats.Add(1)
+				t.backoff = min(t.backoff*2+1, 256)
+				t.rollbackTask(restartCM)
+			}
+			e.Owner.AbortTx.Store(true)
+			// Waiting on another thread's lock costs parallel time
+			// (about one quantum of owner progress per round).
+			t.workAcc += yieldQuantum
+			runtime.Gosched()
+			continue
+		}
+		if e.Serial > t.serial {
+			// A future task of my thread holds the lock: it is the one
+			// in the wrong in program order; signal it to abort and
+			// wait for the chain to unwind (Alg. 2 lines 46–48).
+			e.Owner.AbortInternal.Store(true)
+			t.workAcc += yieldQuantum
+			runtime.Gosched()
+			continue
+		}
+		// A past task holds the lock. If it is still running this is a
+		// WAW conflict against program order: we (the future writer)
+		// abort and re-run once the writer has completed (Alg. 2 lines
+		// 44–45). If it completed, we stack a new entry on the
+		// location's redo log (lines 49–51).
+		if t.thr.completedTask.Load() < e.Serial {
+			t.waitBeforeRestart = e.Serial
+			t.rollbackTask(restartWAW)
+		}
+		ne := &locktable.WEntry{
+			Owner:  &t.ownerRef,
+			Serial: t.serial,
+			Pair:   p,
+			Words:  []locktable.WordVal{{Addr: a, Val: v}},
+		}
+		ne.Prev.Store(e)
+		if p.W.CompareAndSwap(e, ne) {
+			t.writeLog = append(t.writeLog, ne)
+			break
+		}
+	}
+	// Post-write checks (Alg. 2 lines 52–53).
+	if ver := p.R.Load(); ver != locktable.Locked && ver > t.validTS && !t.extend() {
+		t.rollbackTask(restartExtend)
+	}
+	t.maybeValidate()
+}
+
+// Alloc implements tm.Tx; the block is reclaimed if the attempt aborts.
+func (t *Task) Alloc(n int) tm.Addr {
+	t.workAcc++
+	a := t.thr.rt.alloc.Alloc(n)
+	t.allocs = append(t.allocs, a)
+	return a
+}
+
+// Free implements tm.Tx; the release applies at transaction commit.
+func (t *Task) Free(a tm.Addr) {
+	t.frees = append(t.frees, a)
+}
+
+// Serial reports the task's program-order serial within its user-thread
+// (tests and instrumentation).
+func (t *Task) Serial() int64 { return t.serial }
+
+var _ tm.Tx = (*Task)(nil)

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Thread is one user-thread: a serial stream of user-transactions, each
+// decomposed into speculative tasks that the runtime executes out of
+// order. All methods must be called from the single goroutine that owns
+// the Thread.
+type Thread struct {
+	rt    *Runtime
+	id    int32
+	depth int
+
+	// completedTask and completedWriter are the serials of the last
+	// completed task and last completed writer task (paper §3.3, task
+	// and user-thread state). Tasks complete strictly in serial order.
+	completedTask   atomic.Int64
+	completedWriter atomic.Int64
+
+	// slots is the owners[SPECDEPTH] array: slot serial%depth points to
+	// the active task with that serial, nil when free. The submitting
+	// goroutine waits for a slot to free before starting the next task.
+	slots []atomic.Pointer[Task]
+
+	// chainMu serializes redo-log chain *removals* for this thread
+	// (single-task rollback and transaction abort). Chain pushes stay
+	// lock-free; only writers of this thread ever touch these chains,
+	// so the mutex is never contended across threads.
+	chainMu sync.Mutex
+
+	nextSerial int64 // owned by the submitting goroutine
+
+	pending sync.WaitGroup
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// ID reports the thread's identifier within its runtime.
+func (thr *Thread) ID() int32 { return thr.id }
+
+// TxHandle tracks one submitted user-transaction.
+type TxHandle struct {
+	tx *txState
+}
+
+// Wait blocks until the user-transaction has committed.
+func (h *TxHandle) Wait() { <-h.tx.done }
+
+// Submit starts one user-transaction decomposed into the given tasks (in
+// program order) and returns without waiting for it to commit: with
+// SpecDepth larger than the task count, tasks of the next transaction
+// speculate while this one is still active (paper §1: "TLSTM can even be
+// more optimistic and speculatively execute future transactions").
+//
+// Submit returns an error only for invalid arity; conflicts are handled
+// internally by re-execution.
+func (thr *Thread) Submit(fns ...TaskFunc) (*TxHandle, error) {
+	if err := thr.rt.validateArity(len(fns)); err != nil {
+		return nil, err
+	}
+	start := thr.nextSerial + 1
+	commit := thr.nextSerial + int64(len(fns))
+	thr.nextSerial = commit
+
+	tx := &txState{
+		thr:          thr,
+		startSerial:  start,
+		commitSerial: commit,
+		tasks:        make([]*Task, len(fns)),
+		done:         make(chan struct{}),
+	}
+	for i, fn := range fns {
+		t := &Task{
+			thr:               thr,
+			tx:                tx,
+			fn:                fn,
+			serial:            start + int64(i),
+			tryCommit:         i == len(fns)-1,
+			waitBeforeRestart: -1,
+		}
+		t.ownerRef.ThreadID = thr.id
+		t.ownerRef.StartSerial = start
+		t.ownerRef.CompletedTask = &thr.completedTask
+		t.ownerRef.AbortTx = &tx.abortTx
+		t.ownerRef.AbortInternal = &t.abortInternal
+		t.ownerRef.Timestamp = &tx.greedTS
+		tx.tasks[i] = t
+	}
+	for _, t := range tx.tasks {
+		slot := &thr.slots[t.serial%int64(thr.depth)]
+		// A task may only start when the number of active tasks is
+		// below SPECDEPTH, i.e. when the task that previously occupied
+		// this slot has exited (paper §3.3, "Starting a task").
+		for slot.Load() != nil {
+			runtime.Gosched()
+		}
+		slot.Store(t)
+		thr.pending.Add(1)
+		go t.run()
+	}
+	return &TxHandle{tx: tx}, nil
+}
+
+// Atomic runs one user-transaction decomposed into the given tasks and
+// waits for it to commit.
+func (thr *Thread) Atomic(fns ...TaskFunc) error {
+	h, err := thr.Submit(fns...)
+	if err != nil {
+		return err
+	}
+	h.Wait()
+	return nil
+}
+
+// Sync waits until every submitted user-transaction has committed and
+// all task goroutines have exited.
+func (thr *Thread) Sync() { thr.pending.Wait() }
+
+// Stats returns a snapshot of the thread's accumulated statistics. Call
+// after Sync (or at least after the transactions of interest committed).
+func (thr *Thread) Stats() Stats {
+	thr.statsMu.Lock()
+	defer thr.statsMu.Unlock()
+	return thr.stats
+}
+
+// Stats aggregates per-thread execution statistics.
+type Stats struct {
+	// TxCommitted counts committed user-transactions.
+	TxCommitted uint64
+	// TxAborted counts whole-transaction aborts (inter-thread conflicts
+	// detected at commit, and contention-manager victims).
+	TxAborted uint64
+	// TaskRestarts counts single-task rollbacks (intra-thread WAR/WAW
+	// conflicts, inconsistent speculative reads).
+	TaskRestarts uint64
+	// Restart cause breakdown (sums to TaskRestarts):
+	//   RestartWAR     — validate-task failures (intra-thread write-after-read);
+	//   RestartWAW     — write-lock evictions and writes past a running writer;
+	//   RestartExtend  — failed snapshot extensions (inter-thread read invalidation);
+	//   RestartCM      — inter-thread contention-manager defeats;
+	//   RestartSandbox — panics converted to restarts by the
+	//                    inconsistent-read sandbox.
+	RestartWAR     uint64
+	RestartWAW     uint64
+	RestartExtend  uint64
+	RestartCM      uint64
+	RestartSandbox uint64
+	// Work is the total work in abstract units across all attempts,
+	// including aborted ones.
+	Work uint64
+	// VirtualTime is the modeled parallel execution time in work units:
+	// per transaction, tasks start together and task k finishes at
+	// max(own work, finish of task k−1) + commit cost, reflecting the
+	// serialized commit order (DESIGN.md §3, hardware substitution).
+	VirtualTime uint64
+}
+
+// Add folds o into s.
+func (s *Stats) Add(o Stats) {
+	s.TxCommitted += o.TxCommitted
+	s.TxAborted += o.TxAborted
+	s.TaskRestarts += o.TaskRestarts
+	s.RestartWAR += o.RestartWAR
+	s.RestartWAW += o.RestartWAW
+	s.RestartExtend += o.RestartExtend
+	s.RestartCM += o.RestartCM
+	s.RestartSandbox += o.RestartSandbox
+	s.Work += o.Work
+	s.VirtualTime += o.VirtualTime
+}
+
+// txState is the shared state of one user-transaction.
+type txState struct {
+	thr          *Thread
+	startSerial  int64
+	commitSerial int64
+	tasks        []*Task
+
+	// greedTS is the transaction's greedy CM timestamp, shared by all
+	// tasks and persisting across transaction retries so long
+	// transactions eventually win conflicts (no starvation).
+	greedTS atomic.Uint64
+
+	// abortTx is the abort-transaction signal (paper §3.2, "Transaction
+	// abort"): set by the contention manager of another thread or by a
+	// failed commit validation; observed by every task at safe points.
+	abortTx atomic.Bool
+
+	// Abort rendezvous state (guarded by mu): all participant tasks
+	// park, the last to arrive unwinds the transaction's speculative
+	// state, then everyone restarts. gen distinguishes abort rounds.
+	mu           sync.Mutex
+	gen          uint64
+	acks         int32
+	participants int32
+	cleaning     bool
+
+	txAborts     atomic.Uint64 // abort rounds; also drives restart backoff
+	taskRestarts atomic.Uint64
+	restartKind  [numRestartKinds]atomic.Uint64
+	cmDefeats    atomic.Int32 // conflicts lost (two-phase greedy escalation)
+
+	done chan struct{}
+}

@@ -1,0 +1,125 @@
+package harness
+
+import "testing"
+
+func fig1aSynthetic(t2last, t4last float64) Figure {
+	x := []float64{2, 4, 8, 16, 32, 64}
+	grow := func(last float64) []float64 {
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = 1.2 + (last-1.2)*float64(i)/float64(len(x)-1)
+		}
+		return y
+	}
+	return Figure{Series: []Series{
+		{Name: "TLSTM-2", X: x, Y: grow(t2last)},
+		{Name: "TLSTM-4", X: x, Y: grow(t4last)},
+	}}
+}
+
+func TestCheckFig1aAcceptsPaperShape(t *testing.T) {
+	if bad := CheckFig1a(fig1aSynthetic(2.0, 3.3)); len(bad) != 0 {
+		t.Fatalf("paper-shaped figure rejected: %v", bad)
+	}
+}
+
+func TestCheckFig1aRejectsFlatSpeedup(t *testing.T) {
+	f := fig1aSynthetic(2.0, 3.3)
+	for i := range f.Series[0].Y {
+		f.Series[0].Y[i] = 1.0 // TLSTM-2 flat at 1×
+	}
+	if bad := CheckFig1a(f); len(bad) == 0 {
+		t.Fatal("flat TLSTM-2 must be rejected")
+	}
+}
+
+func TestCheckFig1aRejectsInvertedTaskCounts(t *testing.T) {
+	f := fig1aSynthetic(3.3, 2.0) // 2 tasks above 4 tasks
+	if bad := CheckFig1a(f); len(bad) == 0 {
+		t.Fatal("TLSTM-4 below TLSTM-2 must be rejected")
+	}
+}
+
+func fig2aSynthetic() Figure {
+	x := []float64{0, 20, 40, 60, 80, 100}
+	return Figure{Series: []Series{
+		{Name: "SwissTM-1", X: x, Y: []float64{0.052, 0.054, 0.056, 0.058, 0.058, 0.060}},
+		{Name: "TLSTM-1-3", X: x, Y: []float64{0.047, 0.058, 0.075, 0.099, 0.113, 0.180}},
+		{Name: "SwissTM-3", X: x, Y: []float64{0.124, 0.141, 0.126, 0.134, 0.155, 0.181}},
+	}}
+}
+
+func TestCheckFig2aAcceptsMeasuredShape(t *testing.T) {
+	if bad := CheckFig2a(fig2aSynthetic()); len(bad) != 0 {
+		t.Fatalf("measured shape rejected: %v", bad)
+	}
+}
+
+func TestCheckFig2aRejectsMissingInversion(t *testing.T) {
+	f := fig2aSynthetic()
+	f.Series[1].Y[0] = 0.09 // TLSTM above SwissTM at 0% read
+	if bad := CheckFig2a(f); len(bad) == 0 {
+		t.Fatal("missing write-dominated inversion must be rejected")
+	}
+}
+
+func TestCheckFig2aRejectsNoConvergence(t *testing.T) {
+	f := fig2aSynthetic()
+	f.Series[2].Y[5] = 0.5 // SwissTM-3 far above TLSTM at 100%
+	if bad := CheckFig2a(f); len(bad) == 0 {
+		t.Fatal("missing convergence must be rejected")
+	}
+}
+
+func fig2bSynthetic() Figure {
+	mk := func(name string, w, rw, r float64) Series {
+		return Series{Name: name, X: []float64{0, 1, 2}, Y: []float64{w, rw, r}}
+	}
+	return Figure{Series: []Series{
+		mk("SwissTM-1", 0.054, 0.058, 0.060),
+		mk("TLSTM-1-3", 0.056, 0.099, 0.161),
+		mk("TLSTM-1-9", 0.060, 0.134, 0.379),
+		mk("SwissTM-2", 0.075, 0.096, 0.118),
+		mk("TLSTM-2-3", 0.071, 0.131, 0.268),
+		mk("TLSTM-2-9", 0.035, 0.044, 0.306),
+		mk("SwissTM-3", 0.134, 0.146, 0.155),
+		mk("TLSTM-3-3", 0.057, 0.103, 0.313),
+		mk("TLSTM-3-9", 0.022, 0.037, 0.136),
+	}}
+}
+
+func TestCheckFig2bAcceptsMeasuredShape(t *testing.T) {
+	if bad := CheckFig2b(fig2bSynthetic()); len(bad) != 0 {
+		t.Fatalf("measured shape rejected: %v", bad)
+	}
+}
+
+func TestCheckFig2bRejectsMissingCollapse(t *testing.T) {
+	f := fig2bSynthetic()
+	for i := range f.Series {
+		if f.Series[i].Name == "TLSTM-2-9" {
+			f.Series[i].Y[1] = 0.9 // no collapse on read-write
+		}
+	}
+	if bad := CheckFig2b(f); len(bad) == 0 {
+		t.Fatal("missing 9-task collapse must be rejected")
+	}
+}
+
+func TestCheckFig1bSyntheticShapes(t *testing.T) {
+	x := []float64{1, 2, 3}
+	good := Figure{Series: []Series{
+		{Name: "SwissTM-low", X: x, Y: []float64{5, 10, 15}},
+		{Name: "TLSTM-1-low", X: x, Y: []float64{4.8, 9.6, 14.2}},
+		{Name: "TLSTM-2-low", X: x, Y: []float64{7, 14, 21}},
+	}}
+	if bad := CheckFig1b(good); len(bad) != 0 {
+		t.Fatalf("good shape rejected: %v", bad)
+	}
+	badFig := good
+	badFig.Series = append([]Series{}, good.Series...)
+	badFig.Series[2] = Series{Name: "TLSTM-2-low", X: x, Y: []float64{4, 8, 12}}
+	if bad := CheckFig1b(badFig); len(bad) == 0 {
+		t.Fatal("TLSTM-2 below SwissTM must be rejected")
+	}
+}

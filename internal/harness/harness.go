@@ -1,0 +1,228 @@
+// Package harness drives the paper's four evaluation experiments
+// (Figures 1a, 1b, 2a, 2b) over both runtimes and reports throughput.
+//
+// Hardware substitution (DESIGN.md §3): the paper measured wall-clock
+// throughput on 64-hardware-thread machines; this container has one
+// CPU, where speculative parallelism cannot shorten wall time. The
+// runtimes therefore count *work units* for every operation they
+// actually execute — reads, writes, validation steps, commit publishes,
+// including all aborted attempts — and the harness reports *virtual
+// time*: per user-transaction, its tasks start together and task k
+// finishes at max(own work, finish of k−1) plus a commit cost (commits
+// are serialized per thread); threads run in parallel, so a run's
+// virtual duration is the maximum per-thread virtual time. Conflicts
+// and rollbacks lengthen virtual time exactly where they lengthen the
+// paper's wall time. Wall-clock numbers are also recorded.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tlstm/internal/core"
+	"tlstm/internal/stm"
+	"tlstm/internal/tm"
+)
+
+// TaskBody is one speculative task's work, written against the common
+// tm.Tx interface so the same body runs on both runtimes.
+type TaskBody func(tx tm.Tx)
+
+// TxSeq is one user-transaction decomposed into task bodies in program
+// order. The SwissTM baseline runs the concatenation as a single
+// transaction; TLSTM runs one speculative task per element.
+type TxSeq []TaskBody
+
+// Workload describes one benchmark configuration.
+type Workload struct {
+	// Name labels the series this run belongs to.
+	Name string
+	// Threads is the number of user-threads (paper: hand-parallelized
+	// threads / Vacation clients).
+	Threads int
+	// TxPerThread is the number of user-transactions per thread.
+	TxPerThread int
+	// OpsPerTx is how many application-level operations one
+	// transaction represents (throughput numerator).
+	OpsPerTx int
+	// Make produces the transaction to run; it must be deterministic in
+	// (thread, idx) so runtimes can be compared on identical work.
+	Make func(thread, idx int) TxSeq
+}
+
+// Result is one configuration's measurement.
+type Result struct {
+	Label        string
+	Ops          uint64
+	VirtualUnits uint64
+	Wall         time.Duration
+	TxCommitted  uint64
+	TxAborted    uint64
+	TaskRestarts uint64
+}
+
+// Throughput reports application operations per 1000 virtual work units
+// (the figures' y-axis; the paper uses ops/s on real hardware).
+func (r Result) Throughput() float64 {
+	if r.VirtualUnits == 0 {
+		return 0
+	}
+	return float64(r.Ops) * 1000 / float64(r.VirtualUnits)
+}
+
+// String formats a result row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-22s ops=%-8d tput=%8.3f vtime=%-10d txAbort=%-5d taskRestart=%-6d wall=%s",
+		r.Label, r.Ops, r.Throughput(), r.VirtualUnits, r.TxAborted, r.TaskRestarts, r.Wall.Round(time.Millisecond))
+}
+
+// RunSTM executes the workload on a fresh-thread pool over the SwissTM
+// baseline: each TxSeq runs as one flat transaction.
+func RunSTM(rt *stm.Runtime, w Workload) Result {
+	start := time.Now()
+	stats := make([]stm.Stats, w.Threads)
+	var wg sync.WaitGroup
+	for th := 0; th < w.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < w.TxPerThread; i++ {
+				seq := w.Make(th, i)
+				rt.Atomic(&stats[th], func(tx *stm.Tx) {
+					for _, body := range seq {
+						body(tx)
+					}
+				})
+			}
+		}(th)
+	}
+	wg.Wait()
+
+	res := Result{
+		Label: w.Name,
+		Ops:   uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
+		Wall:  time.Since(start),
+	}
+	for _, st := range stats {
+		res.TxCommitted += st.Commits
+		res.TxAborted += st.Aborts
+		if st.Work > res.VirtualUnits {
+			res.VirtualUnits = st.Work // threads run in parallel
+		}
+	}
+	return res
+}
+
+// RunTLSTM executes the workload over TLSTM: each TxSeq element becomes
+// one speculative task. The runtime's SpecDepth must be at least the
+// longest TxSeq.
+func RunTLSTM(rt *core.Runtime, w Workload) Result {
+	start := time.Now()
+	threads := make([]*core.Thread, w.Threads)
+	for th := range threads {
+		threads[th] = rt.NewThread()
+	}
+	var wg sync.WaitGroup
+	for th := 0; th < w.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			thr := threads[th]
+			for i := 0; i < w.TxPerThread; i++ {
+				seq := w.Make(th, i)
+				fns := make([]core.TaskFunc, len(seq))
+				for j, body := range seq {
+					body := body
+					fns[j] = func(tk *core.Task) { body(tk) }
+				}
+				if err := thr.Atomic(fns...); err != nil {
+					panic(fmt.Sprintf("harness: %v", err))
+				}
+			}
+			thr.Sync()
+		}(th)
+	}
+	wg.Wait()
+
+	res := Result{
+		Label: w.Name,
+		Ops:   uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
+		Wall:  time.Since(start),
+	}
+	for _, thr := range threads {
+		st := thr.Stats()
+		res.TxCommitted += st.TxCommitted
+		res.TxAborted += st.TxAborted
+		res.TaskRestarts += st.TaskRestarts
+		if st.VirtualTime > res.VirtualUnits {
+			res.VirtualUnits = st.VirtualTime
+		}
+	}
+	return res
+}
+
+// Series is one plotted line: label plus (x, throughput) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a reproduced plot: titled series over a common x-axis.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// CSV renders the figure as comma-separated values with a header row,
+// for plotting (x, then one column per series).
+func (f Figure) CSV() string {
+	out := f.XLabel
+	for _, s := range f.Series {
+		out += "," + s.Name
+	}
+	out += "\n"
+	if len(f.Series) == 0 {
+		return out
+	}
+	for i := range f.Series[0].X {
+		out += fmt.Sprintf("%g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				out += fmt.Sprintf(",%.6f", s.Y[i])
+			} else {
+				out += ","
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Format renders the figure as an aligned text table (x down the rows,
+// one column per series).
+func (f Figure) Format() string {
+	out := fmt.Sprintf("## %s\n%-12s", f.Title, f.XLabel)
+	for _, s := range f.Series {
+		out += fmt.Sprintf(" %14s", s.Name)
+	}
+	out += "\n"
+	if len(f.Series) == 0 {
+		return out
+	}
+	for i := range f.Series[0].X {
+		out += fmt.Sprintf("%-12.4g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				out += fmt.Sprintf(" %14.3f", s.Y[i])
+			} else {
+				out += fmt.Sprintf(" %14s", "-")
+			}
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"tlstm/internal/core"
+	"tlstm/internal/sb7"
+	"tlstm/internal/stm"
+	"tlstm/internal/tm"
+)
+
+func counterWorkload(name string, addr tm.Addr, threads, tasks, txs int) Workload {
+	return Workload{
+		Name:        name,
+		Threads:     threads,
+		TxPerThread: txs,
+		OpsPerTx:    tasks,
+		Make: func(thread, idx int) TxSeq {
+			var seq TxSeq
+			for i := 0; i < tasks; i++ {
+				seq = append(seq, func(tx tm.Tx) {
+					tx.Store(addr, tx.Load(addr)+1)
+				})
+			}
+			return seq
+		},
+	}
+}
+
+func TestRunSTMExecutesAllTransactions(t *testing.T) {
+	rt := stm.New()
+	a := rt.Direct().Alloc(1)
+	r := RunSTM(rt, counterWorkload("c", a, 3, 2, 10))
+	if got := rt.Direct().Load(a); got != 3*2*10 {
+		t.Fatalf("counter = %d, want %d", got, 3*2*10)
+	}
+	if r.TxCommitted != 30 {
+		t.Fatalf("TxCommitted = %d, want 30", r.TxCommitted)
+	}
+	if r.VirtualUnits == 0 || r.Throughput() <= 0 {
+		t.Fatal("virtual time not recorded")
+	}
+}
+
+func TestRunTLSTMExecutesAllTransactions(t *testing.T) {
+	rt := core.New(core.Config{SpecDepth: 2})
+	a := rt.Direct().Alloc(1)
+	r := RunTLSTM(rt, counterWorkload("c", a, 2, 2, 8))
+	if got := rt.Direct().Load(a); got != 2*2*8 {
+		t.Fatalf("counter = %d, want %d", got, 2*2*8)
+	}
+	if r.TxCommitted != 16 {
+		t.Fatalf("TxCommitted = %d, want 16", r.TxCommitted)
+	}
+}
+
+func TestChunkCoversRange(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		for k := 1; k <= 10; k++ {
+			cs := chunk(n, k)
+			covered := 0
+			for _, c := range cs {
+				covered += c[1] - c[0]
+			}
+			if covered != n || cs[0][0] != 0 || cs[len(cs)-1][1] != n {
+				t.Fatalf("chunk(%d,%d) = %v does not cover", n, k, cs)
+			}
+		}
+	}
+}
+
+// Virtual-time sanity: splitting read-only work into k tasks must beat
+// the unsplit baseline, since the per-task critical path shrinks.
+func TestVirtualTimeRewardsSplitting(t *testing.T) {
+	mk := func(tasks int) Result {
+		rt := core.New(core.Config{SpecDepth: tasks})
+		b, err := sb7.Build(rt.Direct(), sb7.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RunTLSTM(rt, sb7Workload(b, "x", 1, tasks, 3, 100))
+	}
+	r1 := mk(1)
+	r3 := mk(3)
+	if r3.Throughput() <= r1.Throughput() {
+		t.Fatalf("3-task read traversal should beat 1-task: %.3f vs %.3f",
+			r3.Throughput(), r1.Throughput())
+	}
+}
+
+// Write traversals conflict intra-thread; the split must NOT show the
+// read-side speedup (the paper's central negative result).
+func TestWriteTraversalSplitDoesNotScale(t *testing.T) {
+	mk := func(tasks int) Result {
+		rt := core.New(core.Config{SpecDepth: tasks})
+		b, err := sb7.Build(rt.Direct(), sb7.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RunTLSTM(rt, sb7Workload(b, "x", 1, tasks, 3, 0))
+	}
+	r1 := mk(1)
+	r3 := mk(3)
+	readGain := func() float64 {
+		rt := core.New(core.Config{SpecDepth: 3})
+		b, _ := sb7.Build(rt.Direct(), sb7.Default())
+		rr3 := RunTLSTM(rt, sb7Workload(b, "x", 1, 3, 3, 100))
+		rt1 := core.New(core.Config{SpecDepth: 1})
+		b1, _ := sb7.Build(rt1.Direct(), sb7.Default())
+		rr1 := RunTLSTM(rt1, sb7Workload(b1, "x", 1, 1, 3, 100))
+		return rr3.Throughput() / rr1.Throughput()
+	}()
+	writeGain := r3.Throughput() / r1.Throughput()
+	if writeGain >= readGain {
+		t.Fatalf("write split gain %.3f should trail read split gain %.3f", writeGain, readGain)
+	}
+}
+
+func TestFigureFormat(t *testing.T) {
+	f := Figure{
+		Title:  "demo",
+		XLabel: "x",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{0.5, 1.5}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{2.5, 3.5}},
+		},
+	}
+	out := f.Format()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "a") || !strings.Contains(out, "3.500") {
+		t.Fatalf("format output missing pieces:\n%s", out)
+	}
+}
+
+// Smoke-run every figure at tiny scale: they must produce full series
+// with positive throughputs.
+func TestFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figures are slow")
+	}
+	sc := Scale{Fig1aTx: 10, Fig1bTx: 2, SB7Tx: 2}
+
+	f1a := Fig1a(sc)
+	if len(f1a.Series) != 2 || len(f1a.Series[0].Y) != len(Fig1aOpCounts) {
+		t.Fatalf("Fig1a shape wrong: %+v", f1a)
+	}
+	for _, s := range f1a.Series {
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("Fig1a %s[%d] = %f", s.Name, i, y)
+			}
+		}
+	}
+
+	f2a := Fig2a(sc)
+	if len(f2a.Series) != 3 || len(f2a.Series[0].Y) != len(Fig2aReadPcts) {
+		t.Fatalf("Fig2a shape wrong")
+	}
+	for _, s := range f2a.Series {
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("Fig2a %s has non-positive point", s.Name)
+			}
+		}
+	}
+}

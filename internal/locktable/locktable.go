@@ -1,0 +1,141 @@
+// Package locktable implements SwissTM's global lock table, shared by the
+// baseline STM and the TLSTM runtime.
+//
+// Every word address maps to a pair of locks:
+//
+//   - the r-lock holds either a version number (the global commit
+//     timestamp at which the word's current value was published) or the
+//     Locked sentinel while a committing transaction is publishing it;
+//   - the w-lock is either unlocked (nil) or points to the newest
+//     write-log entry for that location — in TLSTM, the head of the
+//     location's redo-log chain, whose Prev links reach entries written
+//     by past tasks of the same user-thread (paper §3.3, "Reading").
+//
+// Entries carry an OwnerRef header with exactly the cross-thread state
+// the paper's contention manager and abort machinery consult: the owner's
+// transaction start serial, the owning thread's completed-task counter,
+// and the two abort signals (abort-transaction and aborted-internally).
+package locktable
+
+import (
+	"sync/atomic"
+
+	"tlstm/internal/tm"
+)
+
+// Locked is the r-lock sentinel installed while a commit publishes the
+// location (paper Alg. 3, line 83).
+const Locked = ^uint64(0)
+
+// Pair is one (r-lock, w-lock) pair.
+type Pair struct {
+	// R is the read lock: a version number, or Locked.
+	R atomic.Uint64
+	// W is the write lock: nil when unlocked, else the newest redo-log
+	// entry (its Prev chain holds older same-location entries).
+	W atomic.Pointer[WEntry]
+}
+
+// WordVal is one buffered write: the target word and its new value.
+type WordVal struct {
+	Addr tm.Addr
+	Val  uint64
+}
+
+// WEntry is a write-log entry, and at the same time a node of a
+// location's redo-log chain. It extends SwissTM's entry with the serial
+// number and user-thread identity of the owning task and the link to the
+// previous entry for the same location (paper §3.3).
+//
+// Words is appended to only by the owning task while it runs; other tasks
+// of the same thread read it only after observing (through the thread's
+// atomic completed-task counter) that the owner completed, which
+// establishes the necessary happens-before edge.
+type WEntry struct {
+	Owner  *OwnerRef
+	Serial int64
+	Pair   *Pair // the lock pair this entry is (or was) installed under
+	Prev   atomic.Pointer[WEntry]
+	Words  []WordVal
+}
+
+// Lookup returns the buffered value for a in this entry, if present.
+// A single entry can carry several words when distinct addresses collide
+// on one lock pair (SwissTM's lock granularity has the same property).
+func (e *WEntry) Lookup(a tm.Addr) (uint64, bool) {
+	// Scan backwards so the newest write to a wins.
+	for i := len(e.Words) - 1; i >= 0; i-- {
+		if e.Words[i].Addr == a {
+			return e.Words[i].Val, true
+		}
+	}
+	return 0, false
+}
+
+// Update buffers value v for address a in this entry, overwriting a
+// previous buffered write to the same address if any.
+func (e *WEntry) Update(a tm.Addr, v uint64) {
+	for i := len(e.Words) - 1; i >= 0; i-- {
+		if e.Words[i].Addr == a {
+			e.Words[i].Val = v
+			return
+		}
+	}
+	e.Words = append(e.Words, WordVal{Addr: a, Val: v})
+}
+
+// OwnerRef is the cross-thread header describing the task (TLSTM) or
+// transaction (SwissTM baseline) that owns a write lock. Contention
+// managers and the abort machinery read it from other threads, so every
+// mutable field is atomic; the rest is immutable for the lifetime of one
+// task incarnation.
+type OwnerRef struct {
+	// ThreadID identifies the owning user-thread.
+	ThreadID int32
+	// StartSerial is the first serial of the owner's user-transaction
+	// (tx-start-serial). The task-aware CM computes the owner's progress
+	// as completed-task − StartSerial (paper Alg. 2, cm-should-abort).
+	StartSerial int64
+	// CompletedTask points at the owning thread's completed-task
+	// counter.
+	CompletedTask *atomic.Int64
+	// AbortTx is the abort-transaction signal shared by every task of
+	// the owner's user-transaction.
+	AbortTx *atomic.Bool
+	// AbortInternal is the owner task's aborted-internally signal
+	// (intra-thread WAW, paper Alg. 2 line 47).
+	AbortInternal *atomic.Bool
+	// Timestamp is the greedy contention-manager priority of the owner's
+	// user-transaction; lower values are older and win conflicts. Zero
+	// means the transaction is still in the polite phase of the
+	// two-phase greedy CM. It is shared by every task of the
+	// transaction, hence a pointer.
+	Timestamp *atomic.Uint64
+}
+
+// Table is the global lock table. Addresses map to pairs by masking, as
+// in SwissTM; distinct addresses may share a pair, which yields false
+// conflicts but never missed ones.
+type Table struct {
+	pairs []Pair
+	mask  uint64
+}
+
+// NewTable creates a table with 2^bits lock pairs.
+func NewTable(bits int) *Table {
+	if bits < 4 || bits > 28 {
+		panic("locktable: bits out of range [4,28]")
+	}
+	return &Table{
+		pairs: make([]Pair, 1<<bits),
+		mask:  uint64(1<<bits) - 1,
+	}
+}
+
+// For returns the lock pair covering address a.
+func (t *Table) For(a tm.Addr) *Pair {
+	return &t.pairs[uint64(a)&t.mask]
+}
+
+// Len reports the number of lock pairs (used by tests).
+func (t *Table) Len() int { return len(t.pairs) }

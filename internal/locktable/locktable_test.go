@@ -1,0 +1,81 @@
+package locktable
+
+import (
+	"testing"
+
+	"tlstm/internal/tm"
+)
+
+func TestMappingStableAndInRange(t *testing.T) {
+	tbl := NewTable(8)
+	if tbl.Len() != 256 {
+		t.Fatalf("Len = %d, want 256", tbl.Len())
+	}
+	for a := tm.Addr(1); a < 10_000; a += 37 {
+		p1 := tbl.For(a)
+		p2 := tbl.For(a)
+		if p1 != p2 {
+			t.Fatalf("mapping not stable for %#x", a)
+		}
+	}
+}
+
+func TestCollisionsShareAPair(t *testing.T) {
+	tbl := NewTable(8)
+	a := tm.Addr(5)
+	b := a + 256 // one full table stride away
+	if tbl.For(a) != tbl.For(b) {
+		t.Fatal("addresses one stride apart must share a pair")
+	}
+	if tbl.For(a) == tbl.For(a+1) {
+		t.Fatal("adjacent addresses should map to different pairs")
+	}
+}
+
+func TestEntryLookupUpdate(t *testing.T) {
+	e := &WEntry{}
+	if _, hit := e.Lookup(7); hit {
+		t.Fatal("empty entry should miss")
+	}
+	e.Update(7, 100)
+	e.Update(8, 200)
+	e.Update(7, 300) // overwrite
+	if v, hit := e.Lookup(7); !hit || v != 300 {
+		t.Fatalf("Lookup(7) = %d,%v; want 300,true", v, hit)
+	}
+	if v, hit := e.Lookup(8); !hit || v != 200 {
+		t.Fatalf("Lookup(8) = %d,%v; want 200,true", v, hit)
+	}
+	if len(e.Words) != 2 {
+		t.Fatalf("Update must overwrite in place; got %d words", len(e.Words))
+	}
+}
+
+func TestChainPrevLinks(t *testing.T) {
+	tbl := NewTable(8)
+	p := tbl.For(1)
+	e1 := &WEntry{Serial: 1, Pair: p}
+	e2 := &WEntry{Serial: 2, Pair: p}
+	if !p.W.CompareAndSwap(nil, e1) {
+		t.Fatal("install e1")
+	}
+	e2.Prev.Store(e1)
+	if !p.W.CompareAndSwap(e1, e2) {
+		t.Fatal("install e2")
+	}
+	if got := p.W.Load(); got != e2 {
+		t.Fatal("head should be e2")
+	}
+	if got := p.W.Load().Prev.Load(); got != e1 {
+		t.Fatal("prev should be e1")
+	}
+}
+
+func TestNewTablePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTable(0) did not panic")
+		}
+	}()
+	NewTable(0)
+}

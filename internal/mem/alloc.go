@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+
+	"tlstm/internal/tm"
+)
+
+// headerWords is the per-block allocator header (one word holding the
+// block's payload size). It lives at base-1, exactly like a classic
+// malloc header, so Free can recover the size class.
+const headerWords = 1
+
+// maxSizeClass bounds the exact-fit free lists; larger blocks get a
+// single overflow list searched first-fit (rare in the benchmarks).
+const maxSizeClass = 256
+
+// Allocator hands out blocks of words from a Store and recycles freed
+// blocks through per-size free lists. It is safe for concurrent use.
+//
+// Transactional allocation/free semantics (undo an Alloc when the
+// transaction aborts, defer a Free until commit) are implemented by the
+// runtimes on top of the raw Alloc/Free here, via their per-task logs.
+type Allocator struct {
+	store *Store
+
+	mu       sync.Mutex
+	free     [maxSizeClass + 1][]tm.Addr
+	overflow []tm.Addr // blocks larger than maxSizeClass
+
+	allocated uint64 // live blocks, for leak tests
+}
+
+// NewAllocator returns an allocator backed by store.
+func NewAllocator(store *Store) *Allocator {
+	return &Allocator{store: store}
+}
+
+// Alloc returns the base address of a zeroed block of n (>0) words.
+func (al *Allocator) Alloc(n int) tm.Addr {
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: Alloc(%d): size must be positive", n))
+	}
+	if a := al.takeFree(n); a != tm.NilAddr {
+		for i := 0; i < n; i++ {
+			al.store.StoreWord(a+tm.Addr(i), 0)
+		}
+		return a
+	}
+	base := al.store.reserve(uint64(n) + headerWords)
+	al.store.StoreWord(base, uint64(n))
+	al.mu.Lock()
+	al.allocated++
+	al.mu.Unlock()
+	return base + headerWords
+}
+
+func (al *Allocator) takeFree(n int) tm.Addr {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	if n <= maxSizeClass {
+		l := al.free[n]
+		if len(l) == 0 {
+			return tm.NilAddr
+		}
+		a := l[len(l)-1]
+		al.free[n] = l[:len(l)-1]
+		al.allocated++
+		return a
+	}
+	for i, a := range al.overflow {
+		if al.store.LoadWord(a-headerWords) >= uint64(n) {
+			al.overflow[i] = al.overflow[len(al.overflow)-1]
+			al.overflow = al.overflow[:len(al.overflow)-1]
+			al.allocated++
+			return a
+		}
+	}
+	return tm.NilAddr
+}
+
+// Free returns the block with base address a to the free lists. Freeing
+// NilAddr is a no-op. Double frees are not detected (as in C malloc).
+func (al *Allocator) Free(a tm.Addr) {
+	if a == tm.NilAddr {
+		return
+	}
+	n := al.store.LoadWord(a - headerWords)
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	if n <= maxSizeClass {
+		al.free[n] = append(al.free[n], a)
+	} else {
+		al.overflow = append(al.overflow, a)
+	}
+	al.allocated--
+}
+
+// BlockSize reports the payload size in words of the block at base a.
+func (al *Allocator) BlockSize(a tm.Addr) int {
+	return int(al.store.LoadWord(a - headerWords))
+}
+
+// LiveBlocks reports the number of currently allocated blocks.
+func (al *Allocator) LiveBlocks() uint64 {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	return al.allocated
+}

@@ -1,0 +1,26 @@
+package mem
+
+import "tlstm/internal/tm"
+
+// Direct is a non-transactional tm.Tx over a store and allocator. It is
+// used for single-threaded setup (building initial data structures before
+// any transaction runs) and for post-mortem verification in tests. It
+// must never be used concurrently with transactions.
+type Direct struct {
+	Mem *Store
+	Al  *Allocator
+}
+
+// Load implements tm.Tx.
+func (d Direct) Load(a tm.Addr) uint64 { return d.Mem.LoadWord(a) }
+
+// Store implements tm.Tx.
+func (d Direct) Store(a tm.Addr, v uint64) { d.Mem.StoreWord(a, v) }
+
+// Alloc implements tm.Tx.
+func (d Direct) Alloc(n int) tm.Addr { return d.Al.Alloc(n) }
+
+// Free implements tm.Tx.
+func (d Direct) Free(a tm.Addr) { d.Al.Free(a) }
+
+var _ tm.Tx = Direct{}

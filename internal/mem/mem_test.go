@@ -1,0 +1,191 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"tlstm/internal/tm"
+)
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	al := NewAllocator(s)
+	a := al.Alloc(4)
+	if a == tm.NilAddr {
+		t.Fatal("Alloc returned nil address")
+	}
+	for i := 0; i < 4; i++ {
+		s.StoreWord(a+tm.Addr(i), uint64(100+i))
+	}
+	for i := 0; i < 4; i++ {
+		if got := s.LoadWord(a + tm.Addr(i)); got != uint64(100+i) {
+			t.Fatalf("word %d: got %d, want %d", i, got, 100+i)
+		}
+	}
+}
+
+func TestAddressZeroReserved(t *testing.T) {
+	s := NewStore()
+	al := NewAllocator(s)
+	for i := 0; i < 100; i++ {
+		if a := al.Alloc(1); a == tm.NilAddr {
+			t.Fatalf("allocation %d returned the nil address", i)
+		}
+	}
+}
+
+func TestStoreGrowsAcrossPages(t *testing.T) {
+	s := NewStore()
+	al := NewAllocator(s)
+	// Allocate more than two pages worth of words.
+	n := 3 * pageWords
+	a := al.Alloc(n)
+	s.StoreWord(a, 1)
+	s.StoreWord(a+tm.Addr(n-1), 2)
+	if s.LoadWord(a) != 1 || s.LoadWord(a+tm.Addr(n-1)) != 2 {
+		t.Fatal("cross-page words not stored correctly")
+	}
+}
+
+func TestAllocZeroesRecycledBlocks(t *testing.T) {
+	s := NewStore()
+	al := NewAllocator(s)
+	a := al.Alloc(3)
+	for i := 0; i < 3; i++ {
+		s.StoreWord(a+tm.Addr(i), 7)
+	}
+	al.Free(a)
+	b := al.Alloc(3)
+	if b != a {
+		t.Fatalf("expected free-list reuse: got %#x, want %#x", b, a)
+	}
+	for i := 0; i < 3; i++ {
+		if s.LoadWord(b+tm.Addr(i)) != 0 {
+			t.Fatalf("recycled word %d not zeroed", i)
+		}
+	}
+}
+
+func TestAllocFreeBookkeeping(t *testing.T) {
+	s := NewStore()
+	al := NewAllocator(s)
+	var blocks []tm.Addr
+	for i := 1; i <= 10; i++ {
+		blocks = append(blocks, al.Alloc(i))
+	}
+	if got := al.LiveBlocks(); got != 10 {
+		t.Fatalf("LiveBlocks = %d, want 10", got)
+	}
+	for i, a := range blocks {
+		if got := al.BlockSize(a); got != i+1 {
+			t.Fatalf("BlockSize(%d) = %d, want %d", i, got, i+1)
+		}
+		al.Free(a)
+	}
+	if got := al.LiveBlocks(); got != 0 {
+		t.Fatalf("LiveBlocks after frees = %d, want 0", got)
+	}
+}
+
+func TestOverflowSizeClass(t *testing.T) {
+	s := NewStore()
+	al := NewAllocator(s)
+	big := al.Alloc(maxSizeClass + 100)
+	al.Free(big)
+	again := al.Alloc(maxSizeClass + 50)
+	if again != big {
+		t.Fatalf("overflow block not reused first-fit: got %#x want %#x", again, big)
+	}
+}
+
+func TestAllocPanicsOnNonPositive(t *testing.T) {
+	s := NewStore()
+	al := NewAllocator(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc(0) did not panic")
+		}
+	}()
+	al.Alloc(0)
+}
+
+func TestConcurrentAllocDistinctBlocks(t *testing.T) {
+	s := NewStore()
+	al := NewAllocator(s)
+	const workers, per = 8, 200
+	got := make([][]tm.Addr, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				got[w] = append(got[w], al.Alloc(2))
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[tm.Addr]bool, workers*per)
+	for _, list := range got {
+		for _, a := range list {
+			if seen[a] {
+				t.Fatalf("address %#x handed out twice", a)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestDirectImplementsTx(t *testing.T) {
+	s := NewStore()
+	d := Direct{Mem: s, Al: NewAllocator(s)}
+	a := d.Alloc(2)
+	d.Store(a, 42)
+	if d.Load(a) != 42 {
+		t.Fatal("Direct store/load mismatch")
+	}
+	tm.StoreInt64(d, a+1, -7)
+	if tm.LoadInt64(d, a+1) != -7 {
+		t.Fatal("int64 helpers mismatch")
+	}
+	d.Free(a)
+}
+
+// Property: alloc/free sequences never hand out overlapping live blocks.
+func TestQuickAllocNoOverlap(t *testing.T) {
+	s := NewStore()
+	al := NewAllocator(s)
+	type block struct {
+		base tm.Addr
+		n    int
+	}
+	var live []block
+	f := func(sizes []uint8, freeIdx []uint8) bool {
+		for _, sz := range sizes {
+			n := int(sz%64) + 1
+			live = append(live, block{base: al.Alloc(n), n: n})
+		}
+		for _, fi := range freeIdx {
+			if len(live) == 0 {
+				break
+			}
+			i := int(fi) % len(live)
+			al.Free(live[i].base)
+			live = append(live[:i], live[i+1:]...)
+		}
+		// Check pairwise non-overlap of live blocks.
+		for i := range live {
+			for j := i + 1; j < len(live); j++ {
+				a, b := live[i], live[j]
+				if a.base < b.base+tm.Addr(b.n) && b.base < a.base+tm.Addr(a.n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

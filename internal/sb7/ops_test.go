@@ -1,0 +1,212 @@
+package sb7
+
+import (
+	"strings"
+	"testing"
+
+	"tlstm/internal/core"
+	"tlstm/internal/stm"
+)
+
+func TestCompositeByIndex(t *testing.T) {
+	d := direct()
+	b, _ := Build(d, tiny())
+	seen := map[int64]bool{}
+	for i := 0; i < b.P.NumCompParts; i++ {
+		cp, err := b.CompositeByIndex(d, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := d.Load(cp + cpID)
+		if int(id) != i {
+			t.Fatalf("CompositeByIndex(%d) has id %d", i, id)
+		}
+		seen[int64(id)] = true
+	}
+	if len(seen) != b.P.NumCompParts {
+		t.Fatalf("resolved %d distinct composites, want %d", len(seen), b.P.NumCompParts)
+	}
+	if _, err := b.CompositeByIndex(d, -1); err == nil {
+		t.Fatal("negative index must error")
+	}
+	if _, err := b.CompositeByIndex(d, b.P.NumCompParts); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+}
+
+func TestBaseAssemblyDFSOrder(t *testing.T) {
+	d := direct()
+	b, _ := Build(d, tiny())
+	ids := map[int64]bool{}
+	baseCount := 9 // 3^(3-1)
+	for i := 0; i < baseCount; i++ {
+		ba, err := b.baseAssembly(d, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := int64(d.Load(ba + baID))
+		if ids[id] {
+			t.Fatalf("base assembly %d resolved twice", id)
+		}
+		ids[id] = true
+	}
+}
+
+func TestShortTraversalTouchesOneComposite(t *testing.T) {
+	d := direct()
+	b, _ := Build(d, tiny())
+	for seed := uint64(0); seed < 20; seed++ {
+		n := b.ShortTraversalPath(d, seed)
+		if n != b.P.AtomicPerComp {
+			t.Fatalf("seed %d: touched %d parts, want %d", seed, n, b.P.AtomicPerComp)
+		}
+	}
+}
+
+func TestQueryPartByID(t *testing.T) {
+	d := direct()
+	b, _ := Build(d, tiny())
+	// x=i, y=i² per part: sum over i in [0,AtomicPerComp).
+	var want uint64
+	for i := 0; i < b.P.AtomicPerComp; i++ {
+		want += uint64(i) + uint64(i*i)
+	}
+	got, err := b.QueryPartByID(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("QueryPartByID = %d, want %d", got, want)
+	}
+}
+
+func TestStructuralAddRemove(t *testing.T) {
+	d := direct()
+	b, _ := Build(d, tiny())
+	live0 := d.Al.LiveBlocks()
+	n0, _ := b.PartCount(d, 1)
+
+	n1, err := b.StructuralAddPart(d, 1)
+	if err != nil || n1 != n0+1 {
+		t.Fatalf("add: %d, %v", n1, err)
+	}
+	n2, err := b.StructuralRemovePart(d, 1)
+	if err != nil || n2 != n0 {
+		t.Fatalf("remove: %d, %v", n2, err)
+	}
+	if got := d.Al.LiveBlocks(); got != live0 {
+		t.Fatalf("blocks leaked: %d != %d", got, live0)
+	}
+	// Scans still work after structural churn.
+	if got := b.FullRead(d); got != b.TotalAtomicVisits {
+		t.Fatalf("FullRead after churn = %d, want %d", got, b.TotalAtomicVisits)
+	}
+}
+
+func TestStructuralRemoveFloor(t *testing.T) {
+	d := direct()
+	p := tiny()
+	p.AtomicPerComp = 1
+	b, _ := Build(d, p)
+	n, err := b.StructuralRemovePart(d, 0)
+	if err != nil || n != 1 {
+		t.Fatalf("remove below floor: %d, %v", n, err)
+	}
+}
+
+func TestDocumentSearchAndReplace(t *testing.T) {
+	d := direct()
+	b, _ := Build(d, tiny())
+	cp, _ := b.CompositeByIndex(d, 0)
+
+	if !b.DocumentContains(d, cp, "original") {
+		t.Fatal("expected token missing")
+	}
+	if b.DocumentContains(d, cp, "zebra") {
+		t.Fatal("unexpected token found")
+	}
+	if !b.DocumentReplace(d, cp, "original", "modified") {
+		t.Fatal("replace failed")
+	}
+	if b.DocumentContains(d, cp, "original") || !b.DocumentContains(d, cp, "modified") {
+		t.Fatal("replace did not apply")
+	}
+	// Length-mismatched replacement is rejected.
+	if b.DocumentReplace(d, cp, "modified", "x") {
+		t.Fatal("length-mismatched replace must be rejected")
+	}
+	text := b.DocumentText(d, cp)
+	if !strings.Contains(text, "modified unchanged") {
+		t.Fatalf("text corrupted: %q", text)
+	}
+}
+
+// Mixed short operations under the SwissTM baseline keep structural
+// invariants.
+func TestShortOpsUnderSTM(t *testing.T) {
+	rt := stm.New(stm.WithLockTableBits(14))
+	b, err := Build(rt.Direct(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		idx := i % b.P.NumCompParts
+		switch i % 4 {
+		case 0:
+			rt.Atomic(nil, func(tx *stm.Tx) { _, _ = b.StructuralAddPart(tx, idx) })
+		case 1:
+			rt.Atomic(nil, func(tx *stm.Tx) { _, _ = b.StructuralRemovePart(tx, idx) })
+		case 2:
+			rt.Atomic(nil, func(tx *stm.Tx) { b.ShortTraversalPath(tx, uint64(i)) })
+		default:
+			rt.Atomic(nil, func(tx *stm.Tx) { _, _ = b.QueryPartByID(tx, idx) })
+		}
+	}
+	// Every composite still scannable and within sane part counts.
+	d := rt.Direct()
+	for i := 0; i < b.P.NumCompParts; i++ {
+		n, err := b.PartCount(d, i)
+		if err != nil || n < 1 {
+			t.Fatalf("composite %d: count %d, err %v", i, n, err)
+		}
+	}
+}
+
+// Short operations as speculative tasks: a transaction bundling a query
+// task and a structural task must stay atomic under TLSTM.
+func TestShortOpsUnderTLSTM(t *testing.T) {
+	rt := core.New(core.Config{SpecDepth: 2, LockTableBits: 14})
+	b, err := Build(rt.Direct(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := rt.NewThread()
+	for i := 0; i < 30; i++ {
+		idx := i % b.P.NumCompParts
+		err := thr.Atomic(
+			func(tk *core.Task) { _, _ = b.StructuralAddPart(tk, idx) },
+			func(tk *core.Task) {
+				// Task 2 must observe task 1's structural change.
+				n, err := b.PartCount(tk, idx)
+				if err != nil {
+					panic(err)
+				}
+				if n < 2 {
+					panic("structural change not forwarded to future task")
+				}
+				_, _ = b.StructuralRemovePart(tk, idx)
+			},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	thr.Sync()
+	d := rt.Direct()
+	for i := 0; i < b.P.NumCompParts; i++ {
+		n, err := b.PartCount(d, i)
+		if err != nil || n != b.P.AtomicPerComp {
+			t.Fatalf("composite %d: count %d (want %d), err %v", i, n, b.P.AtomicPerComp, err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package sb7
+
+import (
+	"sync"
+	"testing"
+
+	"tlstm/internal/core"
+	"tlstm/internal/mem"
+	"tlstm/internal/stm"
+	"tlstm/internal/tm"
+)
+
+func direct() mem.Direct {
+	s := mem.NewStore()
+	return mem.Direct{Mem: s, Al: mem.NewAllocator(s)}
+}
+
+func tiny() Params {
+	return Params{Levels: 3, Fanout: 3, CompPerBase: 2, AtomicPerComp: 5, NumCompParts: 4, ConnPerPart: 2}
+}
+
+func TestBuildShape(t *testing.T) {
+	d := direct()
+	b, err := Build(d, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.TopBranches) != 3 {
+		t.Fatalf("TopBranches = %d, want 3", len(b.TopBranches))
+	}
+	if len(b.SecondBranches) != 9 {
+		t.Fatalf("SecondBranches = %d, want 9", len(b.SecondBranches))
+	}
+	// 3^(3-1)=9 base assemblies × 2 comps × 5 parts = 90 visits.
+	if b.TotalAtomicVisits != 90 {
+		t.Fatalf("TotalAtomicVisits = %d, want 90", b.TotalAtomicVisits)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	d := direct()
+	if _, err := Build(d, Params{}); err == nil {
+		t.Fatal("empty params must be rejected")
+	}
+}
+
+func TestFullReadCountsEverything(t *testing.T) {
+	d := direct()
+	b, _ := Build(d, tiny())
+	if got := b.FullRead(d); got != b.TotalAtomicVisits {
+		t.Fatalf("FullRead = %d, want %d", got, b.TotalAtomicVisits)
+	}
+}
+
+func TestSplitTraversalCoversTree(t *testing.T) {
+	d := direct()
+	b, _ := Build(d, tiny())
+	sum3 := 0
+	for _, br := range b.TopBranches {
+		sum3 += b.TraverseRead(d, br, b.TopLevel())
+	}
+	if sum3 != b.TotalAtomicVisits {
+		t.Fatalf("3-way split covers %d, want %d", sum3, b.TotalAtomicVisits)
+	}
+	sum9 := 0
+	for _, br := range b.SecondBranches {
+		sum9 += b.TraverseRead(d, br, b.SecondLevel())
+	}
+	if sum9 != b.TotalAtomicVisits {
+		t.Fatalf("9-way split covers %d, want %d", sum9, b.TotalAtomicVisits)
+	}
+}
+
+func TestWriteTraversalUpdatesDates(t *testing.T) {
+	d := direct()
+	b, _ := Build(d, tiny())
+	if got := b.FullWrite(d, 1); got != b.TotalAtomicVisits {
+		t.Fatalf("FullWrite visited %d, want %d", got, b.TotalAtomicVisits)
+	}
+	if sum := b.SumBuildDates(d); sum == 0 {
+		t.Fatal("write traversal did not update dates")
+	}
+	if b.TraversedCount(d) != 1 {
+		t.Fatalf("TraversedCount = %d, want 1", b.TraversedCount(d))
+	}
+}
+
+// Under the SwissTM baseline, concurrent full write traversals and read
+// traversals must keep the date-sum equal to committed-writes × visits.
+func TestConcurrentTraversalsSTM(t *testing.T) {
+	rt := stm.New(stm.WithLockTableBits(16))
+	b, err := Build(rt.Direct(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 2, 5
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rt.Atomic(nil, func(tx *stm.Tx) { b.FullWrite(tx, uint64(i)) })
+			}
+		}()
+	}
+	readerDone := make(chan int, 1)
+	go func() {
+		bad := 0
+		for i := 0; i < 10; i++ {
+			var visits int
+			rt.Atomic(nil, func(tx *stm.Tx) { visits = b.FullRead(tx) })
+			if visits != b.TotalAtomicVisits {
+				bad++
+			}
+		}
+		readerDone <- bad
+	}()
+	wg.Wait()
+	if bad := <-readerDone; bad != 0 {
+		t.Fatalf("%d inconsistent read traversals", bad)
+	}
+
+	d := rt.Direct()
+	// Every committed write traversal updates each pool part once per
+	// reference; the global date sum must match exactly.
+	wantTraversals := uint64(writers * perWriter)
+	if got := b.TraversedCount(d); got != wantTraversals {
+		t.Fatalf("TraversedCount = %d, want %d", got, wantTraversals)
+	}
+	if got := b.SumBuildDates(d); got != wantTraversals*uint64(b.TotalCompositeVisits) {
+		t.Fatalf("SumBuildDates = %d, want %d", got, wantTraversals*uint64(b.TotalCompositeVisits))
+	}
+}
+
+// Under TLSTM, a traversal split into three tasks (one per top branch)
+// must behave exactly like the unsplit traversal.
+func TestSplitTraversalTLSTM(t *testing.T) {
+	rt := core.New(core.Config{SpecDepth: 3, LockTableBits: 16})
+	b, err := Build(rt.Direct(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := rt.NewThread()
+
+	// Read traversal split three ways.
+	counts := make([]int, 3)
+	fns := make([]core.TaskFunc, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		fns[i] = func(tk *core.Task) {
+			counts[i] = b.TraverseRead(tk, b.TopBranches[i], b.TopLevel())
+		}
+	}
+	if err := thr.Atomic(fns...); err != nil {
+		t.Fatal(err)
+	}
+	if counts[0]+counts[1]+counts[2] != b.TotalAtomicVisits {
+		t.Fatalf("split read covered %d, want %d", counts[0]+counts[1]+counts[2], b.TotalAtomicVisits)
+	}
+
+	// Write traversal split three ways: tasks conflict on shared pool
+	// parts and module words, but the committed result must equal one
+	// full write traversal per branch-task set.
+	for i := 0; i < 3; i++ {
+		i := i
+		fns[i] = func(tk *core.Task) {
+			b.TraverseWrite(tk, b.TopBranches[i], b.TopLevel(), 7)
+		}
+	}
+	if err := thr.Atomic(fns...); err != nil {
+		t.Fatal(err)
+	}
+	thr.Sync()
+
+	d := rt.Direct()
+	if got := b.TraversedCount(d); got != 3 {
+		t.Fatalf("TraversedCount = %d, want 3 (one bump per task)", got)
+	}
+	if got := b.SumBuildDates(d); got != uint64(b.TotalCompositeVisits) {
+		t.Fatalf("SumBuildDates = %d, want %d", got, b.TotalCompositeVisits)
+	}
+}
+
+// Multi-thread TLSTM: write traversals from two threads with 3 tasks
+// each; accounting must stay exact despite inter- and intra-thread
+// conflicts.
+func TestMultiThreadWriteTraversalsTLSTM(t *testing.T) {
+	rt := core.New(core.Config{SpecDepth: 3, LockTableBits: 16})
+	b, err := Build(rt.Direct(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const threads, per = 2, 3
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		thr := rt.NewThread()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				fns := make([]core.TaskFunc, 3)
+				for j := 0; j < 3; j++ {
+					j := j
+					fns[j] = func(tk *core.Task) {
+						b.TraverseWrite(tk, b.TopBranches[j], b.TopLevel(), uint64(i))
+					}
+				}
+				_ = thr.Atomic(fns...)
+			}
+			thr.Sync()
+		}()
+	}
+	wg.Wait()
+
+	d := rt.Direct()
+	want := uint64(threads * per * 3) // one counter bump per task
+	if got := b.TraversedCount(d); got != want {
+		t.Fatalf("TraversedCount = %d, want %d", got, want)
+	}
+	wantDates := uint64(threads * per * b.TotalCompositeVisits)
+	if got := b.SumBuildDates(d); got != wantDates {
+		t.Fatalf("SumBuildDates = %d, want %d", got, wantDates)
+	}
+}
+
+var _ tm.Tx = (*core.Task)(nil)

@@ -1,0 +1,207 @@
+package sb7
+
+import (
+	"fmt"
+
+	"tlstm/internal/tm"
+)
+
+// Long traversals (STMBench7's T1/T2 family). The read traversal visits
+// every assembly, composite part and atomic part reachable from the
+// given subtree root and folds a checksum; the write traversal
+// additionally updates every atomic part's build date and the module's
+// build metadata — the paper's high-intra-conflict write workload.
+//
+// A full traversal runs over the design root; the speculative split
+// runs one traversal per branch (TopBranches for 3 tasks,
+// SecondBranches for 9), exactly how the paper decomposes "Long
+// Traversals" ("it made sense to split [them] in multiples of three
+// tasks", §4).
+
+// TraverseRead walks the subtree rooted at node (a complex or base
+// assembly at the given level; use LevelsOfTop/… helpers) and returns
+// the number of atomic parts visited.
+func (b *Bench) TraverseRead(tx tm.Tx, node tm.Addr, level int) int {
+	if level == 1 {
+		return b.scanBase(tx, node, false, 0)
+	}
+	n := int(tm.LoadInt64(tx, node+caNSub))
+	subs := tm.LoadAddr(tx, node+caSubs)
+	total := 0
+	for i := 0; i < n; i++ {
+		total += b.TraverseRead(tx, tm.LoadAddr(tx, subs+tm.Addr(i)), level-1)
+	}
+	return total
+}
+
+// TraverseWrite is the write long traversal (STMBench7's T2a shape): it
+// reads everything a read traversal reads, updates the build date of
+// *one* atomic part per composite part visited (the part index derives
+// from the traversal seed, as the original rotates dates), and bumps
+// the module's traversal counter and build date once per call — per
+// task when the traversal is split.
+//
+// Two conflict properties follow, both central to the paper's Figure 2
+// discussion: tasks of one split traversal share the seed, so they
+// update the same atomic parts of the composite parts shared across
+// branches (plus the module words) — high *intra*-thread conflict; and
+// traversals with different seeds mostly touch different parts, so
+// *inter*-thread write/write overlap stays bounded, as in the original
+// benchmark where T2a touches a sliver of the structure.
+func (b *Bench) TraverseWrite(tx tm.Tx, node tm.Addr, level int, seed uint64) int {
+	count := b.traverseWrite(tx, node, level, seed)
+	tx.Store(b.Module+mTraversed, tx.Load(b.Module+mTraversed)+1)
+	tx.Store(b.Module+mBuildDate, tx.Load(b.Module+mBuildDate)+1)
+	return count
+}
+
+func (b *Bench) traverseWrite(tx tm.Tx, node tm.Addr, level int, seed uint64) int {
+	if level == 1 {
+		return b.scanBase(tx, node, true, seed)
+	}
+	n := int(tm.LoadInt64(tx, node+caNSub))
+	subs := tm.LoadAddr(tx, node+caSubs)
+	total := 0
+	for i := 0; i < n; i++ {
+		total += b.traverseWrite(tx, tm.LoadAddr(tx, subs+tm.Addr(i)), level-1, seed)
+	}
+	return total
+}
+
+// scanBase visits one base assembly's composite parts and their atomic
+// part graphs.
+func (b *Bench) scanBase(tx tm.Tx, ba tm.Addr, write bool, seed uint64) int {
+	nc := int(tm.LoadInt64(tx, ba+baNComp))
+	comps := tm.LoadAddr(tx, ba+baComps)
+	total := 0
+	for i := 0; i < nc; i++ {
+		cp := tm.LoadAddr(tx, comps+tm.Addr(i))
+		total += b.scanComposite(tx, cp, write, seed)
+	}
+	return total
+}
+
+func mixSeed(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func (b *Bench) scanComposite(tx tm.Tx, cp tm.Addr, write bool, seed uint64) int {
+	np := int(tm.LoadInt64(tx, cp+cpNParts))
+	arr := tm.LoadAddr(tx, cp+cpParts)
+	count := 0
+	var updateIdx int
+	if write {
+		id := uint64(tm.LoadInt64(tx, cp+cpID))
+		updateIdx = int(mixSeed(seed^(id*0x9e3779b97f4a7c15)) % uint64(np))
+		// A fixed quarter of the composite parts also get their own
+		// build date stamped (T2 updates composite metadata); this
+		// subset is the same for every write traversal, so concurrent
+		// write transactions overlap on it — the original's traversals
+		// share exactly this kind of metadata footprint.
+		if mixSeed(id)%4 == 0 {
+			tx.Store(cp+cpBuildDate, tx.Load(cp+cpBuildDate)+1)
+		}
+	}
+	for i := 0; i < np; i++ {
+		ap := tm.LoadAddr(tx, arr+tm.Addr(i))
+		// Touch the part as the original traversal does: read its
+		// coordinates and date, follow its connections' ids.
+		x := tx.Load(ap + apX)
+		y := tx.Load(ap + apY)
+		_ = x + y
+		for j := 0; j < b.P.ConnPerPart; j++ {
+			to := tm.LoadAddr(tx, ap+apConnBase+tm.Addr(j))
+			_ = tx.Load(to + apID)
+		}
+		if write && i == updateIdx {
+			tx.Store(ap+apBuildDate, tx.Load(ap+apBuildDate)+1)
+		} else {
+			_ = tx.Load(ap + apBuildDate)
+		}
+		count++
+	}
+	return count
+}
+
+// SplitRoots returns the subtree roots and their level for an n-way
+// traversal split: 1 → the design root, Fanout → the top branches,
+// Fanout² → the second-level branches (the paper's 3- and 9-task
+// splits). It panics on unsupported n, which is a programming error.
+func (b *Bench) SplitRoots(n int) ([]tm.Addr, int) {
+	switch n {
+	case 1:
+		// The root address is immutable after Build; read it through a
+		// throwaway traversal-time load is unnecessary.
+		return []tm.Addr{b.rootAddr}, b.P.Levels
+	case b.P.Fanout:
+		return b.TopBranches, b.TopLevel()
+	case b.P.Fanout * b.P.Fanout:
+		return b.SecondBranches, b.SecondLevel()
+	default:
+		panic(fmt.Sprintf("sb7: unsupported split %d (want 1, %d or %d)",
+			n, b.P.Fanout, b.P.Fanout*b.P.Fanout))
+	}
+}
+
+// TopLevel returns the assembly level of the entries of TopBranches.
+func (b *Bench) TopLevel() int { return b.P.Levels - 1 }
+
+// SecondLevel returns the assembly level of the entries of SecondBranches.
+func (b *Bench) SecondLevel() int { return b.P.Levels - 2 }
+
+// Root returns the design root assembly address.
+func (b *Bench) Root(tx tm.Tx) tm.Addr { return tm.LoadAddr(tx, b.Module+mRoot) }
+
+// FullRead runs the unsplit read long traversal.
+func (b *Bench) FullRead(tx tm.Tx) int {
+	return b.TraverseRead(tx, b.Root(tx), b.P.Levels)
+}
+
+// FullWrite runs the unsplit write long traversal with the given seed.
+func (b *Bench) FullWrite(tx tm.Tx, seed uint64) int {
+	return b.TraverseWrite(tx, b.Root(tx), b.P.Levels, seed)
+}
+
+// SumBuildDates folds every atomic part's build date (verification: a
+// committed write traversal contributes exactly TotalAtomicVisits,
+// counting pool sharing multiplicity).
+func (b *Bench) SumBuildDates(tx tm.Tx) uint64 {
+	var sum uint64
+	seen := make(map[tm.Addr]uint64)
+	var walk func(node tm.Addr, level int)
+	walk = func(node tm.Addr, level int) {
+		if level == 1 {
+			nc := int(tm.LoadInt64(tx, node+baNComp))
+			comps := tm.LoadAddr(tx, node+baComps)
+			for i := 0; i < nc; i++ {
+				cp := tm.LoadAddr(tx, comps+tm.Addr(i))
+				if _, dup := seen[cp]; dup {
+					continue
+				}
+				np := int(tm.LoadInt64(tx, cp+cpNParts))
+				arr := tm.LoadAddr(tx, cp+cpParts)
+				var s uint64
+				for j := 0; j < np; j++ {
+					ap := tm.LoadAddr(tx, arr+tm.Addr(j))
+					s += tx.Load(ap + apBuildDate)
+				}
+				seen[cp] = s
+				sum += s
+			}
+			return
+		}
+		n := int(tm.LoadInt64(tx, node+caNSub))
+		subs := tm.LoadAddr(tx, node+caSubs)
+		for i := 0; i < n; i++ {
+			walk(tm.LoadAddr(tx, subs+tm.Addr(i)), level-1)
+		}
+	}
+	walk(b.Root(tx), b.P.Levels)
+	return sum
+}
+
+// TraversedCount reads the module's write-traversal counter.
+func (b *Bench) TraversedCount(tx tm.Tx) uint64 { return tx.Load(b.Module + mTraversed) }

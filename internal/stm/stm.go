@@ -1,0 +1,462 @@
+// Package stm is a from-scratch Go implementation of SwissTM
+// (Dragojević, Guerraoui, Kapałka — PLDI'09), the baseline software
+// transactional memory that TLSTM extends (paper §3.1).
+//
+// Algorithm summary, as described in the paper:
+//
+//   - a global commit counter (commit-ts) acts as a wall clock,
+//     incremented by every non-read-only transaction at commit;
+//   - every word maps to an (r-lock, w-lock) pair in a global lock
+//     table; writers eagerly acquire the w-lock (pessimistic write/write
+//     detection) and buffer writes in a redo log;
+//   - reads are optimistic and validated lazily: each transaction keeps
+//     a valid-ts timestamp up to which all its reads are known
+//     consistent, extending it (by revalidating the read log) whenever
+//     it observes a newer version;
+//   - at commit, writers lock the r-locks of written locations, take a
+//     new commit timestamp, validate the read log once more, publish the
+//     buffered values, and release both locks;
+//   - write/write conflicts go through a two-phase greedy contention
+//     manager.
+package stm
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"tlstm/internal/cm"
+	"tlstm/internal/locktable"
+	"tlstm/internal/mem"
+	"tlstm/internal/tm"
+)
+
+// Option configures a Runtime.
+type Option func(*config)
+
+type config struct {
+	lockTableBits int
+}
+
+// WithLockTableBits sets the lock table to 2^bits pairs.
+func WithLockTableBits(bits int) Option {
+	return func(c *config) { c.lockTableBits = bits }
+}
+
+// Runtime is one SwissTM instance: a word store, an allocator, a lock
+// table, the global commit counter and a contention manager. Independent
+// Runtimes are fully isolated from each other.
+type Runtime struct {
+	store *mem.Store
+	alloc *mem.Allocator
+	locks *locktable.Table
+
+	commitTS atomic.Uint64
+	cm       cm.Greedy
+}
+
+// New creates a SwissTM runtime.
+func New(opts ...Option) *Runtime {
+	c := config{lockTableBits: 20}
+	for _, o := range opts {
+		o(&c)
+	}
+	st := mem.NewStore()
+	return &Runtime{
+		store: st,
+		alloc: mem.NewAllocator(st),
+		locks: locktable.NewTable(c.lockTableBits),
+	}
+}
+
+// CommitTS exposes the current global commit timestamp (for tests).
+func (rt *Runtime) CommitTS() uint64 { return rt.commitTS.Load() }
+
+// Allocator exposes the runtime's allocator for non-transactional setup
+// code (building initial data structures before threads start).
+func (rt *Runtime) Allocator() *mem.Allocator { return rt.alloc }
+
+// Direct returns a non-transactional tm.Tx for single-threaded setup,
+// before any transaction runs.
+func (rt *Runtime) Direct() mem.Direct {
+	return mem.Direct{Mem: rt.store, Al: rt.alloc}
+}
+
+// StoreWordRaw writes a word non-transactionally. It must only be used
+// during single-threaded setup, before transactions run.
+func (rt *Runtime) StoreWordRaw(a tm.Addr, v uint64) { rt.store.StoreWord(a, v) }
+
+// LoadWordRaw reads a word non-transactionally (setup/verification only).
+func (rt *Runtime) LoadWordRaw(a tm.Addr) uint64 { return rt.store.LoadWord(a) }
+
+// Stats accumulates per-worker execution statistics across Atomic calls.
+// Work is in abstract work units (one unit ≈ one TM operation or one
+// validation step, aborted attempts included); the benchmark harness
+// feeds it into the virtual-time model described in DESIGN.md §3.
+type Stats struct {
+	Commits uint64
+	Aborts  uint64
+	Work    uint64
+}
+
+// Add folds o into s.
+func (s *Stats) Add(o Stats) {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.Work += o.Work
+}
+
+// rollbackSignal is the panic value used internally to unwind a
+// transaction attempt back to the retry loop in Atomic. It never escapes
+// the package: Atomic recovers it. (Panic/recover is the conventional
+// mechanism for non-local abort in Go STMs; user code simply re-runs.)
+type rollbackSignal struct{}
+
+// yieldQuantum is the forced-interleaving grain: a transaction yields
+// the processor every yieldQuantum work units. On the paper's hardware
+// transactions overlap in real time; on a single-CPU simulator a
+// transaction would otherwise run to completion in one scheduler slice
+// and inter-thread contention would never materialize. Waiting on
+// another thread's lock is charged one quantum per spin iteration — the
+// lock owner progresses by about one quantum per scheduler round.
+const yieldQuantum = 64
+
+// txStartCost models transaction setup (descriptor and log
+// initialization, timestamp read) in work units; TLSTM charges the same
+// constant per task, which is what bounds its achievable task-split
+// speedup (paper Fig. 1a tops out well below the task count).
+const txStartCost = 24
+
+// validationStride discounts validation steps: one work unit per this
+// many read-log entries checked. A validation step is a version
+// compare — roughly an order of magnitude cheaper than an instrumented
+// transactional load.
+const validationStride = 8
+
+// tick charges work units and enforces the interleaving grain.
+func (tx *Tx) tick(units uint64) {
+	tx.work += units
+	if tx.work%yieldQuantum < units {
+		runtime.Gosched()
+	}
+}
+
+// Tx is one transaction attempt handle. It implements tm.Tx. A Tx is
+// only valid inside the function passed to Atomic and must not be
+// retained or shared across goroutines.
+type Tx struct {
+	rt      *Runtime
+	validTS uint64
+
+	owner   *locktable.OwnerRef
+	greedTS *atomic.Uint64 // greedy CM slot, persists across retries
+
+	readLog  []readEntry
+	writeLog []*locktable.WEntry
+
+	allocs []tm.Addr // fresh blocks to release on abort
+	frees  []tm.Addr // deferred frees to apply on commit
+
+	work      uint64 // work units of the current attempt
+	aborts    uint64
+	cmDefeats int // conflicts lost so far (two-phase greedy escalation)
+}
+
+type readEntry struct {
+	pair    *locktable.Pair
+	version uint64
+}
+
+// completedZero is a shared always-zero counter: the baseline has no
+// task pipeline, so OwnerRef progress is constant.
+var completedZero atomic.Int64
+
+func (rt *Runtime) newOwner(greedTS *atomic.Uint64, abortTx *atomic.Bool) *locktable.OwnerRef {
+	return &locktable.OwnerRef{
+		ThreadID:      -1,
+		StartSerial:   0,
+		CompletedTask: &completedZero,
+		AbortTx:       abortTx,
+		AbortInternal: abortTx, // no intra-thread signals in the baseline
+		Timestamp:     greedTS,
+	}
+}
+
+// Atomic runs fn as one transaction, retrying on conflict until it
+// commits. If st is non-nil, commit/abort counts and work units are
+// accumulated into it. fn must be re-executable: it may run several
+// times and must not perform external side effects.
+func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
+	var greedTS atomic.Uint64
+	tx := &Tx{rt: rt, greedTS: &greedTS, cmDefeats: 0}
+	for {
+		var abortTx atomic.Bool
+		tx.owner = rt.newOwner(&greedTS, &abortTx)
+		tx.validTS = rt.commitTS.Load()
+		tx.work += txStartCost
+		tx.readLog = tx.readLog[:0]
+		tx.writeLog = tx.writeLog[:0]
+		tx.allocs = tx.allocs[:0]
+		tx.frees = tx.frees[:0]
+
+		if tx.attempt(fn) {
+			break
+		}
+		tx.aborts++
+		// Back off progressively so the conflict window is not
+		// re-entered immediately (and, on a single CPU, so the lock
+		// owner we lost to gets scheduled before we re-acquire).
+		for i := uint64(0); i < min(tx.aborts*8, 256); i++ {
+			runtime.Gosched()
+		}
+	}
+	if st != nil {
+		st.Commits++
+		st.Aborts += tx.aborts
+		st.Work += tx.work
+	}
+}
+
+// attempt runs fn once and tries to commit; it reports success and
+// converts rollbackSignal panics into a false return.
+func (tx *Tx) attempt(fn func(tx *Tx)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, is := r.(rollbackSignal); !is {
+				// A genuine user panic: release our locks and undo
+				// speculative allocation so the rest of the system stays
+				// live, then propagate.
+				tx.releaseWrites()
+				for _, a := range tx.allocs {
+					tx.rt.alloc.Free(a)
+				}
+				panic(r)
+			}
+			ok = false
+		}
+	}()
+	fn(tx)
+	tx.commit()
+	return true
+}
+
+// rollback releases every lock and undoes speculative allocation, then
+// unwinds to the retry loop.
+func (tx *Tx) rollback() {
+	tx.releaseWrites()
+	for _, a := range tx.allocs {
+		tx.rt.alloc.Free(a)
+	}
+	panic(rollbackSignal{})
+}
+
+func (tx *Tx) releaseWrites() {
+	for _, e := range tx.writeLog {
+		// The baseline never stacks entries: eager W/W locking admits
+		// one writer per pair, so our entry is the head with no Prev.
+		e.Pair.W.CompareAndSwap(e, nil)
+	}
+}
+
+// checkSignals aborts the attempt if another transaction's contention
+// manager asked us to.
+func (tx *Tx) checkSignals() {
+	if tx.owner.AbortTx.Load() {
+		tx.rollback()
+	}
+}
+
+// Load implements tm.Tx (paper §3.1; TLSTM Alg. 1 line 16 is this path).
+func (tx *Tx) Load(a tm.Addr) uint64 {
+	tx.tick(1)
+	p := tx.rt.locks.For(a)
+	if e := p.W.Load(); e != nil && e.Owner == tx.owner {
+		if v, hit := e.Lookup(a); hit {
+			return v
+		}
+		// Lock-pair collision: we own the pair but never wrote this
+		// address; its committed value is still in memory.
+	}
+	return tx.loadCommitted(p, a)
+}
+
+func (tx *Tx) loadCommitted(p *locktable.Pair, a tm.Addr) uint64 {
+	for {
+		tx.checkSignals()
+		v1 := p.R.Load()
+		if v1 == locktable.Locked {
+			// A committer is publishing this location; wait it out.
+			runtime.Gosched()
+			continue
+		}
+		val := tx.rt.store.LoadWord(a)
+		if p.R.Load() != v1 {
+			continue // torn read: version moved underneath us
+		}
+		if v1 > tx.validTS && !tx.extend() {
+			tx.rollback()
+		}
+		if v1 > tx.validTS {
+			continue // extended, but not far enough; re-read
+		}
+		tx.readLog = append(tx.readLog, readEntry{pair: p, version: v1})
+		return val
+	}
+}
+
+// extend implements lazy snapshot extension: revalidate the read log at
+// the current commit timestamp and advance valid-ts on success.
+func (tx *Tx) extend() bool {
+	ts := tx.rt.commitTS.Load()
+	for i, re := range tx.readLog {
+		if i%validationStride == 0 {
+			tx.work++
+		}
+		cur := re.pair.R.Load()
+		if cur == re.version {
+			continue
+		}
+		if tx.ownsPair(re.pair) {
+			continue // we hold the w-lock; nobody else can have changed it
+		}
+		return false
+	}
+	tx.validTS = ts
+	return true
+}
+
+func (tx *Tx) ownsPair(p *locktable.Pair) bool {
+	e := p.W.Load()
+	return e != nil && e.Owner == tx.owner
+}
+
+// Store implements tm.Tx: eager w-lock acquisition with redo logging.
+func (tx *Tx) Store(a tm.Addr, v uint64) {
+	tx.tick(2)
+	p := tx.rt.locks.For(a)
+	for {
+		tx.checkSignals()
+		e := p.W.Load()
+		if e != nil {
+			if e.Owner == tx.owner {
+				e.Update(a, v)
+				return
+			}
+			switch tx.rt.cm.Resolve(tx.greedTS, len(tx.writeLog), tx.cmDefeats, e.Owner) {
+			case cm.AbortSelf:
+				tx.cmDefeats++
+				tx.rollback()
+			case cm.AbortOwner:
+				e.Owner.AbortTx.Store(true)
+				// Waiting for the owner costs real parallel time: it
+				// progresses about one quantum per scheduler round.
+				tx.work += yieldQuantum
+				runtime.Gosched()
+			}
+			continue
+		}
+		ne := &locktable.WEntry{
+			Owner: tx.owner,
+			Pair:  p,
+			Words: []locktable.WordVal{{Addr: a, Val: v}},
+		}
+		if p.W.CompareAndSwap(nil, ne) {
+			tx.writeLog = append(tx.writeLog, ne)
+			break
+		}
+	}
+	// Mirror of TLSTM Alg. 2 line 52: if the location moved past our
+	// snapshot, extend or die.
+	if ver := p.R.Load(); ver != locktable.Locked && ver > tx.validTS && !tx.extend() {
+		tx.rollback()
+	}
+}
+
+// Alloc implements tm.Tx: allocation is undone if the attempt aborts.
+func (tx *Tx) Alloc(n int) tm.Addr {
+	tx.work++
+	a := tx.rt.alloc.Alloc(n)
+	tx.allocs = append(tx.allocs, a)
+	return a
+}
+
+// Free implements tm.Tx: the release is deferred to commit.
+func (tx *Tx) Free(a tm.Addr) {
+	tx.frees = append(tx.frees, a)
+}
+
+// commit validates and publishes the transaction (paper §3.1).
+func (tx *Tx) commit() {
+	if len(tx.writeLog) == 0 {
+		// Read-only transactions are consistent by construction at
+		// valid-ts; nothing to publish.
+		tx.applyFrees()
+		return
+	}
+	tx.checkSignals()
+
+	// Phase 1: lock the r-locks of written pairs, remembering the
+	// versions we displace so a failed validation can restore them.
+	saved := make([]uint64, len(tx.writeLog))
+	for i, e := range tx.writeLog {
+		saved[i] = e.Pair.R.Swap(locktable.Locked)
+		tx.work++
+	}
+
+	ts := tx.rt.commitTS.Add(1)
+
+	if !tx.validateCommit(saved) {
+		for i, e := range tx.writeLog {
+			e.Pair.R.Store(saved[i])
+		}
+		tx.rollback()
+	}
+
+	// Phase 2: publish values, then release locks with the new version.
+	for _, e := range tx.writeLog {
+		for _, w := range e.Words {
+			tx.rt.store.StoreWord(w.Addr, w.Val)
+			tx.work++
+		}
+	}
+	for _, e := range tx.writeLog {
+		e.Pair.R.Store(ts)
+		e.Pair.W.CompareAndSwap(e, nil)
+	}
+	tx.applyFrees()
+}
+
+// validateCommit re-checks the read log; pairs we hold r-locked compare
+// against the version they had when we locked them.
+func (tx *Tx) validateCommit(saved []uint64) bool {
+	var pre map[*locktable.Pair]uint64
+	for i, re := range tx.readLog {
+		if i%validationStride == 0 {
+			tx.work++
+		}
+		cur := re.pair.R.Load()
+		if cur == re.version {
+			continue
+		}
+		if cur == locktable.Locked && tx.ownsPair(re.pair) {
+			if pre == nil {
+				pre = make(map[*locktable.Pair]uint64, len(tx.writeLog))
+				for i, e := range tx.writeLog {
+					pre[e.Pair] = saved[i]
+				}
+			}
+			if pre[re.pair] == re.version {
+				continue
+			}
+		}
+		return false
+	}
+	return true
+}
+
+func (tx *Tx) applyFrees() {
+	for _, a := range tx.frees {
+		tx.rt.alloc.Free(a)
+	}
+}
+
+var _ tm.Tx = (*Tx)(nil)

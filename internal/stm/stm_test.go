@@ -1,0 +1,248 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+
+	"tlstm/internal/tm"
+)
+
+func TestSingleTxReadWrite(t *testing.T) {
+	rt := New()
+	var addr tm.Addr
+	rt.Atomic(nil, func(tx *Tx) {
+		addr = tx.Alloc(2)
+		tx.Store(addr, 11)
+		tx.Store(addr+1, 22)
+		if tx.Load(addr) != 11 || tx.Load(addr+1) != 22 {
+			t.Error("read-own-write mismatch")
+		}
+	})
+	rt.Atomic(nil, func(tx *Tx) {
+		if tx.Load(addr) != 11 || tx.Load(addr+1) != 22 {
+			t.Error("committed values not visible")
+		}
+	})
+}
+
+func TestCommitTSAdvancesOnlyOnWrites(t *testing.T) {
+	rt := New()
+	var a tm.Addr
+	rt.Atomic(nil, func(tx *Tx) { a = tx.Alloc(1) })
+	before := rt.CommitTS()
+	rt.Atomic(nil, func(tx *Tx) { tx.Load(a) })
+	if rt.CommitTS() != before {
+		t.Fatal("read-only transaction must not advance commit-ts")
+	}
+	rt.Atomic(nil, func(tx *Tx) { tx.Store(a, 1) })
+	if rt.CommitTS() != before+1 {
+		t.Fatal("write transaction must advance commit-ts by one")
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	rt := New()
+	var a tm.Addr
+	rt.Atomic(nil, func(tx *Tx) { a = tx.Alloc(1) })
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rt.Atomic(nil, func(tx *Tx) {
+					tx.Store(a, tx.Load(a)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rt.LoadWordRaw(a); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// Bank invariant: concurrent random transfers preserve the total.
+func TestBankTransferInvariant(t *testing.T) {
+	rt := New()
+	const accounts = 32
+	const initial = 1000
+	var base tm.Addr
+	rt.Atomic(nil, func(tx *Tx) {
+		base = tx.Alloc(accounts)
+		for i := 0; i < accounts; i++ {
+			tx.Store(base+tm.Addr(i), initial)
+		}
+	})
+
+	const workers, transfers = 6, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := seed
+			next := func() uint64 { r = r*6364136223846793005 + 1442695040888963407; return r >> 33 }
+			for i := 0; i < transfers; i++ {
+				from := tm.Addr(next() % accounts)
+				to := tm.Addr(next() % accounts)
+				amt := next() % 10
+				rt.Atomic(nil, func(tx *Tx) {
+					f := tx.Load(base + from)
+					g := tx.Load(base + to)
+					if from != to && f >= amt {
+						tx.Store(base+from, f-amt)
+						tx.Store(base+to, g+amt)
+					}
+				})
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+
+	var total uint64
+	rt.Atomic(nil, func(tx *Tx) {
+		total = 0
+		for i := 0; i < accounts; i++ {
+			total += tx.Load(base + tm.Addr(i))
+		}
+	})
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d", total, accounts*initial)
+	}
+}
+
+// Opacity smoke: writers keep x+y constant; concurrent readers must never
+// observe a violated invariant inside a transaction.
+func TestSnapshotInvariant(t *testing.T) {
+	rt := New()
+	var x, y tm.Addr
+	rt.Atomic(nil, func(tx *Tx) {
+		x = tx.Alloc(1)
+		y = tx.Alloc(1)
+		tx.Store(x, 500)
+		tx.Store(y, 500)
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rt.Atomic(nil, func(tx *Tx) {
+				vx := tx.Load(x)
+				vy := tx.Load(y)
+				tx.Store(x, vx-1)
+				tx.Store(y, vy+1)
+			})
+		}
+	}()
+
+	violations := 0
+	for i := 0; i < 500; i++ {
+		rt.Atomic(nil, func(tx *Tx) {
+			if tx.Load(x)+tx.Load(y) != 1000 {
+				violations++
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+	if violations != 0 {
+		t.Fatalf("%d snapshot violations", violations)
+	}
+}
+
+func TestStatsCountCommitsAndWork(t *testing.T) {
+	rt := New()
+	var a tm.Addr
+	rt.Atomic(nil, func(tx *Tx) { a = tx.Alloc(1) })
+	var st Stats
+	for i := 0; i < 5; i++ {
+		rt.Atomic(&st, func(tx *Tx) { tx.Store(a, uint64(i)) })
+	}
+	if st.Commits != 5 {
+		t.Fatalf("Commits = %d, want 5", st.Commits)
+	}
+	if st.Work == 0 {
+		t.Fatal("work units not accumulated")
+	}
+}
+
+func TestAbortedAllocIsReclaimed(t *testing.T) {
+	rt := New()
+	var a tm.Addr
+	rt.Atomic(nil, func(tx *Tx) { a = tx.Alloc(1) })
+
+	live := rt.Allocator().LiveBlocks()
+	// Force one abort: two transactions racing on the same word with a
+	// deliberate conflict window is hard to stage deterministically, so
+	// instead exercise the rollback path directly via a user panic that
+	// is converted to cleanup + propagation.
+	func() {
+		defer func() { _ = recover() }()
+		rt.Atomic(nil, func(tx *Tx) {
+			tx.Alloc(8)
+			tx.Store(a, 1)
+			panic("boom")
+		})
+	}()
+	if got := rt.Allocator().LiveBlocks(); got != live {
+		t.Fatalf("leaked blocks after aborted tx: %d != %d", got, live)
+	}
+	// The lock taken before the panic must have been released.
+	done := make(chan struct{})
+	go func() {
+		rt.Atomic(nil, func(tx *Tx) { tx.Store(a, 2) })
+		close(done)
+	}()
+	<-done
+}
+
+func TestFreeAppliedOnlyOnCommit(t *testing.T) {
+	rt := New()
+	var a tm.Addr
+	rt.Atomic(nil, func(tx *Tx) { a = tx.Alloc(4) })
+	live := rt.Allocator().LiveBlocks()
+	rt.Atomic(nil, func(tx *Tx) { tx.Free(a) })
+	if got := rt.Allocator().LiveBlocks(); got != live-1 {
+		t.Fatalf("free not applied at commit: %d != %d", got, live-1)
+	}
+}
+
+func TestLargeReadSetExtend(t *testing.T) {
+	rt := New()
+	const n = 2000
+	var base tm.Addr
+	rt.Atomic(nil, func(tx *Tx) {
+		base = tx.Alloc(n)
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			rt.Atomic(nil, func(tx *Tx) {
+				tx.Store(base+tm.Addr(i%n), uint64(i))
+			})
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		rt.Atomic(nil, func(tx *Tx) {
+			var sum uint64
+			for j := 0; j < n; j++ {
+				sum += tx.Load(base + tm.Addr(j))
+			}
+			_ = sum
+		})
+	}
+	wg.Wait()
+}

@@ -1,0 +1,301 @@
+// Package tl2 implements Transactional Locking II (Dice, Shalev, Shavit
+// — DISC'06), the STM whose global-version-clock validation SwissTM
+// builds on (the paper cites it as [15] for lazy counter-based
+// validation). It serves as a second baseline: the SwissTM paper showed
+// SwissTM outperforming TL2, and the ablation benchmark
+// BenchmarkAblationBaselines checks that relationship holds here too.
+//
+// Differences from SwissTM (internal/stm), per the two papers:
+//
+//   - TL2 detects write/write conflicts lazily at commit time (write
+//     locks are only taken while committing), where SwissTM acquires
+//     write locks eagerly at encounter time;
+//   - TL2 aborts immediately on reading a location newer than the
+//     transaction's read version (no timestamp extension), where
+//     SwissTM revalidates and extends its snapshot;
+//   - conflict resolution is pure self-abort with backoff (no
+//     contention manager).
+package tl2
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"tlstm/internal/mem"
+	"tlstm/internal/tm"
+)
+
+// Locked marks a versioned lock held by a committing transaction.
+const locked = ^uint64(0)
+
+// yieldQuantum mirrors the other runtimes' forced-interleaving grain so
+// cross-runtime virtual-time comparisons stay meaningful.
+const yieldQuantum = 64
+
+const txStartCost = 24
+
+const validationStride = 8
+
+// Runtime is one TL2 instance.
+type Runtime struct {
+	store *mem.Store
+	alloc *mem.Allocator
+
+	clock atomic.Uint64 // global version clock
+
+	locks []atomic.Uint64 // versioned write-locks (version or locked)
+	mask  uint64
+}
+
+// New creates a TL2 runtime with 2^bits versioned locks.
+func New(bits int) *Runtime {
+	if bits <= 0 {
+		bits = 20
+	}
+	st := mem.NewStore()
+	return &Runtime{
+		store: st,
+		alloc: mem.NewAllocator(st),
+		locks: make([]atomic.Uint64, 1<<bits),
+		mask:  uint64(1<<bits) - 1,
+	}
+}
+
+// Direct returns the non-transactional setup handle.
+func (rt *Runtime) Direct() mem.Direct { return mem.Direct{Mem: rt.store, Al: rt.alloc} }
+
+// Allocator exposes the allocator (tests).
+func (rt *Runtime) Allocator() *mem.Allocator { return rt.alloc }
+
+func (rt *Runtime) lockFor(a tm.Addr) *atomic.Uint64 {
+	return &rt.locks[uint64(a)&rt.mask]
+}
+
+// Stats accumulates commits, aborts and work units across Atomic calls.
+type Stats struct {
+	Commits uint64
+	Aborts  uint64
+	Work    uint64
+}
+
+type rollbackSignal struct{}
+
+// Tx is one TL2 transaction attempt handle; it implements tm.Tx.
+type Tx struct {
+	rt *Runtime
+	rv uint64 // read version (clock sample at begin)
+
+	readLog  []*atomic.Uint64
+	writeSet map[tm.Addr]uint64
+
+	allocs []tm.Addr
+	frees  []tm.Addr
+
+	work   uint64
+	aborts uint64
+}
+
+var _ tm.Tx = (*Tx)(nil)
+
+// Atomic runs fn as one transaction, retrying until commit.
+func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
+	tx := &Tx{rt: rt}
+	for {
+		tx.rv = rt.clock.Load()
+		tx.readLog = tx.readLog[:0]
+		if tx.writeSet == nil {
+			tx.writeSet = make(map[tm.Addr]uint64)
+		} else {
+			clear(tx.writeSet)
+		}
+		tx.allocs = tx.allocs[:0]
+		tx.frees = tx.frees[:0]
+		tx.work += txStartCost
+
+		if tx.attempt(fn) {
+			break
+		}
+		tx.aborts++
+		for i := uint64(0); i < min(tx.aborts*8, 256); i++ {
+			runtime.Gosched()
+		}
+	}
+	if st != nil {
+		st.Commits++
+		st.Aborts += tx.aborts
+		st.Work += tx.work
+	}
+}
+
+func (tx *Tx) attempt(fn func(tx *Tx)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, is := r.(rollbackSignal); !is {
+				for _, a := range tx.allocs {
+					tx.rt.alloc.Free(a)
+				}
+				panic(r)
+			}
+			ok = false
+		}
+	}()
+	fn(tx)
+	tx.commit()
+	return true
+}
+
+func (tx *Tx) rollback() {
+	for _, a := range tx.allocs {
+		tx.rt.alloc.Free(a)
+	}
+	panic(rollbackSignal{})
+}
+
+func (tx *Tx) tick(units uint64) {
+	tx.work += units
+	if tx.work%yieldQuantum < units {
+		runtime.Gosched()
+	}
+}
+
+// Load implements tm.Tx: TL2's versioned read with pre/post lock checks.
+func (tx *Tx) Load(a tm.Addr) uint64 {
+	tx.tick(1)
+	if v, buffered := tx.writeSet[a]; buffered {
+		return v
+	}
+	l := tx.rt.lockFor(a)
+	for {
+		v1 := l.Load()
+		if v1 == locked {
+			runtime.Gosched()
+			continue
+		}
+		val := tx.rt.store.LoadWord(a)
+		if l.Load() != v1 {
+			continue
+		}
+		if v1 > tx.rv {
+			// Newer than our read version: TL2 aborts (no extension).
+			tx.rollback()
+		}
+		tx.readLog = append(tx.readLog, l)
+		return val
+	}
+}
+
+// Store implements tm.Tx: writes buffer in the write set until commit.
+func (tx *Tx) Store(a tm.Addr, v uint64) {
+	tx.tick(2)
+	tx.writeSet[a] = v
+}
+
+// Alloc implements tm.Tx.
+func (tx *Tx) Alloc(n int) tm.Addr {
+	tx.work++
+	a := tx.rt.alloc.Alloc(n)
+	tx.allocs = append(tx.allocs, a)
+	return a
+}
+
+// Free implements tm.Tx.
+func (tx *Tx) Free(a tm.Addr) { tx.frees = append(tx.frees, a) }
+
+// commit is TL2's commit: lock the write set (in address order, to
+// avoid deadlock between committers), bump the clock, validate the read
+// set, publish, release.
+func (tx *Tx) commit() {
+	if len(tx.writeSet) == 0 {
+		// Read-only: already validated against rv at every read.
+		tx.applyFrees()
+		return
+	}
+
+	addrs := make([]tm.Addr, 0, len(tx.writeSet))
+	for a := range tx.writeSet {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	type held struct {
+		l   *atomic.Uint64
+		ver uint64
+	}
+	heldLocks := make([]held, 0, len(addrs))
+	seen := make(map[*atomic.Uint64]bool, len(addrs))
+	release := func() {
+		for _, h := range heldLocks {
+			h.l.Store(h.ver)
+		}
+	}
+
+	for _, a := range addrs {
+		l := tx.rt.lockFor(a)
+		if seen[l] {
+			continue
+		}
+		acquired := false
+		for spins := 0; spins < 64; spins++ {
+			v := l.Load()
+			if v == locked {
+				tx.work += yieldQuantum
+				runtime.Gosched()
+				continue
+			}
+			if v > tx.rv {
+				release()
+				tx.rollback()
+			}
+			if l.CompareAndSwap(v, locked) {
+				heldLocks = append(heldLocks, held{l: l, ver: v})
+				seen[l] = true
+				acquired = true
+				break
+			}
+		}
+		if !acquired {
+			release()
+			tx.rollback()
+		}
+		tx.work++
+	}
+
+	wv := tx.rt.clock.Add(1)
+
+	// Validate the read set unless nothing could have changed.
+	if wv != tx.rv+1 {
+		for i, l := range tx.readLog {
+			if i%validationStride == 0 {
+				tx.work++
+			}
+			v := l.Load()
+			if v == locked {
+				if !seen[l] {
+					release()
+					tx.rollback()
+				}
+				continue
+			}
+			if v > tx.rv {
+				release()
+				tx.rollback()
+			}
+		}
+	}
+
+	for a, v := range tx.writeSet {
+		tx.rt.store.StoreWord(a, v)
+		tx.work++
+	}
+	for _, h := range heldLocks {
+		h.l.Store(wv)
+	}
+	tx.applyFrees()
+}
+
+func (tx *Tx) applyFrees() {
+	for _, a := range tx.frees {
+		tx.rt.alloc.Free(a)
+	}
+}

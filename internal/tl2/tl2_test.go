@@ -1,0 +1,180 @@
+package tl2
+
+import (
+	"sync"
+	"testing"
+
+	"tlstm/internal/rbtree"
+	"tlstm/internal/tm"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	rt := New(14)
+	var a tm.Addr
+	rt.Atomic(nil, func(tx *Tx) {
+		a = tx.Alloc(2)
+		tx.Store(a, 5)
+		tx.Store(a+1, 6)
+		if tx.Load(a) != 5 || tx.Load(a+1) != 6 {
+			t.Error("read-own-write failed")
+		}
+	})
+	rt.Atomic(nil, func(tx *Tx) {
+		if tx.Load(a) != 5 || tx.Load(a+1) != 6 {
+			t.Error("committed values lost")
+		}
+	})
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	rt := New(14)
+	var a tm.Addr
+	rt.Atomic(nil, func(tx *Tx) { a = tx.Alloc(1) })
+	const workers, per = 6, 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rt.Atomic(nil, func(tx *Tx) { tx.Store(a, tx.Load(a)+1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rt.Direct().Load(a); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSnapshotInvariant(t *testing.T) {
+	rt := New(14)
+	d := rt.Direct()
+	x := d.Alloc(1)
+	y := d.Alloc(1)
+	d.Store(x, 500)
+	d.Store(y, 500)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rt.Atomic(nil, func(tx *Tx) {
+				vx := tx.Load(x)
+				tx.Store(x, vx-1)
+				tx.Store(y, tx.Load(y)+1)
+			})
+		}
+	}()
+	violations := 0
+	for i := 0; i < 400; i++ {
+		rt.Atomic(nil, func(tx *Tx) {
+			if tx.Load(x)+tx.Load(y) != 1000 {
+				violations++
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+	if violations != 0 {
+		t.Fatalf("%d torn snapshots", violations)
+	}
+}
+
+func TestBankInvariant(t *testing.T) {
+	rt := New(14)
+	d := rt.Direct()
+	const accounts, initial = 24, 1000
+	base := d.Alloc(accounts)
+	for i := 0; i < accounts; i++ {
+		d.Store(base+tm.Addr(i), initial)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			s := seed
+			next := func() uint64 { s = s*6364136223846793005 + 1; return s >> 33 }
+			for i := 0; i < 200; i++ {
+				from := base + tm.Addr(next()%accounts)
+				to := base + tm.Addr(next()%accounts)
+				amt := next() % 9
+				rt.Atomic(nil, func(tx *Tx) {
+					f := tx.Load(from)
+					if from != to && f >= amt {
+						tx.Store(from, f-amt)
+						tx.Store(to, tx.Load(to)+amt)
+					}
+				})
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	var sum uint64
+	for i := 0; i < accounts; i++ {
+		sum += d.Load(base + tm.Addr(i))
+	}
+	if sum != accounts*initial {
+		t.Fatalf("sum = %d, want %d", sum, accounts*initial)
+	}
+}
+
+// The shared data structures must run unmodified on TL2 (they only
+// depend on tm.Tx).
+func TestRBTreeOnTL2(t *testing.T) {
+	rt := New(14)
+	var tr rbtree.Tree
+	rt.Atomic(nil, func(tx *Tx) { tr = rbtree.New(tx) })
+	for k := int64(0); k < 300; k++ {
+		rt.Atomic(nil, func(tx *Tx) { tr.Insert(tx, k, uint64(k)) })
+	}
+	for k := int64(0); k < 300; k += 2 {
+		rt.Atomic(nil, func(tx *Tx) { tr.Delete(tx, k) })
+	}
+	d := rt.Direct()
+	if msg := tr.CheckInvariants(d); msg != "" {
+		t.Fatal(msg)
+	}
+	if tr.Size(d) != 150 {
+		t.Fatalf("Size = %d, want 150", tr.Size(d))
+	}
+}
+
+func TestAbortedAllocReclaimed(t *testing.T) {
+	rt := New(14)
+	d := rt.Direct()
+	a := d.Alloc(1)
+	live := rt.Allocator().LiveBlocks()
+	func() {
+		defer func() { _ = recover() }()
+		rt.Atomic(nil, func(tx *Tx) {
+			tx.Alloc(4)
+			tx.Store(a, 1)
+			panic("boom")
+		})
+	}()
+	if got := rt.Allocator().LiveBlocks(); got != live {
+		t.Fatalf("leak: %d != %d", got, live)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	rt := New(14)
+	var a tm.Addr
+	rt.Atomic(nil, func(tx *Tx) { a = tx.Alloc(1) })
+	var st Stats
+	for i := 0; i < 7; i++ {
+		rt.Atomic(&st, func(tx *Tx) { tx.Store(a, uint64(i)) })
+	}
+	if st.Commits != 7 || st.Work == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,90 @@
+// Package tmhash implements a transactional fixed-bucket hash table over
+// word-addressed transactional memory (separate chaining with the
+// transactional sorted list). STAMP's Vacation keeps its customer table
+// in a hash map; the fixed bucket count mirrors STAMP's non-resizing
+// table and keeps conflict footprints per-bucket.
+package tmhash
+
+import (
+	"tlstm/internal/tm"
+	"tlstm/internal/tmlist"
+)
+
+// Map is a handle to a transactional hash map. The header block holds
+// the bucket count followed by one list-header address per bucket.
+type Map struct {
+	head    tm.Addr
+	buckets int
+}
+
+// New allocates a map with the given bucket count (rounded up to 1).
+func New(tx tm.Tx, buckets int) Map {
+	if buckets < 1 {
+		buckets = 1
+	}
+	h := tx.Alloc(1 + buckets)
+	tx.Store(h, uint64(buckets))
+	for i := 0; i < buckets; i++ {
+		l := tmlist.New(tx)
+		tm.StoreAddr(tx, h+1+tm.Addr(i), l.Head())
+	}
+	return Map{head: h, buckets: buckets}
+}
+
+// Handle reconstructs a Map from its header address.
+func Handle(tx tm.Tx, head tm.Addr) Map {
+	return Map{head: head, buckets: int(tx.Load(head))}
+}
+
+// Head exposes the header address.
+func (m Map) Head() tm.Addr { return m.head }
+
+func (m Map) bucket(tx tm.Tx, k int64) tmlist.List {
+	h := uint64(k) * 0x9e3779b97f4a7c15
+	idx := h % uint64(m.buckets)
+	return tmlist.Handle(tm.LoadAddr(tx, m.head+1+tm.Addr(idx)))
+}
+
+// Insert adds k→v; existing keys are updated and report false.
+func (m Map) Insert(tx tm.Tx, k int64, v uint64) bool {
+	return m.bucket(tx, k).Insert(tx, k, v)
+}
+
+// Lookup returns the value stored under k.
+func (m Map) Lookup(tx tm.Tx, k int64) (uint64, bool) {
+	return m.bucket(tx, k).Lookup(tx, k)
+}
+
+// Contains reports whether k is present.
+func (m Map) Contains(tx tm.Tx, k int64) bool {
+	return m.bucket(tx, k).Contains(tx, k)
+}
+
+// Delete removes k, reporting whether it was present.
+func (m Map) Delete(tx tm.Tx, k int64) bool {
+	return m.bucket(tx, k).Delete(tx, k)
+}
+
+// Len reports the number of elements (reads every bucket header).
+func (m Map) Len(tx tm.Tx) int {
+	n := 0
+	for i := 0; i < m.buckets; i++ {
+		n += tmlist.Handle(tm.LoadAddr(tx, m.head+1+tm.Addr(i))).Len(tx)
+	}
+	return n
+}
+
+// Each visits every key/value (bucket by bucket; order is arbitrary);
+// fn returning false stops the walk.
+func (m Map) Each(tx tm.Tx, fn func(k int64, v uint64) bool) {
+	stop := false
+	for i := 0; i < m.buckets && !stop; i++ {
+		tmlist.Handle(tm.LoadAddr(tx, m.head+1+tm.Addr(i))).Each(tx, func(k int64, v uint64) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package tmhash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tlstm/internal/mem"
+)
+
+func direct() mem.Direct {
+	s := mem.NewStore()
+	return mem.Direct{Mem: s, Al: mem.NewAllocator(s)}
+}
+
+func TestBasicOps(t *testing.T) {
+	d := direct()
+	m := New(d, 8)
+	if !m.Insert(d, 1, 10) || !m.Insert(d, 9, 90) {
+		t.Fatal("fresh inserts must report true")
+	}
+	if m.Insert(d, 1, 11) {
+		t.Fatal("duplicate insert must report false")
+	}
+	if v, ok := m.Lookup(d, 1); !ok || v != 11 {
+		t.Fatalf("Lookup(1) = %d,%v", v, ok)
+	}
+	if m.Len(d) != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len(d))
+	}
+	if !m.Delete(d, 9) || m.Delete(d, 9) {
+		t.Fatal("delete behaviour wrong")
+	}
+}
+
+func TestHandleRoundTrip(t *testing.T) {
+	d := direct()
+	m := New(d, 4)
+	m.Insert(d, 42, 420)
+	m2 := Handle(d, m.Head())
+	if v, ok := m2.Lookup(d, 42); !ok || v != 420 {
+		t.Fatal("Handle lost data")
+	}
+}
+
+func TestEachVisitsAll(t *testing.T) {
+	d := direct()
+	m := New(d, 4)
+	for k := int64(0); k < 40; k++ {
+		m.Insert(d, k, uint64(k))
+	}
+	seen := map[int64]bool{}
+	m.Each(d, func(k int64, v uint64) bool {
+		if v != uint64(k) {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 40 {
+		t.Fatalf("Each visited %d keys, want 40", len(seen))
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	d := direct()
+	m := New(d, 4)
+	for k := int64(0); k < 20; k++ {
+		m.Insert(d, k, 1)
+	}
+	n := 0
+	m.Each(d, func(k int64, v uint64) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop visited %d, want 7", n)
+	}
+}
+
+func TestQuickOracle(t *testing.T) {
+	f := func(keys []int16, buckets uint8) bool {
+		d := direct()
+		m := New(d, int(buckets%16)+1)
+		oracle := map[int64]uint64{}
+		for i, raw := range keys {
+			k := int64(raw)
+			if i%2 == 0 {
+				m.Insert(d, k, uint64(i))
+				oracle[k] = uint64(i)
+			} else {
+				_, existed := oracle[k]
+				if m.Delete(d, k) != existed {
+					return false
+				}
+				delete(oracle, k)
+			}
+		}
+		if m.Len(d) != len(oracle) {
+			return false
+		}
+		for k, want := range oracle {
+			got, ok := m.Lookup(d, k)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package tmlist implements a transactional sorted singly-linked list
+// over word-addressed transactional memory, used by the Vacation
+// application for customer reservation lists (STAMP keeps the same
+// structure) and exercised directly by tests as a second index shape
+// with very different conflict patterns from the red-black tree (every
+// traversal reads a prefix of the list).
+package tmlist
+
+import "tlstm/internal/tm"
+
+// Node layout.
+const (
+	fKey  = 0
+	fVal  = 1
+	fNext = 2
+
+	nodeWords = 3
+)
+
+// List is a handle to a transactional sorted list. The header word holds
+// the first node's address; the second word caches the length.
+type List struct {
+	head tm.Addr
+}
+
+const headWords = 2
+
+// New allocates an empty list.
+func New(tx tm.Tx) List {
+	h := tx.Alloc(headWords)
+	tx.Store(h+0, uint64(tm.NilAddr))
+	tx.Store(h+1, 0)
+	return List{head: h}
+}
+
+// Handle reconstructs a List from its header address.
+func Handle(head tm.Addr) List { return List{head: head} }
+
+// Head exposes the header address.
+func (l List) Head() tm.Addr { return l.head }
+
+// Len reports the number of elements.
+func (l List) Len(tx tm.Tx) int { return int(tx.Load(l.head + 1)) }
+
+func (l List) bump(tx tm.Tx, d int) {
+	tx.Store(l.head+1, uint64(int64(tx.Load(l.head+1))+int64(d)))
+}
+
+// Insert adds k→v keeping the list sorted; if k exists the value is
+// updated and Insert reports false.
+func (l List) Insert(tx tm.Tx, k int64, v uint64) bool {
+	prev := l.head // prev+0 acts as the next pointer of the header
+	cur := tm.LoadAddr(tx, prev)
+	for cur != tm.NilAddr {
+		ck := tm.LoadInt64(tx, cur+fKey)
+		if ck == k {
+			tx.Store(cur+fVal, v)
+			return false
+		}
+		if ck > k {
+			break
+		}
+		prev = cur + fNext
+		cur = tm.LoadAddr(tx, prev)
+	}
+	n := tx.Alloc(nodeWords)
+	tm.StoreInt64(tx, n+fKey, k)
+	tx.Store(n+fVal, v)
+	tm.StoreAddr(tx, n+fNext, cur)
+	tm.StoreAddr(tx, prev, n)
+	l.bump(tx, 1)
+	return true
+}
+
+// Lookup returns the value stored under k.
+func (l List) Lookup(tx tm.Tx, k int64) (uint64, bool) {
+	cur := tm.LoadAddr(tx, l.head)
+	for cur != tm.NilAddr {
+		ck := tm.LoadInt64(tx, cur+fKey)
+		if ck == k {
+			return tx.Load(cur + fVal), true
+		}
+		if ck > k {
+			return 0, false
+		}
+		cur = tm.LoadAddr(tx, cur+fNext)
+	}
+	return 0, false
+}
+
+// Contains reports whether k is present.
+func (l List) Contains(tx tm.Tx, k int64) bool {
+	_, ok := l.Lookup(tx, k)
+	return ok
+}
+
+// Delete removes k, reporting whether it was present.
+func (l List) Delete(tx tm.Tx, k int64) bool {
+	prev := l.head
+	cur := tm.LoadAddr(tx, prev)
+	for cur != tm.NilAddr {
+		ck := tm.LoadInt64(tx, cur+fKey)
+		if ck == k {
+			tm.StoreAddr(tx, prev, tm.LoadAddr(tx, cur+fNext))
+			tx.Free(cur)
+			l.bump(tx, -1)
+			return true
+		}
+		if ck > k {
+			return false
+		}
+		prev = cur + fNext
+		cur = tm.LoadAddr(tx, prev)
+	}
+	return false
+}
+
+// Each walks the list in key order; fn returning false stops the walk.
+func (l List) Each(tx tm.Tx, fn func(k int64, v uint64) bool) {
+	cur := tm.LoadAddr(tx, l.head)
+	for cur != tm.NilAddr {
+		if !fn(tm.LoadInt64(tx, cur+fKey), tx.Load(cur+fVal)) {
+			return
+		}
+		cur = tm.LoadAddr(tx, cur+fNext)
+	}
+}
+
+// Clear removes every element, freeing the nodes.
+func (l List) Clear(tx tm.Tx) {
+	cur := tm.LoadAddr(tx, l.head)
+	for cur != tm.NilAddr {
+		next := tm.LoadAddr(tx, cur+fNext)
+		tx.Free(cur)
+		cur = next
+	}
+	tm.StoreAddr(tx, l.head, tm.NilAddr)
+	tx.Store(l.head+1, 0)
+}

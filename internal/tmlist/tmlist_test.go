@@ -1,0 +1,123 @@
+package tmlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tlstm/internal/mem"
+	"tlstm/internal/stm"
+)
+
+func direct() mem.Direct {
+	s := mem.NewStore()
+	return mem.Direct{Mem: s, Al: mem.NewAllocator(s)}
+}
+
+func TestInsertSortedLookupDelete(t *testing.T) {
+	d := direct()
+	l := New(d)
+	for _, k := range []int64{5, 1, 9, 3, 7} {
+		if !l.Insert(d, k, uint64(k*2)) {
+			t.Fatalf("fresh insert of %d reported existing", k)
+		}
+	}
+	if l.Insert(d, 5, 50) {
+		t.Fatal("duplicate insert must report false")
+	}
+	if v, ok := l.Lookup(d, 5); !ok || v != 50 {
+		t.Fatalf("Lookup(5) = %d,%v", v, ok)
+	}
+	var keys []int64
+	l.Each(d, func(k int64, v uint64) bool { keys = append(keys, k); return true })
+	want := []int64{1, 3, 5, 7, 9}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("order = %v, want %v", keys, want)
+		}
+	}
+	if !l.Delete(d, 1) || !l.Delete(d, 9) || l.Delete(d, 9) {
+		t.Fatal("delete behaviour wrong")
+	}
+	if l.Len(d) != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len(d))
+	}
+}
+
+func TestClearFreesNodes(t *testing.T) {
+	d := direct()
+	l := New(d)
+	live0 := d.Al.LiveBlocks()
+	for k := int64(0); k < 50; k++ {
+		l.Insert(d, k, 1)
+	}
+	l.Clear(d)
+	if got := d.Al.LiveBlocks(); got != live0 {
+		t.Fatalf("LiveBlocks = %d, want %d", got, live0)
+	}
+	if l.Len(d) != 0 {
+		t.Fatal("list not empty after Clear")
+	}
+}
+
+func TestQuickOracle(t *testing.T) {
+	f := func(ops []int16) bool {
+		d := direct()
+		l := New(d)
+		oracle := map[int64]uint64{}
+		for i, raw := range ops {
+			k := int64(raw % 64)
+			switch i % 3 {
+			case 0:
+				l.Insert(d, k, uint64(i))
+				oracle[k] = uint64(i)
+			case 1:
+				_, existed := oracle[k]
+				if l.Delete(d, k) != existed {
+					return false
+				}
+				delete(oracle, k)
+			default:
+				want, existed := oracle[k]
+				got, ok := l.Lookup(d, k)
+				if ok != existed || (ok && got != want) {
+					return false
+				}
+			}
+		}
+		return l.Len(d) == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The list must behave identically under a real STM runtime.
+func TestUnderSTM(t *testing.T) {
+	rt := stm.New()
+	var l List
+	rt.Atomic(nil, func(tx *stm.Tx) { l = New(tx) })
+
+	rng := rand.New(rand.NewSource(3))
+	oracle := map[int64]uint64{}
+	for i := 0; i < 300; i++ {
+		k := int64(rng.Intn(40))
+		v := rng.Uint64() % 100
+		switch rng.Intn(3) {
+		case 0:
+			rt.Atomic(nil, func(tx *stm.Tx) { l.Insert(tx, k, v) })
+			oracle[k] = v
+		case 1:
+			rt.Atomic(nil, func(tx *stm.Tx) { l.Delete(tx, k) })
+			delete(oracle, k)
+		default:
+			var got uint64
+			var ok bool
+			rt.Atomic(nil, func(tx *stm.Tx) { got, ok = l.Lookup(tx, k) })
+			want, existed := oracle[k]
+			if ok != existed || (ok && got != want) {
+				t.Fatalf("op %d: Lookup(%d) = %d,%v; want %d,%v", i, k, got, ok, want, existed)
+			}
+		}
+	}
+}

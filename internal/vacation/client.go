@@ -1,0 +1,163 @@
+package vacation
+
+import "tlstm/internal/tm"
+
+// Params mirror STAMP Vacation's command-line knobs. The paper runs the
+// original low- and high-contention configurations, modified so each
+// client issues eight operations per transaction (§4).
+type Params struct {
+	// Relations is the number of ids per table (STAMP -r).
+	Relations int64
+	// QueryRange is the percentage of the relation each query may touch
+	// (STAMP -q): smaller ranges concentrate accesses → more contention.
+	QueryRange int
+	// PctUser is the percentage of MakeReservation operations (STAMP
+	// -u); the rest split evenly between DeleteCustomer and UpdateTables.
+	PctUser int
+	// QueriesPerOp is the number of (table,id) queries inside one
+	// operation (STAMP -n).
+	QueriesPerOp int
+}
+
+// LowContention reproduces STAMP's vacation-low configuration, scaled to
+// simulator-friendly relation sizes.
+func LowContention() Params {
+	return Params{Relations: 1 << 14, QueryRange: 90, PctUser: 98, QueriesPerOp: 2}
+}
+
+// HighContention reproduces STAMP's vacation-high configuration.
+func HighContention() Params {
+	return Params{Relations: 1 << 14, QueryRange: 10, PctUser: 90, QueriesPerOp: 4}
+}
+
+// OpKind is the type of one client operation.
+type OpKind int
+
+// Operation kinds (STAMP's ACTION_*).
+const (
+	OpMakeReservation OpKind = iota + 1
+	OpDeleteCustomer
+	OpUpdateTables
+)
+
+// Query is one (table,id) probe inside an operation.
+type Query struct {
+	Kind ResourceKind
+	ID   int64
+	// Add applies only to OpUpdateTables: true adds capacity, false
+	// removes it.
+	Add bool
+}
+
+// Op is one pre-generated client operation. Operations are generated
+// outside transactions so speculative re-execution replays identical
+// work (the generator is the non-transactional part of STAMP's client
+// loop).
+type Op struct {
+	Kind     OpKind
+	Customer int64
+	Queries  []Query
+}
+
+// Rng is a small deterministic generator (splitmix-style), one per
+// client, mirroring STAMP's per-client random streams.
+type Rng struct{ s uint64 }
+
+// NewRng seeds a client generator.
+func NewRng(seed uint64) *Rng { return &Rng{s: seed*2654435761 + 1} }
+
+// Next returns the next pseudo-random value.
+func (r *Rng) Next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0,n).
+func (r *Rng) Intn(n int64) int64 { return int64(r.Next() % uint64(n)) }
+
+// Generate produces the next operation for a client (STAMP client_run's
+// body, lifted out of the transaction).
+func (p Params) Generate(r *Rng) Op {
+	rangeSize := p.Relations * int64(p.QueryRange) / 100
+	if rangeSize < 1 {
+		rangeSize = 1
+	}
+	pick := func() int64 { return r.Intn(rangeSize) }
+
+	roll := int(r.Next() % 100)
+	switch {
+	case roll < p.PctUser:
+		op := Op{Kind: OpMakeReservation, Customer: pick()}
+		for i := 0; i < p.QueriesPerOp; i++ {
+			op.Queries = append(op.Queries, Query{
+				Kind: ResourceKind(r.Intn(numKinds) + 1),
+				ID:   pick(),
+			})
+		}
+		return op
+	case roll < p.PctUser+(100-p.PctUser)/2:
+		return Op{Kind: OpDeleteCustomer, Customer: pick()}
+	default:
+		op := Op{Kind: OpUpdateTables}
+		for i := 0; i < p.QueriesPerOp; i++ {
+			op.Queries = append(op.Queries, Query{
+				Kind: ResourceKind(r.Intn(numKinds) + 1),
+				ID:   pick(),
+				Add:  r.Next()%2 == 0,
+			})
+		}
+		return op
+	}
+}
+
+// Execute runs one operation against the manager inside the caller's
+// transaction or task (STAMP client_run's transactional body).
+func (m *Manager) Execute(tx tm.Tx, op Op) {
+	switch op.Kind {
+	case OpMakeReservation:
+		// Find the highest-priced available resource among the queries,
+		// then reserve it (STAMP reserves the max-priced candidate).
+		bestIdx := -1
+		var bestPrice int64 = -1
+		for i, q := range op.Queries {
+			if m.QueryFree(tx, q.Kind, q.ID) > 0 {
+				if p := m.QueryPrice(tx, q.Kind, q.ID); p > bestPrice {
+					bestPrice = p
+					bestIdx = i
+				}
+			}
+		}
+		if bestIdx >= 0 {
+			m.AddCustomer(tx, op.Customer)
+			q := op.Queries[bestIdx]
+			m.Reserve(tx, op.Customer, q.Kind, q.ID)
+		}
+	case OpDeleteCustomer:
+		m.DeleteCustomer(tx, op.Customer)
+	case OpUpdateTables:
+		for _, q := range op.Queries {
+			if q.Add {
+				m.AddResource(tx, q.Kind, q.ID, 100, q.ID%50+10)
+			} else {
+				m.DeleteResource(tx, q.Kind, q.ID, 100)
+			}
+		}
+	}
+}
+
+// Populate fills the tables as STAMP's initializer does: every id in
+// every table gets an initial capacity and price, and the customer base
+// is pre-registered.
+func Populate(tx tm.Tx, m *Manager, p Params) {
+	for kind := Car; kind <= Room; kind++ {
+		for id := int64(0); id < p.Relations; id++ {
+			m.AddResource(tx, kind, id, 100, id%50+10)
+		}
+	}
+	for id := int64(0); id < p.Relations; id++ {
+		m.AddCustomer(tx, id)
+	}
+}

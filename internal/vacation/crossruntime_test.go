@@ -1,0 +1,77 @@
+package vacation
+
+import (
+	"sync"
+	"testing"
+
+	"tlstm/internal/tl2"
+	"tlstm/internal/wtstm"
+)
+
+// The Vacation application must run unmodified — and keep its
+// accounting invariants — on every runtime that implements tm.Tx. This
+// exercises the TL2 and write-through baselines on a real application.
+
+func TestWorkloadInvariantsTL2(t *testing.T) {
+	rt := tl2.New(16)
+	p := smallParams()
+	m := NewManager(rt.Direct(), 64)
+	Populate(rt.Direct(), m, p)
+
+	const clients, txs = 3, 30
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := NewRng(seed)
+			for i := 0; i < txs; i++ {
+				ops := make([]Op, 4)
+				for j := range ops {
+					ops[j] = p.Generate(r)
+				}
+				rt.Atomic(nil, func(tx *tl2.Tx) {
+					for _, op := range ops {
+						m.Execute(tx, op)
+					}
+				})
+			}
+		}(uint64(c + 1))
+	}
+	wg.Wait()
+	if msg := m.CheckInvariants(rt.Direct()); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestWorkloadInvariantsWriteThrough(t *testing.T) {
+	rt := wtstm.New(16)
+	p := smallParams()
+	m := NewManager(rt.Direct(), 64)
+	Populate(rt.Direct(), m, p)
+
+	const clients, txs = 3, 30
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := NewRng(seed)
+			for i := 0; i < txs; i++ {
+				ops := make([]Op, 4)
+				for j := range ops {
+					ops[j] = p.Generate(r)
+				}
+				rt.Atomic(nil, func(tx *wtstm.Tx) {
+					for _, op := range ops {
+						m.Execute(tx, op)
+					}
+				})
+			}
+		}(uint64(c + 1))
+	}
+	wg.Wait()
+	if msg := m.CheckInvariants(rt.Direct()); msg != "" {
+		t.Fatal(msg)
+	}
+}

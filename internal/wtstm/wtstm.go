@@ -1,0 +1,330 @@
+// Package wtstm is a write-through (in-place) software transactional
+// memory in the style of TinySTM's write-through design (Felber,
+// Fetzer, Riegel — PPoPP'08, the paper's reference [16]).
+//
+// The TLSTM paper's concluding remarks single this design out as future
+// work: "The location redo-logs have also showed to add substantial
+// overhead. Hence, different approaches for handling speculative writes
+// (e.g. in-place writes [4]) should be studied." This package provides
+// that alternative for the study bench (BenchmarkAblationWriteHandling):
+//
+//   - writes eagerly lock the location's versioned lock, save the old
+//     value in an undo log, and update memory *in place*;
+//   - reads of a locked location abort (the in-place value is
+//     uncommitted); unlocked reads validate against the transaction's
+//     read version with timestamp extension, like SwissTM;
+//   - commit bumps the global clock and publishes by just releasing
+//     locks with the new version — no copy-back pass;
+//   - abort restores the undo log in reverse order and releases locks.
+//
+// The trade-off measured by the ablation: cheap commits and no
+// redo-chain traversal on read-own-write, against wasted in-place
+// writes on abort and reader-hostile eager locking.
+package wtstm
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"tlstm/internal/mem"
+	"tlstm/internal/tm"
+)
+
+const locked = ^uint64(0)
+
+const (
+	yieldQuantum     = 64
+	txStartCost      = 24
+	validationStride = 8
+)
+
+// Runtime is one write-through STM instance.
+type Runtime struct {
+	store *mem.Store
+	alloc *mem.Allocator
+
+	clock atomic.Uint64
+
+	locks []atomic.Uint64
+	mask  uint64
+}
+
+// New creates a runtime with 2^bits versioned locks.
+func New(bits int) *Runtime {
+	if bits <= 0 {
+		bits = 20
+	}
+	st := mem.NewStore()
+	return &Runtime{
+		store: st,
+		alloc: mem.NewAllocator(st),
+		locks: make([]atomic.Uint64, 1<<bits),
+		mask:  uint64(1<<bits) - 1,
+	}
+}
+
+// Direct returns the non-transactional setup handle.
+func (rt *Runtime) Direct() mem.Direct { return mem.Direct{Mem: rt.store, Al: rt.alloc} }
+
+// Allocator exposes the allocator (tests).
+func (rt *Runtime) Allocator() *mem.Allocator { return rt.alloc }
+
+func (rt *Runtime) lockFor(a tm.Addr) *atomic.Uint64 {
+	return &rt.locks[uint64(a)&rt.mask]
+}
+
+// Stats accumulates commits, aborts and work units.
+type Stats struct {
+	Commits uint64
+	Aborts  uint64
+	Work    uint64
+}
+
+type rollbackSignal struct{}
+
+type undoRec struct {
+	addr tm.Addr
+	old  uint64
+}
+
+type heldLock struct {
+	l   *atomic.Uint64
+	ver uint64 // displaced version, restored on abort
+}
+
+// Tx is one write-through transaction attempt; it implements tm.Tx.
+type Tx struct {
+	rt *Runtime
+	rv uint64
+
+	readLog []readRec
+	undo    []undoRec
+	held    []heldLock
+	mine    map[*atomic.Uint64]bool
+
+	allocs []tm.Addr
+	frees  []tm.Addr
+
+	work   uint64
+	aborts uint64
+}
+
+type readRec struct {
+	l   *atomic.Uint64
+	ver uint64
+}
+
+var _ tm.Tx = (*Tx)(nil)
+
+// Atomic runs fn as one transaction, retrying until commit.
+func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
+	tx := &Tx{rt: rt}
+	for {
+		tx.rv = rt.clock.Load()
+		tx.readLog = tx.readLog[:0]
+		tx.undo = tx.undo[:0]
+		tx.held = tx.held[:0]
+		if tx.mine == nil {
+			tx.mine = make(map[*atomic.Uint64]bool)
+		} else {
+			clear(tx.mine)
+		}
+		tx.allocs = tx.allocs[:0]
+		tx.frees = tx.frees[:0]
+		tx.work += txStartCost
+
+		if tx.attempt(fn) {
+			break
+		}
+		tx.aborts++
+		for i := uint64(0); i < min(tx.aborts*8, 256); i++ {
+			runtime.Gosched()
+		}
+	}
+	if st != nil {
+		st.Commits++
+		st.Aborts += tx.aborts
+		st.Work += tx.work
+	}
+}
+
+func (tx *Tx) attempt(fn func(tx *Tx)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, is := r.(rollbackSignal); !is {
+				tx.undoAndRelease()
+				for _, a := range tx.allocs {
+					tx.rt.alloc.Free(a)
+				}
+				panic(r)
+			}
+			ok = false
+		}
+	}()
+	fn(tx)
+	tx.commit()
+	return true
+}
+
+// rollback restores in-place writes and unwinds to the retry loop.
+func (tx *Tx) rollback() {
+	tx.undoAndRelease()
+	for _, a := range tx.allocs {
+		tx.rt.alloc.Free(a)
+	}
+	panic(rollbackSignal{})
+}
+
+// undoAndRelease rolls the undo log back in reverse order, then
+// releases every held lock at its pre-lock version.
+func (tx *Tx) undoAndRelease() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.rt.store.StoreWord(tx.undo[i].addr, tx.undo[i].old)
+		tx.work++
+	}
+	for _, h := range tx.held {
+		h.l.Store(h.ver)
+	}
+	tx.undo = tx.undo[:0]
+	tx.held = tx.held[:0]
+	clear(tx.mine)
+}
+
+func (tx *Tx) tick(units uint64) {
+	tx.work += units
+	if tx.work%yieldQuantum < units {
+		runtime.Gosched()
+	}
+}
+
+// Load implements tm.Tx.
+func (tx *Tx) Load(a tm.Addr) uint64 {
+	tx.tick(1)
+	l := tx.rt.lockFor(a)
+	if tx.mine[l] {
+		// We hold the lock: memory already has our in-place value.
+		return tx.rt.store.LoadWord(a)
+	}
+	for {
+		v1 := l.Load()
+		if v1 == locked {
+			// Uncommitted in-place data from another transaction: a
+			// write-through design cannot read around it; retry and
+			// eventually abort.
+			tx.work += yieldQuantum
+			runtime.Gosched()
+			if l.Load() == locked {
+				tx.rollback()
+			}
+			continue
+		}
+		val := tx.rt.store.LoadWord(a)
+		if l.Load() != v1 {
+			continue
+		}
+		if v1 > tx.rv && !tx.extend() {
+			tx.rollback()
+		}
+		if v1 > tx.rv {
+			continue
+		}
+		tx.readLog = append(tx.readLog, readRec{l: l, ver: v1})
+		return val
+	}
+}
+
+// extend revalidates the read log at the current clock and advances rv.
+func (tx *Tx) extend() bool {
+	ts := tx.rt.clock.Load()
+	for i, r := range tx.readLog {
+		if i%validationStride == 0 {
+			tx.work++
+		}
+		v := r.l.Load()
+		if v == r.ver {
+			continue
+		}
+		if tx.mine[r.l] {
+			continue
+		}
+		return false
+	}
+	tx.rv = ts
+	return true
+}
+
+// Store implements tm.Tx: eager lock, undo log, in-place update.
+func (tx *Tx) Store(a tm.Addr, v uint64) {
+	tx.tick(2)
+	l := tx.rt.lockFor(a)
+	if !tx.mine[l] {
+		for {
+			cur := l.Load()
+			if cur == locked {
+				tx.work += yieldQuantum
+				runtime.Gosched()
+				if l.Load() == locked {
+					tx.rollback() // writer/writer conflict: retry
+				}
+				continue
+			}
+			if cur > tx.rv && !tx.extend() {
+				tx.rollback()
+			}
+			if cur > tx.rv {
+				continue
+			}
+			if l.CompareAndSwap(cur, locked) {
+				tx.held = append(tx.held, heldLock{l: l, ver: cur})
+				tx.mine[l] = true
+				break
+			}
+		}
+	}
+	tx.undo = append(tx.undo, undoRec{addr: a, old: tx.rt.store.LoadWord(a)})
+	tx.rt.store.StoreWord(a, v)
+}
+
+// Alloc implements tm.Tx.
+func (tx *Tx) Alloc(n int) tm.Addr {
+	tx.work++
+	a := tx.rt.alloc.Alloc(n)
+	tx.allocs = append(tx.allocs, a)
+	return a
+}
+
+// Free implements tm.Tx.
+func (tx *Tx) Free(a tm.Addr) { tx.frees = append(tx.frees, a) }
+
+// commit validates reads, then publishes by releasing locks at the new
+// version — the in-place values are already in memory (no copy-back).
+func (tx *Tx) commit() {
+	if len(tx.held) == 0 {
+		for _, a := range tx.frees {
+			tx.rt.alloc.Free(a)
+		}
+		return
+	}
+	wv := tx.rt.clock.Add(1)
+	if wv != tx.rv+1 {
+		for i, r := range tx.readLog {
+			if i%validationStride == 0 {
+				tx.work++
+			}
+			v := r.l.Load()
+			if v != r.ver && !tx.mine[r.l] {
+				tx.rollback()
+			}
+		}
+	}
+	for _, h := range tx.held {
+		h.l.Store(wv)
+		tx.work++
+	}
+	tx.held = tx.held[:0]
+	tx.undo = tx.undo[:0]
+	clear(tx.mine)
+	for _, a := range tx.frees {
+		tx.rt.alloc.Free(a)
+	}
+}

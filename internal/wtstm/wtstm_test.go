@@ -1,0 +1,191 @@
+package wtstm
+
+import (
+	"sync"
+	"testing"
+
+	"tlstm/internal/rbtree"
+	"tlstm/internal/tm"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	rt := New(14)
+	var a tm.Addr
+	rt.Atomic(nil, func(tx *Tx) {
+		a = tx.Alloc(2)
+		tx.Store(a, 5)
+		tx.Store(a+1, 6)
+		if tx.Load(a) != 5 || tx.Load(a+1) != 6 {
+			t.Error("read-own-write failed")
+		}
+	})
+	rt.Atomic(nil, func(tx *Tx) {
+		if tx.Load(a) != 5 || tx.Load(a+1) != 6 {
+			t.Error("committed values lost")
+		}
+	})
+}
+
+func TestUndoRestoresOnAbort(t *testing.T) {
+	rt := New(14)
+	d := rt.Direct()
+	a := d.Alloc(1)
+	d.Store(a, 42)
+	// Force one attempt to fail mid-flight via a user panic that must
+	// roll back the in-place write.
+	func() {
+		defer func() { _ = recover() }()
+		rt.Atomic(nil, func(tx *Tx) {
+			tx.Store(a, 99)
+			panic("boom")
+		})
+	}()
+	if got := d.Load(a); got != 42 {
+		t.Fatalf("in-place write not undone: %d, want 42", got)
+	}
+	// The lock must be free again.
+	done := make(chan struct{})
+	go func() {
+		rt.Atomic(nil, func(tx *Tx) { tx.Store(a, 1) })
+		close(done)
+	}()
+	<-done
+}
+
+func TestMultipleWritesSameWordUndoOrder(t *testing.T) {
+	rt := New(14)
+	d := rt.Direct()
+	a := d.Alloc(1)
+	d.Store(a, 7)
+	func() {
+		defer func() { _ = recover() }()
+		rt.Atomic(nil, func(tx *Tx) {
+			tx.Store(a, 8)
+			tx.Store(a, 9)
+			tx.Store(a, 10)
+			panic("boom")
+		})
+	}()
+	if got := d.Load(a); got != 7 {
+		t.Fatalf("reverse-order undo broken: %d, want 7", got)
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	rt := New(14)
+	var a tm.Addr
+	rt.Atomic(nil, func(tx *Tx) { a = tx.Alloc(1) })
+	const workers, per = 6, 120
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rt.Atomic(nil, func(tx *Tx) { tx.Store(a, tx.Load(a)+1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rt.Direct().Load(a); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSnapshotInvariant(t *testing.T) {
+	rt := New(14)
+	d := rt.Direct()
+	x := d.Alloc(1)
+	y := d.Alloc(1)
+	d.Store(x, 500)
+	d.Store(y, 500)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rt.Atomic(nil, func(tx *Tx) {
+				vx := tx.Load(x)
+				tx.Store(x, vx-1)
+				tx.Store(y, tx.Load(y)+1)
+			})
+		}
+	}()
+	violations := 0
+	for i := 0; i < 300; i++ {
+		rt.Atomic(nil, func(tx *Tx) {
+			if tx.Load(x)+tx.Load(y) != 1000 {
+				violations++
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+	if violations != 0 {
+		t.Fatalf("%d torn snapshots", violations)
+	}
+}
+
+func TestRBTreeOnWriteThrough(t *testing.T) {
+	rt := New(14)
+	var tr rbtree.Tree
+	rt.Atomic(nil, func(tx *Tx) { tr = rbtree.New(tx) })
+	for k := int64(0); k < 200; k++ {
+		rt.Atomic(nil, func(tx *Tx) { tr.Insert(tx, k, uint64(k)) })
+	}
+	for k := int64(0); k < 200; k += 2 {
+		rt.Atomic(nil, func(tx *Tx) { tr.Delete(tx, k) })
+	}
+	d := rt.Direct()
+	if msg := tr.CheckInvariants(d); msg != "" {
+		t.Fatal(msg)
+	}
+	if tr.Size(d) != 100 {
+		t.Fatalf("Size = %d, want 100", tr.Size(d))
+	}
+}
+
+func TestBankInvariant(t *testing.T) {
+	rt := New(14)
+	d := rt.Direct()
+	const accounts, initial = 16, 1000
+	base := d.Alloc(accounts)
+	for i := 0; i < accounts; i++ {
+		d.Store(base+tm.Addr(i), initial)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			s := seed
+			next := func() uint64 { s = s*6364136223846793005 + 1; return s >> 33 }
+			for i := 0; i < 150; i++ {
+				from := base + tm.Addr(next()%accounts)
+				to := base + tm.Addr(next()%accounts)
+				amt := next() % 9
+				rt.Atomic(nil, func(tx *Tx) {
+					f := tx.Load(from)
+					if from != to && f >= amt {
+						tx.Store(from, f-amt)
+						tx.Store(to, tx.Load(to)+amt)
+					}
+				})
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	var sum uint64
+	for i := 0; i < accounts; i++ {
+		sum += d.Load(base + tm.Addr(i))
+	}
+	if sum != accounts*initial {
+		t.Fatalf("sum = %d, want %d", sum, accounts*initial)
+	}
+}

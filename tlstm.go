@@ -1,0 +1,137 @@
+// Package tlstm is the public API of this repository: a Go
+// implementation of TLSTM, the unified Software Transactional Memory +
+// Software Thread-Level Speculation runtime of
+//
+//	Barreto, Dragojević, Ferreira, Filipe, Guerraoui:
+//	"Unifying Thread-Level Speculation and Transactional Memory",
+//	Middleware 2012, LNCS 7662.
+//
+// The model (paper §2): programs are hand-parallelized into
+// user-threads whose critical sections are user-transactions; the
+// runtime further decomposes each user-transaction into speculative
+// tasks that execute out of order and commit in program order. Reads
+// and writes of shared state go through word-addressed transactional
+// memory; opacity is preserved across user-transactions even when their
+// tasks run speculatively.
+//
+// # Quick start
+//
+//	rt := tlstm.New(tlstm.Config{SpecDepth: 3})
+//	d := rt.Direct()                 // non-transactional setup handle
+//	counter := d.Alloc(1)
+//
+//	thr := rt.NewThread()            // one user-thread
+//	_ = thr.Atomic(                  // one user-transaction, two tasks
+//		func(t *tlstm.Task) { t.Store(counter, t.Load(counter)+1) },
+//		func(t *tlstm.Task) { t.Store(counter, t.Load(counter)+1) },
+//	)
+//	thr.Sync()
+//
+// Task bodies must be re-executable: speculation may run them several
+// times, so they must not have external side effects.
+//
+// The package also exposes the SwissTM baseline (NewBaseline) that
+// TLSTM extends, the transactional data structures used by the paper's
+// benchmarks (red-black tree, sorted list, hash map), and the benchmark
+// harness that regenerates the paper's figures (see cmd/tlstm-bench).
+package tlstm
+
+import (
+	"tlstm/internal/core"
+	"tlstm/internal/mem"
+	"tlstm/internal/rbtree"
+	"tlstm/internal/stm"
+	"tlstm/internal/tm"
+	"tlstm/internal/tmhash"
+	"tlstm/internal/tmlist"
+)
+
+// Core model types.
+type (
+	// Addr identifies one 64-bit word of transactional memory.
+	Addr = tm.Addr
+	// Tx is the runtime-agnostic access interface implemented by both
+	// *Task (TLSTM) and *BaselineTx (SwissTM); data structures are
+	// written against it.
+	Tx = tm.Tx
+
+	// Runtime is a TLSTM instance.
+	Runtime = core.Runtime
+	// Config configures a Runtime (SpecDepth is the paper's SPECDEPTH).
+	Config = core.Config
+	// Thread is a user-thread: a serial stream of user-transactions.
+	Thread = core.Thread
+	// Task is a speculative task handle; it implements Tx.
+	Task = core.Task
+	// TaskFunc is a speculative task body.
+	TaskFunc = core.TaskFunc
+	// TxHandle tracks a submitted user-transaction.
+	TxHandle = core.TxHandle
+	// Stats aggregates per-thread execution statistics.
+	Stats = core.Stats
+
+	// Direct is the non-transactional setup handle returned by
+	// (*Runtime).Direct and (*BaselineRuntime).Direct; it implements Tx.
+	Direct = mem.Direct
+)
+
+// NilAddr is the nil word address (a NULL pointer for word-encoded
+// structures).
+const NilAddr = tm.NilAddr
+
+// New creates a TLSTM runtime.
+func New(cfg Config) *Runtime { return core.New(cfg) }
+
+// Baseline SwissTM (the STM that TLSTM extends; used for comparisons).
+type (
+	// BaselineRuntime is a SwissTM instance.
+	BaselineRuntime = stm.Runtime
+	// BaselineTx is a SwissTM transaction handle; it implements Tx.
+	BaselineTx = stm.Tx
+	// BaselineStats accumulates SwissTM execution statistics.
+	BaselineStats = stm.Stats
+)
+
+// NewBaseline creates a SwissTM runtime.
+func NewBaseline() *BaselineRuntime { return stm.New() }
+
+// Loop decomposition (paper §3.3 — spec-DOALL and spec-DOACROSS) is
+// available on Thread:
+//
+//	thr.SpecDOALL(n, tasks, func(t *tlstm.Task, i int) { ... })
+//	thr.SpecDOACROSS(n, func(t *tlstm.Task, i int) { ... })
+//
+// and flat transaction nesting (§2) via (*Task).Nest.
+
+// Transactional data structures (usable on either runtime through Tx).
+type (
+	// RBTree is a transactional red-black tree (the paper's
+	// microbenchmark structure).
+	RBTree = rbtree.Tree
+	// List is a transactional sorted linked list.
+	List = tmlist.List
+	// HashMap is a transactional fixed-bucket hash map.
+	HashMap = tmhash.Map
+)
+
+// NewRBTree allocates an empty transactional red-black tree.
+func NewRBTree(tx Tx) RBTree { return rbtree.New(tx) }
+
+// NewList allocates an empty transactional sorted list.
+func NewList(tx Tx) List { return tmlist.New(tx) }
+
+// NewHashMap allocates an empty transactional hash map with the given
+// bucket count.
+func NewHashMap(tx Tx, buckets int) HashMap { return tmhash.New(tx, buckets) }
+
+// Word-encoding helpers re-exported for transactional code.
+var (
+	// LoadInt64 reads a word as an int64.
+	LoadInt64 = tm.LoadInt64
+	// StoreInt64 writes an int64 word.
+	StoreInt64 = tm.StoreInt64
+	// LoadAddr reads a word-encoded pointer.
+	LoadAddr = tm.LoadAddr
+	// StoreAddr writes a word-encoded pointer.
+	StoreAddr = tm.StoreAddr
+)
