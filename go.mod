@@ -1,0 +1,3 @@
+module tlstm
+
+go 1.22

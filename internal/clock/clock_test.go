@@ -1,0 +1,61 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestZeroValueAndTick(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock reads %d, want 0", c.Now())
+	}
+	if ts := c.Tick(); ts != 1 {
+		t.Fatalf("first Tick = %d, want 1", ts)
+	}
+	if c.Now() != 1 {
+		t.Fatalf("Now after Tick = %d, want 1", c.Now())
+	}
+}
+
+// Concurrent Ticks must hand out unique, dense timestamps — commit
+// serialization in every runtime depends on it.
+func TestConcurrentTicksUnique(t *testing.T) {
+	const workers = 8
+	const perWorker = 1000
+
+	var c Clock
+	got := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				got[w] = append(got[w], c.Tick())
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]bool, workers*perWorker)
+	for w := range got {
+		prev := uint64(0)
+		for _, ts := range got[w] {
+			if ts == 0 {
+				t.Fatal("Tick returned 0 (reserved for the initial state)")
+			}
+			if ts <= prev {
+				t.Fatalf("timestamps not monotonic within a worker: %d after %d", ts, prev)
+			}
+			prev = ts
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp %d", ts)
+			}
+			seen[ts] = true
+		}
+	}
+	if want := uint64(workers * perWorker); c.Now() != want {
+		t.Fatalf("final clock = %d, want %d (dense)", c.Now(), want)
+	}
+}

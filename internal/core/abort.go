@@ -10,15 +10,17 @@ import (
 // unwindWrites removes this task's redo-chain entries. It is idempotent:
 // a transaction-abort cleanup may already have removed them.
 func (t *Task) unwindWrites() {
-	if len(t.writeLog) == 0 {
+	if t.writeLog.Len() == 0 {
 		return
 	}
 	t.thr.chainMu.Lock()
-	for _, e := range t.writeLog {
+	for _, e := range t.writeLog.Entries() {
 		removeEntryLocked(e)
 	}
 	t.thr.chainMu.Unlock()
-	t.writeLog = t.writeLog[:0]
+	// Reset, never Recycle: other tasks may still hold these entries as
+	// chain-identity markers (see the read-entry comment in task.go).
+	t.writeLog.Reset()
 }
 
 // removeEntryLocked unlinks e from its pair's redo chain. The caller
@@ -117,7 +119,7 @@ func (t *Task) cleanupTx() {
 
 	thr.chainMu.Lock()
 	for _, task := range tx.tasks {
-		for _, e := range task.writeLog {
+		for _, e := range task.writeLog.Entries() {
 			removeEntryLocked(e)
 		}
 	}

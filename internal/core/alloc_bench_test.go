@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"tlstm/internal/tm"
+)
+
+// Allocation-regression benchmarks for the TLSTM hot paths. The
+// steady-state read/write path of a warmed task must not allocate; the
+// commit path reuses the thread-owned scratch (its zero-alloc proof is
+// in internal/txlog), while per-transaction task/goroutine setup is
+// tracked here as a trend number. Companion assertions live in
+// alloc_norace_test.go.
+
+// BenchmarkTaskLoadStoreWarmed measures one read-modify-write pair per
+// op inside a single long-running task whose working set has already
+// been touched (logs grown, write-lock entries installed). allocs/op
+// must be 0.
+func BenchmarkTaskLoadStoreWarmed(b *testing.B) {
+	rt := New(Config{SpecDepth: 2})
+	thr := rt.NewThread()
+	d := rt.Direct()
+	addrs := make([]tm.Addr, benchAddrs)
+	for i := range addrs {
+		addrs[i] = d.Alloc(1)
+	}
+	b.ReportAllocs()
+	_ = thr.Atomic(func(t *Task) {
+		for _, a := range addrs {
+			t.Store(a, t.Load(a)+1) // warm: one entry per pair, logs grown
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := addrs[i%benchAddrs]
+			t.Store(a, t.Load(a)+1)
+		}
+	})
+	thr.Sync()
+}
+
+const benchAddrs = 8
+
+// BenchmarkThreadCommitSmallTx measures a whole single-task writer
+// transaction — Submit, task goroutine, commit — on one thread. The
+// commit-time r-lock bookkeeping is allocation-free (thread-owned
+// scratch); the remaining allocs/op are per-transaction setup
+// (txState, task, handle, goroutine), tracked here so regressions in
+// either part are visible.
+func BenchmarkThreadCommitSmallTx(b *testing.B) {
+	rt := New(Config{SpecDepth: 2})
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	body := func(t *Task) { t.Store(a, t.Load(a)+1) }
+	_ = thr.Atomic(body)
+	thr.Sync()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = thr.Atomic(body)
+	}
+	b.StopTimer()
+	thr.Sync()
+}

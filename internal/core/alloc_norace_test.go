@@ -1,0 +1,40 @@
+//go:build !race
+
+package core
+
+import (
+	"testing"
+
+	"tlstm/internal/tm"
+)
+
+// TestTaskOpsZeroAllocWarmed asserts the TLSTM steady-state read/write
+// path allocates nothing once a task's working set is warmed: loads hit
+// the task's own write-lock entries or the committed store, stores
+// update entries in place, and the logs reuse their backing arrays.
+// (!race: AllocsPerRun is not meaningful under the race detector.)
+func TestTaskOpsZeroAllocWarmed(t *testing.T) {
+	rt := New(Config{SpecDepth: 2})
+	thr := rt.NewThread()
+	d := rt.Direct()
+	addrs := make([]tm.Addr, 8)
+	for i := range addrs {
+		addrs[i] = d.Alloc(1)
+	}
+	var got float64
+	_ = thr.Atomic(func(tk *Task) {
+		for _, a := range addrs {
+			tk.Store(a, tk.Load(a)+1) // warm
+		}
+		i := 0
+		got = testing.AllocsPerRun(200, func() {
+			a := addrs[i%len(addrs)]
+			tk.Store(a, tk.Load(a)+1)
+			i++
+		})
+	})
+	thr.Sync()
+	if got != 0 {
+		t.Fatalf("warmed task Load+Store allocates %.1f objects/op, want 0", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"tlstm/internal/locktable"
+	"tlstm/internal/txlog"
 )
 
 // commitCost is the modeled per-task commit serialization cost in work
@@ -33,7 +34,7 @@ func (t *Task) commitStep() {
 	if !t.tryCommit {
 		// Intermediate task (lines 71–77): publish completion, then
 		// wait until the commit-task commits the user-transaction.
-		if len(t.writeLog) > 0 {
+		if t.writeLog.Len() > 0 {
 			thr.completedWriter.Store(t.serial)
 		}
 		thr.completedTask.Store(t.serial)
@@ -61,7 +62,7 @@ func (t *Task) commitTransaction() {
 
 	writeTx := false
 	for _, task := range tx.tasks {
-		if len(task.writeLog) > 0 {
+		if task.writeLog.Len() > 0 {
 			writeTx = true
 			break
 		}
@@ -94,23 +95,22 @@ func (t *Task) commitTransaction() {
 
 	// Lock the r-locks of every written pair, remembering displaced
 	// versions for restoration on failure (lines 81–83). Several tasks
-	// may have written the same pair; lock it once.
-	saved := make(map[*locktable.Pair]uint64)
+	// may have written the same pair; lock it once. The scratch is
+	// thread-owned and reused, so steady-state commits do not allocate.
+	scr := &thr.commitScratch
+	scr.Reset()
 	for _, task := range tx.tasks {
-		for _, e := range task.writeLog {
-			if _, dup := saved[e.Pair]; !dup {
-				saved[e.Pair] = e.Pair.R.Swap(locktable.Locked)
+		for _, e := range task.writeLog.Entries() {
+			if scr.LockPair(e.Pair) {
 				t.workAcc++
 			}
 		}
 	}
 
-	ts := rt.commitTS.Add(1) // line 84
+	ts := rt.clk.Tick() // line 84
 
-	if !t.validateTxReads(saved) { // line 85
-		for p, v := range saved {
-			p.R.Store(v)
-		}
+	if !t.validateTxReads(scr) { // line 85
+		scr.Restore()
 		t.abortOwnTx()
 	}
 
@@ -119,7 +119,7 @@ func (t *Task) commitTransaction() {
 	// (lines 87–89; tx.tasks is already serial-ordered and each write
 	// log is in program order).
 	for _, task := range tx.tasks {
-		for _, e := range task.writeLog {
+		for _, e := range task.writeLog.Entries() {
 			for _, w := range e.Words {
 				rt.store.StoreWord(w.Addr, w.Val)
 				t.workAcc++
@@ -132,7 +132,7 @@ func (t *Task) commitTransaction() {
 	// future transaction already stacked an entry on top, the chain
 	// stays; the committed entries below it now mirror memory, and the
 	// future transaction's own commit or abort will unwind them.
-	for p := range saved {
+	for _, p := range scr.Pairs() {
 		p.R.Store(ts)
 		h := p.W.Load()
 		if h != nil && h.Owner.ThreadID == thr.id &&
@@ -146,22 +146,23 @@ func (t *Task) commitTransaction() {
 
 // validateTxReads validates the committed reads of every task of the
 // transaction against current r-lock versions. Pairs r-locked by this
-// commit (present in saved) compare against their displaced version.
-func (t *Task) validateTxReads(saved map[*locktable.Pair]uint64) bool {
+// commit (recorded in scr; nil during the optimistic pre-lock pass)
+// compare against their displaced version.
+func (t *Task) validateTxReads(scr *txlog.CommitScratch) bool {
 	for _, task := range t.tx.tasks {
-		for i, re := range task.readLog {
-			if re.version == noVersion {
+		for i, re := range task.readLog.Entries() {
+			if re.Version == noVersion {
 				continue // speculative read; validated intra-thread
 			}
 			if i%8 == 0 {
 				t.workAcc++
 			}
-			cur := re.pair.R.Load()
-			if cur == re.version {
+			cur := re.Pair.R.Load()
+			if cur == re.Version {
 				continue
 			}
-			if cur == locktable.Locked && saved != nil {
-				if pre, ours := saved[re.pair]; ours && pre == re.version {
+			if cur == locktable.Locked && scr != nil {
+				if pre, ours := scr.Saved(re.Pair); ours && pre == re.Version {
 					continue
 				}
 			}
@@ -187,19 +188,6 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 	tx := t.tx
 	thr := t.thr
 
-	if writeTx {
-		thr.completedWriter.Store(t.serial)
-	}
-	thr.completedTask.Store(t.serial)
-
-	// Deferred frees of every task take effect now that the
-	// transaction's writes are durable.
-	for _, task := range tx.tasks {
-		for _, a := range task.frees {
-			thr.rt.alloc.Free(a)
-		}
-	}
-
 	// Virtual-time model: tasks start together; task k finishes at
 	// max(own work, finish of task k−1) + commit cost (serialized
 	// commits). See DESIGN.md §3.
@@ -213,7 +201,11 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 		finish += commitCost
 	}
 
-	thr.statsMu.Lock()
+	// Fold into the thread's unshared stats shard. This must happen
+	// BEFORE completedTask is advanced: that store is what releases the
+	// next transaction's commit-task, so folding first keeps
+	// finishCommit invocations strictly serialized per thread — the
+	// shard needs no mutex (SNIPPETS-style per-thread stats).
 	thr.stats.TxCommitted++
 	thr.stats.TxAborted += tx.txAborts.Load()
 	thr.stats.TaskRestarts += tx.taskRestarts.Load()
@@ -224,7 +216,19 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 	thr.stats.RestartSandbox += tx.restartKind[restartSandbox].Load()
 	thr.stats.Work += work
 	thr.stats.VirtualTime += finish
-	thr.statsMu.Unlock()
+
+	if writeTx {
+		thr.completedWriter.Store(t.serial)
+	}
+	thr.completedTask.Store(t.serial)
+
+	// Deferred frees of every task take effect now that the
+	// transaction's writes are durable.
+	for _, task := range tx.tasks {
+		for _, a := range task.frees {
+			thr.rt.alloc.Free(a)
+		}
+	}
 
 	close(tx.done)
 }

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// Sync must merge each thread's unshared shard into the runtime-global
+// aggregate exactly once: the aggregate equals the sum of the per-thread
+// snapshots, and a second Sync must not double-count.
+func TestRuntimeStatsAggregatesThreadShards(t *testing.T) {
+	rt := newRT(2)
+	d := rt.Direct()
+	a := d.Alloc(1)
+
+	const threads, txs = 3, 30
+	thrs := make([]*Thread, threads)
+	var wg sync.WaitGroup
+	for i := range thrs {
+		thrs[i] = rt.NewThread()
+		wg.Add(1)
+		go func(thr *Thread) {
+			defer wg.Done()
+			for j := 0; j < txs; j++ {
+				_ = thr.Atomic(
+					func(tk *Task) { tk.Store(a, tk.Load(a)+1) },
+					func(tk *Task) { tk.Store(a, tk.Load(a)+1) },
+				)
+			}
+			thr.Sync()
+		}(thrs[i])
+	}
+	wg.Wait()
+
+	var want Stats
+	for _, thr := range thrs {
+		want.Add(thr.Stats())
+	}
+	if got := rt.Stats(); got != want {
+		t.Fatalf("runtime aggregate = %+v, want sum of thread shards %+v", got, want)
+	}
+	if want.TxCommitted != threads*txs {
+		t.Fatalf("TxCommitted = %d, want %d", want.TxCommitted, threads*txs)
+	}
+
+	// Re-Sync without new work: the aggregate must not change.
+	for _, thr := range thrs {
+		thr.Sync()
+	}
+	if got := rt.Stats(); got != want {
+		t.Fatalf("idempotent Sync violated: aggregate = %+v, want %+v", got, want)
+	}
+}

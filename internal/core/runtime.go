@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"tlstm/internal/clock"
 	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
 	"tlstm/internal/mem"
+	"tlstm/internal/txstats"
 )
 
 // Config configures a Runtime.
@@ -64,8 +66,12 @@ type Runtime struct {
 	alloc *mem.Allocator
 	locks *locktable.Table
 
-	commitTS atomic.Uint64
-	cm       cm.TaskAware
+	clk clock.Clock
+	cm  cm.TaskAware
+
+	// stats aggregates per-thread shards, merged at Sync boundaries
+	// (see Thread.Sync); the hot path never touches it.
+	stats txstats.Aggregate[Stats, *Stats]
 
 	specDepth     int
 	plainGreedyCM bool
@@ -89,7 +95,11 @@ func New(cfg Config) *Runtime {
 func (rt *Runtime) SpecDepth() int { return rt.specDepth }
 
 // CommitTS exposes the global commit timestamp (tests and stats).
-func (rt *Runtime) CommitTS() uint64 { return rt.commitTS.Load() }
+func (rt *Runtime) CommitTS() uint64 { return rt.clk.Now() }
+
+// Stats returns the runtime-global statistics aggregate: the sum of
+// every per-thread shard merged so far (threads merge at Sync).
+func (rt *Runtime) Stats() Stats { return rt.stats.Snapshot() }
 
 // Direct returns a non-transactional tm.Tx for single-threaded setup,
 // before any user-thread runs.

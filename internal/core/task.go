@@ -7,13 +7,14 @@ import (
 	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
 	"tlstm/internal/tm"
+	"tlstm/internal/txlog"
 )
 
 // noVersion marks read-log entries whose value came from a speculative
 // (intra-thread) source rather than committed state: they carry no
 // committed version to validate inter-thread; their validity is tracked
 // purely by redo-chain identity (validateTask).
-const noVersion = ^uint64(0)
+const noVersion = txlog.NoVersion
 
 // Task is one speculative task (paper §2): the unit of speculative
 // execution, implementing tm.Tx for its body. What used to be a SwissTM
@@ -41,8 +42,8 @@ type Task struct {
 	validTS    uint64
 	lastWriter int64
 
-	readLog  []readEntry
-	writeLog []*locktable.WEntry
+	readLog  txlog.ReadLog
+	writeLog txlog.WriteLog
 
 	allocs []tm.Addr
 	frees  []tm.Addr
@@ -64,21 +65,19 @@ type Task struct {
 	backoff int
 }
 
-// readEntry records one read at lock-pair granularity (SwissTM's
+// Read entries are txlog.ReadEntry at lock-pair granularity (SwissTM's
 // conflict granularity).
 //
-// version is the committed version observed (noVersion for reads served
-// from a redo-log chain). firstPast is the newest redo-chain entry from
+// Version is the committed version observed (noVersion for reads served
+// from a redo-log chain). FirstPast is the newest redo-chain entry from
 // a past task of this thread at read time (nil if none): validateTask
 // recomputes it and requires pointer identity, which subsumes the
 // paper's serial-number checks of both the task-read-log (Alg. 1 lines
 // 18–25) and the read-log (lines 26–31) and is additionally robust to a
-// writer aborting and re-executing with the same serial.
-type readEntry struct {
-	pair      *locktable.Pair
-	version   uint64
-	firstPast *locktable.WEntry
-}
+// writer aborting and re-executing with the same serial. That identity
+// argument is also why this runtime never recycles write-log entries
+// (txlog.WriteLog.Reset, not Recycle): a reused entry re-installed on
+// the same pair would defeat the pointer-identity check (ABA).
 
 // restartSignal unwinds a task attempt back to its run loop. It never
 // escapes the package.
@@ -207,10 +206,10 @@ func (t *Task) preRestartWait() {
 func (t *Task) begin() {
 	t.abortInternal.Store(false)
 	t.lastWriter = t.thr.completedWriter.Load()
-	t.validTS = t.thr.rt.commitTS.Load()
+	t.validTS = t.thr.rt.clk.Now()
 	t.workAcc += taskStartCost
-	t.readLog = t.readLog[:0]
-	t.writeLog = t.writeLog[:0]
+	t.readLog.Reset()
+	t.writeLog.Reset()
 	t.allocs = t.allocs[:0]
 	t.frees = t.frees[:0]
 }
@@ -232,12 +231,12 @@ func (t *Task) consistent() bool {
 	if !t.validateTask() {
 		return false
 	}
-	for _, re := range t.readLog {
-		if re.version == noVersion {
+	for _, re := range t.readLog.Entries() {
+		if re.Version == noVersion {
 			continue
 		}
-		cur := re.pair.R.Load()
-		if cur != re.version && !t.ownsPairW(re.pair) {
+		cur := re.Pair.R.Load()
+		if cur != re.Version && !t.ownsPairW(re.Pair) {
 			return false
 		}
 	}
@@ -358,7 +357,7 @@ func (t *Task) Load(a tm.Addr) uint64 {
 		// recorded for inter-thread validation).
 		for e := firstPast; e != nil; e = e.Prev.Load() {
 			if v, hit := e.Lookup(a); hit {
-				t.readLog = append(t.readLog, readEntry{pair: p, version: noVersion, firstPast: firstPast})
+				t.readLog.Append(p, noVersion, firstPast)
 				t.workAcc++
 				return v
 			}
@@ -414,7 +413,7 @@ func (t *Task) loadCommittedRecording(p *locktable.Pair, a tm.Addr, firstPast *l
 		if v1 > t.validTS {
 			continue
 		}
-		t.readLog = append(t.readLog, readEntry{pair: p, version: v1, firstPast: firstPast})
+		t.readLog.Append(p, v1, firstPast)
 		return val
 	}
 }
@@ -428,19 +427,19 @@ func (t *Task) loadCommitted(p *locktable.Pair, a tm.Addr) uint64 {
 // extend revalidates the read log at the current commit timestamp and
 // advances valid-ts (SwissTM's lazy snapshot extension).
 func (t *Task) extend() bool {
-	ts := t.thr.rt.commitTS.Load()
-	for i, re := range t.readLog {
-		if re.version == noVersion {
+	ts := t.thr.rt.clk.Now()
+	for i, re := range t.readLog.Entries() {
+		if re.Version == noVersion {
 			continue
 		}
 		if i%validationStride == 0 {
 			t.workAcc++
 		}
-		cur := re.pair.R.Load()
-		if cur == re.version {
+		cur := re.Pair.R.Load()
+		if cur == re.Version {
 			continue
 		}
-		if t.ownsPairW(re.pair) {
+		if t.ownsPairW(re.Pair) {
 			continue
 		}
 		return false
@@ -455,11 +454,11 @@ func (t *Task) extend() bool {
 // past writer, any unwound writer, and any writer whose transaction
 // committed (chain unlocked) invalidates the read.
 func (t *Task) validateTask() bool {
-	for i, re := range t.readLog {
+	for i, re := range t.readLog.Entries() {
 		if i%validationStride == 0 {
 			t.workAcc++
 		}
-		if t.firstPastOf(re.pair.W.Load()) != re.firstPast {
+		if t.firstPastOf(re.Pair.W.Load()) != re.FirstPast {
 			return false
 		}
 	}
@@ -474,7 +473,9 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 		t.checkSignals()
 		e := p.W.Load()
 		if e == nil {
-			// Unlocked: install a fresh entry.
+			// Unlocked: install a fresh entry. Entries are never
+			// recycled in this runtime — validateTask depends on
+			// pointer identity (see the read-entry comment above).
 			ne := &locktable.WEntry{
 				Owner:  &t.ownerRef,
 				Serial: t.serial,
@@ -482,7 +483,7 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 				Words:  []locktable.WordVal{{Addr: a, Val: v}},
 			}
 			if p.W.CompareAndSwap(nil, ne) {
-				t.writeLog = append(t.writeLog, ne)
+				t.writeLog.Append(ne)
 				break
 			}
 			continue
@@ -501,11 +502,11 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 			var dec cm.Decision
 			if t.thr.rt.plainGreedyCM {
 				dec = t.thr.rt.cm.Greedy.Resolve(
-					&t.tx.greedTS, len(t.writeLog), int(t.tx.cmDefeats.Load()), e.Owner)
+					&t.tx.greedTS, t.writeLog.Len(), int(t.tx.cmDefeats.Load()), e.Owner)
 			} else {
 				dec = t.thr.rt.cm.Resolve(
 					t.thr.completedTask.Load(), t.tx.startSerial,
-					&t.tx.greedTS, len(t.writeLog), int(t.tx.cmDefeats.Load()), e.Owner)
+					&t.tx.greedTS, t.writeLog.Len(), int(t.tx.cmDefeats.Load()), e.Owner)
 			}
 			if dec == cm.AbortSelf {
 				t.tx.cmDefeats.Add(1)
@@ -545,7 +546,7 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 		}
 		ne.Prev.Store(e)
 		if p.W.CompareAndSwap(e, ne) {
-			t.writeLog = append(t.writeLog, ne)
+			t.writeLog.Append(ne)
 			break
 		}
 	}

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"tlstm/internal/txlog"
 )
 
 // Thread is one user-thread: a serial stream of user-transactions, each
@@ -36,8 +38,21 @@ type Thread struct {
 
 	pending sync.WaitGroup
 
-	statsMu sync.Mutex
-	stats   Stats
+	// stats is the thread's unshared statistics shard (SNIPPETS-style
+	// per-thread counters). It is written only by finishCommit, whose
+	// invocations are serialized per thread by the commit order: the
+	// next transaction's commit-task cannot reach finishCommit before
+	// this one stores completedTask, which happens after the fold. No
+	// mutex guards the hot path; synced tracks what Sync has already
+	// merged into the runtime-global aggregate.
+	stats  Stats
+	synced Stats
+
+	// commitScratch holds the commit-time r-lock bookkeeping of this
+	// thread's transaction commits. Commit-tasks are serialized per
+	// thread (see stats above), so one scratch per thread suffices and
+	// writer commits allocate nothing at steady state.
+	commitScratch txlog.CommitScratch
 }
 
 // ID reports the thread's identifier within its runtime.
@@ -118,14 +133,23 @@ func (thr *Thread) Atomic(fns ...TaskFunc) error {
 }
 
 // Sync waits until every submitted user-transaction has committed and
-// all task goroutines have exited.
-func (thr *Thread) Sync() { thr.pending.Wait() }
+// all task goroutines have exited, then merges the thread's statistics
+// shard (the part not yet merged) into the runtime-global aggregate.
+func (thr *Thread) Sync() {
+	thr.pending.Wait()
+	delta := thr.stats.minus(thr.synced)
+	if delta != (Stats{}) {
+		thr.rt.stats.Merge(delta)
+		thr.synced = thr.stats
+	}
+}
 
-// Stats returns a snapshot of the thread's accumulated statistics. Call
-// after Sync (or at least after the transactions of interest committed).
+// Stats returns a snapshot of the thread's accumulated statistics. The
+// shard is unsynchronized: call it only when the thread is quiescent —
+// after Sync, or after Wait on the *last* submitted transaction (the
+// fold happens before a handle unblocks). Calling it while a later
+// transaction is still in flight is a data race.
 func (thr *Thread) Stats() Stats {
-	thr.statsMu.Lock()
-	defer thr.statsMu.Unlock()
 	return thr.stats
 }
 
@@ -173,6 +197,24 @@ func (s *Stats) Add(o Stats) {
 	s.RestartSandbox += o.RestartSandbox
 	s.Work += o.Work
 	s.VirtualTime += o.VirtualTime
+}
+
+// minus returns the fieldwise difference s−o. It is only meaningful
+// when o is an earlier snapshot of s (counters are monotonic), which is
+// how Sync computes the not-yet-merged part of a thread's shard.
+func (s Stats) minus(o Stats) Stats {
+	return Stats{
+		TxCommitted:    s.TxCommitted - o.TxCommitted,
+		TxAborted:      s.TxAborted - o.TxAborted,
+		TaskRestarts:   s.TaskRestarts - o.TaskRestarts,
+		RestartWAR:     s.RestartWAR - o.RestartWAR,
+		RestartWAW:     s.RestartWAW - o.RestartWAW,
+		RestartExtend:  s.RestartExtend - o.RestartExtend,
+		RestartCM:      s.RestartCM - o.RestartCM,
+		RestartSandbox: s.RestartSandbox - o.RestartSandbox,
+		Work:           s.Work - o.Work,
+		VirtualTime:    s.VirtualTime - o.VirtualTime,
+	}
 }
 
 // txState is the shared state of one user-transaction.

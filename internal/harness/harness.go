@@ -78,18 +78,25 @@ func (r Result) String() string {
 }
 
 // RunSTM executes the workload on a fresh-thread pool over the SwissTM
-// baseline: each TxSeq runs as one flat transaction.
+// baseline: each TxSeq runs as one flat transaction. Every thread runs
+// on its own stm.Worker, so statistics accumulate into unshared shards
+// (merged into the runtime aggregate at worker exit) and the hot path
+// reuses one pooled transaction descriptor per thread.
 func RunSTM(rt *stm.Runtime, w Workload) Result {
 	start := time.Now()
-	stats := make([]stm.Stats, w.Threads)
+	workers := make([]*stm.Worker, w.Threads)
+	for th := range workers {
+		workers[th] = rt.NewWorker()
+	}
 	var wg sync.WaitGroup
 	for th := 0; th < w.Threads; th++ {
 		wg.Add(1)
 		go func(th int) {
 			defer wg.Done()
+			wk := workers[th]
 			for i := 0; i < w.TxPerThread; i++ {
 				seq := w.Make(th, i)
-				rt.Atomic(&stats[th], func(tx *stm.Tx) {
+				wk.Atomic(func(tx *stm.Tx) {
 					for _, body := range seq {
 						body(tx)
 					}
@@ -104,12 +111,14 @@ func RunSTM(rt *stm.Runtime, w Workload) Result {
 		Ops:   uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
 		Wall:  time.Since(start),
 	}
-	for _, st := range stats {
+	for _, wk := range workers {
+		st := wk.Stats()
 		res.TxCommitted += st.Commits
 		res.TxAborted += st.Aborts
 		if st.Work > res.VirtualUnits {
 			res.VirtualUnits = st.Work // threads run in parallel
 		}
+		wk.Close() // merge the shard into the runtime aggregate
 	}
 	return res
 }

@@ -1,0 +1,164 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+
+	"tlstm/internal/tm"
+)
+
+// Deeper coverage of the allocator's overflow path (blocks larger than
+// maxSizeClass live on a single first-fit list) and of the store's
+// reserve/grow concurrency.
+
+// First-fit must skip overflow blocks that are too small and reuse the
+// first one large enough.
+func TestOverflowFirstFitSkipsTooSmall(t *testing.T) {
+	s := NewStore()
+	al := NewAllocator(s)
+
+	small := al.Alloc(maxSizeClass + 10)
+	large := al.Alloc(maxSizeClass + 500)
+	al.Free(small)
+	al.Free(large)
+
+	got := al.Alloc(maxSizeClass + 100)
+	if got != large {
+		t.Fatalf("Alloc(%d) = %#x, want the large overflow block %#x (small %#x cannot fit)",
+			maxSizeClass+100, got, large, small)
+	}
+	// The small block must still be reusable for a fitting request.
+	if got := al.Alloc(maxSizeClass + 5); got != small {
+		t.Fatalf("small overflow block not reused: got %#x want %#x", got, small)
+	}
+}
+
+// A reused overflow block keeps its original header: BlockSize reports
+// the size it was created with, not the smaller re-request, and the
+// header word sits at base−1 exactly like a malloc header.
+func TestOverflowHeaderSemantics(t *testing.T) {
+	s := NewStore()
+	al := NewAllocator(s)
+
+	const orig = maxSizeClass + 300
+	a := al.Alloc(orig)
+	if al.BlockSize(a) != orig {
+		t.Fatalf("BlockSize = %d, want %d", al.BlockSize(a), orig)
+	}
+	if hdr := s.LoadWord(a - headerWords); hdr != orig {
+		t.Fatalf("header word = %d, want %d", hdr, orig)
+	}
+
+	al.Free(a)
+	again := al.Alloc(maxSizeClass + 50)
+	if again != a {
+		t.Fatalf("expected first-fit reuse of %#x, got %#x", a, again)
+	}
+	if al.BlockSize(again) != orig {
+		t.Fatalf("reused block BlockSize = %d, want original %d (header must survive reuse)",
+			al.BlockSize(again), orig)
+	}
+}
+
+// The requested prefix of a recycled overflow block must come back
+// zeroed even if the previous user scribbled on it.
+func TestOverflowReuseZeroesRequestedWords(t *testing.T) {
+	s := NewStore()
+	al := NewAllocator(s)
+
+	const orig = maxSizeClass + 64
+	a := al.Alloc(orig)
+	for i := 0; i < orig; i++ {
+		s.StoreWord(a+tm.Addr(i), ^uint64(0))
+	}
+	al.Free(a)
+
+	const re = maxSizeClass + 8
+	got := al.Alloc(re)
+	if got != a {
+		t.Fatalf("expected reuse of %#x, got %#x", a, got)
+	}
+	for i := 0; i < re; i++ {
+		if v := s.LoadWord(got + tm.Addr(i)); v != 0 {
+			t.Fatalf("word %d of recycled block = %#x, want 0", i, v)
+		}
+	}
+}
+
+// LiveBlocks must track overflow blocks exactly like size-classed ones,
+// across fresh allocation, free and first-fit reuse.
+func TestOverflowLiveBlocksAccounting(t *testing.T) {
+	s := NewStore()
+	al := NewAllocator(s)
+
+	if al.LiveBlocks() != 0 {
+		t.Fatalf("fresh allocator LiveBlocks = %d", al.LiveBlocks())
+	}
+	a := al.Alloc(maxSizeClass + 1)
+	b := al.Alloc(maxSizeClass + 2)
+	small := al.Alloc(4)
+	if al.LiveBlocks() != 3 {
+		t.Fatalf("LiveBlocks = %d, want 3", al.LiveBlocks())
+	}
+	al.Free(a)
+	if al.LiveBlocks() != 2 {
+		t.Fatalf("LiveBlocks after overflow free = %d, want 2", al.LiveBlocks())
+	}
+	if got := al.Alloc(maxSizeClass + 1); got != a {
+		t.Fatalf("expected reuse of %#x, got %#x", a, got)
+	}
+	if al.LiveBlocks() != 3 {
+		t.Fatalf("LiveBlocks after overflow reuse = %d, want 3", al.LiveBlocks())
+	}
+	al.Free(b)
+	al.Free(small)
+	al.Free(a)
+	if al.LiveBlocks() != 0 {
+		t.Fatalf("LiveBlocks after freeing all = %d, want 0", al.LiveBlocks())
+	}
+}
+
+// Concurrent reserve calls crossing page boundaries must hand out
+// non-overlapping runs and grow the page directory safely: every
+// goroutine writes a signature across its whole run and verifies it
+// after the dust settles. Run with -race this doubles as a
+// reserve/grow race test (copy-on-write directory vs concurrent
+// readers).
+func TestConcurrentReserveGrowRace(t *testing.T) {
+	s := NewStore()
+	const workers = 8
+	const perWorker = 24
+	// Runs sized near half a page force frequent directory growth and
+	// make overlapping runs certain to collide on the signature check.
+	const runWords = pageWords/2 + 17
+
+	bases := make([][]tm.Addr, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sig := uint64(w + 1)
+			for i := 0; i < perWorker; i++ {
+				base := s.reserve(runWords)
+				bases[w] = append(bases[w], base)
+				for off := uint64(0); off < runWords; off += 97 {
+					s.StoreWord(base+tm.Addr(off), sig<<32|off)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w := range bases {
+		sig := uint64(w + 1)
+		for _, base := range bases[w] {
+			for off := uint64(0); off < runWords; off += 97 {
+				if v := s.LoadWord(base + tm.Addr(off)); v != sig<<32|off {
+					t.Fatalf("worker %d base %#x off %d: word = %#x, want %#x (overlapping reserve?)",
+						w, base, off, v, sig<<32|off)
+				}
+			}
+		}
+	}
+}

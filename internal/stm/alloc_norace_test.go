@@ -1,0 +1,45 @@
+//go:build !race
+
+package stm_test
+
+import (
+	"testing"
+
+	"tlstm/internal/stm"
+)
+
+// Zero-allocation assertions for the SwissTM hot paths. They live
+// behind !race because the race detector's instrumentation perturbs
+// allocation counting.
+
+func TestWorkerAtomicReadWriteZeroAlloc(t *testing.T) {
+	w, _, body := setupWorker(t)
+	if n := testing.AllocsPerRun(200, func() { w.Atomic(body) }); n != 0 {
+		t.Fatalf("warmed read/write Atomic allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestWorkerAtomicReadOnlyZeroAlloc(t *testing.T) {
+	w, addrs, _ := setupWorker(t)
+	var sink uint64
+	body := func(tx *stm.Tx) {
+		for _, a := range addrs {
+			sink += tx.Load(a)
+		}
+	}
+	w.Atomic(body)
+	if n := testing.AllocsPerRun(200, func() { w.Atomic(body) }); n != 0 {
+		t.Fatalf("warmed read-only Atomic allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestRuntimeAtomicPooledZeroAlloc(t *testing.T) {
+	rt := stm.New()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	body := func(tx *stm.Tx) { tx.Store(a, tx.Load(a)+1) }
+	rt.Atomic(nil, body)
+	if n := testing.AllocsPerRun(200, func() { rt.Atomic(nil, body) }); n != 0 {
+		t.Fatalf("pooled Runtime.Atomic allocates %.1f objects/op, want 0", n)
+	}
+}

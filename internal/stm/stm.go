@@ -18,16 +18,28 @@
 //     buffered values, and release both locks;
 //   - write/write conflicts go through a two-phase greedy contention
 //     manager.
+//
+// The transaction-engine bookkeeping (read/write logs, commit scratch,
+// the commit clock, stats sharding) lives in the shared infrastructure
+// packages internal/txlog, internal/clock and internal/txstats; this
+// package contributes only the SwissTM protocol itself. Hot paths are
+// allocation-free at steady state: a Worker owns a pooled transaction
+// descriptor whose logs, scratch buffers and write-lock entries are
+// reused across transactions.
 package stm
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 
+	"tlstm/internal/clock"
 	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
 	"tlstm/internal/mem"
 	"tlstm/internal/tm"
+	"tlstm/internal/txlog"
+	"tlstm/internal/txstats"
 )
 
 // Option configures a Runtime.
@@ -43,15 +55,23 @@ func WithLockTableBits(bits int) Option {
 }
 
 // Runtime is one SwissTM instance: a word store, an allocator, a lock
-// table, the global commit counter and a contention manager. Independent
+// table, the global commit clock and a contention manager. Independent
 // Runtimes are fully isolated from each other.
 type Runtime struct {
 	store *mem.Store
 	alloc *mem.Allocator
 	locks *locktable.Table
 
-	commitTS atomic.Uint64
-	cm       cm.Greedy
+	clk clock.Clock
+	cm  cm.Greedy
+
+	// stats aggregates the shards merged by Worker.Close (SNIPPETS-style
+	// per-thread stats: workers accumulate unshared, merge at exit).
+	stats txstats.Aggregate[Stats, *Stats]
+
+	// workerPool backs the descriptor-per-call compatibility entry point
+	// (*Runtime).Atomic with reusable Workers.
+	workerPool sync.Pool
 }
 
 // New creates a SwissTM runtime.
@@ -69,7 +89,7 @@ func New(opts ...Option) *Runtime {
 }
 
 // CommitTS exposes the current global commit timestamp (for tests).
-func (rt *Runtime) CommitTS() uint64 { return rt.commitTS.Load() }
+func (rt *Runtime) CommitTS() uint64 { return rt.clk.Now() }
 
 // Allocator exposes the runtime's allocator for non-transactional setup
 // code (building initial data structures before threads start).
@@ -104,6 +124,10 @@ func (s *Stats) Add(o Stats) {
 	s.Aborts += o.Aborts
 	s.Work += o.Work
 }
+
+// Stats returns the runtime-global aggregate: the sum of every shard
+// merged so far by Worker.Close.
+func (rt *Runtime) Stats() Stats { return rt.stats.Snapshot() }
 
 // rollbackSignal is the panic value used internally to unwind a
 // transaction attempt back to the retry loop in Atomic. It never escapes
@@ -140,64 +164,114 @@ func (tx *Tx) tick(units uint64) {
 	}
 }
 
-// Tx is one transaction attempt handle. It implements tm.Tx. A Tx is
-// only valid inside the function passed to Atomic and must not be
-// retained or shared across goroutines.
+// Tx is one transaction descriptor. It implements tm.Tx. A Tx is only
+// valid inside the function passed to Atomic and must not be retained
+// or shared across goroutines.
+//
+// The descriptor is embedded in its Worker and reused across attempts
+// and transactions: logs and scratch buffers keep their backing
+// storage, retired write-lock entries are recycled through the write
+// log's pool, and the owner header and abort/greedy slots are reset in
+// place. A consequence of reuse is that a contention manager holding a
+// stale entry pointer may signal our abort slot just after a new
+// attempt begins; that costs one spurious (harmless) retry and is the
+// price of an allocation-free hot path.
 type Tx struct {
 	rt      *Runtime
 	validTS uint64
 
-	owner   *locktable.OwnerRef
-	greedTS *atomic.Uint64 // greedy CM slot, persists across retries
+	// owner is the stable cross-thread header installed in this
+	// descriptor's write-lock entries. Its pointer fields are wired to
+	// the atomics below once, at Worker creation.
+	owner   locktable.OwnerRef
+	abortTx atomic.Bool
+	greedTS atomic.Uint64 // greedy CM slot, persists across retries
 
-	readLog  []readEntry
-	writeLog []*locktable.WEntry
+	readLog  txlog.ReadLog
+	writeLog txlog.WriteLog
+	scratch  txlog.CommitScratch
 
 	allocs []tm.Addr // fresh blocks to release on abort
 	frees  []tm.Addr // deferred frees to apply on commit
 
-	work      uint64 // work units of the current attempt
+	work      uint64 // work units of the current transaction (all attempts)
 	aborts    uint64
 	cmDefeats int // conflicts lost so far (two-phase greedy escalation)
-}
-
-type readEntry struct {
-	pair    *locktable.Pair
-	version uint64
 }
 
 // completedZero is a shared always-zero counter: the baseline has no
 // task pipeline, so OwnerRef progress is constant.
 var completedZero atomic.Int64
 
-func (rt *Runtime) newOwner(greedTS *atomic.Uint64, abortTx *atomic.Bool) *locktable.OwnerRef {
-	return &locktable.OwnerRef{
+// Worker is one execution context — the software analogue of the
+// per-thread transaction descriptor every serious TM implementation
+// keeps. It owns a reusable Tx and an unshared statistics shard, so at
+// steady state Atomic neither allocates nor touches shared stats state.
+// A Worker must be used by one goroutine at a time.
+type Worker struct {
+	rt    *Runtime
+	tx    Tx
+	stats Stats // unshared shard; merged into rt.stats by Close
+}
+
+// NewWorker creates a worker context for this runtime.
+func (rt *Runtime) NewWorker() *Worker {
+	w := &Worker{rt: rt}
+	w.tx.rt = rt
+	w.tx.owner = locktable.OwnerRef{
 		ThreadID:      -1,
 		StartSerial:   0,
 		CompletedTask: &completedZero,
-		AbortTx:       abortTx,
-		AbortInternal: abortTx, // no intra-thread signals in the baseline
-		Timestamp:     greedTS,
+		AbortTx:       &w.tx.abortTx,
+		AbortInternal: &w.tx.abortTx, // no intra-thread signals in the baseline
+		Timestamp:     &w.tx.greedTS,
 	}
+	return w
+}
+
+// Atomic runs fn as one transaction, retrying on conflict until it
+// commits, and accumulates commit/abort counts and work units into the
+// worker's private stats shard. fn must be re-executable: it may run
+// several times and must not perform external side effects.
+func (w *Worker) Atomic(fn func(tx *Tx)) {
+	w.atomic(&w.stats, fn)
+}
+
+// Stats returns a snapshot of the worker's unshared shard.
+func (w *Worker) Stats() Stats { return w.stats }
+
+// Close merges the worker's shard into the runtime-global aggregate and
+// zeroes the shard. The worker stays usable (Close acts as a flush).
+func (w *Worker) Close() {
+	w.rt.stats.Merge(w.stats)
+	w.stats = Stats{}
 }
 
 // Atomic runs fn as one transaction, retrying on conflict until it
 // commits. If st is non-nil, commit/abort counts and work units are
 // accumulated into it. fn must be re-executable: it may run several
 // times and must not perform external side effects.
+//
+// This entry point borrows a pooled Worker per call; code with a
+// natural per-thread structure should create Workers directly.
 func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
-	var greedTS atomic.Uint64
-	tx := &Tx{rt: rt, greedTS: &greedTS, cmDefeats: 0}
-	for {
-		var abortTx atomic.Bool
-		tx.owner = rt.newOwner(&greedTS, &abortTx)
-		tx.validTS = rt.commitTS.Load()
-		tx.work += txStartCost
-		tx.readLog = tx.readLog[:0]
-		tx.writeLog = tx.writeLog[:0]
-		tx.allocs = tx.allocs[:0]
-		tx.frees = tx.frees[:0]
+	w, _ := rt.workerPool.Get().(*Worker)
+	if w == nil {
+		w = rt.NewWorker()
+	}
+	w.atomic(st, fn)
+	rt.workerPool.Put(w)
+}
 
+// atomic is the retry loop shared by both entry points.
+func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
+	tx := &w.tx
+	tx.greedTS.Store(0)
+	tx.cmDefeats = 0
+	tx.work = 0
+	tx.aborts = 0
+	for {
+		tx.beginAttempt()
 		if tx.attempt(fn) {
 			break
 		}
@@ -214,6 +288,19 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 		st.Aborts += tx.aborts
 		st.Work += tx.work
 	}
+}
+
+// beginAttempt resets the descriptor for one attempt. Entries retired
+// by the previous attempt (or previous transaction) are detached from
+// the lock table by then, so they are recycled into the entry pool.
+func (tx *Tx) beginAttempt() {
+	tx.abortTx.Store(false)
+	tx.validTS = tx.rt.clk.Now()
+	tx.work += txStartCost
+	tx.readLog.Reset()
+	tx.writeLog.Recycle()
+	tx.allocs = tx.allocs[:0]
+	tx.frees = tx.frees[:0]
 }
 
 // attempt runs fn once and tries to commit; it reports success and
@@ -250,7 +337,7 @@ func (tx *Tx) rollback() {
 }
 
 func (tx *Tx) releaseWrites() {
-	for _, e := range tx.writeLog {
+	for _, e := range tx.writeLog.Entries() {
 		// The baseline never stacks entries: eager W/W locking admits
 		// one writer per pair, so our entry is the head with no Prev.
 		e.Pair.W.CompareAndSwap(e, nil)
@@ -260,7 +347,7 @@ func (tx *Tx) releaseWrites() {
 // checkSignals aborts the attempt if another transaction's contention
 // manager asked us to.
 func (tx *Tx) checkSignals() {
-	if tx.owner.AbortTx.Load() {
+	if tx.abortTx.Load() {
 		tx.rollback()
 	}
 }
@@ -269,7 +356,7 @@ func (tx *Tx) checkSignals() {
 func (tx *Tx) Load(a tm.Addr) uint64 {
 	tx.tick(1)
 	p := tx.rt.locks.For(a)
-	if e := p.W.Load(); e != nil && e.Owner == tx.owner {
+	if e := p.W.Load(); e != nil && e.Owner == &tx.owner {
 		if v, hit := e.Lookup(a); hit {
 			return v
 		}
@@ -298,7 +385,7 @@ func (tx *Tx) loadCommitted(p *locktable.Pair, a tm.Addr) uint64 {
 		if v1 > tx.validTS {
 			continue // extended, but not far enough; re-read
 		}
-		tx.readLog = append(tx.readLog, readEntry{pair: p, version: v1})
+		tx.readLog.Append(p, v1, nil)
 		return val
 	}
 }
@@ -306,16 +393,16 @@ func (tx *Tx) loadCommitted(p *locktable.Pair, a tm.Addr) uint64 {
 // extend implements lazy snapshot extension: revalidate the read log at
 // the current commit timestamp and advance valid-ts on success.
 func (tx *Tx) extend() bool {
-	ts := tx.rt.commitTS.Load()
-	for i, re := range tx.readLog {
+	ts := tx.rt.clk.Now()
+	for i, re := range tx.readLog.Entries() {
 		if i%validationStride == 0 {
 			tx.work++
 		}
-		cur := re.pair.R.Load()
-		if cur == re.version {
+		cur := re.Pair.R.Load()
+		if cur == re.Version {
 			continue
 		}
-		if tx.ownsPair(re.pair) {
+		if tx.ownsPair(re.Pair) {
 			continue // we hold the w-lock; nobody else can have changed it
 		}
 		return false
@@ -326,7 +413,7 @@ func (tx *Tx) extend() bool {
 
 func (tx *Tx) ownsPair(p *locktable.Pair) bool {
 	e := p.W.Load()
-	return e != nil && e.Owner == tx.owner
+	return e != nil && e.Owner == &tx.owner
 }
 
 // Store implements tm.Tx: eager w-lock acquisition with redo logging.
@@ -337,11 +424,11 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 		tx.checkSignals()
 		e := p.W.Load()
 		if e != nil {
-			if e.Owner == tx.owner {
+			if e.Owner == &tx.owner {
 				e.Update(a, v)
 				return
 			}
-			switch tx.rt.cm.Resolve(tx.greedTS, len(tx.writeLog), tx.cmDefeats, e.Owner) {
+			switch tx.rt.cm.Resolve(&tx.greedTS, tx.writeLog.Len(), tx.cmDefeats, e.Owner) {
 			case cm.AbortSelf:
 				tx.cmDefeats++
 				tx.rollback()
@@ -354,15 +441,12 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 			}
 			continue
 		}
-		ne := &locktable.WEntry{
-			Owner: tx.owner,
-			Pair:  p,
-			Words: []locktable.WordVal{{Addr: a, Val: v}},
-		}
+		ne := tx.writeLog.NewEntry(&tx.owner, 0, p, a, v)
 		if p.W.CompareAndSwap(nil, ne) {
-			tx.writeLog = append(tx.writeLog, ne)
+			tx.writeLog.Append(ne)
 			break
 		}
+		tx.writeLog.Release(ne) // CAS lost; recycle the unused entry
 	}
 	// Mirror of TLSTM Alg. 2 line 52: if the location moved past our
 	// snapshot, extend or die.
@@ -386,7 +470,7 @@ func (tx *Tx) Free(a tm.Addr) {
 
 // commit validates and publishes the transaction (paper §3.1).
 func (tx *Tx) commit() {
-	if len(tx.writeLog) == 0 {
+	if tx.writeLog.Len() == 0 {
 		// Read-only transactions are consistent by construction at
 		// valid-ts; nothing to publish.
 		tx.applyFrees()
@@ -396,55 +480,49 @@ func (tx *Tx) commit() {
 
 	// Phase 1: lock the r-locks of written pairs, remembering the
 	// versions we displace so a failed validation can restore them.
-	saved := make([]uint64, len(tx.writeLog))
-	for i, e := range tx.writeLog {
-		saved[i] = e.Pair.R.Swap(locktable.Locked)
+	// Eager W/W locking guarantees one entry per pair, so every
+	// LockPair is a fresh acquisition.
+	tx.scratch.Reset()
+	for _, e := range tx.writeLog.Entries() {
+		tx.scratch.LockPair(e.Pair)
 		tx.work++
 	}
 
-	ts := tx.rt.commitTS.Add(1)
+	ts := tx.rt.clk.Tick()
 
-	if !tx.validateCommit(saved) {
-		for i, e := range tx.writeLog {
-			e.Pair.R.Store(saved[i])
-		}
+	if !tx.validateCommit() {
+		tx.scratch.Restore()
 		tx.rollback()
 	}
 
 	// Phase 2: publish values, then release locks with the new version.
-	for _, e := range tx.writeLog {
+	for _, e := range tx.writeLog.Entries() {
 		for _, w := range e.Words {
 			tx.rt.store.StoreWord(w.Addr, w.Val)
 			tx.work++
 		}
 	}
-	for _, e := range tx.writeLog {
+	for _, e := range tx.writeLog.Entries() {
 		e.Pair.R.Store(ts)
 		e.Pair.W.CompareAndSwap(e, nil)
 	}
 	tx.applyFrees()
 }
 
-// validateCommit re-checks the read log; pairs we hold r-locked compare
-// against the version they had when we locked them.
-func (tx *Tx) validateCommit(saved []uint64) bool {
-	var pre map[*locktable.Pair]uint64
-	for i, re := range tx.readLog {
+// validateCommit re-checks the read log; pairs this commit holds
+// r-locked compare against the version they had when we locked them
+// (the commit scratch remembers exactly that).
+func (tx *Tx) validateCommit() bool {
+	for i, re := range tx.readLog.Entries() {
 		if i%validationStride == 0 {
 			tx.work++
 		}
-		cur := re.pair.R.Load()
-		if cur == re.version {
+		cur := re.Pair.R.Load()
+		if cur == re.Version {
 			continue
 		}
-		if cur == locktable.Locked && tx.ownsPair(re.pair) {
-			if pre == nil {
-				pre = make(map[*locktable.Pair]uint64, len(tx.writeLog))
-				for i, e := range tx.writeLog {
-					pre[e.Pair] = saved[i]
-				}
-			}
-			if pre[re.pair] == re.version {
+		if cur == locktable.Locked {
+			if pre, ours := tx.scratch.Saved(re.Pair); ours && pre == re.Version {
 				continue
 			}
 		}

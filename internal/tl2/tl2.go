@@ -15,15 +15,21 @@
 //     SwissTM revalidates and extends its snapshot;
 //   - conflict resolution is pure self-abort with backoff (no
 //     contention manager).
+//
+// The engine substrate (version clock, read log, write set, held-lock
+// bookkeeping) comes from internal/clock and internal/txlog; descriptors
+// are pooled per runtime, so steady-state transactions allocate nothing.
 package tl2
 
 import (
 	"runtime"
-	"sort"
+	"sync"
 	"sync/atomic"
 
+	"tlstm/internal/clock"
 	"tlstm/internal/mem"
 	"tlstm/internal/tm"
+	"tlstm/internal/txlog"
 )
 
 // Locked marks a versioned lock held by a committing transaction.
@@ -42,10 +48,12 @@ type Runtime struct {
 	store *mem.Store
 	alloc *mem.Allocator
 
-	clock atomic.Uint64 // global version clock
+	clk clock.Clock // global version clock
 
 	locks []atomic.Uint64 // versioned write-locks (version or locked)
 	mask  uint64
+
+	txPool sync.Pool // *Tx descriptors, reused across Atomic calls
 }
 
 // New creates a TL2 runtime with 2^bits versioned locks.
@@ -81,13 +89,19 @@ type Stats struct {
 
 type rollbackSignal struct{}
 
-// Tx is one TL2 transaction attempt handle; it implements tm.Tx.
+// Tx is one TL2 transaction descriptor; it implements tm.Tx. It is
+// pooled by the runtime and reused across Atomic calls: its read log,
+// write set and held-lock scratch keep their backing storage.
 type Tx struct {
 	rt *Runtime
 	rv uint64 // read version (clock sample at begin)
 
-	readLog  []*atomic.Uint64
-	writeSet map[tm.Addr]uint64
+	// readLog records only lock words: TL2 validates every read
+	// against the single read version rv, so per-entry versions would
+	// be dead weight (txlog.LockLog vs VersionedReadLog).
+	readLog  txlog.LockLog
+	writeSet txlog.WriteSet
+	held     txlog.LockSet // commit-time write locks
 
 	allocs []tm.Addr
 	frees  []tm.Addr
@@ -100,15 +114,17 @@ var _ tm.Tx = (*Tx)(nil)
 
 // Atomic runs fn as one transaction, retrying until commit.
 func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
-	tx := &Tx{rt: rt}
+	tx, _ := rt.txPool.Get().(*Tx)
+	if tx == nil {
+		tx = &Tx{rt: rt}
+	}
+	tx.work = 0
+	tx.aborts = 0
 	for {
-		tx.rv = rt.clock.Load()
-		tx.readLog = tx.readLog[:0]
-		if tx.writeSet == nil {
-			tx.writeSet = make(map[tm.Addr]uint64)
-		} else {
-			clear(tx.writeSet)
-		}
+		tx.rv = rt.clk.Now()
+		tx.readLog.Reset()
+		tx.writeSet.Reset()
+		tx.held.Reset()
 		tx.allocs = tx.allocs[:0]
 		tx.frees = tx.frees[:0]
 		tx.work += txStartCost
@@ -126,6 +142,7 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 		st.Aborts += tx.aborts
 		st.Work += tx.work
 	}
+	rt.txPool.Put(tx)
 }
 
 func (tx *Tx) attempt(fn func(tx *Tx)) (ok bool) {
@@ -162,7 +179,7 @@ func (tx *Tx) tick(units uint64) {
 // Load implements tm.Tx: TL2's versioned read with pre/post lock checks.
 func (tx *Tx) Load(a tm.Addr) uint64 {
 	tx.tick(1)
-	if v, buffered := tx.writeSet[a]; buffered {
+	if v, buffered := tx.writeSet.Get(a); buffered {
 		return v
 	}
 	l := tx.rt.lockFor(a)
@@ -180,7 +197,7 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 			// Newer than our read version: TL2 aborts (no extension).
 			tx.rollback()
 		}
-		tx.readLog = append(tx.readLog, l)
+		tx.readLog.Append(l)
 		return val
 	}
 }
@@ -188,7 +205,7 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 // Store implements tm.Tx: writes buffer in the write set until commit.
 func (tx *Tx) Store(a tm.Addr, v uint64) {
 	tx.tick(2)
-	tx.writeSet[a] = v
+	tx.writeSet.Put(a, v)
 }
 
 // Alloc implements tm.Tx.
@@ -206,33 +223,15 @@ func (tx *Tx) Free(a tm.Addr) { tx.frees = append(tx.frees, a) }
 // avoid deadlock between committers), bump the clock, validate the read
 // set, publish, release.
 func (tx *Tx) commit() {
-	if len(tx.writeSet) == 0 {
+	if tx.writeSet.Len() == 0 {
 		// Read-only: already validated against rv at every read.
 		tx.applyFrees()
 		return
 	}
 
-	addrs := make([]tm.Addr, 0, len(tx.writeSet))
-	for a := range tx.writeSet {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-
-	type held struct {
-		l   *atomic.Uint64
-		ver uint64
-	}
-	heldLocks := make([]held, 0, len(addrs))
-	seen := make(map[*atomic.Uint64]bool, len(addrs))
-	release := func() {
-		for _, h := range heldLocks {
-			h.l.Store(h.ver)
-		}
-	}
-
-	for _, a := range addrs {
+	for _, a := range tx.writeSet.SortedAddrs() {
 		l := tx.rt.lockFor(a)
-		if seen[l] {
+		if tx.held.Holds(l) {
 			continue
 		}
 		acquired := false
@@ -244,53 +243,50 @@ func (tx *Tx) commit() {
 				continue
 			}
 			if v > tx.rv {
-				release()
+				tx.held.Restore()
 				tx.rollback()
 			}
 			if l.CompareAndSwap(v, locked) {
-				heldLocks = append(heldLocks, held{l: l, ver: v})
-				seen[l] = true
+				tx.held.Add(l, v)
 				acquired = true
 				break
 			}
 		}
 		if !acquired {
-			release()
+			tx.held.Restore()
 			tx.rollback()
 		}
 		tx.work++
 	}
 
-	wv := tx.rt.clock.Add(1)
+	wv := tx.rt.clk.Tick()
 
 	// Validate the read set unless nothing could have changed.
 	if wv != tx.rv+1 {
-		for i, l := range tx.readLog {
+		for i, l := range tx.readLog.Locks() {
 			if i%validationStride == 0 {
 				tx.work++
 			}
 			v := l.Load()
 			if v == locked {
-				if !seen[l] {
-					release()
+				if !tx.held.Holds(l) {
+					tx.held.Restore()
 					tx.rollback()
 				}
 				continue
 			}
 			if v > tx.rv {
-				release()
+				tx.held.Restore()
 				tx.rollback()
 			}
 		}
 	}
 
-	for a, v := range tx.writeSet {
+	tx.writeSet.Range(func(a tm.Addr, v uint64) {
 		tx.rt.store.StoreWord(a, v)
 		tx.work++
-	}
-	for _, h := range heldLocks {
-		h.l.Store(wv)
-	}
+	})
+	tx.held.Publish(wv)
 	tx.applyFrees()
 }
 

@@ -1,0 +1,197 @@
+// Package txlog is the shared transaction-engine substrate of the four
+// runtimes in this repository (internal/stm, internal/core,
+// internal/tl2, internal/wtstm): read logs, write logs, write sets,
+// undo logs and commit-time scratch buffers, all owned by a transaction
+// (or task) descriptor and reused across attempts and — where the
+// runtime pools descriptors — across transactions.
+//
+// The design goal is that every hot-path container here is *pooled and
+// reusable*: Reset never frees backing storage, so a warmed transaction
+// performs its read/write/commit work without allocating. Before this
+// package, each runtime re-implemented this bookkeeping privately and
+// the commit paths allocated fresh scratch (a saved-versions slice and
+// a pair→version map) on every writer commit.
+//
+// Two families of primitives exist because the runtimes use two lock
+// representations:
+//
+//   - ReadLog / WriteLog / CommitScratch operate on locktable.Pair
+//     (r-lock, w-lock) pairs — used by SwissTM (internal/stm) and TLSTM
+//     (internal/core);
+//   - VersionedReadLog / LockSet / WriteSet / UndoLog operate on bare
+//     versioned locks (atomic.Uint64) — used by TL2 (internal/tl2) and
+//     the write-through STM (internal/wtstm).
+package txlog
+
+import (
+	"tlstm/internal/locktable"
+	"tlstm/internal/tm"
+)
+
+// NoVersion marks read-log entries whose value came from a speculative
+// (intra-thread) source rather than committed state: they carry no
+// committed version to validate inter-thread (TLSTM tracks their
+// validity purely by redo-chain identity, see internal/core).
+const NoVersion = ^uint64(0)
+
+// ReadEntry records one read at lock-pair granularity.
+//
+// Version is the committed version observed (NoVersion for reads served
+// from a redo-log chain). FirstPast is TLSTM's chain-identity marker:
+// the newest redo-chain entry from a past task of the reading thread at
+// read time (nil if none, and always nil in the SwissTM baseline).
+type ReadEntry struct {
+	Pair      *locktable.Pair
+	Version   uint64
+	FirstPast *locktable.WEntry
+}
+
+// ReadLog is a transaction's read set. The zero value is ready to use;
+// Reset retains capacity so a warmed log appends without allocating.
+type ReadLog struct {
+	entries []ReadEntry
+}
+
+// Reset empties the log, keeping its backing storage.
+func (rl *ReadLog) Reset() { rl.entries = rl.entries[:0] }
+
+// Append records one read.
+func (rl *ReadLog) Append(p *locktable.Pair, version uint64, firstPast *locktable.WEntry) {
+	rl.entries = append(rl.entries, ReadEntry{Pair: p, Version: version, FirstPast: firstPast})
+}
+
+// Entries exposes the recorded reads for validation loops. The slice is
+// owned by the log and valid until the next Append or Reset.
+func (rl *ReadLog) Entries() []ReadEntry { return rl.entries }
+
+// Len reports the number of recorded reads.
+func (rl *ReadLog) Len() int { return len(rl.entries) }
+
+// WriteLog is a transaction's (or task's) ordered set of write-lock
+// entries, with an optional pool of retired entries.
+//
+// Pooling contract: NewEntry reuses a retired entry only if Recycle has
+// been called, and Recycle is only sound when (a) none of the retired
+// entries is still installed in a lock table, and (b) concurrent holders
+// of stale entry pointers read no field other than Owner and the atomics
+// it points to. The SwissTM baseline satisfies both (entries are
+// detached by commit/rollback before the next attempt begins, and
+// cross-thread readers only consult Owner), so it recycles. TLSTM must
+// NOT recycle: its validate-task procedure detects chain changes by
+// entry pointer identity, and reusing an entry on the same pair would
+// let a stale read revalidate against a recycled pointer (ABA).
+type WriteLog struct {
+	entries []*locktable.WEntry
+	free    []*locktable.WEntry
+}
+
+// Reset drops the log's entries without recycling them (TLSTM mode:
+// retired entries keep their identity and are left to the GC).
+func (wl *WriteLog) Reset() { wl.entries = wl.entries[:0] }
+
+// Recycle retires every logged entry into the reuse pool and empties
+// the log (SwissTM mode; see the pooling contract above).
+func (wl *WriteLog) Recycle() {
+	wl.free = append(wl.free, wl.entries...)
+	wl.entries = wl.entries[:0]
+}
+
+// NewEntry returns an entry initialized with one buffered word, reusing
+// a retired entry when one is available. All entries produced by one
+// WriteLog must share the same owner: the Owner field of a pooled entry
+// is written exactly once, when the entry is first allocated, so stale
+// cross-thread readers of Owner never race with reuse.
+func (wl *WriteLog) NewEntry(owner *locktable.OwnerRef, serial int64, p *locktable.Pair, a tm.Addr, v uint64) *locktable.WEntry {
+	if n := len(wl.free); n > 0 {
+		e := wl.free[n-1]
+		wl.free = wl.free[:n-1]
+		e.Serial = serial
+		e.Pair = p
+		e.Prev.Store(nil)
+		e.Words = append(e.Words[:0], locktable.WordVal{Addr: a, Val: v})
+		return e
+	}
+	return &locktable.WEntry{
+		Owner:  owner,
+		Serial: serial,
+		Pair:   p,
+		Words:  []locktable.WordVal{{Addr: a, Val: v}},
+	}
+}
+
+// Append records an entry that has been installed in the lock table.
+func (wl *WriteLog) Append(e *locktable.WEntry) { wl.entries = append(wl.entries, e) }
+
+// Release returns an entry that was never installed (its CAS lost) to
+// the pool, so a contended Store does not leak one pooled entry per
+// race.
+func (wl *WriteLog) Release(e *locktable.WEntry) { wl.free = append(wl.free, e) }
+
+// Entries exposes the installed entries in installation order. The
+// slice is owned by the log and valid until the next Append, Reset or
+// Recycle.
+func (wl *WriteLog) Entries() []*locktable.WEntry { return wl.entries }
+
+// Len reports the number of installed entries.
+func (wl *WriteLog) Len() int { return len(wl.entries) }
+
+// CommitScratch holds the commit-time buffers of a writer commit: the
+// set of pairs whose r-locks the commit holds and the versions it
+// displaced. It replaces the per-commit saved-versions slice and
+// pair→version map the runtimes used to allocate; Reset retains all
+// backing storage, so a warmed committer does not allocate.
+//
+// A CommitScratch belongs to one committing context at a time (one
+// SwissTM transaction descriptor, or one TLSTM thread — whose
+// transaction commits are serialized).
+type CommitScratch struct {
+	pairs []*locktable.Pair
+	saved []uint64
+	index map[*locktable.Pair]int32
+}
+
+// Reset empties the scratch, keeping its backing storage.
+func (cs *CommitScratch) Reset() {
+	cs.pairs = cs.pairs[:0]
+	cs.saved = cs.saved[:0]
+	clear(cs.index)
+}
+
+// LockPair r-locks p (installing the Locked sentinel) and records the
+// displaced version, unless this commit already holds p. It reports
+// whether the pair was newly locked.
+func (cs *CommitScratch) LockPair(p *locktable.Pair) bool {
+	if _, dup := cs.index[p]; dup {
+		return false
+	}
+	if cs.index == nil {
+		cs.index = make(map[*locktable.Pair]int32, 16)
+	}
+	cs.index[p] = int32(len(cs.pairs))
+	cs.pairs = append(cs.pairs, p)
+	cs.saved = append(cs.saved, p.R.Swap(locktable.Locked))
+	return true
+}
+
+// Saved returns the version displaced from p, if this commit locked it.
+func (cs *CommitScratch) Saved(p *locktable.Pair) (uint64, bool) {
+	i, ok := cs.index[p]
+	if !ok {
+		return 0, false
+	}
+	return cs.saved[i], true
+}
+
+// Restore puts every displaced version back (failed validation).
+func (cs *CommitScratch) Restore() {
+	for i, p := range cs.pairs {
+		p.R.Store(cs.saved[i])
+	}
+}
+
+// Pairs exposes the locked pairs in locking order. The slice is owned
+// by the scratch and valid until the next LockPair or Reset.
+func (cs *CommitScratch) Pairs() []*locktable.Pair { return cs.pairs }
+
+// Len reports the number of locked pairs.
+func (cs *CommitScratch) Len() int { return len(cs.pairs) }

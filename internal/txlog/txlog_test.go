@@ -1,0 +1,218 @@
+package txlog
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"tlstm/internal/locktable"
+	"tlstm/internal/tm"
+)
+
+func TestWriteLogRecycleReusesEntries(t *testing.T) {
+	tbl := locktable.NewTable(8)
+	owner := &locktable.OwnerRef{ThreadID: -1}
+	var wl WriteLog
+
+	e1 := wl.NewEntry(owner, 0, tbl.For(1), 1, 10)
+	e2 := wl.NewEntry(owner, 0, tbl.For(2), 2, 20)
+	e2.Prev.Store(e1)
+	wl.Append(e1)
+	wl.Append(e2)
+	if wl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", wl.Len())
+	}
+	wl.Recycle()
+	if wl.Len() != 0 {
+		t.Fatalf("Len after Recycle = %d, want 0", wl.Len())
+	}
+
+	// The pool must hand the same entries back, re-initialized.
+	r1 := wl.NewEntry(owner, 7, tbl.For(3), 3, 30)
+	r2 := wl.NewEntry(owner, 7, tbl.For(4), 4, 40)
+	if (r1 != e1 && r1 != e2) || (r2 != e1 && r2 != e2) || r1 == r2 {
+		t.Fatal("Recycle must feed NewEntry from the retired entries")
+	}
+	for _, e := range []*locktable.WEntry{r1, r2} {
+		if e.Owner != owner || e.Serial != 7 || e.Prev.Load() != nil {
+			t.Fatalf("recycled entry not re-initialized: %+v", e)
+		}
+		if len(e.Words) != 1 {
+			t.Fatalf("recycled entry Words = %v, want exactly the new word", e.Words)
+		}
+	}
+	if v, ok := r1.Lookup(3); !ok || v != 30 {
+		t.Fatalf("recycled entry Lookup(3) = %d,%v", v, ok)
+	}
+}
+
+func TestWriteLogResetDoesNotRecycle(t *testing.T) {
+	tbl := locktable.NewTable(8)
+	owner := &locktable.OwnerRef{}
+	var wl WriteLog
+	e := wl.NewEntry(owner, 0, tbl.For(1), 1, 1)
+	wl.Append(e)
+	wl.Reset()
+	if got := wl.NewEntry(owner, 0, tbl.For(1), 1, 1); got == e {
+		t.Fatal("Reset must not return entries to the pool (TLSTM chain identity)")
+	}
+}
+
+func TestWriteLogReleaseReturnsLoserToPool(t *testing.T) {
+	tbl := locktable.NewTable(8)
+	owner := &locktable.OwnerRef{}
+	var wl WriteLog
+	e := wl.NewEntry(owner, 0, tbl.For(1), 1, 1)
+	wl.Release(e) // CAS lost: entry never installed
+	if got := wl.NewEntry(owner, 0, tbl.For(2), 2, 2); got != e {
+		t.Fatal("released entry must be reused")
+	}
+}
+
+func TestCommitScratchLockRestorePublish(t *testing.T) {
+	tbl := locktable.NewTable(8)
+	p1, p2 := tbl.For(1), tbl.For(2)
+	p1.R.Store(5)
+	p2.R.Store(9)
+
+	var cs CommitScratch
+	if !cs.LockPair(p1) || !cs.LockPair(p2) {
+		t.Fatal("first LockPair per pair must report newly locked")
+	}
+	if cs.LockPair(p1) {
+		t.Fatal("duplicate LockPair must report already locked")
+	}
+	if p1.R.Load() != locktable.Locked || p2.R.Load() != locktable.Locked {
+		t.Fatal("LockPair must install the Locked sentinel")
+	}
+	if v, ok := cs.Saved(p1); !ok || v != 5 {
+		t.Fatalf("Saved(p1) = %d,%v want 5,true", v, ok)
+	}
+	if _, ok := cs.Saved(tbl.For(3)); ok {
+		t.Fatal("Saved must miss on pairs this commit did not lock")
+	}
+
+	cs.Restore()
+	if p1.R.Load() != 5 || p2.R.Load() != 9 {
+		t.Fatal("Restore must put displaced versions back")
+	}
+
+	cs.Reset()
+	cs.LockPair(p1)
+	for _, p := range cs.Pairs() {
+		p.R.Store(42)
+	}
+	if p1.R.Load() != 42 || p2.R.Load() != 9 {
+		t.Fatal("publish via Pairs must touch exactly the locked pairs")
+	}
+}
+
+func TestReadLogAppendReset(t *testing.T) {
+	tbl := locktable.NewTable(8)
+	var rl ReadLog
+	rl.Append(tbl.For(1), 3, nil)
+	rl.Append(tbl.For(2), NoVersion, nil)
+	if rl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", rl.Len())
+	}
+	es := rl.Entries()
+	if es[0].Version != 3 || es[1].Version != NoVersion {
+		t.Fatalf("entries = %+v", es)
+	}
+	rl.Reset()
+	if rl.Len() != 0 {
+		t.Fatal("Reset must empty the log")
+	}
+}
+
+func TestLockLogAppendReset(t *testing.T) {
+	var l1, l2 atomic.Uint64
+	var ll LockLog
+	ll.Append(&l1)
+	ll.Append(&l2)
+	if ll.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ll.Len())
+	}
+	locks := ll.Locks()
+	if locks[0] != &l1 || locks[1] != &l2 {
+		t.Fatal("Locks must expose entries in append order")
+	}
+	ll.Reset()
+	if ll.Len() != 0 {
+		t.Fatal("Reset must empty the log")
+	}
+}
+
+func TestLockSetRestorePublish(t *testing.T) {
+	var l1, l2 atomic.Uint64
+	l1.Store(1)
+	l2.Store(2)
+	const locked = ^uint64(0)
+
+	var ls LockSet
+	v1 := l1.Swap(locked)
+	ls.Add(&l1, v1)
+	if !ls.Holds(&l1) || ls.Holds(&l2) {
+		t.Fatal("Holds membership wrong")
+	}
+	ls.Restore()
+	if l1.Load() != 1 {
+		t.Fatalf("Restore: l1 = %d, want 1", l1.Load())
+	}
+	if ls.Len() != 0 || ls.Holds(&l1) {
+		t.Fatal("Restore must empty the set")
+	}
+
+	ls.Add(&l1, l1.Swap(locked))
+	ls.Add(&l2, l2.Swap(locked))
+	ls.Publish(7)
+	if l1.Load() != 7 || l2.Load() != 7 {
+		t.Fatal("Publish must stamp the new version")
+	}
+	if ls.Len() != 0 {
+		t.Fatal("Publish must empty the set")
+	}
+}
+
+func TestWriteSetPutGetSorted(t *testing.T) {
+	var ws WriteSet
+	if _, ok := ws.Get(1); ok {
+		t.Fatal("empty set must miss")
+	}
+	ws.Put(30, 3)
+	ws.Put(10, 1)
+	ws.Put(20, 2)
+	ws.Put(10, 11) // overwrite
+	if ws.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ws.Len())
+	}
+	if v, ok := ws.Get(10); !ok || v != 11 {
+		t.Fatalf("Get(10) = %d,%v want 11,true", v, ok)
+	}
+	addrs := ws.SortedAddrs()
+	if len(addrs) != 3 || addrs[0] != 10 || addrs[1] != 20 || addrs[2] != 30 {
+		t.Fatalf("SortedAddrs = %v", addrs)
+	}
+	sum := uint64(0)
+	ws.Range(func(a tm.Addr, v uint64) { sum += v })
+	if sum != 11+2+3 {
+		t.Fatalf("Range sum = %d", sum)
+	}
+	ws.Reset()
+	if ws.Len() != 0 {
+		t.Fatal("Reset must empty the set")
+	}
+}
+
+func TestUndoLogOrder(t *testing.T) {
+	var ul UndoLog
+	ul.Append(1, 10)
+	ul.Append(2, 20)
+	recs := ul.Recs()
+	if len(recs) != 2 || recs[0] != (UndoRec{1, 10}) || recs[1] != (UndoRec{2, 20}) {
+		t.Fatalf("recs = %+v", recs)
+	}
+	ul.Reset()
+	if ul.Len() != 0 {
+		t.Fatal("Reset must empty the log")
+	}
+}

@@ -1,0 +1,47 @@
+// Package txstats implements the per-thread statistics idiom used by
+// mature TM runtimes (e.g. the per-thread tm_stats_t counters that
+// hardware-TM harnesses merge at thread exit): every worker accumulates
+// its execution counters into a private, unshared shard and folds the
+// shard into a global aggregate only at synchronization boundaries
+// (worker exit, Sync). The hot path — one commit, one abort, one work
+// charge — therefore never touches a shared cache line, and the only
+// mutex in the system guards the cold merge.
+//
+// The aggregate is generic over the concrete stats struct so the four
+// runtimes (each with its own counter set) share one implementation.
+package txstats
+
+import "sync"
+
+// Folder is implemented by a stats struct pointer that can fold another
+// value of the same struct into itself (the runtimes' Stats.Add).
+type Folder[S any] interface {
+	Add(S)
+}
+
+// Aggregate is the global side of the sharding idiom: a mutex-guarded
+// total that worker shards are merged into. The zero value is ready to
+// use. All methods are safe for concurrent use; the intended pattern is
+// that Merge is called rarely (per worker exit or per Sync), never per
+// transaction.
+type Aggregate[S any, PS interface {
+	*S
+	Folder[S]
+}] struct {
+	mu    sync.Mutex
+	total S
+}
+
+// Merge folds one worker's shard into the global total.
+func (a *Aggregate[S, PS]) Merge(shard S) {
+	a.mu.Lock()
+	PS(&a.total).Add(shard)
+	a.mu.Unlock()
+}
+
+// Snapshot returns a copy of the global total.
+func (a *Aggregate[S, PS]) Snapshot() S {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}

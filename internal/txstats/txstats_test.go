@@ -1,0 +1,53 @@
+package txstats
+
+import (
+	"sync"
+	"testing"
+)
+
+type counters struct {
+	A uint64
+	B uint64
+}
+
+func (c *counters) Add(o counters) {
+	c.A += o.A
+	c.B += o.B
+}
+
+func TestMergeAndSnapshot(t *testing.T) {
+	var agg Aggregate[counters, *counters]
+	agg.Merge(counters{A: 1, B: 2})
+	agg.Merge(counters{A: 10, B: 20})
+	got := agg.Snapshot()
+	if got.A != 11 || got.B != 22 {
+		t.Fatalf("snapshot = %+v, want {11 22}", got)
+	}
+}
+
+func TestConcurrentMerges(t *testing.T) {
+	const workers = 16
+	const perWorker = 500
+
+	var agg Aggregate[counters, *counters]
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker accumulates unshared, merges once at exit —
+			// the intended usage pattern.
+			var shard counters
+			for i := 0; i < perWorker; i++ {
+				shard.A++
+				shard.B += 2
+			}
+			agg.Merge(shard)
+		}()
+	}
+	wg.Wait()
+	got := agg.Snapshot()
+	if got.A != workers*perWorker || got.B != 2*workers*perWorker {
+		t.Fatalf("snapshot = %+v, want {%d %d}", got, workers*perWorker, 2*workers*perWorker)
+	}
+}

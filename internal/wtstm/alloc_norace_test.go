@@ -1,0 +1,30 @@
+//go:build !race
+
+package wtstm
+
+import (
+	"testing"
+
+	"tlstm/internal/tm"
+)
+
+// The pooled write-through descriptor must make a warmed Atomic —
+// eager locking, undo logging, lock-release commit — allocation-free.
+// (!race: AllocsPerRun is not meaningful under the race detector.)
+func TestAtomicZeroAllocWarmed(t *testing.T) {
+	rt := New(8)
+	d := rt.Direct()
+	addrs := make([]tm.Addr, 8)
+	for i := range addrs {
+		addrs[i] = d.Alloc(1)
+	}
+	body := func(tx *Tx) {
+		for _, a := range addrs {
+			tx.Store(a, tx.Load(a)+1)
+		}
+	}
+	rt.Atomic(nil, body)
+	if n := testing.AllocsPerRun(200, func() { rt.Atomic(nil, body) }); n != 0 {
+		t.Fatalf("warmed write-through Atomic allocates %.1f objects/op, want 0", n)
+	}
+}

@@ -20,14 +20,22 @@
 // The trade-off measured by the ablation: cheap commits and no
 // redo-chain traversal on read-own-write, against wasted in-place
 // writes on abort and reader-hostile eager locking.
+//
+// The engine substrate (version clock, read log, undo log, held-lock
+// bookkeeping) comes from internal/clock and internal/txlog;
+// descriptors are pooled per runtime, so steady-state transactions
+// allocate nothing.
 package wtstm
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 
+	"tlstm/internal/clock"
 	"tlstm/internal/mem"
 	"tlstm/internal/tm"
+	"tlstm/internal/txlog"
 )
 
 const locked = ^uint64(0)
@@ -43,10 +51,12 @@ type Runtime struct {
 	store *mem.Store
 	alloc *mem.Allocator
 
-	clock atomic.Uint64
+	clk clock.Clock
 
 	locks []atomic.Uint64
 	mask  uint64
+
+	txPool sync.Pool // *Tx descriptors, reused across Atomic calls
 }
 
 // New creates a runtime with 2^bits versioned locks.
@@ -82,25 +92,16 @@ type Stats struct {
 
 type rollbackSignal struct{}
 
-type undoRec struct {
-	addr tm.Addr
-	old  uint64
-}
-
-type heldLock struct {
-	l   *atomic.Uint64
-	ver uint64 // displaced version, restored on abort
-}
-
-// Tx is one write-through transaction attempt; it implements tm.Tx.
+// Tx is one write-through transaction descriptor; it implements tm.Tx.
+// It is pooled by the runtime and reused across Atomic calls: its read
+// log, undo log and held-lock scratch keep their backing storage.
 type Tx struct {
 	rt *Runtime
 	rv uint64
 
-	readLog []readRec
-	undo    []undoRec
-	held    []heldLock
-	mine    map[*atomic.Uint64]bool
+	readLog txlog.VersionedReadLog
+	undo    txlog.UndoLog
+	held    txlog.LockSet
 
 	allocs []tm.Addr
 	frees  []tm.Addr
@@ -109,26 +110,21 @@ type Tx struct {
 	aborts uint64
 }
 
-type readRec struct {
-	l   *atomic.Uint64
-	ver uint64
-}
-
 var _ tm.Tx = (*Tx)(nil)
 
 // Atomic runs fn as one transaction, retrying until commit.
 func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
-	tx := &Tx{rt: rt}
+	tx, _ := rt.txPool.Get().(*Tx)
+	if tx == nil {
+		tx = &Tx{rt: rt}
+	}
+	tx.work = 0
+	tx.aborts = 0
 	for {
-		tx.rv = rt.clock.Load()
-		tx.readLog = tx.readLog[:0]
-		tx.undo = tx.undo[:0]
-		tx.held = tx.held[:0]
-		if tx.mine == nil {
-			tx.mine = make(map[*atomic.Uint64]bool)
-		} else {
-			clear(tx.mine)
-		}
+		tx.rv = rt.clk.Now()
+		tx.readLog.Reset()
+		tx.undo.Reset()
+		tx.held.Reset()
 		tx.allocs = tx.allocs[:0]
 		tx.frees = tx.frees[:0]
 		tx.work += txStartCost
@@ -146,6 +142,7 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 		st.Aborts += tx.aborts
 		st.Work += tx.work
 	}
+	rt.txPool.Put(tx)
 }
 
 func (tx *Tx) attempt(fn func(tx *Tx)) (ok bool) {
@@ -178,16 +175,13 @@ func (tx *Tx) rollback() {
 // undoAndRelease rolls the undo log back in reverse order, then
 // releases every held lock at its pre-lock version.
 func (tx *Tx) undoAndRelease() {
-	for i := len(tx.undo) - 1; i >= 0; i-- {
-		tx.rt.store.StoreWord(tx.undo[i].addr, tx.undo[i].old)
+	recs := tx.undo.Recs()
+	for i := len(recs) - 1; i >= 0; i-- {
+		tx.rt.store.StoreWord(recs[i].Addr, recs[i].Old)
 		tx.work++
 	}
-	for _, h := range tx.held {
-		h.l.Store(h.ver)
-	}
-	tx.undo = tx.undo[:0]
-	tx.held = tx.held[:0]
-	clear(tx.mine)
+	tx.undo.Reset()
+	tx.held.Restore()
 }
 
 func (tx *Tx) tick(units uint64) {
@@ -201,7 +195,7 @@ func (tx *Tx) tick(units uint64) {
 func (tx *Tx) Load(a tm.Addr) uint64 {
 	tx.tick(1)
 	l := tx.rt.lockFor(a)
-	if tx.mine[l] {
+	if tx.held.Holds(l) {
 		// We hold the lock: memory already has our in-place value.
 		return tx.rt.store.LoadWord(a)
 	}
@@ -228,23 +222,23 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 		if v1 > tx.rv {
 			continue
 		}
-		tx.readLog = append(tx.readLog, readRec{l: l, ver: v1})
+		tx.readLog.Append(l, v1)
 		return val
 	}
 }
 
 // extend revalidates the read log at the current clock and advances rv.
 func (tx *Tx) extend() bool {
-	ts := tx.rt.clock.Load()
-	for i, r := range tx.readLog {
+	ts := tx.rt.clk.Now()
+	for i, re := range tx.readLog.Entries() {
 		if i%validationStride == 0 {
 			tx.work++
 		}
-		v := r.l.Load()
-		if v == r.ver {
+		v := re.Lock.Load()
+		if v == re.Version {
 			continue
 		}
-		if tx.mine[r.l] {
+		if tx.held.Holds(re.Lock) {
 			continue
 		}
 		return false
@@ -257,7 +251,7 @@ func (tx *Tx) extend() bool {
 func (tx *Tx) Store(a tm.Addr, v uint64) {
 	tx.tick(2)
 	l := tx.rt.lockFor(a)
-	if !tx.mine[l] {
+	if !tx.held.Holds(l) {
 		for {
 			cur := l.Load()
 			if cur == locked {
@@ -275,13 +269,12 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 				continue
 			}
 			if l.CompareAndSwap(cur, locked) {
-				tx.held = append(tx.held, heldLock{l: l, ver: cur})
-				tx.mine[l] = true
+				tx.held.Add(l, cur)
 				break
 			}
 		}
 	}
-	tx.undo = append(tx.undo, undoRec{addr: a, old: tx.rt.store.LoadWord(a)})
+	tx.undo.Append(a, tx.rt.store.LoadWord(a))
 	tx.rt.store.StoreWord(a, v)
 }
 
@@ -299,31 +292,29 @@ func (tx *Tx) Free(a tm.Addr) { tx.frees = append(tx.frees, a) }
 // commit validates reads, then publishes by releasing locks at the new
 // version — the in-place values are already in memory (no copy-back).
 func (tx *Tx) commit() {
-	if len(tx.held) == 0 {
-		for _, a := range tx.frees {
-			tx.rt.alloc.Free(a)
-		}
+	if tx.held.Len() == 0 {
+		tx.applyFrees()
 		return
 	}
-	wv := tx.rt.clock.Add(1)
+	wv := tx.rt.clk.Tick()
 	if wv != tx.rv+1 {
-		for i, r := range tx.readLog {
+		for i, re := range tx.readLog.Entries() {
 			if i%validationStride == 0 {
 				tx.work++
 			}
-			v := r.l.Load()
-			if v != r.ver && !tx.mine[r.l] {
+			v := re.Lock.Load()
+			if v != re.Version && !tx.held.Holds(re.Lock) {
 				tx.rollback()
 			}
 		}
 	}
-	for _, h := range tx.held {
-		h.l.Store(wv)
-		tx.work++
-	}
-	tx.held = tx.held[:0]
-	tx.undo = tx.undo[:0]
-	clear(tx.mine)
+	tx.work += uint64(tx.held.Len())
+	tx.undo.Reset()
+	tx.held.Publish(wv)
+	tx.applyFrees()
+}
+
+func (tx *Tx) applyFrees() {
 	for _, a := range tx.frees {
 		tx.rt.alloc.Free(a)
 	}

@@ -90,6 +90,12 @@ type (
 	BaselineTx = stm.Tx
 	// BaselineStats accumulates SwissTM execution statistics.
 	BaselineStats = stm.Stats
+	// BaselineWorker is a per-thread SwissTM execution context: it owns
+	// a pooled transaction descriptor (so steady-state transactions
+	// allocate nothing) and an unshared statistics shard merged into
+	// the runtime aggregate by Close. Create one per worker goroutine
+	// with (*BaselineRuntime).NewWorker.
+	BaselineWorker = stm.Worker
 )
 
 // NewBaseline creates a SwissTM runtime.
