@@ -397,7 +397,7 @@ func BenchmarkAblationSpecDepth(b *testing.B) {
 			base := d.Alloc(words)
 			thr := rt.NewThread()
 			b.ResetTimer()
-			var hs []*tlstm.TxHandle
+			var hs []tlstm.TxHandle
 			for i := 0; i < b.N; i++ {
 				i := i
 				h, err := thr.Submit(func(tk *tlstm.Task) {

@@ -27,6 +27,7 @@ func run() int {
 	quick := flag.Bool("quick", false, "use reduced transaction counts")
 	headline := flag.Bool("headline", false, "print the paper's §4 headline ratios (computed from Figure 2b)")
 	check := flag.Bool("check", false, "regenerate all figures and verify the paper's qualitative claims; exit non-zero on violation")
+	schedCmp := flag.Bool("sched", false, "compare the pooled and inline scheduling policies on a depth-1 workload (wall time is the interesting column; virtual time is policy-independent)")
 	format := flag.String("format", "table", `output format: "table" or "csv"`)
 	flag.Parse()
 
@@ -37,6 +38,17 @@ func run() int {
 
 	if *headline {
 		printHeadline(sc)
+		return 0
+	}
+	if *schedCmp {
+		txs := 200_000
+		if *quick {
+			txs = 20_000
+		}
+		fmt.Println("## Scheduling-policy comparison (SpecDepth 1, per-thread counters)")
+		for _, r := range harness.CompareSched(2, txs) {
+			fmt.Println(r)
+		}
 		return 0
 	}
 	if *check {

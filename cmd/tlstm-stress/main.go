@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"tlstm/internal/core"
+	"tlstm/internal/sched"
 	"tlstm/internal/tm"
 )
 
@@ -39,9 +40,15 @@ func run() int {
 	threads := flag.Int("threads", 3, "user-threads")
 	depth := flag.Int("depth", 3, "SPECDEPTH / tasks per transaction")
 	accounts := flag.Int("accounts", 64, "shared accounts")
+	schedMode := flag.String("sched", "pooled", `scheduling policy: "pooled" or "inline" (inline requires -depth 1)`)
 	flag.Parse()
 
-	rt := core.New(core.Config{SpecDepth: *depth})
+	policy := sched.Pooled
+	if *schedMode == "inline" {
+		policy = sched.Inline
+	}
+	rt := core.New(core.Config{SpecDepth: *depth, Policy: policy})
+	defer rt.Close()
 	d := rt.Direct()
 	const initial = 1_000_000
 	base := d.Alloc(*accounts)
@@ -95,8 +102,9 @@ func run() int {
 		sum += d.Load(base + tm.Addr(i))
 	}
 	want := uint64(*accounts) * initial
-	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d\n",
-		total.TxCommitted, total.TxAborted, total.TaskRestarts, total.Work)
+	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d\n",
+		total.TxCommitted, total.TxAborted, total.TaskRestarts, total.Work,
+		total.WorkersSpawned, total.DescriptorReuses)
 	if sum != want {
 		fmt.Printf("FAIL: total=%d want=%d (atomicity violated)\n", sum, want)
 		return 1

@@ -31,6 +31,7 @@ func (r *rng) next() uint64 {
 
 func main() {
 	rt := tlstm.New(tlstm.Config{SpecDepth: 2})
+	defer rt.Close() // drain the scheduler worker pools
 	d := rt.Direct()
 	base := d.Alloc(accounts)
 	for i := 0; i < accounts; i++ {

@@ -24,6 +24,7 @@ const (
 
 func run(depth int) (tlstm.Stats, uint64) {
 	rt := tlstm.New(tlstm.Config{SpecDepth: depth})
+	defer rt.Close()
 	d := rt.Direct()
 
 	inventory := d.Alloc(skus)
@@ -33,7 +34,7 @@ func run(depth int) (tlstm.Stats, uint64) {
 	}
 
 	thr := rt.NewThread()
-	var handles []*tlstm.TxHandle
+	var handles []tlstm.TxHandle
 	for i := 0; i < orders; i++ {
 		sku := tlstm.Addr(uint64(i*2654435761>>8) % skus)
 		qty := uint64(i%3 + 1)

@@ -12,6 +12,7 @@ import (
 
 func main() {
 	rt := tlstm.New(tlstm.Config{SpecDepth: 3})
+	defer rt.Close() // drain the scheduler worker pools
 
 	// Non-transactional setup: allocate shared words before threads run.
 	d := rt.Direct()
@@ -35,7 +36,7 @@ func main() {
 	// Pipelined transactions: Submit returns before commit, letting
 	// tasks of later transactions speculate while earlier ones are
 	// still active ("speculatively execute future transactions", §1).
-	var handles []*tlstm.TxHandle
+	var handles []tlstm.TxHandle
 	for i := 0; i < 5; i++ {
 		h, err := thr.Submit(func(t *tlstm.Task) {
 			t.Store(counter, t.Load(counter)+1)

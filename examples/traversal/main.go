@@ -19,6 +19,7 @@ const traversals = 12
 
 func run(tasks, pctRead int) harness.Result {
 	rt := tlstm.New(tlstm.Config{SpecDepth: max(tasks, 1)})
+	defer rt.Close()
 	b, err := sb7.Build(rt.Direct(), sb7.Default())
 	if err != nil {
 		panic(err)

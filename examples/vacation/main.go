@@ -61,6 +61,7 @@ func main() {
 
 	// TLSTM: the same transactions split into two speculative tasks.
 	rt := tlstm.New(tlstm.Config{SpecDepth: 2})
+	defer rt.Close() // drain the scheduler worker pools
 	m := vacation.NewManager(rt.Direct(), 256)
 	vacation.Populate(rt.Direct(), m, p)
 	r2 := harness.RunTLSTM(rt, workload(m, p, 2))

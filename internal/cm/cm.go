@@ -66,7 +66,10 @@ func (g *Greedy) Resolve(selfTS *atomic.Uint64, selfWrites, defeats int, owner *
 		g.MakeGreedy(selfTS)
 		my = selfTS.Load()
 	}
-	their := owner.Timestamp.Load()
+	// The owner header may belong to a recycled descriptor; the atomic
+	// pointer hands us the slot of whatever transaction owns it *now*,
+	// which is the one a signalled abort would hit.
+	their := owner.Timestamp.Load().Load()
 	if their == 0 {
 		// Owner is still polite; a greedy transaction beats it.
 		return AbortOwner
@@ -92,7 +95,7 @@ type TaskAware struct {
 // entry's owner.
 func (t *TaskAware) Resolve(selfCompleted, selfStart int64, selfTS *atomic.Uint64, selfWrites, defeats int, owner *locktable.OwnerRef) Decision {
 	selfProgress := selfCompleted - selfStart
-	ownerProgress := owner.CompletedTask.Load() - owner.StartSerial
+	ownerProgress := owner.CompletedTask.Load() - owner.StartSerial.Load()
 	switch {
 	case selfProgress > ownerProgress:
 		return AbortOwner

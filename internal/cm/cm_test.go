@@ -12,12 +12,13 @@ func newOwner(completed int64, startSerial int64, ts uint64) (*locktable.OwnerRe
 	c.Store(completed)
 	var t atomic.Uint64
 	t.Store(ts)
-	return &locktable.OwnerRef{
+	o := &locktable.OwnerRef{
 		ThreadID:      1,
-		StartSerial:   startSerial,
 		CompletedTask: &c,
-		Timestamp:     &t,
-	}, &c
+	}
+	o.StartSerial.Store(startSerial)
+	o.Timestamp.Store(&t)
+	return o, &c
 }
 
 func TestGreedyPolitePhaseAbortsSelf(t *testing.T) {

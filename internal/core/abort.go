@@ -64,12 +64,28 @@ func removeEntryLocked(e *locktable.WEntry) {
 // abort flag just before it was cleared); it then simply returns and its
 // caller restarts it, which is harmless.
 func (t *Task) rendezvous() {
+	t.rendezvousMayCommit(false)
+}
+
+// rendezvousMayCommit is rendezvous with an escape hatch for the one
+// caller that needs it, the intermediate-task commit wait. There — and
+// only there — the abort flag can be raised after the commit-task has
+// passed its final validation: the round then can never complete (the
+// commit-task finishes without ever acking) and the signal is
+// necessarily spurious, e.g. a stale cross-thread reader of a recycled
+// descriptor's owner header aborting a transaction that was already
+// done. With allowCommit, a parked task watches the thread's committed
+// latch and reports true once its transaction commits, so its caller
+// exits the commit wait normally instead of parking forever. Every
+// other call site runs before the task has completed, so its
+// transaction cannot commit under it and allowCommit is false.
+func (t *Task) rendezvousMayCommit(allowCommit bool) (committed bool) {
 	tx := t.tx
 
 	tx.mu.Lock()
 	if !tx.abortTx.Load() {
 		tx.mu.Unlock()
-		return
+		return false
 	}
 	gen := tx.gen
 	tx.acks++
@@ -85,7 +101,7 @@ func (t *Task) rendezvous() {
 		tx.cleaning = false
 		tx.abortTx.Store(false)
 		tx.mu.Unlock()
-		return
+		return false
 	}
 	tx.mu.Unlock()
 
@@ -94,7 +110,10 @@ func (t *Task) rendezvous() {
 		g := tx.gen
 		tx.mu.Unlock()
 		if g != gen {
-			return
+			return false
+		}
+		if allowCommit && t.thr.txDone.Seq() >= tx.commitSerial {
+			return true
 		}
 		runtime.Gosched()
 	}
@@ -117,8 +136,21 @@ func (t *Task) cleanupTx() {
 	tx := t.tx
 	thr := t.thr
 
+	// Only descriptors the submitter has armed for THIS incarnation may
+	// be swept: tx.tasks names every descriptor the transaction will
+	// use, but a not-yet-armed one still belongs to (or is retiring
+	// from) an earlier transaction, and its write log is not ours to
+	// read. The armed load is the acquire matching the submitter's
+	// post-reset increment, so every swept log is the freshly reset
+	// one. Armed tasks are all parked in the rendezvous (or on their
+	// way to joinTx, having touched nothing yet), so the sweep runs
+	// unraced.
+	n := int(tx.armed.Load())
+	if n > len(tx.tasks) {
+		n = len(tx.tasks)
+	}
 	thr.chainMu.Lock()
-	for _, task := range tx.tasks {
+	for _, task := range tx.tasks[:n] {
 		for _, e := range task.writeLog.Entries() {
 			removeEntryLocked(e)
 		}
@@ -129,7 +161,11 @@ func (t *Task) cleanupTx() {
 	lowerCounter(&thr.completedWriter, tx.startSerial-1)
 
 	for i := range thr.slots {
-		if p := thr.slots[i].Load(); p != nil && p.serial > tx.commitSerial {
+		// Serial is atomic because the submitter may be re-arming a
+		// freed slot while we scan; at worst we signal a brand-new
+		// incarnation beyond the transaction, which costs it one
+		// harmless restart.
+		if p := thr.slots[i].Load(); p != nil && p.serial.Load() > tx.commitSerial {
 			p.abortInternal.Store(true)
 		}
 	}

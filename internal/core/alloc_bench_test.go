@@ -3,15 +3,18 @@ package core
 import (
 	"testing"
 
+	"tlstm/internal/sched"
 	"tlstm/internal/tm"
 )
 
 // Allocation-regression benchmarks for the TLSTM hot paths. The
-// steady-state read/write path of a warmed task must not allocate; the
-// commit path reuses the thread-owned scratch (its zero-alloc proof is
-// in internal/txlog), while per-transaction task/goroutine setup is
-// tracked here as a trend number. Companion assertions live in
-// alloc_norace_test.go.
+// steady-state read/write path of a warmed task must not allocate; with
+// the pooled scheduler (internal/sched) the whole Submit+Wait
+// round-trip must not allocate either for read-only transactions, and a
+// small writer transaction is down to the one write-lock entry this
+// runtime deliberately never recycles (validate-task depends on entry
+// pointer identity; see the ROADMAP's epoch-reclamation item).
+// Companion assertions live in alloc_norace_test.go.
 
 // BenchmarkTaskLoadStoreWarmed measures one read-modify-write pair per
 // op inside a single long-running task whose working set has already
@@ -19,6 +22,7 @@ import (
 // must be 0.
 func BenchmarkTaskLoadStoreWarmed(b *testing.B) {
 	rt := New(Config{SpecDepth: 2})
+	defer rt.Close()
 	thr := rt.NewThread()
 	d := rt.Direct()
 	addrs := make([]tm.Addr, benchAddrs)
@@ -42,13 +46,13 @@ func BenchmarkTaskLoadStoreWarmed(b *testing.B) {
 const benchAddrs = 8
 
 // BenchmarkThreadCommitSmallTx measures a whole single-task writer
-// transaction — Submit, task goroutine, commit — on one thread. The
-// commit-time r-lock bookkeeping is allocation-free (thread-owned
-// scratch); the remaining allocs/op are per-transaction setup
-// (txState, task, handle, goroutine), tracked here so regressions in
-// either part are visible.
+// transaction — Submit, pooled dispatch, commit, Wait — on one thread.
+// With descriptors, handles and completion waits all recycled, the only
+// remaining allocation is the fresh write-lock entry (one object, via
+// the lock table's inline word buffer).
 func BenchmarkThreadCommitSmallTx(b *testing.B) {
 	rt := New(Config{SpecDepth: 2})
+	defer rt.Close()
 	thr := rt.NewThread()
 	d := rt.Direct()
 	a := d.Alloc(1)
@@ -60,6 +64,80 @@ func BenchmarkThreadCommitSmallTx(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = thr.Atomic(body)
 	}
+	b.StopTimer()
+	thr.Sync()
+}
+
+// BenchmarkThreadCommitSmallTxInline is the same transaction under the
+// Inline scheduling policy (SpecDepth 1): no worker hand-off, the task
+// body runs on the submitting goroutine. The gap to the Pooled variant
+// is the per-task cost of the wake/park protocol.
+func BenchmarkThreadCommitSmallTxInline(b *testing.B) {
+	rt := New(Config{SpecDepth: 1, Policy: sched.Inline})
+	defer rt.Close()
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	body := func(t *Task) { t.Store(a, t.Load(a)+1) }
+	_ = thr.Atomic(body)
+	thr.Sync()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = thr.Atomic(body)
+	}
+	b.StopTimer()
+	thr.Sync()
+}
+
+// BenchmarkThreadCommitReadOnlyTx measures a whole single-task
+// read-only transaction round-trip. No write-lock entry is created, so
+// a warmed round-trip must be 0 allocs/op — the pooled scheduler's
+// acceptance number (asserted in alloc_norace_test.go).
+func BenchmarkThreadCommitReadOnlyTx(b *testing.B) {
+	rt := New(Config{SpecDepth: 2})
+	defer rt.Close()
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	var sink uint64
+	body := func(t *Task) { sink += t.Load(a) }
+	_ = thr.Atomic(body)
+	thr.Sync()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = thr.Atomic(body)
+	}
+	b.StopTimer()
+	thr.Sync()
+}
+
+// BenchmarkSubmitPipelined measures Submit throughput with the pipeline
+// kept full (wait only every SpecDepth transactions): the scheduler's
+// steady-state dispatch cost with speculation overlap.
+func BenchmarkSubmitPipelined(b *testing.B) {
+	const depth = 4
+	rt := New(Config{SpecDepth: depth})
+	defer rt.Close()
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	var sink uint64
+	body := func(t *Task) { sink += t.Load(a) }
+	_ = thr.Atomic(body)
+	thr.Sync()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last TxHandle
+	for i := 0; i < b.N; i++ {
+		h, _ := thr.Submit(body)
+		if i%depth == depth-1 {
+			h.Wait()
+		}
+		last = h
+	}
+	last.Wait()
 	b.StopTimer()
 	thr.Sync()
 }

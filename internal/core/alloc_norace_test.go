@@ -3,18 +3,26 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
+	"tlstm/internal/sched"
 	"tlstm/internal/tm"
 )
+
+// Zero-allocation and zero-spawn assertions for the pooled scheduler
+// (mirroring internal/stm/alloc_norace_test.go): a warmed TLSTM
+// Submit+Wait round-trip must neither allocate nor spawn a goroutine.
+// (!race: AllocsPerRun and goroutine counting are not meaningful under
+// the race detector's instrumentation.)
 
 // TestTaskOpsZeroAllocWarmed asserts the TLSTM steady-state read/write
 // path allocates nothing once a task's working set is warmed: loads hit
 // the task's own write-lock entries or the committed store, stores
 // update entries in place, and the logs reuse their backing arrays.
-// (!race: AllocsPerRun is not meaningful under the race detector.)
 func TestTaskOpsZeroAllocWarmed(t *testing.T) {
 	rt := New(Config{SpecDepth: 2})
+	defer rt.Close()
 	thr := rt.NewThread()
 	d := rt.Direct()
 	addrs := make([]tm.Addr, 8)
@@ -36,5 +44,138 @@ func TestTaskOpsZeroAllocWarmed(t *testing.T) {
 	thr.Sync()
 	if got != 0 {
 		t.Fatalf("warmed task Load+Store allocates %.1f objects/op, want 0", got)
+	}
+}
+
+// TestSubmitWaitZeroAllocWarmed is the pooled scheduler's headline
+// assertion: a warmed read-only Submit+Wait round-trip — transaction
+// descriptor, task descriptor, handle, dispatch, completion — touches
+// the heap not at all. Writer transactions additionally allocate
+// exactly their fresh write-lock entries (asserted below), which this
+// runtime deliberately never recycles (validate-task relies on entry
+// pointer identity; see the ROADMAP epoch-reclamation item).
+func TestSubmitWaitZeroAllocWarmed(t *testing.T) {
+	rt := New(Config{SpecDepth: 2})
+	defer rt.Close()
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	var sink uint64
+	body := func(tk *Task) { sink += tk.Load(a) }
+	_ = thr.Atomic(body) // warm: spawn workers, grow logs and rings
+	thr.Sync()
+	if got := testing.AllocsPerRun(200, func() {
+		h, err := thr.Submit(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Wait()
+	}); got != 0 {
+		t.Fatalf("warmed read-only Submit+Wait allocates %.1f objects/op, want 0", got)
+	}
+	thr.Sync()
+}
+
+// TestAtomicMultiTaskZeroAllocWarmed extends the round-trip assertion
+// to a two-task read-only transaction: the variadic task list stays on
+// the caller's stack and both recycled descriptors dispatch without
+// touching the heap.
+func TestAtomicMultiTaskZeroAllocWarmed(t *testing.T) {
+	rt := New(Config{SpecDepth: 2})
+	defer rt.Close()
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	var sink uint64
+	f1 := func(tk *Task) { sink += tk.Load(a) }
+	f2 := func(tk *Task) { sink += tk.Load(a) }
+	_ = thr.Atomic(f1, f2) // warm
+	thr.Sync()
+	if got := testing.AllocsPerRun(200, func() {
+		if err := thr.Atomic(f1, f2); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("warmed two-task Atomic allocates %.1f objects/op, want 0", got)
+	}
+	thr.Sync()
+}
+
+// TestWriterTxAllocsOnlyLockEntries pins the writer-transaction floor:
+// one fresh write-lock entry per written pair per transaction, nothing
+// else (no txState, no Task, no handle, no channel, no goroutine
+// stack).
+func TestWriterTxAllocsOnlyLockEntries(t *testing.T) {
+	rt := New(Config{SpecDepth: 2})
+	defer rt.Close()
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	body := func(tk *Task) { tk.Store(a, tk.Load(a)+1) }
+	_ = thr.Atomic(body) // warm
+	thr.Sync()
+	got := testing.AllocsPerRun(200, func() {
+		if err := thr.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	thr.Sync()
+	if got > 1 {
+		t.Fatalf("warmed single-write Atomic allocates %.1f objects/op, want ≤ 1 (the write-lock entry)", got)
+	}
+}
+
+// TestSubmitSpawnsNoGoroutines asserts the worker pool is long-lived:
+// after warm-up, a burst of transactions leaves the process goroutine
+// count unchanged — Submit dispatches to parked workers instead of
+// spawning.
+func TestSubmitSpawnsNoGoroutines(t *testing.T) {
+	rt := New(Config{SpecDepth: 3})
+	defer rt.Close()
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	var sink uint64
+	body := func(tk *Task) { sink += tk.Load(a) }
+	for i := 0; i < 10; i++ { // warm: all three workers spawned
+		_ = thr.Atomic(body)
+	}
+	thr.Sync()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 500; i++ {
+		_ = thr.Atomic(body)
+	}
+	thr.Sync()
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew %d → %d across 500 warmed transactions; Submit must not spawn", before, after)
+	}
+	st := thr.Stats()
+	if st.WorkersSpawned != 3 {
+		t.Fatalf("WorkersSpawned = %d, want 3 (one per SpecDepth slot, spawned once)", st.WorkersSpawned)
+	}
+	if st.DescriptorReuses == 0 {
+		t.Fatal("DescriptorReuses = 0 after 510 transactions on a depth-3 ring")
+	}
+}
+
+// TestInlinePolicyZeroAllocAndZeroWorkers asserts the depth-1 fast
+// path: Inline runs the task body on the submitting goroutine — no
+// workers at all — and stays allocation-free for read-only work.
+func TestInlinePolicyZeroAllocAndZeroWorkers(t *testing.T) {
+	rt := New(Config{SpecDepth: 1, Policy: sched.Inline})
+	defer rt.Close()
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	var sink uint64
+	body := func(tk *Task) { sink += tk.Load(a) }
+	_ = thr.Atomic(body) // warm
+	thr.Sync()
+	if got := testing.AllocsPerRun(200, func() { _ = thr.Atomic(body) }); got != 0 {
+		t.Fatalf("warmed Inline Atomic allocates %.1f objects/op, want 0", got)
+	}
+	thr.Sync()
+	if st := thr.Stats(); st.WorkersSpawned != 0 {
+		t.Fatalf("WorkersSpawned = %d under Inline, want 0", st.WorkersSpawned)
 	}
 }

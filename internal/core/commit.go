@@ -18,10 +18,11 @@ const commitCost = 2
 // user-transaction (commit-task).
 func (t *Task) commitStep() {
 	thr := t.thr
+	ser := t.serial.Load()
 
 	// Commits of tasks of the same user-thread are serialized: wait for
 	// every task with a lower serial to complete (lines 66–68).
-	for thr.completedTask.Load() < t.serial-1 {
+	for thr.completedTask.Load() < ser-1 {
 		t.checkSignals()
 		runtime.Gosched()
 	}
@@ -35,12 +36,18 @@ func (t *Task) commitStep() {
 		// Intermediate task (lines 71–77): publish completion, then
 		// wait until the commit-task commits the user-transaction.
 		if t.writeLog.Len() > 0 {
-			thr.completedWriter.Store(t.serial)
+			thr.completedWriter.Store(ser)
 		}
-		thr.completedTask.Store(t.serial)
+		thr.completedTask.Store(ser)
 		for thr.completedTask.Load() < t.tx.commitSerial {
 			if t.tx.abortTx.Load() {
-				t.rendezvous()
+				if t.rendezvousMayCommit(true) {
+					// The signal arrived after the commit-task passed
+					// its last validation: the transaction committed
+					// and the "abort" was spurious (see
+					// rendezvousMayCommit). Exit the wait normally.
+					return
+				}
 				panic(restartSignal{})
 			}
 			runtime.Gosched()
@@ -187,6 +194,7 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 	_ = ts
 	tx := t.tx
 	thr := t.thr
+	ser := t.serial.Load()
 
 	// Virtual-time model: tasks start together; task k finishes at
 	// max(own work, finish of task k−1) + commit cost (serialized
@@ -217,18 +225,25 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 	thr.stats.Work += work
 	thr.stats.VirtualTime += finish
 
-	if writeTx {
-		thr.completedWriter.Store(t.serial)
-	}
-	thr.completedTask.Store(t.serial)
-
 	// Deferred frees of every task take effect now that the
-	// transaction's writes are durable.
+	// transaction's writes are durable. This, too, must precede the
+	// completedTask store: that store releases the transaction's
+	// intermediate tasks, whose recycled descriptors — frees slices
+	// included — may be re-armed with new state the moment they exit.
 	for _, task := range tx.tasks {
 		for _, a := range task.frees {
 			thr.rt.alloc.Free(a)
 		}
 	}
 
-	close(tx.done)
+	if writeTx {
+		thr.completedWriter.Store(ser)
+	}
+	thr.completedTask.Store(ser)
+
+	// Release waiters: the sequence-numbered latch replaces the
+	// per-transaction done channel. Serials are never reused, so a
+	// handle can at worst observe "already committed" — never block on
+	// a recycled descriptor.
+	thr.txDone.Publish(tx.commitSerial)
 }

@@ -126,7 +126,7 @@ func TestCrossTransactionSpeculation(t *testing.T) {
 	d := rt.Direct()
 	a := d.Alloc(1)
 
-	var handles []*TxHandle
+	var handles []TxHandle
 	for i := 0; i < 50; i++ {
 		h, err := thr.Submit(func(tk *Task) { tk.Store(a, tk.Load(a)+1) })
 		if err != nil {

@@ -53,7 +53,7 @@ func (thr *Thread) SpecDOALL(n, tasks int, body func(t *Task, i int)) error {
 // cause rollbacks, distant ones pipeline freely). It blocks until every
 // iteration has committed.
 func (thr *Thread) SpecDOACROSS(n int, body func(t *Task, i int)) error {
-	handles := make([]*TxHandle, 0, n)
+	handles := make([]TxHandle, 0, n)
 	for i := 0; i < n; i++ {
 		i := i
 		h, err := thr.Submit(func(t *Task) { body(t, i) })

@@ -83,8 +83,9 @@ func TestLowerCounterNeverRaises(t *testing.T) {
 func TestFirstPastOfSelection(t *testing.T) {
 	rt := newRT(4)
 	thr := rt.NewThread()
-	tx := &txState{thr: thr, startSerial: 3, commitSerial: 3, done: make(chan struct{})}
-	task := &Task{thr: thr, tx: tx, serial: 3, waitBeforeRestart: -1}
+	tx := &txState{thr: thr, startSerial: 3, commitSerial: 3}
+	task := &Task{thr: thr, tx: tx, waitBeforeRestart: -1}
+	task.serial.Store(3)
 	task.ownerRef.ThreadID = thr.id
 
 	tbl := locktable.NewTable(8)

@@ -23,12 +23,14 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
 	"tlstm/internal/mem"
+	"tlstm/internal/sched"
 	"tlstm/internal/txstats"
 )
 
@@ -49,6 +51,15 @@ type Config struct {
 	// favour transactions likely to finish (§3.2); this switch exists
 	// for the ablation benchmark that quantifies it.
 	PlainGreedyCM bool
+	// Policy selects the scheduler's spawn policy (internal/sched):
+	// sched.Pooled (the zero value, default) dispatches tasks to each
+	// thread's ring of long-lived workers; sched.Inline runs task
+	// bodies on the submitting goroutine and requires SpecDepth 1 —
+	// with no intra-thread speculation to overlap, the hand-off to a
+	// worker is pure overhead, and an intermediate task of a multi-task
+	// transaction would deadlock its own submitter. New panics on an
+	// Inline policy with SpecDepth > 1.
+	Policy sched.Policy
 }
 
 func (c *Config) fill() {
@@ -75,12 +86,21 @@ type Runtime struct {
 
 	specDepth     int
 	plainGreedyCM bool
+	policy        sched.Policy
 	nextThreadID  atomic.Int32
+
+	// threadsMu guards the registry of threads whose scheduler pools
+	// Close drains.
+	threadsMu sync.Mutex
+	threads   []*Thread
 }
 
 // New creates a TLSTM runtime.
 func New(cfg Config) *Runtime {
 	cfg.fill()
+	if cfg.Policy == sched.Inline && cfg.SpecDepth != 1 {
+		panic(fmt.Sprintf("core: the Inline scheduling policy requires SpecDepth 1, got %d (an intermediate task of a multi-task transaction parks until its transaction commits, which would deadlock the submitting goroutine)", cfg.SpecDepth))
+	}
 	st := mem.NewStore()
 	return &Runtime{
 		store:         st,
@@ -88,11 +108,30 @@ func New(cfg Config) *Runtime {
 		locks:         locktable.NewTable(cfg.LockTableBits),
 		specDepth:     cfg.SpecDepth,
 		plainGreedyCM: cfg.PlainGreedyCM,
+		policy:        cfg.Policy,
 	}
 }
 
 // SpecDepth reports the runtime's SPECDEPTH.
 func (rt *Runtime) SpecDepth() int { return rt.specDepth }
+
+// Policy reports the runtime's scheduler spawn policy.
+func (rt *Runtime) Policy() sched.Policy { return rt.policy }
+
+// Close drains every thread's scheduler pool: armed tasks finish, the
+// long-lived worker goroutines exit and are joined. Call it when the
+// runtime is done — after every thread has Synced and no further
+// Submits will happen; submitting after Close panics. Close is
+// idempotent. A runtime that is simply garbage-collected without Close
+// leaks nothing but the parked workers' stacks until process exit.
+func (rt *Runtime) Close() {
+	rt.threadsMu.Lock()
+	threads := append([]*Thread(nil), rt.threads...)
+	rt.threadsMu.Unlock()
+	for _, thr := range threads {
+		thr.pool.Close()
+	}
+}
 
 // CommitTS exposes the global commit timestamp (tests and stats).
 func (rt *Runtime) CommitTS() uint64 { return rt.clk.Now() }
@@ -111,16 +150,38 @@ func (rt *Runtime) Direct() mem.Direct {
 func (rt *Runtime) Allocator() *mem.Allocator { return rt.alloc }
 
 // NewThread creates a user-thread. A Thread must be driven by exactly
-// one goroutine (the "user-thread" itself); its speculative tasks run on
-// goroutines managed by the runtime.
+// one goroutine (the "user-thread" itself); its speculative tasks run
+// on the thread's scheduler pool: a ring of SPECDEPTH recycled task
+// descriptors executed by SPECDEPTH long-lived workers (spawned lazily
+// on first use, drained by Runtime.Close). Creating a thread allocates
+// its rings once; steady-state Submits allocate nothing.
 func (rt *Runtime) NewThread() *Thread {
 	id := rt.nextThreadID.Add(1) - 1
 	thr := &Thread{
-		rt:    rt,
-		id:    id,
-		depth: rt.specDepth,
-		slots: make([]atomic.Pointer[Task], rt.specDepth),
+		rt:     rt,
+		id:     id,
+		depth:  rt.specDepth,
+		slots:  make([]atomic.Pointer[Task], rt.specDepth),
+		ring:   make([]*Task, rt.specDepth),
+		txRing: make([]*txState, rt.specDepth),
 	}
+	for i := range thr.ring {
+		t := &Task{thr: thr, waitBeforeRestart: -1}
+		// The per-context owner-header fields are wired once for the
+		// descriptor's whole pooled lifetime; the per-transaction slots
+		// are re-bound by every Submit (locktable.OwnerRef.BindTx).
+		t.ownerRef.ThreadID = id
+		t.ownerRef.CompletedTask = &thr.completedTask
+		t.ownerRef.AbortInternal = &t.abortInternal
+		thr.ring[i] = t
+	}
+	for i := range thr.txRing {
+		thr.txRing[i] = &txState{thr: thr}
+	}
+	thr.pool = sched.New(rt.specDepth, rt.policy, thr.runSlot)
+	rt.threadsMu.Lock()
+	rt.threads = append(rt.threads, thr)
+	rt.threadsMu.Unlock()
 	return thr
 }
 

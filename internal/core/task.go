@@ -19,16 +19,29 @@ const noVersion = txlog.NoVersion
 // Task is one speculative task (paper §2): the unit of speculative
 // execution, implementing tm.Tx for its body. What used to be a SwissTM
 // transaction is a task in TLSTM (§3.2).
+//
+// Task descriptors are recycled: descriptor i of a thread's ring runs
+// every serial congruent to i+1 modulo SPECDEPTH, re-initialized in
+// place by Submit once the previous incarnation has retired. Serials
+// are never reused, which is what keeps identity checks on recycled
+// descriptors sound: "this entry is mine" is (owner pointer, serial),
+// never the owner pointer alone.
 type Task struct {
 	thr *Thread
 	tx  *txState
 	fn  TaskFunc
 
-	serial    int64
+	// serial is the task's program-order serial for the current
+	// incarnation. It is atomic because the abort machinery reads it
+	// from other workers while the submitting goroutine may be
+	// re-arming the descriptor; everyone else reads it after the arm
+	// that published it.
+	serial    atomic.Int64
 	tryCommit bool
 
 	// ownerRef is the stable cross-thread header installed in this
-	// task's write-log entries; see locktable.OwnerRef.
+	// task's write-log entries; see locktable.OwnerRef. Its
+	// per-transaction slots are re-bound by Submit at every dispatch.
 	ownerRef locktable.OwnerRef
 
 	// abortInternal is the aborted-internally signal (paper Alg. 2
@@ -37,7 +50,7 @@ type Task struct {
 	// whose speculative state we may have observed.
 	abortInternal atomic.Bool
 
-	// ---- per-incarnation state (reset by begin) ----
+	// ---- per-incarnation state (reset by Submit and begin) ----
 
 	validTS    uint64
 	lastWriter int64
@@ -77,7 +90,8 @@ type Task struct {
 // writer aborting and re-executing with the same serial. That identity
 // argument is also why this runtime never recycles write-log entries
 // (txlog.WriteLog.Reset, not Recycle): a reused entry re-installed on
-// the same pair would defeat the pointer-identity check (ABA).
+// the same pair would defeat the pointer-identity check (ABA). Task
+// descriptors recycle; their entries do not.
 
 // restartSignal unwinds a task attempt back to its run loop. It never
 // escapes the package.
@@ -110,14 +124,28 @@ func (t *Task) tick(units uint64) {
 }
 
 func (t *Task) slot() *atomic.Pointer[Task] {
-	return &t.thr.slots[t.serial%int64(t.thr.depth)]
+	return &t.thr.slots[t.serial.Load()%int64(t.thr.depth)]
 }
 
-// run is the task goroutine: join the transaction, then execute attempts
-// until the enclosing user-transaction commits.
+// run executes one task incarnation on its scheduler slot's worker (or
+// on the submitting goroutine under the Inline policy): join the
+// transaction, then execute attempts until the enclosing
+// user-transaction commits, then retire the descriptor. The final
+// tx.live decrement is this incarnation's last access to the
+// transaction descriptor — Submit recycles it only at zero.
 func (t *Task) run() {
-	defer t.thr.pending.Done()
-	defer t.slot().Store(nil)
+	tx := t.tx
+	// Retire via defer so a genuine-bug panic propagating out of
+	// attempt still leaves the descriptor machinery consistent: on a
+	// pooled worker the panic then crashes the process (as the old
+	// goroutine-per-task spawn did), but under the Inline policy it
+	// surfaces in the submitting goroutine, where application code may
+	// recover — the runtime must wedge loudly (that transaction never
+	// commits) rather than corrupt its rings.
+	defer func() {
+		t.slot().Store(nil)
+		tx.live.Add(-1)
+	}()
 	t.joinTx()
 	for t.attempt() {
 	}
@@ -270,7 +298,7 @@ func (t *Task) checkSignals() {
 		// transaction we may have observed aborted): let every past
 		// task complete before re-running, or we would race it for the
 		// same lock again.
-		t.waitBeforeRestart = t.serial - 1
+		t.waitBeforeRestart = t.serial.Load() - 1
 		t.rollbackTask(restartWAW)
 	}
 	if t.tx.abortTx.Load() {
@@ -280,10 +308,14 @@ func (t *Task) checkSignals() {
 }
 
 // ownsPairW reports whether this task's current incarnation holds the
-// pair's write lock (its entry is somewhere in the chain).
+// pair's write lock (its entry is somewhere in the chain). The serial
+// comparison matters: a recycled descriptor's owner header may still be
+// referenced by a lingering committed entry of an earlier incarnation,
+// and serials — never reused — tell them apart.
 func (t *Task) ownsPairW(p *locktable.Pair) bool {
+	ser := t.serial.Load()
 	for e := p.W.Load(); e != nil; e = e.Prev.Load() {
-		if e.Owner == &t.ownerRef {
+		if e.Owner == &t.ownerRef && e.Serial == ser {
 			return true
 		}
 	}
@@ -298,8 +330,9 @@ func (t *Task) firstPastOf(head *locktable.WEntry) *locktable.WEntry {
 	if head == nil || head.Owner.ThreadID != t.thr.id {
 		return nil
 	}
+	ser := t.serial.Load()
 	for e := head; e != nil; e = e.Prev.Load() {
-		if e.Serial < t.serial {
+		if e.Serial < ser {
 			return e
 		}
 	}
@@ -310,6 +343,7 @@ func (t *Task) firstPastOf(head *locktable.WEntry) *locktable.WEntry {
 func (t *Task) Load(a tm.Addr) uint64 {
 	t.tick(1)
 	p := t.thr.rt.locks.For(a)
+	ser := t.serial.Load()
 	for {
 		t.checkSignals()
 		head := p.W.Load()
@@ -323,8 +357,8 @@ func (t *Task) Load(a tm.Addr) uint64 {
 		// Locked by my user-thread: locate my own buffered value or the
 		// most recent speculative value from my past (Alg. 1 lines 8–15).
 		e := head
-		for e != nil && e.Serial >= t.serial {
-			if e.Serial == t.serial && e.Owner == &t.ownerRef {
+		for e != nil && e.Serial >= ser {
+			if e.Serial == ser && e.Owner == &t.ownerRef {
 				if v, hit := e.Lookup(a); hit {
 					return v // read-own-write, no validation needed
 				}
@@ -469,6 +503,7 @@ func (t *Task) validateTask() bool {
 func (t *Task) Store(a tm.Addr, v uint64) {
 	t.tick(2)
 	p := t.thr.rt.locks.For(a)
+	ser := t.serial.Load()
 	for {
 		t.checkSignals()
 		e := p.W.Load()
@@ -476,19 +511,14 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 			// Unlocked: install a fresh entry. Entries are never
 			// recycled in this runtime — validateTask depends on
 			// pointer identity (see the read-entry comment above).
-			ne := &locktable.WEntry{
-				Owner:  &t.ownerRef,
-				Serial: t.serial,
-				Pair:   p,
-				Words:  []locktable.WordVal{{Addr: a, Val: v}},
-			}
+			ne := locktable.NewEntry(&t.ownerRef, ser, p, a, v)
 			if p.W.CompareAndSwap(nil, ne) {
 				t.writeLog.Append(ne)
 				break
 			}
 			continue
 		}
-		if e.Owner == &t.ownerRef {
+		if e.Owner == &t.ownerRef && e.Serial == ser {
 			// Already ours: update the buffered value (Alg. 2 line 37).
 			e.Update(a, v)
 			return
@@ -513,14 +543,14 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 				t.backoff = min(t.backoff*2+1, 256)
 				t.rollbackTask(restartCM)
 			}
-			e.Owner.AbortTx.Store(true)
+			e.Owner.AbortTx.Load().Store(true)
 			// Waiting on another thread's lock costs parallel time
 			// (about one quantum of owner progress per round).
 			t.workAcc += yieldQuantum
 			runtime.Gosched()
 			continue
 		}
-		if e.Serial > t.serial {
+		if e.Serial > ser {
 			// A future task of my thread holds the lock: it is the one
 			// in the wrong in program order; signal it to abort and
 			// wait for the chain to unwind (Alg. 2 lines 46–48).
@@ -538,12 +568,7 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 			t.waitBeforeRestart = e.Serial
 			t.rollbackTask(restartWAW)
 		}
-		ne := &locktable.WEntry{
-			Owner:  &t.ownerRef,
-			Serial: t.serial,
-			Pair:   p,
-			Words:  []locktable.WordVal{{Addr: a, Val: v}},
-		}
+		ne := locktable.NewEntry(&t.ownerRef, ser, p, a, v)
 		ne.Prev.Store(e)
 		if p.W.CompareAndSwap(e, ne) {
 			t.writeLog.Append(ne)
@@ -572,6 +597,6 @@ func (t *Task) Free(a tm.Addr) {
 
 // Serial reports the task's program-order serial within its user-thread
 // (tests and instrumentation).
-func (t *Task) Serial() int64 { return t.serial }
+func (t *Task) Serial() int64 { return t.serial.Load() }
 
 var _ tm.Tx = (*Task)(nil)

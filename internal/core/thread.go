@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tlstm/internal/sched"
 	"tlstm/internal/txlog"
 )
 
@@ -12,6 +13,16 @@ import (
 // decomposed into speculative tasks that the runtime executes out of
 // order. All methods must be called from the single goroutine that owns
 // the Thread.
+//
+// Scheduling (internal/sched): a Thread owns a ring of SPECDEPTH
+// recycled task descriptors, a ring of SPECDEPTH recycled transaction
+// descriptors, and a scheduler pool of SPECDEPTH long-lived worker
+// goroutines (spawned lazily, drained by Runtime.Close). Submit writes
+// into descriptors that have retired and arms their slots; it allocates
+// nothing and spawns nothing at steady state. Serial numbers are never
+// reused, so they double as the generation stamps that make waiting on
+// recycled state ABA-safe: handles and completion waits are keyed on
+// serials, never on descriptor identity.
 type Thread struct {
 	rt    *Runtime
 	id    int32
@@ -24,27 +35,47 @@ type Thread struct {
 	completedWriter atomic.Int64
 
 	// slots is the owners[SPECDEPTH] array: slot serial%depth points to
-	// the active task with that serial, nil when free. The submitting
-	// goroutine waits for a slot to free before starting the next task.
+	// the active task with that serial, nil when free. It mirrors the
+	// scheduler's slot states for the abort machinery, which scans it to
+	// signal tasks speculating beyond an aborting transaction.
 	slots []atomic.Pointer[Task]
+
+	// ring is the fixed set of recycled task descriptors: ring[i] is
+	// the only *Task that ever occupies slots[i]. Descriptor i runs
+	// serials i+1, i+1+depth, i+1+2·depth, … — its generation sequence.
+	ring []*Task
+
+	// txRing is the fixed set of recycled transaction descriptors.
+	// At most SPECDEPTH user-transactions are in flight (every in-flight
+	// transaction holds at least one task slot until it commits), so
+	// Submit number k reuses txRing[k%depth] after waiting for its
+	// previous occupant to fully retire (txState.live reaching zero).
+	txRing []*txState
+	txSeq  int64 // submitter-owned count of Submits so far
+
+	// pool executes armed descriptors on the worker ring; txDone is the
+	// reusable completion latch that replaced per-transaction done
+	// channels: finishCommit publishes the transaction's commit serial,
+	// TxHandle.Wait blocks until its serial is reached.
+	pool   *sched.Pool
+	txDone sched.Latch
 
 	// chainMu serializes redo-log chain *removals* for this thread
 	// (single-task rollback and transaction abort). Chain pushes stay
-	// lock-free; only writers of this thread ever touch these chains,
+	// lock-free; only workers of this thread ever touch these chains,
 	// so the mutex is never contended across threads.
 	chainMu sync.Mutex
 
 	nextSerial int64 // owned by the submitting goroutine
 
-	pending sync.WaitGroup
-
 	// stats is the thread's unshared statistics shard (SNIPPETS-style
-	// per-thread counters). It is written only by finishCommit, whose
-	// invocations are serialized per thread by the commit order: the
-	// next transaction's commit-task cannot reach finishCommit before
-	// this one stores completedTask, which happens after the fold. No
-	// mutex guards the hot path; synced tracks what Sync has already
-	// merged into the runtime-global aggregate.
+	// per-thread counters). Transaction counters are written only by
+	// finishCommit, whose invocations are serialized per thread by the
+	// commit order; scheduler counters (WorkersSpawned,
+	// DescriptorReuses) are written only by the submitting goroutine.
+	// The two writers touch disjoint fields, so the shard needs no
+	// mutex; synced tracks what Sync has already merged into the
+	// runtime-global aggregate.
 	stats  Stats
 	synced Stats
 
@@ -58,13 +89,27 @@ type Thread struct {
 // ID reports the thread's identifier within its runtime.
 func (thr *Thread) ID() int32 { return thr.id }
 
-// TxHandle tracks one submitted user-transaction.
+// runSlot is the pool's run hook: execute slot i's armed descriptor.
+func (thr *Thread) runSlot(i int) { thr.ring[i].run() }
+
+// TxHandle tracks one submitted user-transaction. It is a plain value
+// (no allocation): the pair (thread, commit serial) of the transaction
+// it tracks. The zero TxHandle is invalid; use only handles returned by
+// Submit.
 type TxHandle struct {
-	tx *txState
+	thr    *Thread
+	commit int64
 }
 
 // Wait blocks until the user-transaction has committed.
-func (h *TxHandle) Wait() { <-h.tx.done }
+//
+// Contract: a handle names exactly one submitted transaction, through
+// its never-reused commit serial, so Wait is idempotent — it may be
+// called again (or from several goroutines) and returns immediately
+// once the transaction has committed, even though the transaction's
+// descriptor has long been recycled. Wait must not be used after
+// Runtime.Close, and a handle must not outlive its Thread.
+func (h TxHandle) Wait() { h.thr.txDone.Wait(h.commit) }
 
 // Submit starts one user-transaction decomposed into the given tasks (in
 // program order) and returns without waiting for it to commit: with
@@ -72,53 +117,95 @@ func (h *TxHandle) Wait() { <-h.tx.done }
 // speculate while this one is still active (paper §1: "TLSTM can even be
 // more optimistic and speculatively execute future transactions").
 //
+// Submit recycles descriptors and dispatches to long-lived workers; at
+// steady state it performs no allocation and spawns no goroutine. Under
+// the Inline scheduling policy (SpecDepth 1 only) the task body runs on
+// the calling goroutine and Submit returns after the commit.
+//
 // Submit returns an error only for invalid arity; conflicts are handled
 // internally by re-execution.
-func (thr *Thread) Submit(fns ...TaskFunc) (*TxHandle, error) {
+func (thr *Thread) Submit(fns ...TaskFunc) (TxHandle, error) {
 	if err := thr.rt.validateArity(len(fns)); err != nil {
-		return nil, err
+		return TxHandle{}, err
 	}
 	start := thr.nextSerial + 1
 	commit := thr.nextSerial + int64(len(fns))
 	thr.nextSerial = commit
+	depth := int64(thr.depth)
 
-	tx := &txState{
-		thr:          thr,
-		startSerial:  start,
-		commitSerial: commit,
-		tasks:        make([]*Task, len(fns)),
-		done:         make(chan struct{}),
+	// Acquire this submission's transaction descriptor and wait for its
+	// previous incarnation to retire: live reaches zero only after every
+	// task of that transaction has returned, so the acquire-load below
+	// orders all their accesses before our plain-field reset.
+	if thr.txSeq >= depth {
+		thr.stats.DescriptorReuses++
 	}
+	tx := thr.txRing[thr.txSeq%depth]
+	thr.txSeq++
+	for tx.live.Load() != 0 {
+		runtime.Gosched()
+	}
+
+	tx.startSerial = start
+	tx.commitSerial = commit
+	tx.gen = 0
+	tx.acks = 0
+	tx.participants = 0
+	tx.cleaning = false
+	tx.abortTx.Store(false)
+	tx.greedTS.Store(0)
+	tx.txAborts.Store(0)
+	tx.taskRestarts.Store(0)
+	for k := range tx.restartKind {
+		tx.restartKind[k].Store(0)
+	}
+	tx.cmDefeats.Store(0)
+	tx.armed.Store(0)
+	tx.live.Store(int32(len(fns)))
+	// The descriptor for serial s is always ring[s%depth], so the task
+	// list is known before any slot frees up. Descriptors still running
+	// a previous incarnation are not touched through this slice until
+	// tx.armed covers them (see cleanupTx).
+	tx.tasks = tx.tasks[:0]
+	for i := range fns {
+		tx.tasks = append(tx.tasks, thr.ring[(start+int64(i))%depth])
+	}
+
 	for i, fn := range fns {
-		t := &Task{
-			thr:               thr,
-			tx:                tx,
-			fn:                fn,
-			serial:            start + int64(i),
-			tryCommit:         i == len(fns)-1,
-			waitBeforeRestart: -1,
-		}
-		t.ownerRef.ThreadID = thr.id
-		t.ownerRef.StartSerial = start
-		t.ownerRef.CompletedTask = &thr.completedTask
-		t.ownerRef.AbortTx = &tx.abortTx
-		t.ownerRef.AbortInternal = &t.abortInternal
-		t.ownerRef.Timestamp = &tx.greedTS
-		tx.tasks[i] = t
-	}
-	for _, t := range tx.tasks {
-		slot := &thr.slots[t.serial%int64(thr.depth)]
+		serial := start + int64(i)
+		s := int(serial % depth)
 		// A task may only start when the number of active tasks is
 		// below SPECDEPTH, i.e. when the task that previously occupied
-		// this slot has exited (paper §3.3, "Starting a task").
-		for slot.Load() != nil {
-			runtime.Gosched()
+		// this slot has exited (paper §3.3, "Starting a task"). The
+		// scheduler's idle state is the retirement signal; once it is
+		// observed the submitter owns the descriptor.
+		thr.pool.WaitIdle(s)
+		if thr.pool.Generation(s) > 0 {
+			// The scheduler's generation stamp is the source of truth
+			// for descriptor reuse: any slot armed before is recycled.
+			thr.stats.DescriptorReuses++
 		}
-		slot.Store(t)
-		thr.pending.Add(1)
-		go t.run()
+		t := thr.ring[s]
+		t.tx = tx
+		t.fn = fn
+		t.serial.Store(serial)
+		t.tryCommit = i == len(fns)-1
+		t.waitBeforeRestart = -1
+		t.backoff = 0
+		t.workAcc = 0
+		t.abortInternal.Store(false)
+		t.readLog.Reset()
+		t.writeLog.Reset()
+		t.allocs = t.allocs[:0]
+		t.frees = t.frees[:0]
+		t.ownerRef.BindTx(start, &tx.abortTx, &tx.greedTS)
+		thr.slots[s].Store(t)
+		tx.armed.Add(1)
+		if thr.pool.Arm(s) {
+			thr.stats.WorkersSpawned++
+		}
 	}
-	return &TxHandle{tx: tx}, nil
+	return TxHandle{thr: thr, commit: commit}, nil
 }
 
 // Atomic runs one user-transaction decomposed into the given tasks and
@@ -133,10 +220,15 @@ func (thr *Thread) Atomic(fns ...TaskFunc) error {
 }
 
 // Sync waits until every submitted user-transaction has committed and
-// all task goroutines have exited, then merges the thread's statistics
-// shard (the part not yet merged) into the runtime-global aggregate.
+// every task descriptor has retired to its slot, then merges the
+// thread's statistics shard (the part not yet merged) into the
+// runtime-global aggregate. The worker goroutines stay parked, ready
+// for the next Submit; Runtime.Close drains them.
 func (thr *Thread) Sync() {
-	thr.pending.Wait()
+	thr.txDone.Wait(thr.nextSerial)
+	for i := range thr.slots {
+		thr.pool.WaitIdle(i)
+	}
 	delta := thr.stats.minus(thr.synced)
 	if delta != (Stats{}) {
 		thr.rt.stats.Merge(delta)
@@ -183,6 +275,14 @@ type Stats struct {
 	// max(own work, finish of task k−1) + commit cost, reflecting the
 	// serialized commit order (DESIGN.md §3, hardware substitution).
 	VirtualTime uint64
+	// WorkersSpawned counts scheduler worker goroutines created: at
+	// most SPECDEPTH per thread over its whole lifetime, and zero per
+	// task at steady state (the pooled scheduler's point).
+	WorkersSpawned uint64
+	// DescriptorReuses counts task and transaction descriptors served
+	// from the recycled rings instead of freshly allocated — the
+	// steady-state case for every Submit after warm-up.
+	DescriptorReuses uint64
 }
 
 // Add folds o into s.
@@ -197,6 +297,8 @@ func (s *Stats) Add(o Stats) {
 	s.RestartSandbox += o.RestartSandbox
 	s.Work += o.Work
 	s.VirtualTime += o.VirtualTime
+	s.WorkersSpawned += o.WorkersSpawned
+	s.DescriptorReuses += o.DescriptorReuses
 }
 
 // minus returns the fieldwise difference s−o. It is only meaningful
@@ -204,20 +306,24 @@ func (s *Stats) Add(o Stats) {
 // how Sync computes the not-yet-merged part of a thread's shard.
 func (s Stats) minus(o Stats) Stats {
 	return Stats{
-		TxCommitted:    s.TxCommitted - o.TxCommitted,
-		TxAborted:      s.TxAborted - o.TxAborted,
-		TaskRestarts:   s.TaskRestarts - o.TaskRestarts,
-		RestartWAR:     s.RestartWAR - o.RestartWAR,
-		RestartWAW:     s.RestartWAW - o.RestartWAW,
-		RestartExtend:  s.RestartExtend - o.RestartExtend,
-		RestartCM:      s.RestartCM - o.RestartCM,
-		RestartSandbox: s.RestartSandbox - o.RestartSandbox,
-		Work:           s.Work - o.Work,
-		VirtualTime:    s.VirtualTime - o.VirtualTime,
+		TxCommitted:      s.TxCommitted - o.TxCommitted,
+		TxAborted:        s.TxAborted - o.TxAborted,
+		TaskRestarts:     s.TaskRestarts - o.TaskRestarts,
+		RestartWAR:       s.RestartWAR - o.RestartWAR,
+		RestartWAW:       s.RestartWAW - o.RestartWAW,
+		RestartExtend:    s.RestartExtend - o.RestartExtend,
+		RestartCM:        s.RestartCM - o.RestartCM,
+		RestartSandbox:   s.RestartSandbox - o.RestartSandbox,
+		Work:             s.Work - o.Work,
+		VirtualTime:      s.VirtualTime - o.VirtualTime,
+		WorkersSpawned:   s.WorkersSpawned - o.WorkersSpawned,
+		DescriptorReuses: s.DescriptorReuses - o.DescriptorReuses,
 	}
 }
 
-// txState is the shared state of one user-transaction.
+// txState is the shared state of one user-transaction. Descriptors are
+// recycled through the thread's txRing: all plain fields are reset by
+// Submit after the previous incarnation's live count reaches zero.
 type txState struct {
 	thr          *Thread
 	startSerial  int64
@@ -248,5 +354,15 @@ type txState struct {
 	restartKind  [numRestartKinds]atomic.Uint64
 	cmDefeats    atomic.Int32 // conflicts lost (two-phase greedy escalation)
 
-	done chan struct{}
+	// armed counts tasks dispatched for this incarnation; the
+	// submitter's increment is the release that publishes the freshly
+	// reset descriptor, and cleanupTx bounds its write-log sweep by it
+	// so it never touches a descriptor still retiring from a previous
+	// transaction.
+	armed atomic.Int32
+
+	// live counts tasks of this incarnation that have not yet returned
+	// to their slots. The decrement in Task.run is each task's final
+	// access to this state; Submit reuses the descriptor only at zero.
+	live atomic.Int32
 }

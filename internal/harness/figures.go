@@ -109,6 +109,7 @@ func Fig1a(sc Scale) Figure {
 			rt := core.New(core.Config{SpecDepth: tasks})
 			tr := fig1aTree(rt.Direct())
 			r := RunTLSTM(rt, rbWorkload(tr, fmt.Sprintf("TLSTM-%d", tasks), n, tasks, sc.Fig1aTx))
+			rt.Close() // drain this point's worker pools
 			fig.Series[si].X = append(fig.Series[si].X, float64(n))
 			fig.Series[si].Y = append(fig.Series[si].Y, r.Throughput()/rBase.Throughput())
 		}
@@ -195,6 +196,7 @@ func Fig1b(sc Scale) Figure {
 				m := vacation.NewManager(rt.Direct(), 1024)
 				vacation.Populate(rt.Direct(), m, p)
 				r := RunTLSTM(rt, vacationWorkload(m, p, series.Name, clients, tasks, sc.Fig1bTx))
+				rt.Close()
 				series.X = append(series.X, float64(clients))
 				series.Y = append(series.Y, r.Throughput())
 			}
@@ -265,6 +267,7 @@ func Fig2a(sc Scale) Figure {
 		bt, err := sb7.Build(rt.Direct(), sb7.Default())
 		must(err)
 		addPoint(1, RunTLSTM(rt, sb7Workload(bt, "TLSTM-1-3", 1, 3, sc.SB7Tx, pct)).Throughput())
+		rt.Close()
 
 		base3 := stm.New()
 		b3, err := sb7.Build(base3.Direct(), sb7.Default())
@@ -319,6 +322,7 @@ func Fig2b(sc Scale) Figure {
 				b, err := sb7.Build(rt.Direct(), sb7.Default())
 				must(err)
 				y = RunTLSTM(rt, sb7Workload(b, c.name, c.threads, c.tasks, sc.SB7Tx, wl.PctRead)).Throughput()
+				rt.Close()
 			}
 			s.X = append(s.X, float64(wi))
 			s.Y = append(s.Y, y)

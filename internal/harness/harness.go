@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"tlstm/internal/core"
+	"tlstm/internal/sched"
 	"tlstm/internal/stm"
 	"tlstm/internal/tm"
 )
@@ -60,6 +61,11 @@ type Result struct {
 	TxCommitted  uint64
 	TxAborted    uint64
 	TaskRestarts uint64
+	// Scheduler counters (TLSTM runs only): worker goroutines spawned
+	// across all threads — at most threads×SpecDepth for the whole run —
+	// and task/transaction descriptors served from the recycled rings.
+	WorkersSpawned   uint64
+	DescriptorReuses uint64
 }
 
 // Throughput reports application operations per 1000 virtual work units
@@ -71,10 +77,15 @@ func (r Result) Throughput() float64 {
 	return float64(r.Ops) * 1000 / float64(r.VirtualUnits)
 }
 
-// String formats a result row.
+// String formats a result row. Scheduler counters appear only when the
+// run produced them (TLSTM runs; the baseline has no task scheduler).
 func (r Result) String() string {
-	return fmt.Sprintf("%-22s ops=%-8d tput=%8.3f vtime=%-10d txAbort=%-5d taskRestart=%-6d wall=%s",
+	s := fmt.Sprintf("%-22s ops=%-8d tput=%8.3f vtime=%-10d txAbort=%-5d taskRestart=%-6d wall=%s",
 		r.Label, r.Ops, r.Throughput(), r.VirtualUnits, r.TxAborted, r.TaskRestarts, r.Wall.Round(time.Millisecond))
+	if r.WorkersSpawned > 0 || r.DescriptorReuses > 0 {
+		s += fmt.Sprintf(" workers=%-3d descReuse=%d", r.WorkersSpawned, r.DescriptorReuses)
+	}
+	return s
 }
 
 // RunSTM executes the workload on a fresh-thread pool over the SwissTM
@@ -164,11 +175,42 @@ func RunTLSTM(rt *core.Runtime, w Workload) Result {
 		res.TxCommitted += st.TxCommitted
 		res.TxAborted += st.TxAborted
 		res.TaskRestarts += st.TaskRestarts
+		res.WorkersSpawned += st.WorkersSpawned
+		res.DescriptorReuses += st.DescriptorReuses
 		if st.VirtualTime > res.VirtualUnits {
 			res.VirtualUnits = st.VirtualTime
 		}
 	}
 	return res
+}
+
+// CompareSched runs one identical depth-1 counter workload under each
+// scheduling policy (sched.Pooled and sched.Inline) and reports both
+// measurements. Virtual time is policy-independent by construction —
+// the same work units are charged either way — so the interesting
+// column is Wall: the per-task cost of the worker wake/park protocol
+// against running the body on the submitting goroutine.
+func CompareSched(threads, txPerThread int) []Result {
+	mk := func(policy sched.Policy, label string) Result {
+		rt := core.New(core.Config{SpecDepth: 1, Policy: policy})
+		defer rt.Close()
+		base := rt.Direct().Alloc(threads)
+		w := Workload{
+			Name:        label,
+			Threads:     threads,
+			TxPerThread: txPerThread,
+			OpsPerTx:    1,
+			Make: func(thread, idx int) TxSeq {
+				a := base + tm.Addr(thread)
+				return TxSeq{func(tx tm.Tx) { tx.Store(a, tx.Load(a)+1) }}
+			},
+		}
+		return RunTLSTM(rt, w)
+	}
+	return []Result{
+		mk(sched.Pooled, fmt.Sprintf("TLSTM-%d-1-pooled", threads)),
+		mk(sched.Inline, fmt.Sprintf("TLSTM-%d-1-inline", threads)),
+	}
 }
 
 // Series is one plotted line: label plus (x, throughput) points.

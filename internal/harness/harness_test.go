@@ -164,3 +164,49 @@ func TestFiguresSmoke(t *testing.T) {
 		}
 	}
 }
+
+// The scheduler counters must flow from thread shards into Result and
+// show steady-state pooling: workers bounded by threads×SpecDepth, and
+// descriptor reuse dominating once warmed.
+func TestResultSurfacesSchedulerCounters(t *testing.T) {
+	rt := core.New(core.Config{SpecDepth: 3})
+	defer rt.Close()
+	b, err := sb7.Build(rt.Direct(), sb7.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := RunTLSTM(rt, sb7Workload(b, "x", 2, 3, 5, 100))
+	if r.WorkersSpawned == 0 || r.WorkersSpawned > 2*3 {
+		t.Fatalf("WorkersSpawned = %d, want in (0, %d]", r.WorkersSpawned, 2*3)
+	}
+	if r.DescriptorReuses == 0 {
+		t.Fatal("DescriptorReuses = 0 on a warmed run")
+	}
+	if s := r.String(); !strings.Contains(s, "workers=") || !strings.Contains(s, "descReuse=") {
+		t.Fatalf("Result.String does not surface scheduler counters: %q", s)
+	}
+}
+
+// CompareSched runs the same workload under both spawn policies; both
+// must commit everything, agree on virtual time (the policies charge
+// identical work units), and only the Pooled run may spawn workers.
+func TestCompareSchedPolicies(t *testing.T) {
+	rs := CompareSched(2, 200)
+	if len(rs) != 2 {
+		t.Fatalf("CompareSched returned %d results", len(rs))
+	}
+	pooled, inline := rs[0], rs[1]
+	if pooled.TxCommitted != 400 || inline.TxCommitted != 400 {
+		t.Fatalf("commits: pooled=%d inline=%d, want 400 each", pooled.TxCommitted, inline.TxCommitted)
+	}
+	if inline.WorkersSpawned != 0 {
+		t.Fatalf("inline run spawned %d workers", inline.WorkersSpawned)
+	}
+	if pooled.WorkersSpawned == 0 {
+		t.Fatal("pooled run spawned no workers")
+	}
+	if pooled.VirtualUnits != inline.VirtualUnits {
+		t.Fatalf("virtual time must be policy-independent: pooled=%d inline=%d",
+			pooled.VirtualUnits, inline.VirtualUnits)
+	}
+}

@@ -57,6 +57,32 @@ type WEntry struct {
 	Pair   *Pair // the lock pair this entry is (or was) installed under
 	Prev   atomic.Pointer[WEntry]
 	Words  []WordVal
+
+	// buf is the inline backing array Words starts on: most entries
+	// buffer one or two words (a counter update, a pointer swing), so
+	// seeding Words from buf makes a fresh single-word entry cost one
+	// allocation instead of two. Updates past cap spill to the heap as
+	// usual. Use NewEntry (or reseed Words from Seed) to get the inline
+	// storage; a literal WEntry{Words: ...} forgoes it harmlessly.
+	buf [2]WordVal
+}
+
+// NewEntry allocates an entry carrying one buffered word, with Words
+// seeded on the entry's inline buffer.
+func NewEntry(owner *OwnerRef, serial int64, p *Pair, a tm.Addr, v uint64) *WEntry {
+	e := &WEntry{Owner: owner, Serial: serial, Pair: p}
+	e.Words = append(e.buf[:0], WordVal{Addr: a, Val: v})
+	return e
+}
+
+// Seed resets Words onto the inline buffer with a single buffered word.
+// Pool recyclers (txlog.WriteLog) use it so a reused entry sheds any
+// heap spill a previous life accumulated.
+func (e *WEntry) Seed(serial int64, p *Pair, a tm.Addr, v uint64) {
+	e.Serial = serial
+	e.Pair = p
+	e.Prev.Store(nil)
+	e.Words = append(e.buf[:0], WordVal{Addr: a, Val: v})
 }
 
 // Lookup returns the buffered value for a in this entry, if present.
@@ -86,31 +112,56 @@ func (e *WEntry) Update(a tm.Addr, v uint64) {
 
 // OwnerRef is the cross-thread header describing the task (TLSTM) or
 // transaction (SwissTM baseline) that owns a write lock. Contention
-// managers and the abort machinery read it from other threads, so every
-// mutable field is atomic; the rest is immutable for the lifetime of one
-// task incarnation.
+// managers and the abort machinery read it from other threads, and —
+// now that both runtimes recycle their descriptors — a stale entry
+// pointer may outlive the incarnation that installed it. The header is
+// therefore split into two kinds of field:
+//
+//   - per-context fields (ThreadID, CompletedTask, AbortInternal) are
+//     written exactly once, when the owning descriptor is created, and
+//     stay valid for the descriptor's whole pooled lifetime;
+//   - per-transaction fields (StartSerial, AbortTx, Timestamp) are
+//     re-pointed every time the descriptor is recycled onto a new
+//     user-transaction, so they are atomics: a reader holding a stale
+//     entry gets the *current* transaction's signal slots. The worst
+//     a stale reader can do is signal a spurious abort, which costs
+//     one harmless retry — the documented price of an allocation-free
+//     hot path (see internal/stm's descriptor-reuse note).
 type OwnerRef struct {
 	// ThreadID identifies the owning user-thread.
 	ThreadID int32
 	// StartSerial is the first serial of the owner's user-transaction
 	// (tx-start-serial). The task-aware CM computes the owner's progress
 	// as completed-task − StartSerial (paper Alg. 2, cm-should-abort).
-	StartSerial int64
+	StartSerial atomic.Int64
 	// CompletedTask points at the owning thread's completed-task
 	// counter.
 	CompletedTask *atomic.Int64
-	// AbortTx is the abort-transaction signal shared by every task of
-	// the owner's user-transaction.
-	AbortTx *atomic.Bool
+	// AbortTx points at the abort-transaction signal shared by every
+	// task of the owner's current user-transaction.
+	AbortTx atomic.Pointer[atomic.Bool]
 	// AbortInternal is the owner task's aborted-internally signal
-	// (intra-thread WAW, paper Alg. 2 line 47).
+	// (intra-thread WAW, paper Alg. 2 line 47). The flag object lives in
+	// the task descriptor and survives recycling, so the pointer is
+	// wired once.
 	AbortInternal *atomic.Bool
-	// Timestamp is the greedy contention-manager priority of the owner's
-	// user-transaction; lower values are older and win conflicts. Zero
-	// means the transaction is still in the polite phase of the
-	// two-phase greedy CM. It is shared by every task of the
+	// Timestamp points at the greedy contention-manager priority of the
+	// owner's current user-transaction; lower values are older and win
+	// conflicts. Zero means the transaction is still in the polite phase
+	// of the two-phase greedy CM. It is shared by every task of the
 	// transaction, hence a pointer.
-	Timestamp *atomic.Uint64
+	Timestamp atomic.Pointer[atomic.Uint64]
+}
+
+// BindTx re-points the per-transaction fields at a new transaction's
+// signal slots: the single mutation a recycled descriptor performs on
+// its header. All three stores are atomic, so cross-thread readers
+// holding stale entries never race — they just observe the new
+// transaction (and may abort it spuriously, which is safe).
+func (o *OwnerRef) BindTx(startSerial int64, abortTx *atomic.Bool, timestamp *atomic.Uint64) {
+	o.StartSerial.Store(startSerial)
+	o.AbortTx.Store(abortTx)
+	o.Timestamp.Store(timestamp)
 }
 
 // Table is the global lock table. Addresses map to pairs by masking, as

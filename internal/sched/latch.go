@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// waitSpin is how many cooperative yields a waiter burns before falling
+// back to a condition-variable park. On a pipelined thread the commit
+// being waited for is usually a handful of scheduler quanta away, so
+// the park — a futex round-trip both ways — is the exception.
+const waitSpin = 64
+
+// Latch is a reusable, sequence-numbered completion latch: the pooled
+// replacement for a per-transaction `done` channel.
+//
+// Completions call Publish with a monotonically increasing serial;
+// waiters call Wait with the serial they need. Because the sequence
+// only advances, a Latch serves an unbounded stream of completions
+// without ever being reallocated or reset, and a stale handle can at
+// worst observe "already done" — never block on a recycled object
+// (the ABA hazard that pointer-identity tokens like channels reintroduce
+// as soon as descriptors are pooled).
+//
+// The fast paths are futex-style: a satisfied Wait is one atomic load;
+// a Publish with no parked waiters is one CAS plus one atomic load. The
+// mutex and condition variable are touched only when someone actually
+// parks. The zero value is ready to use and reads sequence 0. A Latch
+// must not be copied after first use.
+type Latch struct {
+	seq     atomic.Int64
+	waiters atomic.Int32
+
+	mu   sync.Mutex
+	cond sync.Cond // lazily wired to mu by the first parking waiter
+}
+
+// Seq returns the latest published sequence number.
+func (l *Latch) Seq() int64 { return l.seq.Load() }
+
+// Publish advances the latch to sequence n (monotonically: a smaller or
+// equal n is a no-op) and wakes every waiter whose serial is now
+// reached. The store is sequentially consistent, so a waiter that the
+// publisher does not observe is guaranteed to observe the new sequence
+// instead — one side of the race always sees the other.
+func (l *Latch) Publish(n int64) {
+	for {
+		cur := l.seq.Load()
+		if cur >= n {
+			return
+		}
+		if l.seq.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	if l.waiters.Load() == 0 {
+		return // futex fast path: nobody parked, nothing to wake
+	}
+	l.mu.Lock()
+	l.cond.Broadcast() // Broadcast does not require cond.L to be wired
+	l.mu.Unlock()
+}
+
+// Wait blocks until the latch reaches sequence n. It may be called any
+// number of times, with any serial, from any goroutine: a serial that
+// has already been published returns immediately.
+func (l *Latch) Wait(n int64) {
+	if l.seq.Load() >= n {
+		return
+	}
+	// Spin briefly: on a loaded scheduler the publisher is typically
+	// one quantum away, and parking would cost two futex transitions.
+	for i := 0; i < waitSpin; i++ {
+		runtime.Gosched()
+		if l.seq.Load() >= n {
+			return
+		}
+	}
+	l.mu.Lock()
+	if l.cond.L == nil {
+		l.cond.L = &l.mu
+	}
+	l.waiters.Add(1)
+	for l.seq.Load() < n {
+		l.cond.Wait()
+	}
+	l.waiters.Add(-1)
+	l.mu.Unlock()
+}

@@ -220,12 +220,12 @@ func (rt *Runtime) NewWorker() *Worker {
 	w.tx.rt = rt
 	w.tx.owner = locktable.OwnerRef{
 		ThreadID:      -1,
-		StartSerial:   0,
 		CompletedTask: &completedZero,
-		AbortTx:       &w.tx.abortTx,
 		AbortInternal: &w.tx.abortTx, // no intra-thread signals in the baseline
-		Timestamp:     &w.tx.greedTS,
 	}
+	// The baseline has no task pipeline and one transaction at a time
+	// per descriptor, so the per-transaction slots are bound once.
+	w.tx.owner.BindTx(0, &w.tx.abortTx, &w.tx.greedTS)
 	return w
 }
 
@@ -433,7 +433,7 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 				tx.cmDefeats++
 				tx.rollback()
 			case cm.AbortOwner:
-				e.Owner.AbortTx.Store(true)
+				e.Owner.AbortTx.Load().Store(true)
 				// Waiting for the owner costs real parallel time: it
 				// progresses about one quantum per scheduler round.
 				tx.work += yieldQuantum

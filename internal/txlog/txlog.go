@@ -105,18 +105,10 @@ func (wl *WriteLog) NewEntry(owner *locktable.OwnerRef, serial int64, p *locktab
 	if n := len(wl.free); n > 0 {
 		e := wl.free[n-1]
 		wl.free = wl.free[:n-1]
-		e.Serial = serial
-		e.Pair = p
-		e.Prev.Store(nil)
-		e.Words = append(e.Words[:0], locktable.WordVal{Addr: a, Val: v})
+		e.Seed(serial, p, a, v)
 		return e
 	}
-	return &locktable.WEntry{
-		Owner:  owner,
-		Serial: serial,
-		Pair:   p,
-		Words:  []locktable.WordVal{{Addr: a, Val: v}},
-	}
+	return locktable.NewEntry(owner, serial, p, a, v)
 }
 
 // Append records an entry that has been installed in the lock table.

@@ -17,6 +17,7 @@
 // # Quick start
 //
 //	rt := tlstm.New(tlstm.Config{SpecDepth: 3})
+//	defer rt.Close()                 // drain the scheduler's worker pools
 //	d := rt.Direct()                 // non-transactional setup handle
 //	counter := d.Alloc(1)
 //
@@ -30,6 +31,33 @@
 // Task bodies must be re-executable: speculation may run them several
 // times, so they must not have external side effects.
 //
+// # Worker lifecycle
+//
+// Speculative tasks do not get fresh goroutines: each Thread owns a
+// ring of SpecDepth recycled task descriptors executed by SpecDepth
+// long-lived worker goroutines (internal/sched), spawned lazily on the
+// thread's first Submits and parked between tasks. At steady state a
+// Submit therefore allocates nothing and spawns nothing; Stats reports
+// the totals as WorkersSpawned and DescriptorReuses. The lifecycle is:
+// NewThread creates the rings, Submit/Atomic dispatch onto them, Sync
+// quiesces a thread (workers stay parked, ready for more), and
+// Runtime.Close — after every thread has Synced — drains and joins all
+// workers. Submitting after Close panics. Under Config.Policy ==
+// SchedInline (SpecDepth 1 only) there are no workers at all: task
+// bodies run on the submitting goroutine and Submit returns committed.
+//
+// # Waiting on transactions
+//
+// Submit returns a TxHandle by value: the (thread, commit-serial) pair
+// of one submitted transaction. Wait blocks until that transaction has
+// committed, through the thread's reusable completion latch rather
+// than a per-transaction channel. Because commit serials are never
+// reused, a handle stays meaningful after the transaction's recycled
+// descriptors have moved on: Wait is idempotent, may be called from
+// any goroutine, and at worst observes "already committed". Handles
+// must not be used after Runtime.Close, and must not outlive their
+// Thread.
+//
 // The package also exposes the SwissTM baseline (NewBaseline) that
 // TLSTM extends, the transactional data structures used by the paper's
 // benchmarks (red-black tree, sorted list, hash map), and the benchmark
@@ -40,6 +68,7 @@ import (
 	"tlstm/internal/core"
 	"tlstm/internal/mem"
 	"tlstm/internal/rbtree"
+	"tlstm/internal/sched"
 	"tlstm/internal/stm"
 	"tlstm/internal/tm"
 	"tlstm/internal/tmhash"
@@ -65,10 +94,16 @@ type (
 	Task = core.Task
 	// TaskFunc is a speculative task body.
 	TaskFunc = core.TaskFunc
-	// TxHandle tracks a submitted user-transaction.
+	// TxHandle tracks a submitted user-transaction. It is a plain
+	// value; see "Waiting on transactions" in the package docs for the
+	// Wait contract.
 	TxHandle = core.TxHandle
-	// Stats aggregates per-thread execution statistics.
+	// Stats aggregates per-thread execution statistics, including the
+	// scheduler counters WorkersSpawned and DescriptorReuses.
 	Stats = core.Stats
+	// SchedPolicy selects how speculative tasks are dispatched; see
+	// Config.Policy and the worker-lifecycle package docs.
+	SchedPolicy = sched.Policy
 
 	// Direct is the non-transactional setup handle returned by
 	// (*Runtime).Direct and (*BaselineRuntime).Direct; it implements Tx.
@@ -78,6 +113,17 @@ type (
 // NilAddr is the nil word address (a NULL pointer for word-encoded
 // structures).
 const NilAddr = tm.NilAddr
+
+// Scheduling policies for Config.Policy.
+const (
+	// SchedPooled dispatches tasks to each thread's ring of long-lived
+	// worker goroutines (the default; zero value).
+	SchedPooled = sched.Pooled
+	// SchedInline runs task bodies on the submitting goroutine; it
+	// requires SpecDepth 1 (New panics otherwise) and is the fast path
+	// when there is no intra-thread speculation to overlap.
+	SchedInline = sched.Inline
+)
 
 // New creates a TLSTM runtime.
 func New(cfg Config) *Runtime { return core.New(cfg) }

@@ -89,7 +89,7 @@ func TestSubmitPipeline(t *testing.T) {
 	d := rt.Direct()
 	a := d.Alloc(1)
 	thr := rt.NewThread()
-	var hs []*tlstm.TxHandle
+	var hs []tlstm.TxHandle
 	for i := 0; i < 20; i++ {
 		h, err := thr.Submit(func(tk *tlstm.Task) { tk.Store(a, tk.Load(a)+1) })
 		if err != nil {
@@ -164,5 +164,48 @@ func TestMultipleThreadsViaFacade(t *testing.T) {
 	wg.Wait()
 	if d.Load(a) != 90 {
 		t.Fatalf("counter = %d, want 90", d.Load(a))
+	}
+}
+
+// The scheduler surface: Close drains worker pools, the Inline policy
+// runs depth-1 transactions on the caller, and the scheduler counters
+// reach the public Stats.
+func TestSchedulerFacade(t *testing.T) {
+	rt := tlstm.New(tlstm.Config{SpecDepth: 2})
+	d := rt.Direct()
+	a := d.Alloc(1)
+	thr := rt.NewThread()
+	for i := 0; i < 5; i++ {
+		if err := thr.Atomic(func(tk *tlstm.Task) { tk.Store(a, tk.Load(a)+1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	thr.Sync()
+	st := thr.Stats()
+	if st.WorkersSpawned == 0 || st.DescriptorReuses == 0 {
+		t.Fatalf("scheduler counters missing from public Stats: %+v", st)
+	}
+	rt.Close()
+	rt.Close() // idempotent
+
+	ir := tlstm.New(tlstm.Config{SpecDepth: 1, Policy: tlstm.SchedInline})
+	defer ir.Close()
+	if ir.Policy() != tlstm.SchedInline {
+		t.Fatalf("Policy = %v, want %v", ir.Policy(), tlstm.SchedInline)
+	}
+	ithr := ir.NewThread()
+	b := ir.Direct().Alloc(1)
+	h, err := ithr.Submit(func(tk *tlstm.Task) { tk.Store(b, 7) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Wait()
+	h.Wait() // idempotent: serial-keyed, not channel-keyed
+	ithr.Sync()
+	if got := ir.Direct().Load(b); got != 7 {
+		t.Fatalf("inline store = %d, want 7", got)
+	}
+	if st := ithr.Stats(); st.WorkersSpawned != 0 {
+		t.Fatalf("inline policy spawned %d workers", st.WorkersSpawned)
 	}
 }
