@@ -8,6 +8,8 @@
 //	tlstm-bench -fig 2a         # one figure
 //	tlstm-bench -quick          # reduced transaction counts
 //	tlstm-bench -headline       # §4 headline numbers (from Fig2b data)
+//	tlstm-bench -clock deferred # figures under the GV5-style clock
+//	tlstm-bench -clocks         # clock-strategy sweep across runtimes
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"tlstm/internal/clock"
 	"tlstm/internal/harness"
 )
 
@@ -28,6 +31,8 @@ func run() int {
 	headline := flag.Bool("headline", false, "print the paper's §4 headline ratios (computed from Figure 2b)")
 	check := flag.Bool("check", false, "regenerate all figures and verify the paper's qualitative claims; exit non-zero on violation")
 	schedCmp := flag.Bool("sched", false, "compare the pooled and inline scheduling policies on a depth-1 workload (wall time is the interesting column; virtual time is policy-independent)")
+	clockName := flag.String("clock", "gv4", `commit-clock strategy for figure/headline runs: "gv4", "deferred" or "sharded"`)
+	clockCmp := flag.Bool("clocks", false, "sweep all commit-clock strategies across all four runtimes on a write-heavy workload (throughput, abort rate, snapshot extensions and clock CAS retries per strategy)")
 	format := flag.String("format", "table", `output format: "table" or "csv"`)
 	flag.Parse()
 
@@ -35,7 +40,24 @@ func run() int {
 	if *quick {
 		sc = harness.QuickScale()
 	}
+	kind, err := clock.Parse(*clockName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlstm-bench: %v\n", err)
+		return 2
+	}
+	sc.Clock = kind
 
+	if *clockCmp {
+		txs := 50_000
+		if *quick {
+			txs = 5_000
+		}
+		fmt.Println("## Commit-clock strategy comparison (write-heavy, 4 threads, all runtimes)")
+		for _, r := range harness.CompareClocks(4, txs) {
+			fmt.Println(r)
+		}
+		return 0
+	}
 	if *headline {
 		printHeadline(sc)
 		return 0

@@ -8,6 +8,9 @@
 //     transfers over a shared account array preserve the global total.
 //
 // It is meant for long soak runs: tlstm-stress -seconds 60 -threads 4.
+// The soak runs under any commit-clock strategy (-clock deferred), and
+// -clocks swaps the soak for the invariant-checked strategy sweep
+// across all four runtimes (harness.CompareClocks).
 package main
 
 import (
@@ -16,7 +19,9 @@ import (
 	"os"
 	"time"
 
+	"tlstm/internal/clock"
 	"tlstm/internal/core"
+	"tlstm/internal/harness"
 	"tlstm/internal/sched"
 	"tlstm/internal/tm"
 )
@@ -41,13 +46,33 @@ func run() int {
 	depth := flag.Int("depth", 3, "SPECDEPTH / tasks per transaction")
 	accounts := flag.Int("accounts", 64, "shared accounts")
 	schedMode := flag.String("sched", "pooled", `scheduling policy: "pooled" or "inline" (inline requires -depth 1)`)
+	clockName := flag.String("clock", "gv4", `commit-clock strategy: "gv4", "deferred" or "sharded"`)
+	clockCmp := flag.Bool("clocks", false, "run the invariant-checked clock-strategy sweep (all strategies × all runtimes) instead of the soak; -seconds scales the transaction count")
 	flag.Parse()
+
+	if *clockCmp {
+		// ~10k transactions per thread per requested second: a short,
+		// deterministic stand-in for the soak that still runs every
+		// strategy on every runtime with end-state invariant checks.
+		txs := 10_000 * *seconds
+		fmt.Printf("## Commit-clock strategy sweep (%d threads, %d tx/thread)\n", *threads, txs)
+		for _, r := range harness.CompareClocks(*threads, txs) {
+			fmt.Println(r)
+		}
+		fmt.Println("OK: all strategy/runtime end states verified")
+		return 0
+	}
 
 	policy := sched.Pooled
 	if *schedMode == "inline" {
 		policy = sched.Inline
 	}
-	rt := core.New(core.Config{SpecDepth: *depth, Policy: policy})
+	kind, err := clock.Parse(*clockName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlstm-stress: %v\n", err)
+		return 2
+	}
+	rt := core.New(core.Config{SpecDepth: *depth, Policy: policy, Clock: clock.New(kind)})
 	defer rt.Close()
 	d := rt.Direct()
 	const initial = 1_000_000
@@ -102,9 +127,10 @@ func run() int {
 		sum += d.Load(base + tm.Addr(i))
 	}
 	want := uint64(*accounts) * initial
-	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d\n",
+	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d clock=%s ext=%d clkRetry=%d\n",
 		total.TxCommitted, total.TxAborted, total.TaskRestarts, total.Work,
-		total.WorkersSpawned, total.DescriptorReuses)
+		total.WorkersSpawned, total.DescriptorReuses,
+		rt.ClockName(), total.SnapshotExtensions, total.ClockCASRetries)
 	if sum != want {
 		fmt.Printf("FAIL: total=%d want=%d (atomicity violated)\n", sum, want)
 		return 1

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"tlstm/internal/clock"
 	"tlstm/internal/core"
 	"tlstm/internal/stm"
 	"tlstm/internal/tl2"
@@ -13,8 +14,9 @@ import (
 
 // Differential testing: the same deterministic workload executed on the
 // SwissTM baseline, the TL2 baseline and TLSTM (at several speculative
-// depths) must leave the word store in exactly the same state. A
-// divergence pinpoints a semantics bug in one runtime.
+// depths) — each under every commit-clock strategy — must leave the
+// word store in exactly the same state. A divergence pinpoints a
+// semantics bug in one runtime (or one clock strategy).
 
 // diffOp is one step of a deterministic single-thread program.
 type diffOp struct {
@@ -70,8 +72,8 @@ func snapshot(d tm.Tx, base tm.Addr) [diffWords]uint64 {
 	return m
 }
 
-func runOnSTM(prog [][]diffOp) [diffWords]uint64 {
-	rt := stm.New()
+func runOnSTM(prog [][]diffOp, kind clock.Kind) [diffWords]uint64 {
+	rt := stm.New(stm.WithClock(clock.New(kind)))
 	base := rt.Direct().Alloc(diffWords)
 	for _, ops := range prog {
 		ops := ops
@@ -84,8 +86,8 @@ func runOnSTM(prog [][]diffOp) [diffWords]uint64 {
 	return snapshot(rt.Direct(), base)
 }
 
-func runOnTL2(prog [][]diffOp) [diffWords]uint64 {
-	rt := tl2.New(16)
+func runOnTL2(prog [][]diffOp, kind clock.Kind) [diffWords]uint64 {
+	rt := tl2.New(16, tl2.WithClock(clock.New(kind)))
 	base := rt.Direct().Alloc(diffWords)
 	for _, ops := range prog {
 		ops := ops
@@ -98,8 +100,8 @@ func runOnTL2(prog [][]diffOp) [diffWords]uint64 {
 	return snapshot(rt.Direct(), base)
 }
 
-func runOnWriteThrough(prog [][]diffOp) [diffWords]uint64 {
-	rt := wtstm.New(16)
+func runOnWriteThrough(prog [][]diffOp, kind clock.Kind) [diffWords]uint64 {
+	rt := wtstm.New(16, wtstm.WithClock(clock.New(kind)))
 	base := rt.Direct().Alloc(diffWords)
 	for _, ops := range prog {
 		ops := ops
@@ -112,8 +114,8 @@ func runOnWriteThrough(prog [][]diffOp) [diffWords]uint64 {
 	return snapshot(rt.Direct(), base)
 }
 
-func runOnTLSTM(prog [][]diffOp, depth int, split bool) [diffWords]uint64 {
-	rt := core.New(core.Config{SpecDepth: depth, LockTableBits: 14})
+func runOnTLSTM(prog [][]diffOp, depth int, split bool, kind clock.Kind) [diffWords]uint64 {
+	rt := core.New(core.Config{SpecDepth: depth, LockTableBits: 14, Clock: clock.New(kind)})
 	base := rt.Direct().Alloc(diffWords)
 	thr := rt.NewThread()
 	for _, ops := range prog {
@@ -150,25 +152,43 @@ func runOnTLSTM(prog [][]diffOp, depth int, split bool) [diffWords]uint64 {
 }
 
 func TestDifferentialRuntimes(t *testing.T) {
-	for seed := int64(1); seed <= 12; seed++ {
-		prog := genProgram(seed, 30)
-		want := runOnSTM(prog)
+	// The reference state comes from the GV4 baseline run, computed
+	// once per seed and shared by every strategy subtest, so every
+	// strategy is also compared across strategies, not just across
+	// runtimes.
+	const seeds = 12
+	progs := make([][][]diffOp, seeds)
+	wants := make([][diffWords]uint64, seeds)
+	for i := range progs {
+		progs[i] = genProgram(int64(i+1), 30)
+		wants[i] = runOnSTM(progs[i], clock.KindGV4)
+	}
+	for _, kind := range clock.Kinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= seeds; seed++ {
+				prog, want := progs[seed-1], wants[seed-1]
 
-		if got := runOnTL2(prog); got != want {
-			t.Fatalf("seed %d: TL2 diverges from SwissTM\n tl2: %v\n stm: %v", seed, got, want)
-		}
-		if got := runOnWriteThrough(prog); got != want {
-			t.Fatalf("seed %d: write-through diverges from SwissTM\n  wt: %v\n stm: %v", seed, got, want)
-		}
-		for _, depth := range []int{1, 2, 4} {
-			if got := runOnTLSTM(prog, depth, false); got != want {
-				t.Fatalf("seed %d: TLSTM depth %d (unsplit) diverges\n got: %v\nwant: %v", seed, depth, got, want)
+				if got := runOnSTM(prog, kind); got != want {
+					t.Fatalf("seed %d: SwissTM/%v diverges from SwissTM/gv4\n got: %v\nwant: %v", seed, kind, got, want)
+				}
+				if got := runOnTL2(prog, kind); got != want {
+					t.Fatalf("seed %d: TL2/%v diverges from SwissTM\n tl2: %v\n stm: %v", seed, kind, got, want)
+				}
+				if got := runOnWriteThrough(prog, kind); got != want {
+					t.Fatalf("seed %d: write-through/%v diverges from SwissTM\n  wt: %v\n stm: %v", seed, kind, got, want)
+				}
+				for _, depth := range []int{1, 2, 4} {
+					if got := runOnTLSTM(prog, depth, false, kind); got != want {
+						t.Fatalf("seed %d: TLSTM/%v depth %d (unsplit) diverges\n got: %v\nwant: %v", seed, kind, depth, got, want)
+					}
+				}
+				for _, depth := range []int{2, 4} {
+					if got := runOnTLSTM(prog, depth, true, kind); got != want {
+						t.Fatalf("seed %d: TLSTM/%v depth %d (split) diverges\n got: %v\nwant: %v", seed, kind, depth, got, want)
+					}
+				}
 			}
-		}
-		for _, depth := range []int{2, 4} {
-			if got := runOnTLSTM(prog, depth, true); got != want {
-				t.Fatalf("seed %d: TLSTM depth %d (split) diverges\n got: %v\nwant: %v", seed, depth, got, want)
-			}
-		}
+		})
 	}
 }

@@ -1,40 +1,405 @@
 // Package clock abstracts the global commit timestamp shared by every
-// transactional runtime in this repository.
+// transactional runtime in this repository — and, since it became a
+// strategy layer, lets each runtime choose HOW that timestamp is
+// maintained.
 //
 // SwissTM (paper §3.1), TLSTM (§3.2), TL2 and the write-through STM all
 // serialize commits through a single monotonically increasing counter:
 // a transaction samples it when it begins (its snapshot / read version)
-// and a writer ticks it exactly once at commit, stamping the published
-// locations with the new value. Until this package existed, each runtime
-// carried its own bare atomic.Uint64 copy of that counter; hiding it
-// behind one type gives scalable variants (deferred-update GV5/GV7-style
-// clocks, per-core sharded clocks with periodic reconciliation) a single
-// place to land without touching the four runtimes again.
+// and a writer stamps the published locations with a commit timestamp.
+// That counter is the single most contended word in the whole system —
+// every Begin reads it, every writer commit writes it — so TL2's family
+// of global-version-clock variants (GV4/GV5/GV7) trades a few extra
+// snapshot extensions or aborts for dramatically less cache-line
+// ping-pong. This package implements three of those strategies behind
+// one interface:
+//
+//   - GV4 (the default): a padded atomic counter ticked with a single
+//     fetch-and-add per writer commit. Timestamps are dense and unique.
+//   - Deferred (GV5-style): writers stamp Now()+1 WITHOUT advancing the
+//     clock; the clock only advances when a reader observes a stamp
+//     ahead of it (Observe). The commit path performs no read-modify-
+//     write on the shared line at all; the price is that concurrent
+//     writers may share a timestamp and readers pay one extra snapshot
+//     extension per fresh stamp they encounter.
+//   - Sharded: per-context shards, each ticked locally; Now is the
+//     minimum over all shards and Observe reconciles lagging shards up
+//     to a witnessed stamp (the slow-path global max). Commits touch
+//     only their own shard's line.
+//
+// # The safety contract
+//
+// A runtime that accepts a read of version v without validation when
+// v ≤ validTS (its Now sample) is safe if and only if
+//
+//	every Tick completes strictly above every Now sample
+//	that completed before the Tick was taken,           (T1)
+//
+// provided the runtime takes the Tick only AFTER acquiring the commit
+// locks of everything it is about to publish (all four runtimes do:
+// the lock acquisition makes concurrent readers of those locations spin
+// or abort rather than record a version). All three strategies satisfy
+// (T1):
+//
+//   - GV4: Tick = Add(1) > everything any Load ever returned.
+//   - Deferred: Tick = Now()+1 and the clock is monotonic, so any
+//     sample that completed before the Tick is ≤ Now() < Tick.
+//   - Sharded: Now = min over shards ≤ the ticking context's own shard
+//     < its Tick result, and shards are monotonic.
+//
+// Strategies whose stamps can run ahead of Now (Deferred, Sharded) are
+// called pre-publishing: a reader can meet a version its own snapshot
+// cannot cover yet, and no amount of re-sampling Now would help. The
+// Observe hook is the read-validation escape: Observe(v) folds a
+// witnessed stamp v back into the clock and returns a reading ≥ v, so
+// the caller's snapshot extension can succeed. Runtimes MUST call
+// Observe (directly or via their extend path) whenever they see a
+// version above their snapshot, or pre-publishing strategies livelock.
+//
+// Equality-based read validation (SwissTM's cur == recorded) stays
+// sound under shared stamps for the same reason (T1) holds: recording
+// (pair, v) requires validTS ≥ v, hence every shard/clock ≥ v at record
+// time, hence any later tick that could re-stamp the pair is > v; and a
+// writer that took stamp v before the record holds the pair's commit
+// lock from before its Tick until publication, so the record cannot
+// have been made in between.
 package clock
 
-import "sync/atomic"
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
 
-// pad keeps the counter on its own cache line: the clock is the single
-// most contended word in the system (every beginning transaction reads
-// it, every committing writer CASes it), and false sharing with adjacent
-// runtime fields would charge that contention to innocent bystanders.
+// Probe carries per-context clock-contention feedback: operations that
+// spin on a CAS report their retries here instead of keeping shared
+// counters inside the clock (which would reintroduce exactly the
+// contention the strategies exist to remove). Each worker/thread owns
+// one Probe and folds it into its private stats shard; the shard/Merge
+// plumbing of internal/txstats carries it the rest of the way.
+//
+// A Probe also pins its owner to a shard (Sharded strategy): the
+// assignment is sticky for the Probe's lifetime, which is what makes
+// shard ticks contention-free between contexts.
+type Probe struct {
+	// CASRetries counts failed compare-and-swaps inside clock
+	// operations since the last TakeRetries.
+	CASRetries uint64
+
+	// shard is the 1-based sticky shard assignment (0 = unassigned).
+	shard uint32
+}
+
+// TakeRetries returns and clears the accumulated retry count (the shard
+// pinning survives, so a recycled descriptor keeps its affinity).
+func (p *Probe) TakeRetries() uint64 {
+	n := p.CASRetries
+	p.CASRetries = 0
+	return n
+}
+
+// NoWindow is the Window() value of strategies whose stamps may lead
+// Now() by an unbounded margin.
+const NoWindow = ^uint64(0)
+
+// Source is one commit-clock strategy. All methods are safe for
+// concurrent use. The *Probe arguments may be nil (retries are then
+// dropped and the Sharded strategy falls back to shard 0); hot paths
+// should pass their context's Probe.
+type Source interface {
+	// Name is the strategy's flag/label name ("gv4", "deferred",
+	// "sharded").
+	Name() string
+
+	// Now returns the current timestamp: a value no greater than any
+	// Tick taken after Now completes (contract T1). Transactions sample
+	// it at begin and during snapshot extension.
+	Now() uint64
+
+	// Tick returns the commit timestamp for one writer commit. The
+	// caller must already hold the commit locks of every location it
+	// will stamp (see the package docs). Unless Exclusive reports true,
+	// concurrent writers may receive equal timestamps.
+	Tick(p *Probe) uint64
+
+	// Observe is the read-validation hook for pre-published stamps: it
+	// folds a witnessed version v (a value previously returned by Tick,
+	// or 0 for a plain re-sample) into the clock and returns a reading
+	// ≥ v. After Observe(v) returns, Now() ≥ v.
+	Observe(v uint64, p *Probe) uint64
+
+	// Exclusive reports whether every Tick value is handed to exactly
+	// one committer. TL2-style runtimes may skip read-set validation
+	// when their commit stamp is exactly readVersion+1 — that shortcut
+	// is sound only on exclusive sources.
+	Exclusive() bool
+
+	// Window bounds how far a stamp returned by Tick may lead Now() at
+	// the moment of publication: 0 (GV4; ticks publish immediately),
+	// a small constant (Deferred: 1), or NoWindow (Sharded; readers
+	// rely on Observe instead of a bound).
+	Window() uint64
+}
+
+// Kind names a built-in strategy; the zero value is the GV4 default.
+type Kind int
+
+const (
+	// KindGV4 is the fetch-and-add clock (TL2's GV4; the default).
+	KindGV4 Kind = iota
+	// KindDeferred is the GV5-style deferred-tick clock.
+	KindDeferred
+	// KindSharded is the per-context sharded clock.
+	KindSharded
+)
+
+// Kinds lists every built-in strategy, in flag order.
+func Kinds() []Kind { return []Kind{KindGV4, KindDeferred, KindSharded} }
+
+// String returns the flag/label name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindGV4:
+		return "gv4"
+	case KindDeferred:
+		return "deferred"
+	case KindSharded:
+		return "sharded"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Parse maps a flag name to its Kind.
+func Parse(name string) (Kind, error) {
+	for _, k := range Kinds() {
+		if name == k.String() {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("clock: unknown strategy %q (want gv4, deferred or sharded)", name)
+}
+
+// New returns a fresh instance of the kind's strategy.
+func New(k Kind) Source {
+	switch k {
+	case KindDeferred:
+		return &Deferred{}
+	case KindSharded:
+		return NewSharded(0)
+	default:
+		return &GV4{}
+	}
+}
+
+// pad keeps a counter on its own cache line: false sharing with
+// adjacent fields would charge the clock's contention to innocent
+// bystanders.
 type pad [56]byte
 
-// Clock is the global commit counter. The zero value is a valid clock
-// reading 0; the first Tick returns 1. A Clock must not be copied after
-// first use.
-type Clock struct {
+// ---------------------------------------------------------------------------
+// GV4
+// ---------------------------------------------------------------------------
+
+// GV4 is the classic fetch-and-add commit clock: dense, unique,
+// immediately published timestamps; one atomic Add per writer commit.
+// The zero value is a valid clock reading 0; the first Tick returns 1.
+// A GV4 must not be copied after first use.
+type GV4 struct {
 	_  pad
 	ts atomic.Uint64
 	_  pad
 }
 
-// Now returns the current timestamp: the serial of the most recent
-// writer commit. Transactions sample it at begin (valid-ts / read
-// version) and during snapshot extension.
-func (c *Clock) Now() uint64 { return c.ts.Load() }
+// Name implements Source.
+func (c *GV4) Name() string { return KindGV4.String() }
 
-// Tick advances the clock by one commit and returns the new timestamp.
-// A committing writer calls it exactly once, after acquiring its commit
-// locks and before final validation.
-func (c *Clock) Tick() uint64 { return c.ts.Add(1) }
+// Now implements Source.
+func (c *GV4) Now() uint64 { return c.ts.Load() }
+
+// Tick implements Source: one fetch-and-add, never any retries.
+func (c *GV4) Tick(*Probe) uint64 { return c.ts.Add(1) }
+
+// Observe implements Source. GV4 stamps never lead the clock, so this
+// is a plain re-sample.
+func (c *GV4) Observe(uint64, *Probe) uint64 { return c.ts.Load() }
+
+// Exclusive implements Source: Add hands each committer its own stamp.
+func (c *GV4) Exclusive() bool { return true }
+
+// Window implements Source: a stamp is public the instant it exists.
+func (c *GV4) Window() uint64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Deferred (GV5-style)
+// ---------------------------------------------------------------------------
+
+// Deferred is the GV5-style deferred-tick clock: Tick returns Now()+1
+// without writing, so the writer commit path performs no atomic RMW on
+// the shared line — the CAS storm of a commit-heavy workload simply
+// disappears. The clock advances only when a reader Observes a stamp
+// ahead of it, costing that reader one CAS and one snapshot extension.
+// Concurrent writers may share a stamp (Exclusive is false), which is
+// safe under the package's (T1) argument but forbids the
+// "wv == rv+1 ⇒ skip validation" shortcut.
+// The zero value is a valid clock reading 0.
+type Deferred struct {
+	_  pad
+	ts atomic.Uint64
+	_  pad
+}
+
+// Name implements Source.
+func (c *Deferred) Name() string { return KindDeferred.String() }
+
+// Now implements Source.
+func (c *Deferred) Now() uint64 { return c.ts.Load() }
+
+// Tick implements Source: stamp one past the clock, never advance it.
+func (c *Deferred) Tick(*Probe) uint64 { return c.ts.Load() + 1 }
+
+// Observe implements Source: fold the witnessed stamp into the clock
+// (CAS-max; stamps lead by at most 1, so one step usually suffices).
+func (c *Deferred) Observe(v uint64, p *Probe) uint64 {
+	for {
+		cur := c.ts.Load()
+		if cur >= v {
+			return cur
+		}
+		if c.ts.CompareAndSwap(cur, v) {
+			return v
+		}
+		if p != nil {
+			p.CASRetries++
+		}
+	}
+}
+
+// Exclusive implements Source: concurrent writers may share stamps.
+func (c *Deferred) Exclusive() bool { return false }
+
+// Window implements Source: a stamp leads the clock by at most one.
+func (c *Deferred) Window() uint64 { return 1 }
+
+// ---------------------------------------------------------------------------
+// Sharded
+// ---------------------------------------------------------------------------
+
+type shard struct {
+	_ pad
+	v atomic.Uint64
+	_ pad
+}
+
+// Sharded distributes the clock over per-context shards: Tick is a CAS
+// on the ticking context's own shard (contention-free across contexts),
+// Now is the minimum over all shards (a scan of lines that are each
+// invalidated only by their own context's commits, instead of one line
+// invalidated by everyone), and Observe is the slow-path
+// reconciliation: it raises every lagging shard to a witnessed stamp,
+// which is also what keeps Now from stalling behind an idle shard.
+//
+// Safety (package docs, T1): Now = min ≤ own shard < own Tick, and
+// every shard is monotonic. Stamps from different shards may collide
+// (Exclusive is false) and may lead Now by an unbounded margin
+// (Window is NoWindow) — readers are expected to Observe.
+type Sharded struct {
+	shards []shard
+	mask   uint32
+	assign atomic.Uint32
+}
+
+// NewSharded creates a sharded clock with n shards (rounded up to a
+// power of two; n ≤ 0 picks a default based on GOMAXPROCS).
+func NewSharded(n int) *Sharded {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	size := 2
+	for size < n {
+		size *= 2
+	}
+	return &Sharded{shards: make([]shard, size), mask: uint32(size - 1)}
+}
+
+// ShardCount reports the number of shards (tests).
+func (c *Sharded) ShardCount() int { return len(c.shards) }
+
+// slot returns the probe's sticky shard, assigning one round-robin on
+// first use. A nil probe shares shard 0.
+func (c *Sharded) slot(p *Probe) *atomic.Uint64 {
+	if p == nil {
+		return &c.shards[0].v
+	}
+	if p.shard == 0 {
+		p.shard = c.assign.Add(1)
+	}
+	return &c.shards[(p.shard-1)&c.mask].v
+}
+
+// Name implements Source.
+func (c *Sharded) Name() string { return KindSharded.String() }
+
+// Now implements Source: the minimum over all shards. Monotonic because
+// every shard is.
+func (c *Sharded) Now() uint64 {
+	m := c.shards[0].v.Load()
+	for i := 1; i < len(c.shards); i++ {
+		if v := c.shards[i].v.Load(); v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Tick implements Source: advance the caller's own shard only.
+func (c *Sharded) Tick(p *Probe) uint64 {
+	s := c.slot(p)
+	for {
+		cur := s.Load()
+		if s.CompareAndSwap(cur, cur+1) {
+			return cur + 1
+		}
+		if p != nil {
+			p.CASRetries++
+		}
+	}
+}
+
+// Observe implements Source: the reconciliation slow path. Every shard
+// below the witnessed stamp is raised to it, so the global minimum —
+// and with it every future Now — covers v.
+func (c *Sharded) Observe(v uint64, p *Probe) uint64 {
+	for i := range c.shards {
+		s := &c.shards[i].v
+		for {
+			cur := s.Load()
+			if cur >= v {
+				break
+			}
+			if s.CompareAndSwap(cur, v) {
+				break
+			}
+			if p != nil {
+				p.CASRetries++
+			}
+		}
+	}
+	if now := c.Now(); now > v {
+		return now
+	}
+	return v
+}
+
+// Exclusive implements Source: shards mint stamps independently.
+func (c *Sharded) Exclusive() bool { return false }
+
+// Window implements Source: an idle reader may lag a busy shard by an
+// unbounded margin; Observe is the recovery path.
+func (c *Sharded) Window() uint64 { return NoWindow }
+
+var (
+	_ Source = (*GV4)(nil)
+	_ Source = (*Deferred)(nil)
+	_ Source = (*Sharded)(nil)
+)

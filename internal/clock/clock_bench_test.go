@@ -1,0 +1,75 @@
+package clock
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Raw strategy costs. BenchmarkClockCommitPath is the headline number:
+// one begin-sample plus one commit-tick per iteration — the exact clock
+// traffic of a small writer transaction — hammered from an exact number
+// of goroutines (not RunParallel, whose worker count scales with
+// GOMAXPROCS and would make the threads= labels machine-dependent).
+// The deferred strategy replaces GV4's atomic Add with a plain load,
+// which is the whole point of the strategy layer.
+
+func benchSources() []struct {
+	name string
+	mk   func() Source
+} {
+	return []struct {
+		name string
+		mk   func() Source
+	}{
+		{"gv4", func() Source { return &GV4{} }},
+		{"deferred", func() Source { return &Deferred{} }},
+		{"sharded", func() Source { return NewSharded(4) }},
+	}
+}
+
+func BenchmarkClockCommitPath(b *testing.B) {
+	for _, s := range benchSources() {
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/threads=%d", s.name, par), func(b *testing.B) {
+				src := s.mk()
+				iters := b.N / par
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for g := 0; g < par; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						var p Probe
+						var sink uint64
+						for i := 0; i < iters; i++ {
+							sink += src.Now()    // begin: snapshot sample
+							sink += src.Tick(&p) // commit: stamp
+						}
+						_ = sink
+					}()
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkClockReadValidation measures the reader side: a Now sample
+// plus an Observe of a fresh stamp (the extension path pre-publishing
+// strategies push work onto).
+func BenchmarkClockReadValidation(b *testing.B) {
+	for _, s := range benchSources() {
+		b.Run(s.name, func(b *testing.B) {
+			src := s.mk()
+			var p Probe
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				ts := src.Tick(&p)
+				sink += src.Observe(ts, &p)
+				sink += src.Now()
+			}
+			_ = sink
+		})
+	}
+}

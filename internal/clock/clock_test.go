@@ -5,34 +5,41 @@ import (
 	"testing"
 )
 
-func TestZeroValueAndTick(t *testing.T) {
-	var c Clock
+func TestGV4ZeroValueAndTick(t *testing.T) {
+	var c GV4
 	if c.Now() != 0 {
 		t.Fatalf("zero clock reads %d, want 0", c.Now())
 	}
-	if ts := c.Tick(); ts != 1 {
+	if ts := c.Tick(nil); ts != 1 {
 		t.Fatalf("first Tick = %d, want 1", ts)
 	}
 	if c.Now() != 1 {
 		t.Fatalf("Now after Tick = %d, want 1", c.Now())
 	}
+	if !c.Exclusive() || c.Window() != 0 {
+		t.Fatal("GV4 must be exclusive with window 0")
+	}
 }
 
-// Concurrent Ticks must hand out unique, dense timestamps — commit
-// serialization in every runtime depends on it.
-func TestConcurrentTicksUnique(t *testing.T) {
+// Concurrent GV4 Ticks must hand out unique, dense timestamps — commit
+// serialization under the default strategy depends on it.
+func TestGV4ConcurrentTicksUnique(t *testing.T) {
 	const workers = 8
 	const perWorker = 1000
 
-	var c Clock
+	var c GV4
 	got := make([][]uint64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var p Probe
 			for i := 0; i < perWorker; i++ {
-				got[w] = append(got[w], c.Tick())
+				got[w] = append(got[w], c.Tick(&p))
+			}
+			if p.CASRetries != 0 {
+				t.Errorf("GV4 Tick reported %d CAS retries, want 0 (it is an Add)", p.CASRetries)
 			}
 		}(w)
 	}
@@ -57,5 +64,95 @@ func TestConcurrentTicksUnique(t *testing.T) {
 	}
 	if want := uint64(workers * perWorker); c.Now() != want {
 		t.Fatalf("final clock = %d, want %d (dense)", c.Now(), want)
+	}
+}
+
+// The deferred clock's whole point: ticking does not move the clock;
+// observing the resulting stamp does.
+func TestDeferredTickDoesNotAdvance(t *testing.T) {
+	var c Deferred
+	var p Probe
+	if ts := c.Tick(&p); ts != 1 {
+		t.Fatalf("Tick = %d, want 1", ts)
+	}
+	if c.Now() != 0 {
+		t.Fatalf("Now after deferred Tick = %d, want 0 (tick is deferred)", c.Now())
+	}
+	if got := c.Observe(1, &p); got < 1 {
+		t.Fatalf("Observe(1) = %d, want ≥ 1", got)
+	}
+	if c.Now() != 1 {
+		t.Fatalf("Now after Observe = %d, want 1", c.Now())
+	}
+	// The next tick builds on the observed stamp.
+	if ts := c.Tick(&p); ts != 2 {
+		t.Fatalf("Tick after Observe = %d, want 2", ts)
+	}
+	if c.Exclusive() {
+		t.Fatal("deferred clock must not claim exclusive stamps")
+	}
+	if c.Window() != 1 {
+		t.Fatalf("deferred window = %d, want 1", c.Window())
+	}
+}
+
+// The sharded clock: Now is the min over shards, so a tick on one shard
+// is invisible until Observe reconciles the others up to it.
+func TestShardedMinAndReconcile(t *testing.T) {
+	c := NewSharded(4)
+	if c.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", c.ShardCount())
+	}
+	var p1, p2 Probe
+	ts := c.Tick(&p1)
+	if ts != 1 {
+		t.Fatalf("first Tick = %d, want 1", ts)
+	}
+	if c.Now() != 0 {
+		t.Fatalf("Now = %d, want 0 (other shards still at 0)", c.Now())
+	}
+	if got := c.Observe(ts, &p2); got < ts {
+		t.Fatalf("Observe(%d) = %d, want ≥ %d", ts, got, ts)
+	}
+	if c.Now() < ts {
+		t.Fatalf("Now after Observe = %d, want ≥ %d", c.Now(), ts)
+	}
+	// Distinct probes stick to distinct shards: their ticks are
+	// independent (both mint min+1 here).
+	a, b := c.Tick(&p1), c.Tick(&p2)
+	if a == 0 || b == 0 {
+		t.Fatal("ticks must be positive")
+	}
+	if c.Exclusive() {
+		t.Fatal("sharded clock must not claim exclusive stamps")
+	}
+	if c.Window() != NoWindow {
+		t.Fatalf("sharded window = %d, want NoWindow", c.Window())
+	}
+}
+
+func TestParseAndNew(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := Parse(k.String())
+		if err != nil || got != k {
+			t.Fatalf("Parse(%q) = %v, %v", k.String(), got, err)
+		}
+		src := New(k)
+		if src.Name() != k.String() {
+			t.Fatalf("New(%v).Name() = %q, want %q", k, src.Name(), k.String())
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("Parse must reject unknown strategies")
+	}
+}
+
+func TestProbeTakeRetries(t *testing.T) {
+	p := Probe{CASRetries: 7}
+	if p.TakeRetries() != 7 {
+		t.Fatal("TakeRetries must return the accumulated count")
+	}
+	if p.CASRetries != 0 || p.TakeRetries() != 0 {
+		t.Fatal("TakeRetries must clear the count")
 	}
 }

@@ -1,0 +1,265 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Shared conformance suite: every commit-clock strategy must satisfy
+// the properties the runtimes' safety arguments rest on (package docs,
+// contract T1). Run with -race: the suite doubles as the strategies'
+// concurrency hammering.
+
+// conformanceSources builds one fresh instance per strategy.
+func conformanceSources() map[string]func() Source {
+	return map[string]func() Source{
+		"gv4":      func() Source { return &GV4{} },
+		"deferred": func() Source { return &Deferred{} },
+		"sharded":  func() Source { return NewSharded(4) },
+	}
+}
+
+func casMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// TestConformance runs the full property set against all strategies.
+func TestConformance(t *testing.T) {
+	for name, mk := range conformanceSources() {
+		t.Run(name, func(t *testing.T) {
+			t.Run("ZeroValue", func(t *testing.T) { conformZero(t, mk()) })
+			t.Run("TickAboveCompletedSamples", func(t *testing.T) { conformT1(t, mk()) })
+			t.Run("MonotonicNow", func(t *testing.T) { conformMonotonic(t, mk()) })
+			t.Run("ObserveCatchesUp", func(t *testing.T) { conformObserve(t, mk()) })
+			t.Run("NoLostTicks", func(t *testing.T) { conformNoLostTicks(t, mk()) })
+			t.Run("WindowBound", func(t *testing.T) { conformWindow(t, mk()) })
+		})
+	}
+}
+
+// conformZero: the zero/fresh state reads 0 and the first tick is ≥ 1.
+func conformZero(t *testing.T, src Source) {
+	if src.Now() != 0 {
+		t.Fatalf("fresh clock reads %d, want 0", src.Now())
+	}
+	var p Probe
+	if ts := src.Tick(&p); ts < 1 {
+		t.Fatalf("first Tick = %d, want ≥ 1", ts)
+	}
+}
+
+// conformT1 is the load-bearing safety property: a Tick must come out
+// strictly above every Now sample that completed before the Tick
+// started. hi tracks the maximum completed sample; a ticker reads hi,
+// then ticks — everything folded into hi before that read
+// happened-before the tick, so the tick must exceed it.
+func conformT1(t *testing.T, src Source) {
+	const samplers, tickers, iters = 4, 4, 2000
+
+	var hi atomic.Uint64
+	var wg sync.WaitGroup
+	for s := 0; s < samplers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				casMax(&hi, src.Now())
+			}
+		}()
+	}
+	for w := 0; w < tickers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var p Probe
+			for i := 0; i < iters; i++ {
+				m := hi.Load()
+				if ts := src.Tick(&p); ts <= m {
+					t.Errorf("Tick = %d, but a Now sample of %d had already completed (T1 violated)", ts, m)
+					return
+				}
+				// Publish the stamp back so samplers can advance
+				// (pre-publishing strategies stall otherwise).
+				src.Observe(src.Tick(&p), &p)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// conformMonotonic: per-goroutine Now observations never go backwards,
+// under concurrent ticking and observing.
+func conformMonotonic(t *testing.T, src Source) {
+	const readers, writers, iters = 4, 2, 2000
+
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			var p Probe
+			for i := 0; i < iters; i++ {
+				src.Observe(src.Tick(&p), &p)
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			prev := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				now := src.Now()
+				if now < prev {
+					t.Errorf("Now went backwards: %d after %d", now, prev)
+					return
+				}
+				prev = now
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+}
+
+// conformObserve: after Observe(v) of any previously minted stamp v,
+// Now() must cover v.
+func conformObserve(t *testing.T, src Source) {
+	const workers, iters = 6, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var p Probe
+			for i := 0; i < iters; i++ {
+				ts := src.Tick(&p)
+				if got := src.Observe(ts, &p); got < ts {
+					t.Errorf("Observe(%d) = %d, want ≥ %d", ts, got, ts)
+					return
+				}
+				if now := src.Now(); now < ts {
+					t.Errorf("Now() = %d after Observe(%d), want ≥", now, ts)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// conformNoLostTicks: per-goroutine tick sequences never decrease; for
+// exclusive sources they are globally unique and dense, and for every
+// source the final observed maximum is recoverable through Observe (no
+// tick is lost to the clock).
+func conformNoLostTicks(t *testing.T, src Source) {
+	const workers, perWorker = 6, 1500
+
+	got := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var p Probe
+			for i := 0; i < perWorker; i++ {
+				got[w] = append(got[w], src.Tick(&p))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var max uint64
+	seen := make(map[uint64]bool)
+	for w := range got {
+		prev := uint64(0)
+		for _, ts := range got[w] {
+			if ts == 0 {
+				t.Fatal("Tick returned 0")
+			}
+			if ts < prev {
+				t.Fatalf("ticks decreased within a goroutine: %d after %d", ts, prev)
+			}
+			if src.Exclusive() {
+				if ts <= prev && prev != 0 {
+					t.Fatalf("exclusive ticks not strictly increasing: %d after %d", ts, prev)
+				}
+				if seen[ts] {
+					t.Fatalf("exclusive source handed out duplicate timestamp %d", ts)
+				}
+				seen[ts] = true
+			}
+			prev = ts
+			if ts > max {
+				max = ts
+			}
+		}
+	}
+	if src.Exclusive() {
+		if want := uint64(workers * perWorker); src.Now() != want {
+			t.Fatalf("final exclusive clock = %d, want %d (dense)", src.Now(), want)
+		}
+	}
+	if got := src.Observe(max, nil); got < max {
+		t.Fatalf("Observe(max=%d) = %d: the maximum minted stamp was lost", max, got)
+	}
+	if src.Now() < max {
+		t.Fatalf("Now() = %d after observing max %d", src.Now(), max)
+	}
+}
+
+// conformWindow: when the strategy declares a finite window, a freshly
+// minted stamp leads Now by at most that much.
+func conformWindow(t *testing.T, src Source) {
+	w := src.Window()
+	if w == NoWindow {
+		t.Skip("strategy declares no publication window; readers rely on Observe")
+	}
+	var p Probe
+	for i := 0; i < 100; i++ {
+		ts := src.Tick(&p)
+		if now := src.Now(); ts > now+w {
+			t.Fatalf("stamp %d leads Now %d by more than the declared window %d", ts, now, w)
+		}
+		if i%3 == 0 {
+			src.Observe(ts, &p)
+		}
+	}
+}
+
+// TestSnapshotValidity is the clock-level form of the runtimes' read
+// rule: if a transaction samples s := Now() and then a writer Ticks t,
+// the sample can never cover the stamp (s < t) — so a value stamped t
+// is unreadable at snapshot s without an extension. The concurrent
+// version is conformT1; this is the direct sequential statement.
+func TestSnapshotValidity(t *testing.T) {
+	for name, mk := range conformanceSources() {
+		t.Run(name, func(t *testing.T) {
+			src := mk()
+			var p Probe
+			for i := 0; i < 1000; i++ {
+				s := src.Now()
+				ts := src.Tick(&p)
+				if s >= ts {
+					t.Fatalf("snapshot %d covers later stamp %d: a value stamped %d would be readable without extension", s, ts, ts)
+				}
+				if i%2 == 0 {
+					src.Observe(ts, &p)
+				}
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ package cm
 import (
 	"sync/atomic"
 
+	"tlstm/internal/clock"
 	"tlstm/internal/locktable"
 )
 
@@ -40,8 +41,16 @@ const PoliteDefeats = 1
 
 // Greedy is the two-phase greedy contention manager. The zero value is
 // ready to use; one instance is shared by all transactions of a runtime.
+//
+// The greedy-phase ordering comes from a clock.GV4 — the same padded
+// fetch-and-add type the commit clock's default strategy uses — so both
+// orderings in the system (commit serialization and conflict seniority)
+// are built from one shared primitive. It stays a GV4 regardless of the
+// runtime's commit-clock strategy: seniority timestamps must be unique
+// (two transactions sharing one would deadlock the tie), which is
+// exactly the Exclusive property only GV4 provides.
 type Greedy struct {
-	clock atomic.Uint64
+	clock clock.GV4
 }
 
 // MakeGreedy assigns tx a greedy timestamp if it does not have one yet.
@@ -49,7 +58,7 @@ type Greedy struct {
 // slot is shared by all tasks of a user-transaction.
 func (g *Greedy) MakeGreedy(ts *atomic.Uint64) {
 	if ts.Load() == 0 {
-		ts.CompareAndSwap(0, g.clock.Add(1))
+		ts.CompareAndSwap(0, g.clock.Tick(nil))
 	}
 }
 

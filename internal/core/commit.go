@@ -114,7 +114,7 @@ func (t *Task) commitTransaction() {
 		}
 	}
 
-	ts := rt.clk.Tick() // line 84
+	ts := rt.clk.Tick(&t.clkProbe) // line 84
 
 	if !t.validateTxReads(scr) { // line 85
 		scr.Restore()
@@ -224,6 +224,16 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 	thr.stats.RestartSandbox += tx.restartKind[restartSandbox].Load()
 	thr.stats.Work += work
 	thr.stats.VirtualTime += finish
+
+	// Clock-contention counters fold (and clear) per task under the
+	// same serialization that protects workAcc: intermediate tasks are
+	// parked until the completedTask store below, and their next
+	// incarnation's accesses are ordered after it.
+	for _, task := range tx.tasks {
+		thr.stats.SnapshotExtensions += task.extends
+		task.extends = 0
+		thr.stats.ClockCASRetries += task.clkProbe.TakeRetries()
+	}
 
 	// Deferred frees of every task take effect now that the
 	// transaction's writes are durable. This, too, must precede the

@@ -60,6 +60,10 @@ type Config struct {
 	// transaction would deadlock its own submitter. New panics on an
 	// Inline policy with SpecDepth > 1.
 	Policy sched.Policy
+	// Clock selects the commit-clock strategy (internal/clock): the
+	// GV4 fetch-and-add clock (default), the GV5-style deferred clock,
+	// or the sharded clock. nil means GV4.
+	Clock clock.Source
 }
 
 func (c *Config) fill() {
@@ -69,6 +73,9 @@ func (c *Config) fill() {
 	if c.LockTableBits == 0 {
 		c.LockTableBits = 20
 	}
+	if c.Clock == nil {
+		c.Clock = clock.New(clock.KindGV4)
+	}
 }
 
 // Runtime is one TLSTM instance. Independent Runtimes are fully isolated.
@@ -77,7 +84,7 @@ type Runtime struct {
 	alloc *mem.Allocator
 	locks *locktable.Table
 
-	clk clock.Clock
+	clk clock.Source
 	cm  cm.TaskAware
 
 	// stats aggregates per-thread shards, merged at Sync boundaries
@@ -106,6 +113,7 @@ func New(cfg Config) *Runtime {
 		store:         st,
 		alloc:         mem.NewAllocator(st),
 		locks:         locktable.NewTable(cfg.LockTableBits),
+		clk:           cfg.Clock,
 		specDepth:     cfg.SpecDepth,
 		plainGreedyCM: cfg.PlainGreedyCM,
 		policy:        cfg.Policy,
@@ -135,6 +143,9 @@ func (rt *Runtime) Close() {
 
 // CommitTS exposes the global commit timestamp (tests and stats).
 func (rt *Runtime) CommitTS() uint64 { return rt.clk.Now() }
+
+// ClockName reports the commit-clock strategy this runtime uses.
+func (rt *Runtime) ClockName() string { return rt.clk.Name() }
 
 // Stats returns the runtime-global statistics aggregate: the sum of
 // every per-thread shard merged so far (threads merge at Sync).

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"tlstm/internal/clock"
 	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
 	"tlstm/internal/tm"
@@ -62,6 +63,16 @@ type Task struct {
 	frees  []tm.Addr
 
 	workAcc uint64 // work units across all attempts (virtual-time model)
+
+	// extends counts successful snapshot extensions and clkProbe
+	// accumulates clock CAS retries (both across all attempts of the
+	// current incarnation, like workAcc); finishCommit folds them into
+	// the thread's stats shard and clears them under the same
+	// serialization argument that protects workAcc. The probe's shard
+	// pinning (sharded clock strategy) survives folding, so a recycled
+	// descriptor keeps its shard affinity.
+	extends  uint64
+	clkProbe clock.Probe
 
 	// waitBeforeRestart, when ≥ 0, is a completed-task serial the next
 	// attempt must wait for before re-executing. Set on intra-thread
@@ -441,7 +452,7 @@ func (t *Task) loadCommittedRecording(p *locktable.Pair, a tm.Addr, firstPast *l
 		if p.R.Load() != v1 {
 			continue
 		}
-		if v1 > t.validTS && !t.extend() {
+		if v1 > t.validTS && !t.extendTo(v1) {
 			t.rollbackTask(restartExtend)
 		}
 		if v1 > t.validTS {
@@ -458,10 +469,14 @@ func (t *Task) loadCommitted(p *locktable.Pair, a tm.Addr) uint64 {
 	return t.loadCommittedRecording(p, a, nil)
 }
 
-// extend revalidates the read log at the current commit timestamp and
-// advances valid-ts (SwissTM's lazy snapshot extension).
-func (t *Task) extend() bool {
-	ts := t.thr.rt.clk.Now()
+// extendTo revalidates the read log and advances valid-ts (SwissTM's
+// lazy snapshot extension), after asking the clock to cover the
+// witnessed stamp: pre-publishing strategies (deferred, sharded) only
+// advance on Observe, and without it the stamp that triggered the
+// extension would stay forever ahead of valid-ts and the read would
+// livelock.
+func (t *Task) extendTo(witness uint64) bool {
+	ts := t.thr.rt.clk.Observe(witness, &t.clkProbe)
 	for i, re := range t.readLog.Entries() {
 		if re.Version == noVersion {
 			continue
@@ -477,6 +492,9 @@ func (t *Task) extend() bool {
 			continue
 		}
 		return false
+	}
+	if ts > t.validTS {
+		t.extends++
 	}
 	t.validTS = ts
 	return true
@@ -575,8 +593,12 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 			break
 		}
 	}
-	// Post-write checks (Alg. 2 lines 52–53).
-	if ver := p.R.Load(); ver != locktable.Locked && ver > t.validTS && !t.extend() {
+	// Post-write checks (Alg. 2 lines 52–53). Passing the witnessed
+	// version into the extension matters beyond liveness: it guarantees
+	// this transaction's eventual commit stamp exceeds every version it
+	// displaces, so locations never regress under pre-publishing
+	// strategies.
+	if ver := p.R.Load(); ver != locktable.Locked && ver > t.validTS && !t.extendTo(ver) {
 		t.rollbackTask(restartExtend)
 	}
 	t.maybeValidate()

@@ -283,6 +283,14 @@ type Stats struct {
 	// from the recycled rings instead of freshly allocated — the
 	// steady-state case for every Submit after warm-up.
 	DescriptorReuses uint64
+	// SnapshotExtensions counts successful valid-ts extensions across
+	// all tasks. Pre-publishing clock strategies (deferred, sharded)
+	// trade commit-path clock contention for these.
+	SnapshotExtensions uint64
+	// ClockCASRetries counts failed CASes inside commit-clock
+	// operations (internal/clock.Probe): the direct measure of clock
+	// contention under the configured strategy.
+	ClockCASRetries uint64
 }
 
 // Add folds o into s.
@@ -299,6 +307,8 @@ func (s *Stats) Add(o Stats) {
 	s.VirtualTime += o.VirtualTime
 	s.WorkersSpawned += o.WorkersSpawned
 	s.DescriptorReuses += o.DescriptorReuses
+	s.SnapshotExtensions += o.SnapshotExtensions
+	s.ClockCASRetries += o.ClockCASRetries
 }
 
 // minus returns the fieldwise difference s−o. It is only meaningful
@@ -306,18 +316,20 @@ func (s *Stats) Add(o Stats) {
 // how Sync computes the not-yet-merged part of a thread's shard.
 func (s Stats) minus(o Stats) Stats {
 	return Stats{
-		TxCommitted:      s.TxCommitted - o.TxCommitted,
-		TxAborted:        s.TxAborted - o.TxAborted,
-		TaskRestarts:     s.TaskRestarts - o.TaskRestarts,
-		RestartWAR:       s.RestartWAR - o.RestartWAR,
-		RestartWAW:       s.RestartWAW - o.RestartWAW,
-		RestartExtend:    s.RestartExtend - o.RestartExtend,
-		RestartCM:        s.RestartCM - o.RestartCM,
-		RestartSandbox:   s.RestartSandbox - o.RestartSandbox,
-		Work:             s.Work - o.Work,
-		VirtualTime:      s.VirtualTime - o.VirtualTime,
-		WorkersSpawned:   s.WorkersSpawned - o.WorkersSpawned,
-		DescriptorReuses: s.DescriptorReuses - o.DescriptorReuses,
+		TxCommitted:        s.TxCommitted - o.TxCommitted,
+		TxAborted:          s.TxAborted - o.TxAborted,
+		TaskRestarts:       s.TaskRestarts - o.TaskRestarts,
+		RestartWAR:         s.RestartWAR - o.RestartWAR,
+		RestartWAW:         s.RestartWAW - o.RestartWAW,
+		RestartExtend:      s.RestartExtend - o.RestartExtend,
+		RestartCM:          s.RestartCM - o.RestartCM,
+		RestartSandbox:     s.RestartSandbox - o.RestartSandbox,
+		Work:               s.Work - o.Work,
+		VirtualTime:        s.VirtualTime - o.VirtualTime,
+		WorkersSpawned:     s.WorkersSpawned - o.WorkersSpawned,
+		DescriptorReuses:   s.DescriptorReuses - o.DescriptorReuses,
+		SnapshotExtensions: s.SnapshotExtensions - o.SnapshotExtensions,
+		ClockCASRetries:    s.ClockCASRetries - o.ClockCASRetries,
 	}
 }
 

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"tlstm/internal/clock"
 	"tlstm/internal/core"
 	"tlstm/internal/rbtree"
 	"tlstm/internal/sb7"
@@ -11,8 +12,10 @@ import (
 	"tlstm/internal/vacation"
 )
 
-// Scale trades run time for measurement stability: the number of
-// transactions per thread in every figure is multiplied by it.
+// Scale is the run configuration shared by every figure: it trades run
+// time for measurement stability (the number of transactions per thread
+// in every figure is multiplied by the Tx fields) and selects the
+// commit-clock strategy the runtimes are built with.
 type Scale struct {
 	// Fig1aTx is transactions per point for the red-black-tree figure.
 	Fig1aTx int
@@ -20,6 +23,9 @@ type Scale struct {
 	Fig1bTx int
 	// SB7Tx is traversal transactions per thread for Figures 2a/2b.
 	SB7Tx int
+	// Clock is the commit-clock strategy every runtime in the figures
+	// uses (cmd/tlstm-bench -clock); the zero value is GV4.
+	Clock clock.Kind
 }
 
 // DefaultScale is used by the CLI and benches.
@@ -27,6 +33,16 @@ func DefaultScale() Scale { return Scale{Fig1aTx: 300, Fig1bTx: 60, SB7Tx: 24} }
 
 // QuickScale keeps unit-test runs fast.
 func QuickScale() Scale { return Scale{Fig1aTx: 40, Fig1bTx: 8, SB7Tx: 4} }
+
+// newSTM builds a SwissTM runtime with the configured clock strategy.
+func (sc Scale) newSTM() *stm.Runtime {
+	return stm.New(stm.WithClock(clock.New(sc.Clock)))
+}
+
+// newTLSTM builds a TLSTM runtime with the configured clock strategy.
+func (sc Scale) newTLSTM(depth int) *core.Runtime {
+	return core.New(core.Config{SpecDepth: depth, Clock: clock.New(sc.Clock)})
+}
 
 func mix64(x uint64) uint64 {
 	x ^= x >> 33
@@ -101,12 +117,12 @@ func Fig1a(sc Scale) Figure {
 		Series: []Series{{Name: "TLSTM-2"}, {Name: "TLSTM-4"}},
 	}
 	for _, n := range Fig1aOpCounts {
-		base := stm.New()
+		base := sc.newSTM()
 		baseTree := fig1aTree(base.Direct())
 		rBase := RunSTM(base, rbWorkload(baseTree, "SwissTM", n, 1, sc.Fig1aTx))
 
 		for si, tasks := range []int{2, 4} {
-			rt := core.New(core.Config{SpecDepth: tasks})
+			rt := sc.newTLSTM(tasks)
 			tr := fig1aTree(rt.Direct())
 			r := RunTLSTM(rt, rbWorkload(tr, fmt.Sprintf("TLSTM-%d", tasks), n, tasks, sc.Fig1aTx))
 			rt.Close() // drain this point's worker pools
@@ -184,7 +200,7 @@ func Fig1b(sc Scale) Figure {
 		t1.Name = "TLSTM-1-" + mode.tag
 		t2.Name = "TLSTM-2-" + mode.tag
 		for _, clients := range Fig1bClients {
-			base := stm.New()
+			base := sc.newSTM()
 			mBase := vacation.NewManager(base.Direct(), 1024)
 			vacation.Populate(base.Direct(), mBase, p)
 			rBase := RunSTM(base, vacationWorkload(mBase, p, sw.Name, clients, 1, sc.Fig1bTx))
@@ -192,7 +208,7 @@ func Fig1b(sc Scale) Figure {
 			sw.Y = append(sw.Y, rBase.Throughput())
 
 			for tasks, series := range map[int]*Series{1: &t1, 2: &t2} {
-				rt := core.New(core.Config{SpecDepth: tasks})
+				rt := sc.newTLSTM(tasks)
 				m := vacation.NewManager(rt.Direct(), 1024)
 				vacation.Populate(rt.Direct(), m, p)
 				r := RunTLSTM(rt, vacationWorkload(m, p, series.Name, clients, tasks, sc.Fig1bTx))
@@ -258,18 +274,18 @@ func Fig2a(sc Scale) Figure {
 			fig.Series[si].Y = append(fig.Series[si].Y, y)
 		}
 
-		base1 := stm.New()
+		base1 := sc.newSTM()
 		b1, err := sb7.Build(base1.Direct(), sb7.Default())
 		must(err)
 		addPoint(0, RunSTM(base1, sb7Workload(b1, "SwissTM-1", 1, 1, sc.SB7Tx, pct)).Throughput())
 
-		rt := core.New(core.Config{SpecDepth: 3})
+		rt := sc.newTLSTM(3)
 		bt, err := sb7.Build(rt.Direct(), sb7.Default())
 		must(err)
 		addPoint(1, RunTLSTM(rt, sb7Workload(bt, "TLSTM-1-3", 1, 3, sc.SB7Tx, pct)).Throughput())
 		rt.Close()
 
-		base3 := stm.New()
+		base3 := sc.newSTM()
 		b3, err := sb7.Build(base3.Direct(), sb7.Default())
 		must(err)
 		addPoint(2, RunSTM(base3, sb7Workload(b3, "SwissTM-3", 3, 1, sc.SB7Tx, pct)).Throughput())
@@ -313,12 +329,12 @@ func Fig2b(sc Scale) Figure {
 		for wi, wl := range Fig2bWorkloads {
 			var y float64
 			if c.tasks == 0 {
-				rt := stm.New()
+				rt := sc.newSTM()
 				b, err := sb7.Build(rt.Direct(), sb7.Default())
 				must(err)
 				y = RunSTM(rt, sb7Workload(b, c.name, c.threads, 1, sc.SB7Tx, wl.PctRead)).Throughput()
 			} else {
-				rt := core.New(core.Config{SpecDepth: c.tasks})
+				rt := sc.newTLSTM(c.tasks)
 				b, err := sb7.Build(rt.Direct(), sb7.Default())
 				must(err)
 				y = RunTLSTM(rt, sb7Workload(b, c.name, c.threads, c.tasks, sc.SB7Tx, wl.PctRead)).Throughput()

@@ -20,10 +20,13 @@ import (
 	"sync"
 	"time"
 
+	"tlstm/internal/clock"
 	"tlstm/internal/core"
 	"tlstm/internal/sched"
 	"tlstm/internal/stm"
+	"tlstm/internal/tl2"
 	"tlstm/internal/tm"
+	"tlstm/internal/wtstm"
 )
 
 // TaskBody is one speculative task's work, written against the common
@@ -66,6 +69,13 @@ type Result struct {
 	// and task/transaction descriptors served from the recycled rings.
 	WorkersSpawned   uint64
 	DescriptorReuses uint64
+	// Clock is the commit-clock strategy the run used ("gv4",
+	// "deferred", "sharded"); SnapshotExtensions and ClockCASRetries
+	// are the strategy's costs — extra snapshot revalidations and
+	// clock CAS spins — folded from the per-thread stats shards.
+	Clock              string
+	SnapshotExtensions uint64
+	ClockCASRetries    uint64
 }
 
 // Throughput reports application operations per 1000 virtual work units
@@ -78,12 +88,18 @@ func (r Result) Throughput() float64 {
 }
 
 // String formats a result row. Scheduler counters appear only when the
-// run produced them (TLSTM runs; the baseline has no task scheduler).
+// run produced them (TLSTM runs; the baseline has no task scheduler),
+// and clock columns only when the strategy or its costs are
+// interesting (a non-default strategy, or nonzero extension/retry
+// counts).
 func (r Result) String() string {
 	s := fmt.Sprintf("%-22s ops=%-8d tput=%8.3f vtime=%-10d txAbort=%-5d taskRestart=%-6d wall=%s",
 		r.Label, r.Ops, r.Throughput(), r.VirtualUnits, r.TxAborted, r.TaskRestarts, r.Wall.Round(time.Millisecond))
 	if r.WorkersSpawned > 0 || r.DescriptorReuses > 0 {
 		s += fmt.Sprintf(" workers=%-3d descReuse=%d", r.WorkersSpawned, r.DescriptorReuses)
+	}
+	if (r.Clock != "" && r.Clock != clock.KindGV4.String()) || r.SnapshotExtensions > 0 || r.ClockCASRetries > 0 {
+		s += fmt.Sprintf(" clock=%-8s ext=%-5d clkRetry=%d", r.Clock, r.SnapshotExtensions, r.ClockCASRetries)
 	}
 	return s
 }
@@ -121,17 +137,91 @@ func RunSTM(rt *stm.Runtime, w Workload) Result {
 		Label: w.Name,
 		Ops:   uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
 		Wall:  time.Since(start),
+		Clock: rt.ClockName(),
 	}
 	for _, wk := range workers {
 		st := wk.Stats()
 		res.TxCommitted += st.Commits
 		res.TxAborted += st.Aborts
+		res.SnapshotExtensions += st.SnapshotExtensions
+		res.ClockCASRetries += st.ClockCASRetries
 		if st.Work > res.VirtualUnits {
 			res.VirtualUnits = st.Work // threads run in parallel
 		}
 		wk.Close() // merge the shard into the runtime aggregate
 	}
 	return res
+}
+
+// flatStats is the counter set a flat (non-speculative) runtime folds
+// into a Result; see runFlat.
+type flatStats struct {
+	commits, aborts, work, extensions, clockRetries uint64
+}
+
+// runFlat drives a flat-transaction runtime: one goroutine per thread,
+// each TxSeq concatenated into one transaction, per-thread statistics
+// extracted into the shared Result shape. RunTL2 and RunWTSTM are thin
+// wrappers so the fan-out/fold logic exists once.
+func runFlat[S any](w Workload, clockName string, atomic func(st *S, run func(tm.Tx)), extract func(S) flatStats) Result {
+	start := time.Now()
+	stats := make([]S, w.Threads)
+	var wg sync.WaitGroup
+	for th := 0; th < w.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < w.TxPerThread; i++ {
+				seq := w.Make(th, i)
+				atomic(&stats[th], func(tx tm.Tx) {
+					for _, body := range seq {
+						body(tx)
+					}
+				})
+			}
+		}(th)
+	}
+	wg.Wait()
+
+	res := Result{
+		Label: w.Name,
+		Ops:   uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
+		Wall:  time.Since(start),
+		Clock: clockName,
+	}
+	for _, s := range stats {
+		st := extract(s)
+		res.TxCommitted += st.commits
+		res.TxAborted += st.aborts
+		res.SnapshotExtensions += st.extensions
+		res.ClockCASRetries += st.clockRetries
+		if st.work > res.VirtualUnits {
+			res.VirtualUnits = st.work // threads run in parallel
+		}
+	}
+	return res
+}
+
+// RunTL2 executes the workload on the TL2 baseline.
+func RunTL2(rt *tl2.Runtime, w Workload) Result {
+	return runFlat(w, rt.ClockName(),
+		func(st *tl2.Stats, run func(tm.Tx)) {
+			rt.Atomic(st, func(tx *tl2.Tx) { run(tx) })
+		},
+		func(st tl2.Stats) flatStats {
+			return flatStats{st.Commits, st.Aborts, st.Work, st.SnapshotExtensions, st.ClockCASRetries}
+		})
+}
+
+// RunWTSTM executes the workload on the write-through STM.
+func RunWTSTM(rt *wtstm.Runtime, w Workload) Result {
+	return runFlat(w, rt.ClockName(),
+		func(st *wtstm.Stats, run func(tm.Tx)) {
+			rt.Atomic(st, func(tx *wtstm.Tx) { run(tx) })
+		},
+		func(st wtstm.Stats) flatStats {
+			return flatStats{st.Commits, st.Aborts, st.Work, st.SnapshotExtensions, st.ClockCASRetries}
+		})
 }
 
 // RunTLSTM executes the workload over TLSTM: each TxSeq element becomes
@@ -169,6 +259,7 @@ func RunTLSTM(rt *core.Runtime, w Workload) Result {
 		Label: w.Name,
 		Ops:   uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
 		Wall:  time.Since(start),
+		Clock: rt.ClockName(),
 	}
 	for _, thr := range threads {
 		st := thr.Stats()
@@ -177,6 +268,8 @@ func RunTLSTM(rt *core.Runtime, w Workload) Result {
 		res.TaskRestarts += st.TaskRestarts
 		res.WorkersSpawned += st.WorkersSpawned
 		res.DescriptorReuses += st.DescriptorReuses
+		res.SnapshotExtensions += st.SnapshotExtensions
+		res.ClockCASRetries += st.ClockCASRetries
 		if st.VirtualTime > res.VirtualUnits {
 			res.VirtualUnits = st.VirtualTime
 		}
@@ -211,6 +304,93 @@ func CompareSched(threads, txPerThread int) []Result {
 		mk(sched.Pooled, fmt.Sprintf("TLSTM-%d-1-pooled", threads)),
 		mk(sched.Inline, fmt.Sprintf("TLSTM-%d-1-inline", threads)),
 	}
+}
+
+// clockSweepWorkload is the CompareClocks workload: write-heavy with a
+// shared hot word. Every transaction reads the hot word and increments
+// the thread's private counter; every fourth also increments the hot
+// word. The private writes make every transaction a committer (commit
+// clock pressure); the shared reads force each thread to keep meeting
+// other threads' fresh stamps (snapshot-extension pressure). Both sides
+// of the strategy trade-off are therefore exercised at once.
+func clockSweepWorkload(name string, base tm.Addr, threads, txPerThread int) Workload {
+	return Workload{
+		Name:        name,
+		Threads:     threads,
+		TxPerThread: txPerThread,
+		OpsPerTx:    2,
+		Make: func(thread, idx int) TxSeq {
+			hot := base
+			mine := base + 1 + tm.Addr(thread)
+			shared := idx%4 == 0
+			return TxSeq{func(tx tm.Tx) {
+				h := tx.Load(hot)
+				tx.Store(mine, tx.Load(mine)+1)
+				if shared {
+					tx.Store(hot, h+1)
+				}
+			}}
+		},
+	}
+}
+
+// checkClockSweep verifies the sweep's end state: with the workload
+// above, the hot word must hold the exact number of hot increments and
+// each private counter its thread's transaction count — a cheap
+// atomicity check that runs under every strategy.
+func checkClockSweep(load func(tm.Addr) uint64, base tm.Addr, threads, txPerThread int) {
+	hotWant := uint64(threads * ((txPerThread + 3) / 4))
+	if got := load(base); got != hotWant {
+		panic(fmt.Sprintf("harness: clock sweep hot counter = %d, want %d (atomicity violated)", got, hotWant))
+	}
+	for th := 0; th < threads; th++ {
+		if got := load(base + 1 + tm.Addr(th)); got != uint64(txPerThread) {
+			panic(fmt.Sprintf("harness: clock sweep thread %d counter = %d, want %d", th, got, txPerThread))
+		}
+	}
+}
+
+// CompareClocks runs one identical write-heavy workload on all four
+// runtimes under each commit-clock strategy (gv4, deferred, sharded)
+// and reports every measurement: throughput, abort rate, snapshot
+// extensions and clock CAS retries per strategy, across the whole
+// runtime matrix at once. Each run's end state is invariant-checked, so
+// the sweep doubles as a cross-runtime atomicity test for the
+// strategies.
+func CompareClocks(threads, txPerThread int) []Result {
+	var out []Result
+	for _, kind := range clock.Kinds() {
+		{
+			rt := stm.New(stm.WithClock(clock.New(kind)))
+			base := rt.Direct().Alloc(threads + 1)
+			w := clockSweepWorkload("SwissTM/"+kind.String(), base, threads, txPerThread)
+			out = append(out, RunSTM(rt, w))
+			checkClockSweep(rt.Direct().Load, base, threads, txPerThread)
+		}
+		{
+			rt := tl2.New(20, tl2.WithClock(clock.New(kind)))
+			base := rt.Direct().Alloc(threads + 1)
+			w := clockSweepWorkload("TL2/"+kind.String(), base, threads, txPerThread)
+			out = append(out, RunTL2(rt, w))
+			checkClockSweep(rt.Direct().Load, base, threads, txPerThread)
+		}
+		{
+			rt := wtstm.New(20, wtstm.WithClock(clock.New(kind)))
+			base := rt.Direct().Alloc(threads + 1)
+			w := clockSweepWorkload("wtstm/"+kind.String(), base, threads, txPerThread)
+			out = append(out, RunWTSTM(rt, w))
+			checkClockSweep(rt.Direct().Load, base, threads, txPerThread)
+		}
+		{
+			rt := core.New(core.Config{SpecDepth: 1, Clock: clock.New(kind)})
+			base := rt.Direct().Alloc(threads + 1)
+			w := clockSweepWorkload("TLSTM/"+kind.String(), base, threads, txPerThread)
+			out = append(out, RunTLSTM(rt, w))
+			checkClockSweep(rt.Direct().Load, base, threads, txPerThread)
+			rt.Close()
+		}
+	}
+	return out
 }
 
 // Series is one plotted line: label plus (x, throughput) points.

@@ -4,10 +4,13 @@ import (
 	"strings"
 	"testing"
 
+	"tlstm/internal/clock"
 	"tlstm/internal/core"
 	"tlstm/internal/sb7"
 	"tlstm/internal/stm"
+	"tlstm/internal/tl2"
 	"tlstm/internal/tm"
+	"tlstm/internal/wtstm"
 )
 
 func counterWorkload(name string, addr tm.Addr, threads, tasks, txs int) Workload {
@@ -52,6 +55,79 @@ func TestRunTLSTMExecutesAllTransactions(t *testing.T) {
 	}
 	if r.TxCommitted != 16 {
 		t.Fatalf("TxCommitted = %d, want 16", r.TxCommitted)
+	}
+}
+
+func TestRunTL2ExecutesAllTransactions(t *testing.T) {
+	rt := tl2.New(16)
+	a := rt.Direct().Alloc(1)
+	r := RunTL2(rt, counterWorkload("c", a, 3, 2, 10))
+	if got := rt.Direct().Load(a); got != 3*2*10 {
+		t.Fatalf("counter = %d, want %d", got, 3*2*10)
+	}
+	if r.TxCommitted != 30 || r.VirtualUnits == 0 {
+		t.Fatalf("bad result: %+v", r)
+	}
+	if r.Clock != "gv4" {
+		t.Fatalf("Clock = %q, want gv4", r.Clock)
+	}
+}
+
+func TestRunWTSTMExecutesAllTransactions(t *testing.T) {
+	rt := wtstm.New(16)
+	a := rt.Direct().Alloc(1)
+	r := RunWTSTM(rt, counterWorkload("c", a, 3, 2, 10))
+	if got := rt.Direct().Load(a); got != 3*2*10 {
+		t.Fatalf("counter = %d, want %d", got, 3*2*10)
+	}
+	if r.TxCommitted != 30 || r.VirtualUnits == 0 {
+		t.Fatalf("bad result: %+v", r)
+	}
+}
+
+// CompareClocks must cover the full strategy × runtime matrix, commit
+// everything (the sweep invariant-checks its own end state), and show
+// the strategy trade-off in the stats: pre-publishing strategies
+// produce snapshot extensions (or extra aborts on TL2, which cannot
+// extend) where GV4 produces none of either on this disjoint-write
+// workload.
+func TestCompareClocksMatrix(t *testing.T) {
+	rs := CompareClocks(2, 120)
+	if len(rs) != 12 {
+		t.Fatalf("CompareClocks returned %d results, want 12 (3 strategies × 4 runtimes)", len(rs))
+	}
+	labels := map[string]bool{}
+	for _, r := range rs {
+		if labels[r.Label] {
+			t.Fatalf("duplicate label %q", r.Label)
+		}
+		labels[r.Label] = true
+		if r.TxCommitted == 0 {
+			t.Fatalf("%s committed nothing", r.Label)
+		}
+		if r.Clock == "" {
+			t.Fatalf("%s has no clock label", r.Label)
+		}
+		if !strings.HasSuffix(r.Label, "/"+r.Clock) {
+			t.Fatalf("label %q does not carry its clock %q", r.Label, r.Clock)
+		}
+	}
+	// The deferred SwissTM run must pay in snapshot extensions; the GV4
+	// runs must not retry any clock CAS (GV4 ticks are fetch-and-add).
+	var deferredExt, gv4Retries uint64
+	for _, r := range rs {
+		if r.Clock == clock.KindDeferred.String() && strings.HasPrefix(r.Label, "SwissTM") {
+			deferredExt += r.SnapshotExtensions
+		}
+		if r.Clock == clock.KindGV4.String() {
+			gv4Retries += r.ClockCASRetries
+		}
+	}
+	if deferredExt == 0 {
+		t.Fatal("deferred SwissTM run shows no snapshot extensions: the strategy's cost is not being measured")
+	}
+	if gv4Retries != 0 {
+		t.Fatalf("GV4 runs report %d clock CAS retries, want 0", gv4Retries)
 	}
 }
 

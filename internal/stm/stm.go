@@ -47,11 +47,18 @@ type Option func(*config)
 
 type config struct {
 	lockTableBits int
+	clk           clock.Source
 }
 
 // WithLockTableBits sets the lock table to 2^bits pairs.
 func WithLockTableBits(bits int) Option {
 	return func(c *config) { c.lockTableBits = bits }
+}
+
+// WithClock selects the commit-clock strategy (internal/clock). The
+// default is the GV4 fetch-and-add clock.
+func WithClock(src clock.Source) Option {
+	return func(c *config) { c.clk = src }
 }
 
 // Runtime is one SwissTM instance: a word store, an allocator, a lock
@@ -62,7 +69,7 @@ type Runtime struct {
 	alloc *mem.Allocator
 	locks *locktable.Table
 
-	clk clock.Clock
+	clk clock.Source
 	cm  cm.Greedy
 
 	// stats aggregates the shards merged by Worker.Close (SNIPPETS-style
@@ -80,16 +87,23 @@ func New(opts ...Option) *Runtime {
 	for _, o := range opts {
 		o(&c)
 	}
+	if c.clk == nil {
+		c.clk = clock.New(clock.KindGV4)
+	}
 	st := mem.NewStore()
 	return &Runtime{
 		store: st,
 		alloc: mem.NewAllocator(st),
 		locks: locktable.NewTable(c.lockTableBits),
+		clk:   c.clk,
 	}
 }
 
 // CommitTS exposes the current global commit timestamp (for tests).
 func (rt *Runtime) CommitTS() uint64 { return rt.clk.Now() }
+
+// ClockName reports the commit-clock strategy this runtime uses.
+func (rt *Runtime) ClockName() string { return rt.clk.Name() }
 
 // Allocator exposes the runtime's allocator for non-transactional setup
 // code (building initial data structures before threads start).
@@ -116,6 +130,15 @@ type Stats struct {
 	Commits uint64
 	Aborts  uint64
 	Work    uint64
+	// SnapshotExtensions counts successful valid-ts extensions: how
+	// often a read ran past the snapshot and the read log revalidated
+	// forward instead of aborting. Pre-publishing clock strategies
+	// (deferred, sharded) trade commit-path contention for these.
+	SnapshotExtensions uint64
+	// ClockCASRetries counts failed CASes inside commit-clock
+	// operations (internal/clock.Probe), the direct measure of clock
+	// contention under each strategy.
+	ClockCASRetries uint64
 }
 
 // Add folds o into s.
@@ -123,6 +146,8 @@ func (s *Stats) Add(o Stats) {
 	s.Commits += o.Commits
 	s.Aborts += o.Aborts
 	s.Work += o.Work
+	s.SnapshotExtensions += o.SnapshotExtensions
+	s.ClockCASRetries += o.ClockCASRetries
 }
 
 // Stats returns the runtime-global aggregate: the sum of every shard
@@ -196,7 +221,13 @@ type Tx struct {
 
 	work      uint64 // work units of the current transaction (all attempts)
 	aborts    uint64
-	cmDefeats int // conflicts lost so far (two-phase greedy escalation)
+	extends   uint64 // successful snapshot extensions (all attempts)
+	cmDefeats int    // conflicts lost so far (two-phase greedy escalation)
+
+	// clkProbe accumulates clock CAS retries (and pins this descriptor
+	// to a shard under the sharded strategy); folded into the stats
+	// shard per transaction.
+	clkProbe clock.Probe
 }
 
 // completedZero is a shared always-zero counter: the baseline has no
@@ -270,6 +301,7 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 	tx.cmDefeats = 0
 	tx.work = 0
 	tx.aborts = 0
+	tx.extends = 0
 	for {
 		tx.beginAttempt()
 		if tx.attempt(fn) {
@@ -287,6 +319,8 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 		st.Commits++
 		st.Aborts += tx.aborts
 		st.Work += tx.work
+		st.SnapshotExtensions += tx.extends
+		st.ClockCASRetries += tx.clkProbe.TakeRetries()
 	}
 }
 
@@ -379,7 +413,7 @@ func (tx *Tx) loadCommitted(p *locktable.Pair, a tm.Addr) uint64 {
 		if p.R.Load() != v1 {
 			continue // torn read: version moved underneath us
 		}
-		if v1 > tx.validTS && !tx.extend() {
+		if v1 > tx.validTS && !tx.extendTo(v1) {
 			tx.rollback()
 		}
 		if v1 > tx.validTS {
@@ -392,8 +426,14 @@ func (tx *Tx) loadCommitted(p *locktable.Pair, a tm.Addr) uint64 {
 
 // extend implements lazy snapshot extension: revalidate the read log at
 // the current commit timestamp and advance valid-ts on success.
-func (tx *Tx) extend() bool {
-	ts := tx.rt.clk.Now()
+func (tx *Tx) extend() bool { return tx.extendTo(0) }
+
+// extendTo is extend with a witnessed stamp: the clock is first asked
+// to cover `witness` (pre-publishing strategies advance on Observe —
+// without it a deferred or sharded clock would never catch up to the
+// stamp that sent us here and the read would livelock).
+func (tx *Tx) extendTo(witness uint64) bool {
+	ts := tx.rt.clk.Observe(witness, &tx.clkProbe)
 	for i, re := range tx.readLog.Entries() {
 		if i%validationStride == 0 {
 			tx.work++
@@ -406,6 +446,9 @@ func (tx *Tx) extend() bool {
 			continue // we hold the w-lock; nobody else can have changed it
 		}
 		return false
+	}
+	if ts > tx.validTS {
+		tx.extends++
 	}
 	tx.validTS = ts
 	return true
@@ -450,7 +493,7 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 	}
 	// Mirror of TLSTM Alg. 2 line 52: if the location moved past our
 	// snapshot, extend or die.
-	if ver := p.R.Load(); ver != locktable.Locked && ver > tx.validTS && !tx.extend() {
+	if ver := p.R.Load(); ver != locktable.Locked && ver > tx.validTS && !tx.extendTo(ver) {
 		tx.rollback()
 	}
 }
@@ -488,7 +531,7 @@ func (tx *Tx) commit() {
 		tx.work++
 	}
 
-	ts := tx.rt.clk.Tick()
+	ts := tx.rt.clk.Tick(&tx.clkProbe)
 
 	if !tx.validateCommit() {
 		tx.scratch.Restore()

@@ -43,12 +43,24 @@ const txStartCost = 24
 
 const validationStride = 8
 
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithClock selects the commit-clock strategy (internal/clock); the
+// default is the GV4 fetch-and-add clock. Non-exclusive strategies
+// (deferred, sharded) disable TL2's "wv == rv+1 ⇒ skip validation"
+// commit shortcut, which is only sound when timestamps are unique.
+func WithClock(src clock.Source) Option {
+	return func(rt *Runtime) { rt.clk = src }
+}
+
 // Runtime is one TL2 instance.
 type Runtime struct {
 	store *mem.Store
 	alloc *mem.Allocator
 
-	clk clock.Clock // global version clock
+	clk       clock.Source // global version clock
+	exclusive bool         // cached clk.Exclusive() (commit fast path)
 
 	locks []atomic.Uint64 // versioned write-locks (version or locked)
 	mask  uint64
@@ -57,18 +69,29 @@ type Runtime struct {
 }
 
 // New creates a TL2 runtime with 2^bits versioned locks.
-func New(bits int) *Runtime {
+func New(bits int, opts ...Option) *Runtime {
 	if bits <= 0 {
 		bits = 20
 	}
 	st := mem.NewStore()
-	return &Runtime{
+	rt := &Runtime{
 		store: st,
 		alloc: mem.NewAllocator(st),
 		locks: make([]atomic.Uint64, 1<<bits),
 		mask:  uint64(1<<bits) - 1,
 	}
+	for _, o := range opts {
+		o(rt)
+	}
+	if rt.clk == nil {
+		rt.clk = clock.New(clock.KindGV4)
+	}
+	rt.exclusive = rt.clk.Exclusive()
+	return rt
 }
+
+// ClockName reports the commit-clock strategy this runtime uses.
+func (rt *Runtime) ClockName() string { return rt.clk.Name() }
 
 // Direct returns the non-transactional setup handle.
 func (rt *Runtime) Direct() mem.Direct { return mem.Direct{Mem: rt.store, Al: rt.alloc} }
@@ -85,6 +108,22 @@ type Stats struct {
 	Commits uint64
 	Aborts  uint64
 	Work    uint64
+	// SnapshotExtensions is always 0 for TL2: the algorithm aborts on a
+	// read past its read version instead of extending. The field exists
+	// so clock-strategy sweeps report a uniform column across runtimes.
+	SnapshotExtensions uint64
+	// ClockCASRetries counts failed CASes inside commit-clock
+	// operations (internal/clock.Probe).
+	ClockCASRetries uint64
+}
+
+// Add folds o into s.
+func (s *Stats) Add(o Stats) {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.Work += o.Work
+	s.SnapshotExtensions += o.SnapshotExtensions
+	s.ClockCASRetries += o.ClockCASRetries
 }
 
 type rollbackSignal struct{}
@@ -108,6 +147,10 @@ type Tx struct {
 
 	work   uint64
 	aborts uint64
+
+	// clkProbe accumulates clock CAS retries (and pins this descriptor
+	// to a shard under the sharded strategy).
+	clkProbe clock.Probe
 }
 
 var _ tm.Tx = (*Tx)(nil)
@@ -141,6 +184,7 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 		st.Commits++
 		st.Aborts += tx.aborts
 		st.Work += tx.work
+		st.ClockCASRetries += tx.clkProbe.TakeRetries()
 	}
 	rt.txPool.Put(tx)
 }
@@ -195,6 +239,10 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 		}
 		if v1 > tx.rv {
 			// Newer than our read version: TL2 aborts (no extension).
+			// Fold the stamp into the clock first so the retry's fresh
+			// read version covers it (pre-publishing strategies never
+			// advance on their own).
+			tx.rt.clk.Observe(v1, &tx.clkProbe)
 			tx.rollback()
 		}
 		tx.readLog.Append(l)
@@ -244,6 +292,7 @@ func (tx *Tx) commit() {
 			}
 			if v > tx.rv {
 				tx.held.Restore()
+				tx.rt.clk.Observe(v, &tx.clkProbe)
 				tx.rollback()
 			}
 			if l.CompareAndSwap(v, locked) {
@@ -259,10 +308,14 @@ func (tx *Tx) commit() {
 		tx.work++
 	}
 
-	wv := tx.rt.clk.Tick()
+	wv := tx.rt.clk.Tick(&tx.clkProbe)
 
-	// Validate the read set unless nothing could have changed.
-	if wv != tx.rv+1 {
+	// Validate the read set unless nothing could have changed. The
+	// wv == rv+1 shortcut is sound only when timestamps are exclusive:
+	// a non-exclusive strategy (deferred, sharded) can hand the same wv
+	// to a concurrent writer, so "the clock moved once" no longer means
+	// "only we committed".
+	if !tx.rt.exclusive || wv != tx.rv+1 {
 		for i, l := range tx.readLog.Locks() {
 			if i%validationStride == 0 {
 				tx.work++
@@ -277,6 +330,7 @@ func (tx *Tx) commit() {
 			}
 			if v > tx.rv {
 				tx.held.Restore()
+				tx.rt.clk.Observe(v, &tx.clkProbe)
 				tx.rollback()
 			}
 		}

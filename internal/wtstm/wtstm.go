@@ -46,12 +46,24 @@ const (
 	validationStride = 8
 )
 
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithClock selects the commit-clock strategy (internal/clock); the
+// default is the GV4 fetch-and-add clock. Non-exclusive strategies
+// (deferred, sharded) disable the "wv == rv+1 ⇒ skip validation"
+// commit shortcut, which is only sound when timestamps are unique.
+func WithClock(src clock.Source) Option {
+	return func(rt *Runtime) { rt.clk = src }
+}
+
 // Runtime is one write-through STM instance.
 type Runtime struct {
 	store *mem.Store
 	alloc *mem.Allocator
 
-	clk clock.Clock
+	clk       clock.Source
+	exclusive bool // cached clk.Exclusive() (commit fast path)
 
 	locks []atomic.Uint64
 	mask  uint64
@@ -60,18 +72,29 @@ type Runtime struct {
 }
 
 // New creates a runtime with 2^bits versioned locks.
-func New(bits int) *Runtime {
+func New(bits int, opts ...Option) *Runtime {
 	if bits <= 0 {
 		bits = 20
 	}
 	st := mem.NewStore()
-	return &Runtime{
+	rt := &Runtime{
 		store: st,
 		alloc: mem.NewAllocator(st),
 		locks: make([]atomic.Uint64, 1<<bits),
 		mask:  uint64(1<<bits) - 1,
 	}
+	for _, o := range opts {
+		o(rt)
+	}
+	if rt.clk == nil {
+		rt.clk = clock.New(clock.KindGV4)
+	}
+	rt.exclusive = rt.clk.Exclusive()
+	return rt
 }
+
+// ClockName reports the commit-clock strategy this runtime uses.
+func (rt *Runtime) ClockName() string { return rt.clk.Name() }
 
 // Direct returns the non-transactional setup handle.
 func (rt *Runtime) Direct() mem.Direct { return mem.Direct{Mem: rt.store, Al: rt.alloc} }
@@ -88,6 +111,21 @@ type Stats struct {
 	Commits uint64
 	Aborts  uint64
 	Work    uint64
+	// SnapshotExtensions counts successful read-version extensions
+	// (this runtime extends like SwissTM rather than aborting).
+	SnapshotExtensions uint64
+	// ClockCASRetries counts failed CASes inside commit-clock
+	// operations (internal/clock.Probe).
+	ClockCASRetries uint64
+}
+
+// Add folds o into s.
+func (s *Stats) Add(o Stats) {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.Work += o.Work
+	s.SnapshotExtensions += o.SnapshotExtensions
+	s.ClockCASRetries += o.ClockCASRetries
 }
 
 type rollbackSignal struct{}
@@ -106,8 +144,13 @@ type Tx struct {
 	allocs []tm.Addr
 	frees  []tm.Addr
 
-	work   uint64
-	aborts uint64
+	work    uint64
+	aborts  uint64
+	extends uint64
+
+	// clkProbe accumulates clock CAS retries (and pins this descriptor
+	// to a shard under the sharded strategy).
+	clkProbe clock.Probe
 }
 
 var _ tm.Tx = (*Tx)(nil)
@@ -120,6 +163,7 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 	}
 	tx.work = 0
 	tx.aborts = 0
+	tx.extends = 0
 	for {
 		tx.rv = rt.clk.Now()
 		tx.readLog.Reset()
@@ -141,6 +185,8 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 		st.Commits++
 		st.Aborts += tx.aborts
 		st.Work += tx.work
+		st.SnapshotExtensions += tx.extends
+		st.ClockCASRetries += tx.clkProbe.TakeRetries()
 	}
 	rt.txPool.Put(tx)
 }
@@ -216,7 +262,7 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 		if l.Load() != v1 {
 			continue
 		}
-		if v1 > tx.rv && !tx.extend() {
+		if v1 > tx.rv && !tx.extendTo(v1) {
 			tx.rollback()
 		}
 		if v1 > tx.rv {
@@ -227,9 +273,12 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 	}
 }
 
-// extend revalidates the read log at the current clock and advances rv.
-func (tx *Tx) extend() bool {
-	ts := tx.rt.clk.Now()
+// extendTo revalidates the read log and advances rv after asking the
+// clock to cover the witnessed stamp (pre-publishing strategies only
+// advance on Observe; without it the stamp that sent us here would
+// stay forever ahead of rv and the read would livelock).
+func (tx *Tx) extendTo(witness uint64) bool {
+	ts := tx.rt.clk.Observe(witness, &tx.clkProbe)
 	for i, re := range tx.readLog.Entries() {
 		if i%validationStride == 0 {
 			tx.work++
@@ -242,6 +291,9 @@ func (tx *Tx) extend() bool {
 			continue
 		}
 		return false
+	}
+	if ts > tx.rv {
+		tx.extends++
 	}
 	tx.rv = ts
 	return true
@@ -262,7 +314,7 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 				}
 				continue
 			}
-			if cur > tx.rv && !tx.extend() {
+			if cur > tx.rv && !tx.extendTo(cur) {
 				tx.rollback()
 			}
 			if cur > tx.rv {
@@ -296,8 +348,10 @@ func (tx *Tx) commit() {
 		tx.applyFrees()
 		return
 	}
-	wv := tx.rt.clk.Tick()
-	if wv != tx.rv+1 {
+	wv := tx.rt.clk.Tick(&tx.clkProbe)
+	// The wv == rv+1 validation skip is sound only on exclusive clocks
+	// (see the TL2 commit for the argument).
+	if !tx.rt.exclusive || wv != tx.rv+1 {
 		for i, re := range tx.readLog.Entries() {
 			if i%validationStride == 0 {
 				tx.work++

@@ -65,6 +65,7 @@
 package tlstm
 
 import (
+	"tlstm/internal/clock"
 	"tlstm/internal/core"
 	"tlstm/internal/mem"
 	"tlstm/internal/rbtree"
@@ -105,10 +106,35 @@ type (
 	// Config.Policy and the worker-lifecycle package docs.
 	SchedPolicy = sched.Policy
 
+	// ClockSource is a commit-clock strategy for Config.Clock (and
+	// NewBaselineWithClock): how the global commit timestamp is
+	// maintained. See NewClock for the built-in strategies.
+	ClockSource = clock.Source
+
 	// Direct is the non-transactional setup handle returned by
 	// (*Runtime).Direct and (*BaselineRuntime).Direct; it implements Tx.
 	Direct = mem.Direct
 )
+
+// NewClock builds one of the built-in commit-clock strategies by name:
+//
+//   - "gv4": the default fetch-and-add clock — dense unique timestamps,
+//     one atomic RMW on a shared line per writer commit;
+//   - "deferred": GV5-style — writers stamp without ticking, readers
+//     advance the clock on observation; no commit-path RMW at the cost
+//     of extra snapshot extensions;
+//   - "sharded": per-context shards with read-side reconciliation;
+//     commits touch only their own shard's cache line.
+//
+// Each Runtime needs its own ClockSource instance; do not share one
+// across runtimes.
+func NewClock(name string) (ClockSource, error) {
+	k, err := clock.Parse(name)
+	if err != nil {
+		return nil, err
+	}
+	return clock.New(k), nil
+}
 
 // NilAddr is the nil word address (a NULL pointer for word-encoded
 // structures).
@@ -146,6 +172,12 @@ type (
 
 // NewBaseline creates a SwissTM runtime.
 func NewBaseline() *BaselineRuntime { return stm.New() }
+
+// NewBaselineWithClock creates a SwissTM runtime on the given
+// commit-clock strategy (see NewClock).
+func NewBaselineWithClock(src ClockSource) *BaselineRuntime {
+	return stm.New(stm.WithClock(src))
+}
 
 // Loop decomposition (paper §3.3 — spec-DOALL and spec-DOACROSS) is
 // available on Thread:
