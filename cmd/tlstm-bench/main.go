@@ -10,6 +10,8 @@
 //	tlstm-bench -headline       # §4 headline numbers (from Fig2b data)
 //	tlstm-bench -clock deferred # figures under the GV5-style clock
 //	tlstm-bench -clocks         # clock-strategy sweep across runtimes
+//	tlstm-bench -cm karma       # figures under the Karma contention manager
+//	tlstm-bench -cms            # contention-policy sweep across runtimes
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"os"
 
 	"tlstm/internal/clock"
+	"tlstm/internal/cm"
 	"tlstm/internal/harness"
 )
 
@@ -31,8 +34,10 @@ func run() int {
 	headline := flag.Bool("headline", false, "print the paper's §4 headline ratios (computed from Figure 2b)")
 	check := flag.Bool("check", false, "regenerate all figures and verify the paper's qualitative claims; exit non-zero on violation")
 	schedCmp := flag.Bool("sched", false, "compare the pooled and inline scheduling policies on a depth-1 workload (wall time is the interesting column; virtual time is policy-independent)")
-	clockName := flag.String("clock", "gv4", `commit-clock strategy for figure/headline runs: "gv4", "deferred" or "sharded"`)
+	clockName := flag.String("clock", "gv4", `commit-clock strategy for figure/headline runs: "gv4", "deferred", "sharded" or "gv7"`)
 	clockCmp := flag.Bool("clocks", false, "sweep all commit-clock strategies across all four runtimes on a write-heavy workload (throughput, abort rate, snapshot extensions and clock CAS retries per strategy)")
+	cmName := flag.String("cm", "default", `contention-management policy for figure/headline runs: "suicide", "backoff", "greedy", "karma", "taskaware" or "default" (each runtime's own)`)
+	cmCmp := flag.Bool("cms", false, "sweep all contention-management policies across all four runtimes on a write-contended workload (throughput, abort rate and policy decision counters per policy)")
 	format := flag.String("format", "table", `output format: "table" or "csv"`)
 	flag.Parse()
 
@@ -46,6 +51,12 @@ func run() int {
 		return 2
 	}
 	sc.Clock = kind
+	cmKind, err := cm.Parse(*cmName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlstm-bench: %v\n", err)
+		return 2
+	}
+	sc.CM = cmKind
 
 	if *clockCmp {
 		txs := 50_000
@@ -54,6 +65,17 @@ func run() int {
 		}
 		fmt.Println("## Commit-clock strategy comparison (write-heavy, 4 threads, all runtimes)")
 		for _, r := range harness.CompareClocks(4, txs) {
+			fmt.Println(r)
+		}
+		return 0
+	}
+	if *cmCmp {
+		txs := 20_000
+		if *quick {
+			txs = 2_000
+		}
+		fmt.Println("## Contention-management policy comparison (write-contended, 4 threads, all runtimes)")
+		for _, r := range harness.CompareCM(4, txs) {
 			fmt.Println(r)
 		}
 		return 0

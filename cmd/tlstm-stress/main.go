@@ -8,9 +8,11 @@
 //     transfers over a shared account array preserve the global total.
 //
 // It is meant for long soak runs: tlstm-stress -seconds 60 -threads 4.
-// The soak runs under any commit-clock strategy (-clock deferred), and
-// -clocks swaps the soak for the invariant-checked strategy sweep
-// across all four runtimes (harness.CompareClocks).
+// The soak runs under any commit-clock strategy (-clock deferred) and
+// any contention-management policy (-cm karma); -clocks swaps the soak
+// for the invariant-checked clock-strategy sweep across all four
+// runtimes (harness.CompareClocks), and -cms for the policy sweep
+// (harness.CompareCM).
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"tlstm/internal/clock"
+	"tlstm/internal/cm"
 	"tlstm/internal/core"
 	"tlstm/internal/harness"
 	"tlstm/internal/sched"
@@ -46,8 +49,10 @@ func run() int {
 	depth := flag.Int("depth", 3, "SPECDEPTH / tasks per transaction")
 	accounts := flag.Int("accounts", 64, "shared accounts")
 	schedMode := flag.String("sched", "pooled", `scheduling policy: "pooled" or "inline" (inline requires -depth 1)`)
-	clockName := flag.String("clock", "gv4", `commit-clock strategy: "gv4", "deferred" or "sharded"`)
+	clockName := flag.String("clock", "gv4", `commit-clock strategy: "gv4", "deferred", "sharded" or "gv7"`)
 	clockCmp := flag.Bool("clocks", false, "run the invariant-checked clock-strategy sweep (all strategies × all runtimes) instead of the soak; -seconds scales the transaction count")
+	cmName := flag.String("cm", "default", `contention-management policy: "suicide", "backoff", "greedy", "karma", "taskaware" or "default" (task-aware)`)
+	cmCmp := flag.Bool("cms", false, "run the invariant-checked contention-policy sweep (all policies × all runtimes) instead of the soak; -seconds scales the transaction count")
 	flag.Parse()
 
 	if *clockCmp {
@@ -62,6 +67,15 @@ func run() int {
 		fmt.Println("OK: all strategy/runtime end states verified")
 		return 0
 	}
+	if *cmCmp {
+		txs := 5_000 * *seconds
+		fmt.Printf("## Contention-management policy sweep (%d threads, %d tx/thread)\n", *threads, txs)
+		for _, r := range harness.CompareCM(*threads, txs) {
+			fmt.Println(r)
+		}
+		fmt.Println("OK: all policy/runtime end states verified")
+		return 0
+	}
 
 	policy := sched.Pooled
 	if *schedMode == "inline" {
@@ -72,7 +86,12 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "tlstm-stress: %v\n", err)
 		return 2
 	}
-	rt := core.New(core.Config{SpecDepth: *depth, Policy: policy, Clock: clock.New(kind)})
+	cmKind, err := cm.Parse(*cmName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlstm-stress: %v\n", err)
+		return 2
+	}
+	rt := core.New(core.Config{SpecDepth: *depth, Policy: policy, Clock: clock.New(kind), CM: cm.New(cmKind)})
 	defer rt.Close()
 	d := rt.Direct()
 	const initial = 1_000_000
@@ -127,10 +146,11 @@ func run() int {
 		sum += d.Load(base + tm.Addr(i))
 	}
 	want := uint64(*accounts) * initial
-	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d clock=%s ext=%d clkRetry=%d\n",
+	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d clock=%s ext=%d clkRetry=%d cm=%s cmSelf=%d cmOwner=%d spins=%d\n",
 		total.TxCommitted, total.TxAborted, total.TaskRestarts, total.Work,
 		total.WorkersSpawned, total.DescriptorReuses,
-		rt.ClockName(), total.SnapshotExtensions, total.ClockCASRetries)
+		rt.ClockName(), total.SnapshotExtensions, total.ClockCASRetries,
+		rt.CMName(), total.CMAbortsSelf, total.CMAbortsOwner, total.BackoffSpins)
 	if sum != want {
 		fmt.Printf("FAIL: total=%d want=%d (atomicity violated)\n", sum, want)
 		return 1

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tlstm/internal/clock"
+	"tlstm/internal/cm"
 	"tlstm/internal/core"
 	"tlstm/internal/stm"
 	"tlstm/internal/tl2"
@@ -72,8 +73,8 @@ func snapshot(d tm.Tx, base tm.Addr) [diffWords]uint64 {
 	return m
 }
 
-func runOnSTM(prog [][]diffOp, kind clock.Kind) [diffWords]uint64 {
-	rt := stm.New(stm.WithClock(clock.New(kind)))
+func runOnSTM(prog [][]diffOp, kind clock.Kind, pol cm.Kind) [diffWords]uint64 {
+	rt := stm.New(stm.WithClock(clock.New(kind)), stm.WithCM(cm.New(pol)))
 	base := rt.Direct().Alloc(diffWords)
 	for _, ops := range prog {
 		ops := ops
@@ -86,8 +87,8 @@ func runOnSTM(prog [][]diffOp, kind clock.Kind) [diffWords]uint64 {
 	return snapshot(rt.Direct(), base)
 }
 
-func runOnTL2(prog [][]diffOp, kind clock.Kind) [diffWords]uint64 {
-	rt := tl2.New(16, tl2.WithClock(clock.New(kind)))
+func runOnTL2(prog [][]diffOp, kind clock.Kind, pol cm.Kind) [diffWords]uint64 {
+	rt := tl2.New(16, tl2.WithClock(clock.New(kind)), tl2.WithCM(cm.New(pol)))
 	base := rt.Direct().Alloc(diffWords)
 	for _, ops := range prog {
 		ops := ops
@@ -100,8 +101,8 @@ func runOnTL2(prog [][]diffOp, kind clock.Kind) [diffWords]uint64 {
 	return snapshot(rt.Direct(), base)
 }
 
-func runOnWriteThrough(prog [][]diffOp, kind clock.Kind) [diffWords]uint64 {
-	rt := wtstm.New(16, wtstm.WithClock(clock.New(kind)))
+func runOnWriteThrough(prog [][]diffOp, kind clock.Kind, pol cm.Kind) [diffWords]uint64 {
+	rt := wtstm.New(16, wtstm.WithClock(clock.New(kind)), wtstm.WithCM(cm.New(pol)))
 	base := rt.Direct().Alloc(diffWords)
 	for _, ops := range prog {
 		ops := ops
@@ -114,8 +115,8 @@ func runOnWriteThrough(prog [][]diffOp, kind clock.Kind) [diffWords]uint64 {
 	return snapshot(rt.Direct(), base)
 }
 
-func runOnTLSTM(prog [][]diffOp, depth int, split bool, kind clock.Kind) [diffWords]uint64 {
-	rt := core.New(core.Config{SpecDepth: depth, LockTableBits: 14, Clock: clock.New(kind)})
+func runOnTLSTM(prog [][]diffOp, depth int, split bool, kind clock.Kind, pol cm.Kind) [diffWords]uint64 {
+	rt := core.New(core.Config{SpecDepth: depth, LockTableBits: 14, Clock: clock.New(kind), CM: cm.New(pol)})
 	base := rt.Direct().Alloc(diffWords)
 	thr := rt.NewThread()
 	for _, ops := range prog {
@@ -151,6 +152,45 @@ func runOnTLSTM(prog [][]diffOp, depth int, split bool, kind clock.Kind) [diffWo
 	return snapshot(rt.Direct(), base)
 }
 
+// TestDifferentialCMPolicies is the contention-management leg: the same
+// deterministic programs, executed under every policy on every runtime
+// (TLSTM at depth 2 both unsplit and split, so the task-aware decorator
+// sees real task structure), must be sequentially equivalent — byte for
+// byte the state the default-policy SwissTM/gv4 run produces. The
+// default TaskAware policy on core doubles as the bit-for-bit
+// regression against the pre-subsystem behavior.
+func TestDifferentialCMPolicies(t *testing.T) {
+	const seeds = 6
+	progs := make([][][]diffOp, seeds)
+	wants := make([][diffWords]uint64, seeds)
+	for i := range progs {
+		progs[i] = genProgram(int64(i+100), 30)
+		wants[i] = runOnSTM(progs[i], clock.KindGV4, cm.KindDefault)
+	}
+	for _, pol := range cm.Kinds() {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			for seed := 0; seed < seeds; seed++ {
+				prog, want := progs[seed], wants[seed]
+				if got := runOnSTM(prog, clock.KindGV4, pol); got != want {
+					t.Fatalf("seed %d: SwissTM/%v diverges\n got: %v\nwant: %v", seed, pol, got, want)
+				}
+				if got := runOnTL2(prog, clock.KindGV4, pol); got != want {
+					t.Fatalf("seed %d: TL2/%v diverges\n got: %v\nwant: %v", seed, pol, got, want)
+				}
+				if got := runOnWriteThrough(prog, clock.KindGV4, pol); got != want {
+					t.Fatalf("seed %d: write-through/%v diverges\n got: %v\nwant: %v", seed, pol, got, want)
+				}
+				for _, split := range []bool{false, true} {
+					if got := runOnTLSTM(prog, 2, split, clock.KindGV4, pol); got != want {
+						t.Fatalf("seed %d: TLSTM/%v (split=%v) diverges\n got: %v\nwant: %v", seed, pol, split, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestDifferentialRuntimes(t *testing.T) {
 	// The reference state comes from the GV4 baseline run, computed
 	// once per seed and shared by every strategy subtest, so every
@@ -161,7 +201,7 @@ func TestDifferentialRuntimes(t *testing.T) {
 	wants := make([][diffWords]uint64, seeds)
 	for i := range progs {
 		progs[i] = genProgram(int64(i+1), 30)
-		wants[i] = runOnSTM(progs[i], clock.KindGV4)
+		wants[i] = runOnSTM(progs[i], clock.KindGV4, cm.KindDefault)
 	}
 	for _, kind := range clock.Kinds() {
 		kind := kind
@@ -169,22 +209,22 @@ func TestDifferentialRuntimes(t *testing.T) {
 			for seed := int64(1); seed <= seeds; seed++ {
 				prog, want := progs[seed-1], wants[seed-1]
 
-				if got := runOnSTM(prog, kind); got != want {
+				if got := runOnSTM(prog, kind, cm.KindDefault); got != want {
 					t.Fatalf("seed %d: SwissTM/%v diverges from SwissTM/gv4\n got: %v\nwant: %v", seed, kind, got, want)
 				}
-				if got := runOnTL2(prog, kind); got != want {
+				if got := runOnTL2(prog, kind, cm.KindDefault); got != want {
 					t.Fatalf("seed %d: TL2/%v diverges from SwissTM\n tl2: %v\n stm: %v", seed, kind, got, want)
 				}
-				if got := runOnWriteThrough(prog, kind); got != want {
+				if got := runOnWriteThrough(prog, kind, cm.KindDefault); got != want {
 					t.Fatalf("seed %d: write-through/%v diverges from SwissTM\n  wt: %v\n stm: %v", seed, kind, got, want)
 				}
 				for _, depth := range []int{1, 2, 4} {
-					if got := runOnTLSTM(prog, depth, false, kind); got != want {
+					if got := runOnTLSTM(prog, depth, false, kind, cm.KindDefault); got != want {
 						t.Fatalf("seed %d: TLSTM/%v depth %d (unsplit) diverges\n got: %v\nwant: %v", seed, kind, depth, got, want)
 					}
 				}
 				for _, depth := range []int{2, 4} {
-					if got := runOnTLSTM(prog, depth, true, kind); got != want {
+					if got := runOnTLSTM(prog, depth, true, kind, cm.KindDefault); got != want {
 						t.Fatalf("seed %d: TLSTM/%v depth %d (split) diverges\n got: %v\nwant: %v", seed, kind, depth, got, want)
 					}
 				}

@@ -25,7 +25,14 @@
 //   - Sharded: per-context shards, each ticked locally; Now is the
 //     minimum over all shards and Observe reconciles lagging shards up
 //     to a witnessed stamp (the slow-path global max). Commits touch
-//     only their own shard's line.
+//     only their own shard's line, and begins read a cached minimum
+//     maintained by Observe instead of scanning the shards.
+//   - GV7: the randomized-increment variant of the deferred clock:
+//     writers stamp Now()+δ for a per-context random δ in [1, width]
+//     without advancing the clock. Like Deferred there is no RMW on the
+//     commit path; unlike Deferred, concurrent writers rarely share a
+//     stamp, which removes most of the shared-stamp aborts/extensions
+//     at the cost of a faster-growing (sparser) clock.
 //
 // # The safety contract
 //
@@ -44,8 +51,10 @@
 //   - GV4: Tick = Add(1) > everything any Load ever returned.
 //   - Deferred: Tick = Now()+1 and the clock is monotonic, so any
 //     sample that completed before the Tick is ≤ Now() < Tick.
-//   - Sharded: Now = min over shards ≤ the ticking context's own shard
-//     < its Tick result, and shards are monotonic.
+//   - Sharded: Now = a cached past minimum over the (monotonic) shards
+//     ≤ the current minimum ≤ the ticking context's own shard < its
+//     Tick result.
+//   - GV7: Tick = Now()+δ with δ ≥ 1, same argument as Deferred.
 //
 // Strategies whose stamps can run ahead of Now (Deferred, Sharded) are
 // called pre-publishing: a reader can meet a version its own snapshot
@@ -69,6 +78,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+
+	"tlstm/internal/xrand"
 )
 
 // Probe carries per-context clock-contention feedback: operations that
@@ -88,7 +99,14 @@ type Probe struct {
 
 	// shard is the 1-based sticky shard assignment (0 = unassigned).
 	shard uint32
+
+	// rng is the per-context xorshift state behind GV7's randomized
+	// increments; seeded lazily, never shared.
+	rng uint64
 }
+
+// rand steps the probe's xorshift64 generator (GV7's increment draw).
+func (p *Probe) rand() uint64 { return xrand.Next(&p.rng) }
 
 // TakeRetries returns and clears the accumulated retry count (the shard
 // pinning survives, so a recycled descriptor keeps its affinity).
@@ -151,10 +169,12 @@ const (
 	KindDeferred
 	// KindSharded is the per-context sharded clock.
 	KindSharded
+	// KindGV7 is the randomized-increment deferred clock.
+	KindGV7
 )
 
 // Kinds lists every built-in strategy, in flag order.
-func Kinds() []Kind { return []Kind{KindGV4, KindDeferred, KindSharded} }
+func Kinds() []Kind { return []Kind{KindGV4, KindDeferred, KindSharded, KindGV7} }
 
 // String returns the flag/label name of the kind.
 func (k Kind) String() string {
@@ -165,6 +185,8 @@ func (k Kind) String() string {
 		return "deferred"
 	case KindSharded:
 		return "sharded"
+	case KindGV7:
+		return "gv7"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -177,7 +199,7 @@ func Parse(name string) (Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("clock: unknown strategy %q (want gv4, deferred or sharded)", name)
+	return 0, fmt.Errorf("clock: unknown strategy %q (want gv4, deferred, sharded or gv7)", name)
 }
 
 // New returns a fresh instance of the kind's strategy.
@@ -187,6 +209,8 @@ func New(k Kind) Source {
 		return &Deferred{}
 	case KindSharded:
 		return NewSharded(0)
+	case KindGV7:
+		return NewGV7(0)
 	default:
 		return &GV4{}
 	}
@@ -292,21 +316,36 @@ type shard struct {
 }
 
 // Sharded distributes the clock over per-context shards: Tick is a CAS
-// on the ticking context's own shard (contention-free across contexts),
-// Now is the minimum over all shards (a scan of lines that are each
-// invalidated only by their own context's commits, instead of one line
-// invalidated by everyone), and Observe is the slow-path
-// reconciliation: it raises every lagging shard to a witnessed stamp,
-// which is also what keeps Now from stalling behind an idle shard.
+// on the ticking context's own shard (contention-free across contexts)
+// and Observe is the slow-path reconciliation: it raises every lagging
+// shard to a witnessed stamp and recomputes the minimum over all
+// shards, which is also what keeps the clock from stalling behind an
+// idle shard.
 //
-// Safety (package docs, T1): Now = min ≤ own shard < own Tick, and
-// every shard is monotonic. Stamps from different shards may collide
+// Now — the begin-path fast sample — returns a cached copy of the last
+// minimum Observe reconciled, one plain load instead of a shard scan.
+// Returning a stale minimum is safe because it is conservative: shards
+// are monotonic, so a past minimum is ≤ the current minimum — the
+// reader just begins on a slightly older snapshot and, on meeting a
+// fresher stamp, lands in Observe, which both extends the snapshot and
+// refreshes the cache. Begin-heavy workloads therefore skip the O(
+// shards) scan entirely.
+//
+// Safety (package docs, T1): Now = cached past min ≤ current min ≤ own
+// shard < own Tick, and every shard is monotonic (the cache is raised
+// by CAS-max only). Stamps from different shards may collide
 // (Exclusive is false) and may lead Now by an unbounded margin
 // (Window is NoWindow) — readers are expected to Observe.
 type Sharded struct {
 	shards []shard
 	mask   uint32
 	assign atomic.Uint32
+
+	// cachedNow is the begin-path fast sample: the last reconciled
+	// minimum, raised only in Observe (and only upward).
+	_         pad
+	cachedNow atomic.Uint64
+	_         pad
 }
 
 // NewSharded creates a sharded clock with n shards (rounded up to a
@@ -340,9 +379,13 @@ func (c *Sharded) slot(p *Probe) *atomic.Uint64 {
 // Name implements Source.
 func (c *Sharded) Name() string { return KindSharded.String() }
 
-// Now implements Source: the minimum over all shards. Monotonic because
-// every shard is.
-func (c *Sharded) Now() uint64 {
+// Now implements Source: the cached reconciled minimum (see the type
+// docs). Monotonic because the cache only moves up.
+func (c *Sharded) Now() uint64 { return c.cachedNow.Load() }
+
+// scanMin computes the current minimum over all shards (the Observe
+// slow path; Now serves the cached copy).
+func (c *Sharded) scanMin() uint64 {
 	m := c.shards[0].v.Load()
 	for i := 1; i < len(c.shards); i++ {
 		if v := c.shards[i].v.Load(); v < m {
@@ -368,7 +411,9 @@ func (c *Sharded) Tick(p *Probe) uint64 {
 
 // Observe implements Source: the reconciliation slow path. Every shard
 // below the witnessed stamp is raised to it, so the global minimum —
-// and with it every future Now — covers v.
+// and with it every future Now — covers v; the freshly scanned minimum
+// is then published into the begin-path cache (CAS-max, so concurrent
+// observers never lower it).
 func (c *Sharded) Observe(v uint64, p *Probe) uint64 {
 	for i := range c.shards {
 		s := &c.shards[i].v
@@ -385,8 +430,18 @@ func (c *Sharded) Observe(v uint64, p *Probe) uint64 {
 			}
 		}
 	}
-	if now := c.Now(); now > v {
-		return now
+	m := c.scanMin()
+	for {
+		cur := c.cachedNow.Load()
+		if cur >= m || c.cachedNow.CompareAndSwap(cur, m) {
+			break
+		}
+		if p != nil {
+			p.CASRetries++
+		}
+	}
+	if m > v {
+		return m
 	}
 	return v
 }
@@ -398,8 +453,99 @@ func (c *Sharded) Exclusive() bool { return false }
 // unbounded margin; Observe is the recovery path.
 func (c *Sharded) Window() uint64 { return NoWindow }
 
+// ---------------------------------------------------------------------------
+// GV7
+// ---------------------------------------------------------------------------
+
+// GV7 is the randomized-increment deferred clock (the GV7 proposal of
+// TL2's global-version-clock lineage): Tick stamps Now()+δ for a
+// per-context random δ in [1, width] without writing the shared line —
+// the commit path, like Deferred's, performs no atomic RMW at all. The
+// randomization is the difference from Deferred: concurrent writers
+// draw different δ with high probability, so they rarely share a stamp,
+// which removes most of the shared-stamp validation work (extra aborts
+// on TL2, extra extensions elsewhere) that Deferred trades for its free
+// commits. The price is a sparser, faster-growing clock and a slightly
+// larger publication window (Window = width instead of 1).
+//
+// Safety (package docs, T1): Tick = Now()+δ with δ ≥ 1 and the clock is
+// monotonic, so any sample that completed before the Tick is ≤ Now() <
+// Tick — the same argument as Deferred. Stamps may still collide
+// (Exclusive is false): randomization makes sharing rare, not
+// impossible.
+type GV7 struct {
+	_    pad
+	ts   atomic.Uint64
+	_    pad
+	mask uint64        // width−1 (width is a power of two)
+	seed atomic.Uint64 // fallback δ stream for nil-probe callers
+}
+
+// DefaultGV7Width is the default randomized-increment width.
+const DefaultGV7Width = 8
+
+// NewGV7 creates a randomized-increment clock with increments drawn
+// from [1, width] (width rounded up to a power of two; width ≤ 0 picks
+// DefaultGV7Width).
+func NewGV7(width int) *GV7 {
+	if width <= 0 {
+		width = DefaultGV7Width
+	}
+	size := 1
+	for size < width {
+		size *= 2
+	}
+	return &GV7{mask: uint64(size - 1)}
+}
+
+// Width reports the increment width (tests).
+func (c *GV7) Width() int { return int(c.mask + 1) }
+
+// Name implements Source.
+func (c *GV7) Name() string { return KindGV7.String() }
+
+// Now implements Source.
+func (c *GV7) Now() uint64 { return c.ts.Load() }
+
+// Tick implements Source: stamp a random step past the clock, never
+// advance it.
+func (c *GV7) Tick(p *Probe) uint64 {
+	var r uint64
+	if p != nil {
+		r = p.rand()
+	} else {
+		r = c.seed.Add(0x9e3779b97f4a7c15)
+	}
+	return c.ts.Load() + 1 + (r & c.mask)
+}
+
+// Observe implements Source: fold the witnessed stamp into the clock
+// (CAS-max, exactly like Deferred).
+func (c *GV7) Observe(v uint64, p *Probe) uint64 {
+	for {
+		cur := c.ts.Load()
+		if cur >= v {
+			return cur
+		}
+		if c.ts.CompareAndSwap(cur, v) {
+			return v
+		}
+		if p != nil {
+			p.CASRetries++
+		}
+	}
+}
+
+// Exclusive implements Source: concurrent writers may (rarely) share
+// stamps.
+func (c *GV7) Exclusive() bool { return false }
+
+// Window implements Source: a stamp leads the clock by at most width.
+func (c *GV7) Window() uint64 { return c.mask + 1 }
+
 var (
 	_ Source = (*GV4)(nil)
 	_ Source = (*Deferred)(nil)
 	_ Source = (*Sharded)(nil)
+	_ Source = (*GV7)(nil)
 )

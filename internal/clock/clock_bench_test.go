@@ -25,6 +25,32 @@ func benchSources() []struct {
 		{"gv4", func() Source { return &GV4{} }},
 		{"deferred", func() Source { return &Deferred{} }},
 		{"sharded", func() Source { return NewSharded(4) }},
+		{"gv7", func() Source { return NewGV7(8) }},
+	}
+}
+
+// BenchmarkClockBeginPath measures the begin-path sample alone — one
+// Now() per transaction begin, the single hottest clock operation in a
+// begin-heavy (read-dominated) workload. The interesting strategy is
+// Sharded: its Now used to scan every shard per begin; the cached
+// minimum makes it one plain load, like the flat clocks. The clock is
+// pre-warmed with a few observed ticks so the fast path runs against a
+// realistic non-zero state.
+func BenchmarkClockBeginPath(b *testing.B) {
+	for _, s := range benchSources() {
+		b.Run(s.name, func(b *testing.B) {
+			src := s.mk()
+			var p Probe
+			for i := 0; i < 16; i++ {
+				src.Observe(src.Tick(&p), &p)
+			}
+			var sink uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += src.Now()
+			}
+			_ = sink
+		})
 	}
 }
 
@@ -52,6 +78,27 @@ func BenchmarkClockCommitPath(b *testing.B) {
 				wg.Wait()
 			})
 		}
+	}
+}
+
+// BenchmarkShardedNowScan measures the shard scan the cached begin
+// sample replaced: what Sharded.Now used to cost per transaction begin
+// (and what Observe still pays once per reconciliation).
+func BenchmarkShardedNowScan(b *testing.B) {
+	for _, shards := range []int{4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := NewSharded(shards)
+			var p Probe
+			for i := 0; i < 16; i++ {
+				c.Observe(c.Tick(&p), &p)
+			}
+			var sink uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += c.scanMin()
+			}
+			_ = sink
+		})
 	}
 }
 

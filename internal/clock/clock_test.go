@@ -131,6 +131,81 @@ func TestShardedMinAndReconcile(t *testing.T) {
 	}
 }
 
+// The sharded begin-path fast sample: Now is the cached minimum
+// maintained by Observe — stale (conservative) between reconciliations,
+// refreshed by any Observe, including the plain re-sample Observe(0).
+func TestShardedCachedNow(t *testing.T) {
+	c := NewSharded(4)
+	var p Probe
+	ts := c.Tick(&p)
+	// All other shards are still 0, so the true minimum is 0 and the
+	// cache agrees.
+	if c.Now() != 0 {
+		t.Fatalf("Now = %d, want 0", c.Now())
+	}
+	// Raise every shard via Observe: the cache must now cover the stamp.
+	if got := c.Observe(ts, &p); got < ts {
+		t.Fatalf("Observe(%d) = %d", ts, got)
+	}
+	if c.Now() < ts {
+		t.Fatalf("cached Now = %d after Observe(%d)", c.Now(), ts)
+	}
+	// A tick on one shard advances the true minimum only after the
+	// other shards catch up; the cache must never run AHEAD of the true
+	// minimum (conservative), and a plain re-sample Observe(0) must
+	// refresh it to exactly the true minimum.
+	ts2 := c.Tick(&p)
+	if now := c.Now(); now >= ts2 {
+		t.Fatalf("cached Now = %d runs ahead of unreconciled stamp %d", now, ts2)
+	}
+	c.Observe(ts2, &p)
+	if got, want := c.Observe(0, nil), c.Now(); got != want {
+		t.Fatalf("Observe(0) = %d, want reconciled minimum %d", got, want)
+	}
+	if c.Now() < ts2 {
+		t.Fatalf("cached Now = %d after reconciling %d", c.Now(), ts2)
+	}
+}
+
+// GV7: ticking never advances the clock, stamps lead it by a bounded
+// random step in [1, width], and observing folds them back in.
+func TestGV7RandomizedIncrement(t *testing.T) {
+	c := NewGV7(8)
+	if c.Width() != 8 {
+		t.Fatalf("Width = %d, want 8", c.Width())
+	}
+	var p Probe
+	steps := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		now := c.Now()
+		ts := c.Tick(&p)
+		if ts <= now || ts > now+uint64(c.Width()) {
+			t.Fatalf("Tick = %d with Now = %d, want in (%d, %d]", ts, now, now, now+uint64(c.Width()))
+		}
+		if c.Now() != now {
+			t.Fatalf("Tick advanced the clock: %d -> %d", now, c.Now())
+		}
+		steps[ts-now] = true
+		c.Observe(ts, &p)
+		if c.Now() < ts {
+			t.Fatalf("Now = %d after Observe(%d)", c.Now(), ts)
+		}
+	}
+	if len(steps) < 2 {
+		t.Fatal("randomized increments produced a constant step; expected a spread")
+	}
+	if c.Exclusive() {
+		t.Fatal("gv7 must not claim exclusive stamps")
+	}
+	if c.Window() != uint64(c.Width()) {
+		t.Fatalf("Window = %d, want %d", c.Window(), c.Width())
+	}
+	// Width rounds up to a power of two; zero picks the default.
+	if NewGV7(5).Width() != 8 || NewGV7(0).Width() != DefaultGV7Width {
+		t.Fatal("width rounding/default broken")
+	}
+}
+
 func TestParseAndNew(t *testing.T) {
 	for _, k := range Kinds() {
 		got, err := Parse(k.String())

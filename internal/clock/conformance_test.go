@@ -17,6 +17,7 @@ func conformanceSources() map[string]func() Source {
 		"gv4":      func() Source { return &GV4{} },
 		"deferred": func() Source { return &Deferred{} },
 		"sharded":  func() Source { return NewSharded(4) },
+		"gv7":      func() Source { return NewGV7(8) },
 	}
 }
 
@@ -136,7 +137,10 @@ func conformMonotonic(t *testing.T, src Source) {
 }
 
 // conformObserve: after Observe(v) of any previously minted stamp v,
-// Now() must cover v.
+// Now() must cover v — and no later Tick may ever re-issue v or
+// anything below it (published stamps are retired: this is what keeps
+// location versions from regressing once a runtime has stamped memory
+// and advanced the clock past it).
 func conformObserve(t *testing.T, src Source) {
 	const workers, iters = 6, 2000
 	var wg sync.WaitGroup
@@ -145,8 +149,13 @@ func conformObserve(t *testing.T, src Source) {
 		go func() {
 			defer wg.Done()
 			var p Probe
+			prev := uint64(0)
 			for i := 0; i < iters; i++ {
 				ts := src.Tick(&p)
+				if ts <= prev {
+					t.Errorf("Tick = %d after this goroutine observed %d: published stamps must be retired", ts, prev)
+					return
+				}
 				if got := src.Observe(ts, &p); got < ts {
 					t.Errorf("Observe(%d) = %d, want ≥ %d", ts, got, ts)
 					return
@@ -155,16 +164,20 @@ func conformObserve(t *testing.T, src Source) {
 					t.Errorf("Now() = %d after Observe(%d), want ≥", now, ts)
 					return
 				}
+				prev = ts
 			}
 		}()
 	}
 	wg.Wait()
 }
 
-// conformNoLostTicks: per-goroutine tick sequences never decrease; for
-// exclusive sources they are globally unique and dense, and for every
-// source the final observed maximum is recoverable through Observe (no
-// tick is lost to the clock).
+// conformNoLostTicks: exclusive sources hand out globally unique,
+// dense, per-goroutine increasing timestamps; for every source the
+// final observed maximum is recoverable through Observe (no tick is
+// lost to the clock). Non-exclusive pre-publishing sources may wobble
+// within their window between Observes (GV7's randomized step does) —
+// their ordering obligation is conformObserve's: never below a
+// published stamp.
 func conformNoLostTicks(t *testing.T, src Source) {
 	const workers, perWorker = 6, 1500
 
@@ -189,9 +202,6 @@ func conformNoLostTicks(t *testing.T, src Source) {
 		for _, ts := range got[w] {
 			if ts == 0 {
 				t.Fatal("Tick returned 0")
-			}
-			if ts < prev {
-				t.Fatalf("ticks decreased within a goroutine: %d after %d", ts, prev)
 			}
 			if src.Exclusive() {
 				if ts <= prev && prev != 0 {

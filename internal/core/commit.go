@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 
+	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
 	"tlstm/internal/txlog"
 )
@@ -225,14 +226,24 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 	thr.stats.Work += work
 	thr.stats.VirtualTime += finish
 
-	// Clock-contention counters fold (and clear) per task under the
-	// same serialization that protects workAcc: intermediate tasks are
-	// parked until the completedTask store below, and their next
-	// incarnation's accesses are ordered after it.
+	// Clock- and contention-probe counters fold (and clear) per task
+	// under the same serialization that protects workAcc: intermediate
+	// tasks are parked until the completedTask store below, and their
+	// next incarnation's accesses are ordered after it. The policy's
+	// commit bookkeeping runs per task for the same reason each task
+	// has its own probe: Karma's account lives in the probe, and an
+	// intermediate task's lost work must be settled at its
+	// transaction's commit too, or the carry would outlive the
+	// transaction and inflate that descriptor's priority forever.
 	for _, task := range tx.tasks {
 		thr.stats.SnapshotExtensions += task.extends
 		task.extends = 0
 		thr.stats.ClockCASRetries += task.clkProbe.TakeRetries()
+		cmSelf, cmOwner, spins := task.cmProbe.TakeCounts()
+		thr.stats.CMAbortsSelf += cmSelf
+		thr.stats.CMAbortsOwner += cmOwner
+		thr.stats.BackoffSpins += spins
+		cm.Committed(thr.rt.cm, &task.cmSelf)
 	}
 
 	// Deferred frees of every task take effect now that the

@@ -49,8 +49,14 @@ type Config struct {
 	// policy and falls back to bare two-phase greedy. The paper argues
 	// task-awareness is necessary to avoid inter-thread deadlocks and
 	// favour transactions likely to finish (§3.2); this switch exists
-	// for the ablation benchmark that quantifies it.
+	// for the ablation benchmark that quantifies it. It is shorthand
+	// for CM: cm.New(cm.KindGreedy) and is ignored when CM is set.
 	PlainGreedyCM bool
+	// CM selects the contention-management policy (internal/cm) that
+	// resolves inter-thread write/write conflicts. nil means the
+	// paper's task-aware policy over two-phase greedy (or bare greedy
+	// under PlainGreedyCM).
+	CM cm.Policy
 	// Policy selects the scheduler's spawn policy (internal/sched):
 	// sched.Pooled (the zero value, default) dispatches tasks to each
 	// thread's ring of long-lived workers; sched.Inline runs task
@@ -76,6 +82,13 @@ func (c *Config) fill() {
 	if c.Clock == nil {
 		c.Clock = clock.New(clock.KindGV4)
 	}
+	if c.CM == nil {
+		if c.PlainGreedyCM {
+			c.CM = cm.New(cm.KindGreedy)
+		} else {
+			c.CM = cm.New(cm.KindTaskAware)
+		}
+	}
 }
 
 // Runtime is one TLSTM instance. Independent Runtimes are fully isolated.
@@ -85,16 +98,15 @@ type Runtime struct {
 	locks *locktable.Table
 
 	clk clock.Source
-	cm  cm.TaskAware
+	cm  cm.Policy
 
 	// stats aggregates per-thread shards, merged at Sync boundaries
 	// (see Thread.Sync); the hot path never touches it.
 	stats txstats.Aggregate[Stats, *Stats]
 
-	specDepth     int
-	plainGreedyCM bool
-	policy        sched.Policy
-	nextThreadID  atomic.Int32
+	specDepth    int
+	policy       sched.Policy
+	nextThreadID atomic.Int32
 
 	// threadsMu guards the registry of threads whose scheduler pools
 	// Close drains.
@@ -110,13 +122,13 @@ func New(cfg Config) *Runtime {
 	}
 	st := mem.NewStore()
 	return &Runtime{
-		store:         st,
-		alloc:         mem.NewAllocator(st),
-		locks:         locktable.NewTable(cfg.LockTableBits),
-		clk:           cfg.Clock,
-		specDepth:     cfg.SpecDepth,
-		plainGreedyCM: cfg.PlainGreedyCM,
-		policy:        cfg.Policy,
+		store:     st,
+		alloc:     mem.NewAllocator(st),
+		locks:     locktable.NewTable(cfg.LockTableBits),
+		clk:       cfg.Clock,
+		cm:        cfg.CM,
+		specDepth: cfg.SpecDepth,
+		policy:    cfg.Policy,
 	}
 }
 
@@ -146,6 +158,9 @@ func (rt *Runtime) CommitTS() uint64 { return rt.clk.Now() }
 
 // ClockName reports the commit-clock strategy this runtime uses.
 func (rt *Runtime) ClockName() string { return rt.clk.Name() }
+
+// CMName reports the contention-management policy this runtime uses.
+func (rt *Runtime) CMName() string { return rt.cm.Name() }
 
 // Stats returns the runtime-global statistics aggregate: the sum of
 // every per-thread shard merged so far (threads merge at Sync).
@@ -184,6 +199,7 @@ func (rt *Runtime) NewThread() *Thread {
 		t.ownerRef.ThreadID = id
 		t.ownerRef.CompletedTask = &thr.completedTask
 		t.ownerRef.AbortInternal = &t.abortInternal
+		t.cmSelf.Probe = &t.cmProbe
 		thr.ring[i] = t
 	}
 	for i := range thr.txRing {

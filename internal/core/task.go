@@ -74,6 +74,14 @@ type Task struct {
 	extends  uint64
 	clkProbe clock.Probe
 
+	// cmSelf is the task's contention-management identity (its
+	// situational fields are refreshed in place before every Resolve,
+	// so the conflict path never allocates); cmProbe carries the
+	// decision counters and backoff/karma state, folded into the
+	// thread's stats shard by finishCommit like clkProbe.
+	cmSelf  cm.Self
+	cmProbe cm.Probe
+
 	// waitBeforeRestart, when ≥ 0, is a completed-task serial the next
 	// attempt must wait for before re-executing. Set on intra-thread
 	// WAW rollbacks: restarting immediately would let this task re-grab
@@ -125,6 +133,15 @@ const taskStartCost = 24
 // many log entries checked (a version/pointer compare is much cheaper
 // than an instrumented load).
 const validationStride = 8
+
+// txSelfAbortDefeats is the deadlock escape hatch for policies that
+// only ever abort the requester: after this many contention-manager
+// defeats, losing once more aborts the whole user-transaction instead
+// of just the task, releasing every lock the transaction holds (a task
+// restart alone cannot release locks its transaction's other tasks
+// took, so a cross-thread lock cycle under a pure self-abort policy
+// would otherwise never break).
+const txSelfAbortDefeats = 8
 
 // tick charges work units and enforces the interleaving grain.
 func (t *Task) tick(units uint64) {
@@ -230,12 +247,16 @@ func (t *Task) preRestartWait() {
 	for i := 0; i < t.backoff; i++ {
 		runtime.Gosched()
 	}
-	// Whole-transaction aborts back off progressively: repeated
+	// Whole-transaction aborts back off per policy: repeated
 	// inter-thread defeats or failed commit validations mean the
-	// conflict window is being re-entered too eagerly.
+	// conflict window is being re-entered too eagerly. Routing this
+	// through OnAbort matters beyond style — policies whose conflicts
+	// can kill both sides of a lock cycle (Karma's push-through rule)
+	// depend on randomized spacing here, or the mutually-killed
+	// transactions relaunch in lockstep and livelock.
 	if n := t.tx.txAborts.Load(); n > 0 {
-		yields := int(min(n*8, 256))
-		for i := 0; i < yields; i++ {
+		t.cmSelf.Aborts = n
+		for i, y := 0, cm.AbortBackoff(t.thr.rt.cm, &t.cmSelf); i < y; i++ {
 			runtime.Gosched()
 		}
 	}
@@ -522,6 +543,7 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 	t.tick(2)
 	p := t.thr.rt.locks.For(a)
 	ser := t.serial.Load()
+	waited := 0
 	for {
 		t.checkSignals()
 		e := p.W.Load()
@@ -542,28 +564,43 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 			return
 		}
 		if e.Owner.ThreadID != t.thr.id {
-			// Write-locked by another user-thread: task-aware
-			// contention management (Alg. 2 lines 41–43, 54–64). If we
-			// lose, this task rolls back (Alg. 2 line 42); if the owner
-			// loses, its whole user-transaction is signalled to abort
-			// and we wait for the lock to be released.
-			var dec cm.Decision
-			if t.thr.rt.plainGreedyCM {
-				dec = t.thr.rt.cm.Greedy.Resolve(
-					&t.tx.greedTS, t.writeLog.Len(), int(t.tx.cmDefeats.Load()), e.Owner)
-			} else {
-				dec = t.thr.rt.cm.Resolve(
-					t.thr.completedTask.Load(), t.tx.startSerial,
-					&t.tx.greedTS, t.writeLog.Len(), int(t.tx.cmDefeats.Load()), e.Owner)
-			}
-			if dec == cm.AbortSelf {
-				t.tx.cmDefeats.Add(1)
-				t.backoff = min(t.backoff*2+1, 256)
+			// Write-locked by another user-thread: inter-thread
+			// contention management (Alg. 2 lines 41–43, 54–64 under the
+			// default task-aware policy). If we lose, this task rolls
+			// back (Alg. 2 line 42); if the owner loses, its whole
+			// user-transaction is signalled to abort and we wait for
+			// the lock to be released.
+			t.cmSelf.Point = cm.PointEncounter
+			t.cmSelf.Writes = t.writeLog.Len()
+			t.cmSelf.Defeats = int(t.tx.cmDefeats.Load())
+			t.cmSelf.Completed = t.thr.completedTask.Load()
+			t.cmSelf.Waited = waited
+			switch cm.Resolve(t.thr.rt.cm, &t.cmSelf, e.Owner) {
+			case cm.AbortSelf:
+				defeats := t.tx.cmDefeats.Add(1)
+				t.cmSelf.Aborts = uint64(defeats)
+				t.backoff = cm.AbortBackoff(t.thr.rt.cm, &t.cmSelf)
+				// A task-level restart does not release the locks held
+				// by this transaction's OTHER tasks, so a policy that
+				// never aborts owners (suicide, backoff) would leave a
+				// cross-thread lock cycle standing forever — the §3.2
+				// inter-thread deadlock. Every txSelfAbortDefeats-th
+				// defeat therefore escalates to a whole-transaction
+				// self-abort, releasing everything the transaction
+				// holds; policies that escalate to AbortOwner (greedy,
+				// task-aware, karma) break cycles long before this
+				// bound is reached.
+				if defeats%txSelfAbortDefeats == 0 {
+					t.abortOwnTx()
+				}
 				t.rollbackTask(restartCM)
+			case cm.AbortOwner:
+				e.Owner.AbortTx.Load().Store(true)
 			}
-			e.Owner.AbortTx.Load().Store(true)
-			// Waiting on another thread's lock costs parallel time
-			// (about one quantum of owner progress per round).
+			// AbortOwner and Wait both ride the conflict out for a
+			// round; waiting on another thread's lock costs parallel
+			// time (about one quantum of owner progress per round).
+			waited++
 			t.workAcc += yieldQuantum
 			runtime.Gosched()
 			continue

@@ -199,6 +199,11 @@ func (thr *Thread) Submit(fns ...TaskFunc) (TxHandle, error) {
 		t.allocs = t.allocs[:0]
 		t.frees = t.frees[:0]
 		t.ownerRef.BindTx(start, &tx.abortTx, &tx.greedTS)
+		// The task's CM identity follows the descriptor onto the new
+		// transaction: priority slot, start serial, and the defeat
+		// count accumulated by this transaction so far.
+		t.cmSelf.Timestamp = &tx.greedTS
+		t.cmSelf.Start = start
 		thr.slots[s].Store(t)
 		tx.armed.Add(1)
 		if thr.pool.Arm(s) {
@@ -291,6 +296,14 @@ type Stats struct {
 	// operations (internal/clock.Probe): the direct measure of clock
 	// contention under the configured strategy.
 	ClockCASRetries uint64
+	// CMAbortsSelf counts inter-thread conflicts this thread's tasks
+	// lost (one AbortSelf decision each); CMAbortsOwner counts
+	// AbortOwner decisions, one per round spent waiting for a
+	// signalled owner to concede; BackoffSpins counts the scheduler
+	// yields the policy charged between retries (internal/cm.Probe).
+	CMAbortsSelf  uint64
+	CMAbortsOwner uint64
+	BackoffSpins  uint64
 }
 
 // Add folds o into s.
@@ -309,6 +322,9 @@ func (s *Stats) Add(o Stats) {
 	s.DescriptorReuses += o.DescriptorReuses
 	s.SnapshotExtensions += o.SnapshotExtensions
 	s.ClockCASRetries += o.ClockCASRetries
+	s.CMAbortsSelf += o.CMAbortsSelf
+	s.CMAbortsOwner += o.CMAbortsOwner
+	s.BackoffSpins += o.BackoffSpins
 }
 
 // minus returns the fieldwise difference s−o. It is only meaningful
@@ -330,6 +346,9 @@ func (s Stats) minus(o Stats) Stats {
 		DescriptorReuses:   s.DescriptorReuses - o.DescriptorReuses,
 		SnapshotExtensions: s.SnapshotExtensions - o.SnapshotExtensions,
 		ClockCASRetries:    s.ClockCASRetries - o.ClockCASRetries,
+		CMAbortsSelf:       s.CMAbortsSelf - o.CMAbortsSelf,
+		CMAbortsOwner:      s.CMAbortsOwner - o.CMAbortsOwner,
+		BackoffSpins:       s.BackoffSpins - o.BackoffSpins,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tlstm/internal/clock"
+	"tlstm/internal/cm"
 	"tlstm/internal/core"
 	"tlstm/internal/rbtree"
 	"tlstm/internal/sb7"
@@ -26,6 +27,10 @@ type Scale struct {
 	// Clock is the commit-clock strategy every runtime in the figures
 	// uses (cmd/tlstm-bench -clock); the zero value is GV4.
 	Clock clock.Kind
+	// CM is the contention-management policy every runtime in the
+	// figures uses (cmd/tlstm-bench -cm); the zero value keeps each
+	// runtime's own default (greedy for SwissTM, task-aware for TLSTM).
+	CM cm.Kind
 }
 
 // DefaultScale is used by the CLI and benches.
@@ -34,14 +39,16 @@ func DefaultScale() Scale { return Scale{Fig1aTx: 300, Fig1bTx: 60, SB7Tx: 24} }
 // QuickScale keeps unit-test runs fast.
 func QuickScale() Scale { return Scale{Fig1aTx: 40, Fig1bTx: 8, SB7Tx: 4} }
 
-// newSTM builds a SwissTM runtime with the configured clock strategy.
+// newSTM builds a SwissTM runtime with the configured clock strategy
+// and contention-management policy.
 func (sc Scale) newSTM() *stm.Runtime {
-	return stm.New(stm.WithClock(clock.New(sc.Clock)))
+	return stm.New(stm.WithClock(clock.New(sc.Clock)), stm.WithCM(cm.New(sc.CM)))
 }
 
-// newTLSTM builds a TLSTM runtime with the configured clock strategy.
+// newTLSTM builds a TLSTM runtime with the configured clock strategy
+// and contention-management policy.
 func (sc Scale) newTLSTM(depth int) *core.Runtime {
-	return core.New(core.Config{SpecDepth: depth, Clock: clock.New(sc.Clock)})
+	return core.New(core.Config{SpecDepth: depth, Clock: clock.New(sc.Clock), CM: cm.New(sc.CM)})
 }
 
 func mix64(x uint64) uint64 {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"tlstm/internal/clock"
+	"tlstm/internal/cm"
 	"tlstm/internal/core"
 	"tlstm/internal/sched"
 	"tlstm/internal/stm"
@@ -70,12 +71,25 @@ type Result struct {
 	WorkersSpawned   uint64
 	DescriptorReuses uint64
 	// Clock is the commit-clock strategy the run used ("gv4",
-	// "deferred", "sharded"); SnapshotExtensions and ClockCASRetries
-	// are the strategy's costs — extra snapshot revalidations and
-	// clock CAS spins — folded from the per-thread stats shards.
+	// "deferred", "sharded", "gv7"); SnapshotExtensions and
+	// ClockCASRetries are the strategy's costs — extra snapshot
+	// revalidations and clock CAS spins — folded from the per-thread
+	// stats shards.
 	Clock              string
 	SnapshotExtensions uint64
 	ClockCASRetries    uint64
+	// CM is the contention-management policy the run used ("suicide",
+	// "backoff", "greedy", "karma", "taskaware");
+	// CMAbortsSelf counts lost conflicts (one AbortSelf decision each),
+	// CMAbortsOwner counts AbortOwner decisions — re-issued every round
+	// a requester waits for the signalled owner to concede, so it
+	// measures rounds spent winning rather than distinct conflicts —
+	// and BackoffSpins the scheduler yields the policy charged between
+	// retries; all folded from the per-thread stats shards.
+	CM            string
+	CMAbortsSelf  uint64
+	CMAbortsOwner uint64
+	BackoffSpins  uint64
 }
 
 // Throughput reports application operations per 1000 virtual work units
@@ -100,6 +114,9 @@ func (r Result) String() string {
 	}
 	if (r.Clock != "" && r.Clock != clock.KindGV4.String()) || r.SnapshotExtensions > 0 || r.ClockCASRetries > 0 {
 		s += fmt.Sprintf(" clock=%-8s ext=%-5d clkRetry=%d", r.Clock, r.SnapshotExtensions, r.ClockCASRetries)
+	}
+	if r.CMAbortsSelf > 0 || r.CMAbortsOwner > 0 || r.BackoffSpins > 0 {
+		s += fmt.Sprintf(" cm=%-9s cmSelf=%-5d cmOwner=%-5d spins=%d", r.CM, r.CMAbortsSelf, r.CMAbortsOwner, r.BackoffSpins)
 	}
 	return s
 }
@@ -138,6 +155,7 @@ func RunSTM(rt *stm.Runtime, w Workload) Result {
 		Ops:   uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
 		Wall:  time.Since(start),
 		Clock: rt.ClockName(),
+		CM:    rt.CMName(),
 	}
 	for _, wk := range workers {
 		st := wk.Stats()
@@ -145,6 +163,9 @@ func RunSTM(rt *stm.Runtime, w Workload) Result {
 		res.TxAborted += st.Aborts
 		res.SnapshotExtensions += st.SnapshotExtensions
 		res.ClockCASRetries += st.ClockCASRetries
+		res.CMAbortsSelf += st.CMAbortsSelf
+		res.CMAbortsOwner += st.CMAbortsOwner
+		res.BackoffSpins += st.BackoffSpins
 		if st.Work > res.VirtualUnits {
 			res.VirtualUnits = st.Work // threads run in parallel
 		}
@@ -157,13 +178,14 @@ func RunSTM(rt *stm.Runtime, w Workload) Result {
 // into a Result; see runFlat.
 type flatStats struct {
 	commits, aborts, work, extensions, clockRetries uint64
+	cmAbortsSelf, cmAbortsOwner, backoffSpins       uint64
 }
 
 // runFlat drives a flat-transaction runtime: one goroutine per thread,
 // each TxSeq concatenated into one transaction, per-thread statistics
 // extracted into the shared Result shape. RunTL2 and RunWTSTM are thin
 // wrappers so the fan-out/fold logic exists once.
-func runFlat[S any](w Workload, clockName string, atomic func(st *S, run func(tm.Tx)), extract func(S) flatStats) Result {
+func runFlat[S any](w Workload, clockName, cmName string, atomic func(st *S, run func(tm.Tx)), extract func(S) flatStats) Result {
 	start := time.Now()
 	stats := make([]S, w.Threads)
 	var wg sync.WaitGroup
@@ -188,6 +210,7 @@ func runFlat[S any](w Workload, clockName string, atomic func(st *S, run func(tm
 		Ops:   uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
 		Wall:  time.Since(start),
 		Clock: clockName,
+		CM:    cmName,
 	}
 	for _, s := range stats {
 		st := extract(s)
@@ -195,6 +218,9 @@ func runFlat[S any](w Workload, clockName string, atomic func(st *S, run func(tm
 		res.TxAborted += st.aborts
 		res.SnapshotExtensions += st.extensions
 		res.ClockCASRetries += st.clockRetries
+		res.CMAbortsSelf += st.cmAbortsSelf
+		res.CMAbortsOwner += st.cmAbortsOwner
+		res.BackoffSpins += st.backoffSpins
 		if st.work > res.VirtualUnits {
 			res.VirtualUnits = st.work // threads run in parallel
 		}
@@ -204,23 +230,25 @@ func runFlat[S any](w Workload, clockName string, atomic func(st *S, run func(tm
 
 // RunTL2 executes the workload on the TL2 baseline.
 func RunTL2(rt *tl2.Runtime, w Workload) Result {
-	return runFlat(w, rt.ClockName(),
+	return runFlat(w, rt.ClockName(), rt.CMName(),
 		func(st *tl2.Stats, run func(tm.Tx)) {
 			rt.Atomic(st, func(tx *tl2.Tx) { run(tx) })
 		},
 		func(st tl2.Stats) flatStats {
-			return flatStats{st.Commits, st.Aborts, st.Work, st.SnapshotExtensions, st.ClockCASRetries}
+			return flatStats{st.Commits, st.Aborts, st.Work, st.SnapshotExtensions, st.ClockCASRetries,
+				st.CMAbortsSelf, st.CMAbortsOwner, st.BackoffSpins}
 		})
 }
 
 // RunWTSTM executes the workload on the write-through STM.
 func RunWTSTM(rt *wtstm.Runtime, w Workload) Result {
-	return runFlat(w, rt.ClockName(),
+	return runFlat(w, rt.ClockName(), rt.CMName(),
 		func(st *wtstm.Stats, run func(tm.Tx)) {
 			rt.Atomic(st, func(tx *wtstm.Tx) { run(tx) })
 		},
 		func(st wtstm.Stats) flatStats {
-			return flatStats{st.Commits, st.Aborts, st.Work, st.SnapshotExtensions, st.ClockCASRetries}
+			return flatStats{st.Commits, st.Aborts, st.Work, st.SnapshotExtensions, st.ClockCASRetries,
+				st.CMAbortsSelf, st.CMAbortsOwner, st.BackoffSpins}
 		})
 }
 
@@ -260,6 +288,7 @@ func RunTLSTM(rt *core.Runtime, w Workload) Result {
 		Ops:   uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
 		Wall:  time.Since(start),
 		Clock: rt.ClockName(),
+		CM:    rt.CMName(),
 	}
 	for _, thr := range threads {
 		st := thr.Stats()
@@ -270,6 +299,9 @@ func RunTLSTM(rt *core.Runtime, w Workload) Result {
 		res.DescriptorReuses += st.DescriptorReuses
 		res.SnapshotExtensions += st.SnapshotExtensions
 		res.ClockCASRetries += st.ClockCASRetries
+		res.CMAbortsSelf += st.CMAbortsSelf
+		res.CMAbortsOwner += st.CMAbortsOwner
+		res.BackoffSpins += st.BackoffSpins
 		if st.VirtualTime > res.VirtualUnits {
 			res.VirtualUnits = st.VirtualTime
 		}
@@ -387,6 +419,106 @@ func CompareClocks(threads, txPerThread int) []Result {
 			w := clockSweepWorkload("TLSTM/"+kind.String(), base, threads, txPerThread)
 			out = append(out, RunTLSTM(rt, w))
 			checkClockSweep(rt.Direct().Load, base, threads, txPerThread)
+			rt.Close()
+		}
+	}
+	return out
+}
+
+// cmSweepFill is the number of private filler reads each CompareCM
+// transaction performs while holding the hot word's write lock. The
+// filler pushes every transaction past the yield quantum, so on the
+// single-CPU simulator transactions genuinely overlap — and because
+// eager runtimes take the hot lock before the filler, the lock is held
+// across a scheduler slice and every other thread's increment runs
+// into it: exactly the sustained write/write conflict the contention
+// managers exist to resolve.
+const cmSweepFill = 48
+
+// cmSweepAlloc is the number of words a CompareCM runtime must
+// allocate: the hot word, one private counter per thread, and each
+// thread's filler region.
+func cmSweepAlloc(threads int) int { return 1 + threads + threads*cmSweepFill }
+
+// cmSweepWorkload is the CompareCM workload: every transaction
+// increments one shared hot word (taking its write lock first), reads
+// its thread's filler region while holding it, and increments the
+// thread's private counter (so every transaction is a committer).
+func cmSweepWorkload(name string, base tm.Addr, threads, txPerThread int) Workload {
+	return Workload{
+		Name:        name,
+		Threads:     threads,
+		TxPerThread: txPerThread,
+		OpsPerTx:    2,
+		Make: func(thread, idx int) TxSeq {
+			hot := base
+			mine := base + 1 + tm.Addr(thread)
+			fill := base + 1 + tm.Addr(threads) + tm.Addr(thread*cmSweepFill)
+			return TxSeq{func(tx tm.Tx) {
+				tx.Store(hot, tx.Load(hot)+1)
+				var sink uint64
+				for j := 0; j < cmSweepFill; j++ {
+					sink += tx.Load(fill + tm.Addr(j))
+				}
+				tx.Store(mine, tx.Load(mine)+1+sink)
+			}}
+		},
+	}
+}
+
+// checkCMSweep verifies the sweep's end state: the hot word must hold
+// exactly one increment per transaction and each private counter its
+// thread's transaction count — a cross-runtime atomicity check that
+// runs under every policy, so a policy that drops, doubles or tears an
+// update is caught by the sweep itself.
+func checkCMSweep(load func(tm.Addr) uint64, base tm.Addr, threads, txPerThread int) {
+	if got, want := load(base), uint64(threads*txPerThread); got != want {
+		panic(fmt.Sprintf("harness: cm sweep hot counter = %d, want %d (atomicity violated)", got, want))
+	}
+	for th := 0; th < threads; th++ {
+		if got := load(base + 1 + tm.Addr(th)); got != uint64(txPerThread) {
+			panic(fmt.Sprintf("harness: cm sweep thread %d counter = %d, want %d", th, got, txPerThread))
+		}
+	}
+}
+
+// CompareCM runs one identical write-contended workload on all four
+// runtimes under each contention-management policy (suicide, backoff,
+// greedy, karma, taskaware) and reports every measurement: throughput,
+// abort rate, and the policy's decision counters (conflicts resolved
+// against the requester and against the owner, backoff yields charged).
+// Each run's end state is invariant-checked, so the sweep doubles as a
+// cross-runtime atomicity test for the policies.
+func CompareCM(threads, txPerThread int) []Result {
+	var out []Result
+	for _, kind := range cm.Kinds() {
+		{
+			rt := stm.New(stm.WithCM(cm.New(kind)))
+			base := rt.Direct().Alloc(cmSweepAlloc(threads))
+			w := cmSweepWorkload("SwissTM/"+kind.String(), base, threads, txPerThread)
+			out = append(out, RunSTM(rt, w))
+			checkCMSweep(rt.Direct().Load, base, threads, txPerThread)
+		}
+		{
+			rt := tl2.New(20, tl2.WithCM(cm.New(kind)))
+			base := rt.Direct().Alloc(cmSweepAlloc(threads))
+			w := cmSweepWorkload("TL2/"+kind.String(), base, threads, txPerThread)
+			out = append(out, RunTL2(rt, w))
+			checkCMSweep(rt.Direct().Load, base, threads, txPerThread)
+		}
+		{
+			rt := wtstm.New(20, wtstm.WithCM(cm.New(kind)))
+			base := rt.Direct().Alloc(cmSweepAlloc(threads))
+			w := cmSweepWorkload("wtstm/"+kind.String(), base, threads, txPerThread)
+			out = append(out, RunWTSTM(rt, w))
+			checkCMSweep(rt.Direct().Load, base, threads, txPerThread)
+		}
+		{
+			rt := core.New(core.Config{SpecDepth: 1, CM: cm.New(kind)})
+			base := rt.Direct().Alloc(cmSweepAlloc(threads))
+			w := cmSweepWorkload("TLSTM/"+kind.String(), base, threads, txPerThread)
+			out = append(out, RunTLSTM(rt, w))
+			checkCMSweep(rt.Direct().Load, base, threads, txPerThread)
 			rt.Close()
 		}
 	}

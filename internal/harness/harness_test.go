@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tlstm/internal/clock"
+	"tlstm/internal/cm"
 	"tlstm/internal/core"
 	"tlstm/internal/sb7"
 	"tlstm/internal/stm"
@@ -93,8 +94,8 @@ func TestRunWTSTMExecutesAllTransactions(t *testing.T) {
 // workload.
 func TestCompareClocksMatrix(t *testing.T) {
 	rs := CompareClocks(2, 120)
-	if len(rs) != 12 {
-		t.Fatalf("CompareClocks returned %d results, want 12 (3 strategies × 4 runtimes)", len(rs))
+	if want := len(clock.Kinds()) * 4; len(rs) != want {
+		t.Fatalf("CompareClocks returned %d results, want %d (%d strategies × 4 runtimes)", len(rs), want, len(clock.Kinds()))
 	}
 	labels := map[string]bool{}
 	for _, r := range rs {
@@ -128,6 +129,41 @@ func TestCompareClocksMatrix(t *testing.T) {
 	}
 	if gv4Retries != 0 {
 		t.Fatalf("GV4 runs report %d clock CAS retries, want 0", gv4Retries)
+	}
+}
+
+// CompareCM must cover the full policy × runtime matrix, commit
+// everything (the sweep invariant-checks its own end state), label each
+// run with its policy, and actually exercise the contention managers:
+// across the sweep, conflicts must have been resolved (decisions or
+// backoff charged) — a sweep with zero CM activity would compare
+// nothing.
+func TestCompareCMMatrix(t *testing.T) {
+	rs := CompareCM(2, 150)
+	if want := len(cm.Kinds()) * 4; len(rs) != want {
+		t.Fatalf("CompareCM returned %d results, want %d (%d policies × 4 runtimes)", len(rs), want, len(cm.Kinds()))
+	}
+	labels := map[string]bool{}
+	var decisions, spins uint64
+	for _, r := range rs {
+		if labels[r.Label] {
+			t.Fatalf("duplicate label %q", r.Label)
+		}
+		labels[r.Label] = true
+		if r.TxCommitted == 0 {
+			t.Fatalf("%s committed nothing", r.Label)
+		}
+		if r.CM == "" {
+			t.Fatalf("%s has no policy label", r.Label)
+		}
+		if !strings.HasSuffix(r.Label, "/"+r.CM) {
+			t.Fatalf("label %q does not carry its policy %q", r.Label, r.CM)
+		}
+		decisions += r.CMAbortsSelf + r.CMAbortsOwner
+		spins += r.BackoffSpins
+	}
+	if decisions == 0 && spins == 0 {
+		t.Fatal("sweep produced no contention-manager activity: the workload is not contended")
 	}
 }
 

@@ -48,6 +48,7 @@ type Option func(*config)
 type config struct {
 	lockTableBits int
 	clk           clock.Source
+	pol           cm.Policy
 }
 
 // WithLockTableBits sets the lock table to 2^bits pairs.
@@ -61,6 +62,12 @@ func WithClock(src clock.Source) Option {
 	return func(c *config) { c.clk = src }
 }
 
+// WithCM selects the contention-management policy (internal/cm). The
+// default is SwissTM's two-phase greedy manager; nil keeps it.
+func WithCM(pol cm.Policy) Option {
+	return func(c *config) { c.pol = pol }
+}
+
 // Runtime is one SwissTM instance: a word store, an allocator, a lock
 // table, the global commit clock and a contention manager. Independent
 // Runtimes are fully isolated from each other.
@@ -70,7 +77,7 @@ type Runtime struct {
 	locks *locktable.Table
 
 	clk clock.Source
-	cm  cm.Greedy
+	cm  cm.Policy
 
 	// stats aggregates the shards merged by Worker.Close (SNIPPETS-style
 	// per-thread stats: workers accumulate unshared, merge at exit).
@@ -90,12 +97,16 @@ func New(opts ...Option) *Runtime {
 	if c.clk == nil {
 		c.clk = clock.New(clock.KindGV4)
 	}
+	if c.pol == nil {
+		c.pol = cm.New(cm.KindGreedy)
+	}
 	st := mem.NewStore()
 	return &Runtime{
 		store: st,
 		alloc: mem.NewAllocator(st),
 		locks: locktable.NewTable(c.lockTableBits),
 		clk:   c.clk,
+		cm:    c.pol,
 	}
 }
 
@@ -104,6 +115,9 @@ func (rt *Runtime) CommitTS() uint64 { return rt.clk.Now() }
 
 // ClockName reports the commit-clock strategy this runtime uses.
 func (rt *Runtime) ClockName() string { return rt.clk.Name() }
+
+// CMName reports the contention-management policy this runtime uses.
+func (rt *Runtime) CMName() string { return rt.cm.Name() }
 
 // Allocator exposes the runtime's allocator for non-transactional setup
 // code (building initial data structures before threads start).
@@ -139,6 +153,14 @@ type Stats struct {
 	// operations (internal/clock.Probe), the direct measure of clock
 	// contention under each strategy.
 	ClockCASRetries uint64
+	// CMAbortsSelf counts lost write/write conflicts (one AbortSelf
+	// decision each); CMAbortsOwner counts AbortOwner decisions, one
+	// per round spent waiting for a signalled owner to concede;
+	// BackoffSpins counts the scheduler yields the policy charged
+	// between retries (internal/cm.Probe).
+	CMAbortsSelf  uint64
+	CMAbortsOwner uint64
+	BackoffSpins  uint64
 }
 
 // Add folds o into s.
@@ -148,6 +170,9 @@ func (s *Stats) Add(o Stats) {
 	s.Work += o.Work
 	s.SnapshotExtensions += o.SnapshotExtensions
 	s.ClockCASRetries += o.ClockCASRetries
+	s.CMAbortsSelf += o.CMAbortsSelf
+	s.CMAbortsOwner += o.CMAbortsOwner
+	s.BackoffSpins += o.BackoffSpins
 }
 
 // Stats returns the runtime-global aggregate: the sum of every shard
@@ -219,10 +244,16 @@ type Tx struct {
 	allocs []tm.Addr // fresh blocks to release on abort
 	frees  []tm.Addr // deferred frees to apply on commit
 
-	work      uint64 // work units of the current transaction (all attempts)
-	aborts    uint64
-	extends   uint64 // successful snapshot extensions (all attempts)
-	cmDefeats int    // conflicts lost so far (two-phase greedy escalation)
+	work    uint64 // work units of the current transaction (all attempts)
+	aborts  uint64
+	extends uint64 // successful snapshot extensions (all attempts)
+
+	// cmSelf is the transaction's contention-management identity: its
+	// situational fields are refreshed in place before every conflict
+	// resolution, so the conflict path never allocates. cmProbe holds
+	// the per-descriptor decision counters and backoff state.
+	cmSelf  cm.Self
+	cmProbe cm.Probe
 
 	// clkProbe accumulates clock CAS retries (and pins this descriptor
 	// to a shard under the sharded strategy); folded into the stats
@@ -257,6 +288,8 @@ func (rt *Runtime) NewWorker() *Worker {
 	// The baseline has no task pipeline and one transaction at a time
 	// per descriptor, so the per-transaction slots are bound once.
 	w.tx.owner.BindTx(0, &w.tx.abortTx, &w.tx.greedTS)
+	w.tx.cmSelf.Timestamp = &w.tx.greedTS
+	w.tx.cmSelf.Probe = &w.tx.cmProbe
 	return w
 }
 
@@ -298,7 +331,7 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 	tx := &w.tx
 	tx.greedTS.Store(0)
-	tx.cmDefeats = 0
+	tx.cmSelf.Defeats = 0
 	tx.work = 0
 	tx.aborts = 0
 	tx.extends = 0
@@ -308,19 +341,25 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 			break
 		}
 		tx.aborts++
-		// Back off progressively so the conflict window is not
-		// re-entered immediately (and, on a single CPU, so the lock
-		// owner we lost to gets scheduled before we re-acquire).
-		for i := uint64(0); i < min(tx.aborts*8, 256); i++ {
+		// Back off per policy so the conflict window is not re-entered
+		// immediately (and, on a single CPU, so the lock owner we lost
+		// to gets scheduled before we re-acquire).
+		tx.cmSelf.Aborts = tx.aborts
+		for i, n := 0, cm.AbortBackoff(tx.rt.cm, &tx.cmSelf); i < n; i++ {
 			runtime.Gosched()
 		}
 	}
+	cm.Committed(tx.rt.cm, &tx.cmSelf)
+	cmSelf, cmOwner, spins := tx.cmProbe.TakeCounts()
 	if st != nil {
 		st.Commits++
 		st.Aborts += tx.aborts
 		st.Work += tx.work
 		st.SnapshotExtensions += tx.extends
 		st.ClockCASRetries += tx.clkProbe.TakeRetries()
+		st.CMAbortsSelf += cmSelf
+		st.CMAbortsOwner += cmOwner
+		st.BackoffSpins += spins
 	}
 }
 
@@ -463,6 +502,7 @@ func (tx *Tx) ownsPair(p *locktable.Pair) bool {
 func (tx *Tx) Store(a tm.Addr, v uint64) {
 	tx.tick(2)
 	p := tx.rt.locks.For(a)
+	waited := 0
 	for {
 		tx.checkSignals()
 		e := p.W.Load()
@@ -471,17 +511,22 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 				e.Update(a, v)
 				return
 			}
-			switch tx.rt.cm.Resolve(&tx.greedTS, tx.writeLog.Len(), tx.cmDefeats, e.Owner) {
+			tx.cmSelf.Point = cm.PointEncounter
+			tx.cmSelf.Writes = tx.writeLog.Len()
+			tx.cmSelf.Waited = waited
+			switch cm.Resolve(tx.rt.cm, &tx.cmSelf, e.Owner) {
 			case cm.AbortSelf:
-				tx.cmDefeats++
+				tx.cmSelf.Defeats++
 				tx.rollback()
 			case cm.AbortOwner:
 				e.Owner.AbortTx.Load().Store(true)
-				// Waiting for the owner costs real parallel time: it
-				// progresses about one quantum per scheduler round.
-				tx.work += yieldQuantum
-				runtime.Gosched()
 			}
+			// AbortOwner and Wait both ride the conflict out for a
+			// round; waiting costs real parallel time (the owner
+			// progresses about one quantum per scheduler round).
+			waited++
+			tx.work += yieldQuantum
+			runtime.Gosched()
 			continue
 		}
 		ne := tx.writeLog.NewEntry(&tx.owner, 0, p, a, v)

@@ -13,8 +13,11 @@
 //   - TL2 aborts immediately on reading a location newer than the
 //     transaction's read version (no timestamp extension), where
 //     SwissTM revalidates and extends its snapshot;
-//   - conflict resolution is pure self-abort with backoff (no
-//     contention manager).
+//   - conflict resolution defaults to pure self-abort with backoff
+//     (the cm.Suicide policy); WithCM swaps in any other
+//     contention-management strategy — TL2's locks are anonymous
+//     version words, so policies resolve against a nil owner and can
+//     shape only the requester's waiting, aborting and backoff.
 //
 // The engine substrate (version clock, read log, write set, held-lock
 // bookkeeping) comes from internal/clock and internal/txlog; descriptors
@@ -27,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"tlstm/internal/clock"
+	"tlstm/internal/cm"
 	"tlstm/internal/mem"
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
@@ -54,6 +58,13 @@ func WithClock(src clock.Source) Option {
 	return func(rt *Runtime) { rt.clk = src }
 }
 
+// WithCM selects the contention-management policy (internal/cm); the
+// default is cm.Suicide, the self-abort-with-grace behavior TL2 had
+// hardwired before the policy layer existed. nil keeps the default.
+func WithCM(pol cm.Policy) Option {
+	return func(rt *Runtime) { rt.cmPol = pol }
+}
+
 // Runtime is one TL2 instance.
 type Runtime struct {
 	store *mem.Store
@@ -61,6 +72,8 @@ type Runtime struct {
 
 	clk       clock.Source // global version clock
 	exclusive bool         // cached clk.Exclusive() (commit fast path)
+
+	cmPol cm.Policy // contention-management policy (conflict paths only)
 
 	locks []atomic.Uint64 // versioned write-locks (version or locked)
 	mask  uint64
@@ -86,12 +99,18 @@ func New(bits int, opts ...Option) *Runtime {
 	if rt.clk == nil {
 		rt.clk = clock.New(clock.KindGV4)
 	}
+	if rt.cmPol == nil {
+		rt.cmPol = cm.New(cm.KindSuicide)
+	}
 	rt.exclusive = rt.clk.Exclusive()
 	return rt
 }
 
 // ClockName reports the commit-clock strategy this runtime uses.
 func (rt *Runtime) ClockName() string { return rt.clk.Name() }
+
+// CMName reports the contention-management policy this runtime uses.
+func (rt *Runtime) CMName() string { return rt.cmPol.Name() }
 
 // Direct returns the non-transactional setup handle.
 func (rt *Runtime) Direct() mem.Direct { return mem.Direct{Mem: rt.store, Al: rt.alloc} }
@@ -115,6 +134,14 @@ type Stats struct {
 	// ClockCASRetries counts failed CASes inside commit-clock
 	// operations (internal/clock.Probe).
 	ClockCASRetries uint64
+	// CMAbortsSelf counts lost conflicts (one AbortSelf decision
+	// each); CMAbortsOwner counts AbortOwner decisions against the
+	// (anonymous) owner, one per waiting round; BackoffSpins counts
+	// the scheduler yields the policy charged between retries
+	// (internal/cm.Probe).
+	CMAbortsSelf  uint64
+	CMAbortsOwner uint64
+	BackoffSpins  uint64
 }
 
 // Add folds o into s.
@@ -124,6 +151,9 @@ func (s *Stats) Add(o Stats) {
 	s.Work += o.Work
 	s.SnapshotExtensions += o.SnapshotExtensions
 	s.ClockCASRetries += o.ClockCASRetries
+	s.CMAbortsSelf += o.CMAbortsSelf
+	s.CMAbortsOwner += o.CMAbortsOwner
+	s.BackoffSpins += o.BackoffSpins
 }
 
 type rollbackSignal struct{}
@@ -151,6 +181,15 @@ type Tx struct {
 	// clkProbe accumulates clock CAS retries (and pins this descriptor
 	// to a shard under the sharded strategy).
 	clkProbe clock.Probe
+
+	// cmSelf/cmProbe are the descriptor's contention-management
+	// identity and counters (internal/cm); greedTS is the priority slot
+	// policies publish into (TL2's locks carry no owner header, so no
+	// other transaction ever reads it — it still lets priority-based
+	// policies track their own escalation state).
+	cmSelf  cm.Self
+	cmProbe cm.Probe
+	greedTS atomic.Uint64
 }
 
 var _ tm.Tx = (*Tx)(nil)
@@ -160,9 +199,13 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 	tx, _ := rt.txPool.Get().(*Tx)
 	if tx == nil {
 		tx = &Tx{rt: rt}
+		tx.cmSelf.Timestamp = &tx.greedTS
+		tx.cmSelf.Probe = &tx.cmProbe
 	}
 	tx.work = 0
 	tx.aborts = 0
+	tx.greedTS.Store(0)
+	tx.cmSelf.Defeats = 0
 	for {
 		tx.rv = rt.clk.Now()
 		tx.readLog.Reset()
@@ -176,15 +219,21 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 			break
 		}
 		tx.aborts++
-		for i := uint64(0); i < min(tx.aborts*8, 256); i++ {
+		tx.cmSelf.Aborts = tx.aborts
+		for i, n := 0, cm.AbortBackoff(rt.cmPol, &tx.cmSelf); i < n; i++ {
 			runtime.Gosched()
 		}
 	}
+	cm.Committed(rt.cmPol, &tx.cmSelf)
+	cmSelf, cmOwner, spins := tx.cmProbe.TakeCounts()
 	if st != nil {
 		st.Commits++
 		st.Aborts += tx.aborts
 		st.Work += tx.work
 		st.ClockCASRetries += tx.clkProbe.TakeRetries()
+		st.CMAbortsSelf += cmSelf
+		st.CMAbortsOwner += cmOwner
+		st.BackoffSpins += spins
 	}
 	rt.txPool.Put(tx)
 }
@@ -227,9 +276,22 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 		return v
 	}
 	l := tx.rt.lockFor(a)
+	waited := 0
 	for {
 		v1 := l.Load()
 		if v1 == locked {
+			// Locked by a committing transaction mid-publish: the
+			// policy decides between riding the publish out and
+			// aborting (the Suicide default waits — the hold is short
+			// and the committer is past the point of being aborted).
+			tx.cmSelf.Point = cm.PointCommit
+			tx.cmSelf.Writes = tx.writeSet.Len()
+			tx.cmSelf.Waited = waited
+			if cm.Resolve(tx.rt.cmPol, &tx.cmSelf, nil) == cm.AbortSelf {
+				tx.cmSelf.Defeats++
+				tx.rollback()
+			}
+			waited++
 			runtime.Gosched()
 			continue
 		}
@@ -282,10 +344,24 @@ func (tx *Tx) commit() {
 		if tx.held.Holds(l) {
 			continue
 		}
-		acquired := false
-		for spins := 0; spins < 64; spins++ {
+		waited := 0
+		for {
 			v := l.Load()
 			if v == locked {
+				// A competing committer holds this lock. Address-order
+				// acquisition rules out committer/committer deadlock,
+				// so waiting is safe; whether to wait or abort is the
+				// policy's call (the Suicide default spins a bounded
+				// commit grace, like the old inlined loop).
+				tx.cmSelf.Point = cm.PointCommit
+				tx.cmSelf.Writes = tx.writeSet.Len()
+				tx.cmSelf.Waited = waited
+				if cm.Resolve(tx.rt.cmPol, &tx.cmSelf, nil) == cm.AbortSelf {
+					tx.cmSelf.Defeats++
+					tx.held.Restore()
+					tx.rollback()
+				}
+				waited++
 				tx.work += yieldQuantum
 				runtime.Gosched()
 				continue
@@ -297,13 +373,8 @@ func (tx *Tx) commit() {
 			}
 			if l.CompareAndSwap(v, locked) {
 				tx.held.Add(l, v)
-				acquired = true
 				break
 			}
-		}
-		if !acquired {
-			tx.held.Restore()
-			tx.rollback()
 		}
 		tx.work++
 	}

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"tlstm/internal/clock"
+	"tlstm/internal/cm"
 	"tlstm/internal/mem"
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
@@ -57,6 +58,18 @@ func WithClock(src clock.Source) Option {
 	return func(rt *Runtime) { rt.clk = src }
 }
 
+// WithCM selects the contention-management policy (internal/cm); the
+// default is cm.Suicide — one grace yield, then self-abort — which is
+// the behavior this runtime had hardwired. The write-through locks are
+// anonymous version words held for whole transaction lifetimes, so
+// policies resolve against a nil owner: they shape the requester's
+// waiting, aborting and backoff, and internal/cm bounds any
+// wait-for-the-owner verdict so that two transactions eagerly holding
+// each other's next lock cannot deadlock. nil keeps the default.
+func WithCM(pol cm.Policy) Option {
+	return func(rt *Runtime) { rt.cmPol = pol }
+}
+
 // Runtime is one write-through STM instance.
 type Runtime struct {
 	store *mem.Store
@@ -64,6 +77,8 @@ type Runtime struct {
 
 	clk       clock.Source
 	exclusive bool // cached clk.Exclusive() (commit fast path)
+
+	cmPol cm.Policy // contention-management policy (conflict paths only)
 
 	locks []atomic.Uint64
 	mask  uint64
@@ -89,12 +104,18 @@ func New(bits int, opts ...Option) *Runtime {
 	if rt.clk == nil {
 		rt.clk = clock.New(clock.KindGV4)
 	}
+	if rt.cmPol == nil {
+		rt.cmPol = cm.New(cm.KindSuicide)
+	}
 	rt.exclusive = rt.clk.Exclusive()
 	return rt
 }
 
 // ClockName reports the commit-clock strategy this runtime uses.
 func (rt *Runtime) ClockName() string { return rt.clk.Name() }
+
+// CMName reports the contention-management policy this runtime uses.
+func (rt *Runtime) CMName() string { return rt.cmPol.Name() }
 
 // Direct returns the non-transactional setup handle.
 func (rt *Runtime) Direct() mem.Direct { return mem.Direct{Mem: rt.store, Al: rt.alloc} }
@@ -117,6 +138,14 @@ type Stats struct {
 	// ClockCASRetries counts failed CASes inside commit-clock
 	// operations (internal/clock.Probe).
 	ClockCASRetries uint64
+	// CMAbortsSelf counts lost conflicts (one AbortSelf decision
+	// each); CMAbortsOwner counts AbortOwner decisions against the
+	// (anonymous) owner, one per waiting round; BackoffSpins counts
+	// the scheduler yields the policy charged between retries
+	// (internal/cm.Probe).
+	CMAbortsSelf  uint64
+	CMAbortsOwner uint64
+	BackoffSpins  uint64
 }
 
 // Add folds o into s.
@@ -126,6 +155,9 @@ func (s *Stats) Add(o Stats) {
 	s.Work += o.Work
 	s.SnapshotExtensions += o.SnapshotExtensions
 	s.ClockCASRetries += o.ClockCASRetries
+	s.CMAbortsSelf += o.CMAbortsSelf
+	s.CMAbortsOwner += o.CMAbortsOwner
+	s.BackoffSpins += o.BackoffSpins
 }
 
 type rollbackSignal struct{}
@@ -151,6 +183,15 @@ type Tx struct {
 	// clkProbe accumulates clock CAS retries (and pins this descriptor
 	// to a shard under the sharded strategy).
 	clkProbe clock.Probe
+
+	// cmSelf/cmProbe are the descriptor's contention-management
+	// identity and counters (internal/cm); greedTS is the priority slot
+	// policies publish into (no other transaction reads it — the locks
+	// carry no owner header — but it lets priority policies track their
+	// own escalation state).
+	cmSelf  cm.Self
+	cmProbe cm.Probe
+	greedTS atomic.Uint64
 }
 
 var _ tm.Tx = (*Tx)(nil)
@@ -160,10 +201,14 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 	tx, _ := rt.txPool.Get().(*Tx)
 	if tx == nil {
 		tx = &Tx{rt: rt}
+		tx.cmSelf.Timestamp = &tx.greedTS
+		tx.cmSelf.Probe = &tx.cmProbe
 	}
 	tx.work = 0
 	tx.aborts = 0
 	tx.extends = 0
+	tx.greedTS.Store(0)
+	tx.cmSelf.Defeats = 0
 	for {
 		tx.rv = rt.clk.Now()
 		tx.readLog.Reset()
@@ -177,16 +222,22 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 			break
 		}
 		tx.aborts++
-		for i := uint64(0); i < min(tx.aborts*8, 256); i++ {
+		tx.cmSelf.Aborts = tx.aborts
+		for i, n := 0, cm.AbortBackoff(rt.cmPol, &tx.cmSelf); i < n; i++ {
 			runtime.Gosched()
 		}
 	}
+	cm.Committed(rt.cmPol, &tx.cmSelf)
+	cmSelf, cmOwner, spins := tx.cmProbe.TakeCounts()
 	if st != nil {
 		st.Commits++
 		st.Aborts += tx.aborts
 		st.Work += tx.work
 		st.SnapshotExtensions += tx.extends
 		st.ClockCASRetries += tx.clkProbe.TakeRetries()
+		st.CMAbortsSelf += cmSelf
+		st.CMAbortsOwner += cmOwner
+		st.BackoffSpins += spins
 	}
 	rt.txPool.Put(tx)
 }
@@ -245,17 +296,25 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 		// We hold the lock: memory already has our in-place value.
 		return tx.rt.store.LoadWord(a)
 	}
+	waited := 0
 	for {
 		v1 := l.Load()
 		if v1 == locked {
 			// Uncommitted in-place data from another transaction: a
-			// write-through design cannot read around it; retry and
-			// eventually abort.
-			tx.work += yieldQuantum
-			runtime.Gosched()
-			if l.Load() == locked {
+			// write-through design cannot read around it. The policy
+			// decides between waiting the owner out and aborting (the
+			// Suicide default gives one grace yield, then dies — the
+			// owner holds the lock for its whole lifetime).
+			tx.cmSelf.Point = cm.PointEncounter
+			tx.cmSelf.Writes = tx.held.Len()
+			tx.cmSelf.Waited = waited
+			if cm.Resolve(tx.rt.cmPol, &tx.cmSelf, nil) == cm.AbortSelf {
+				tx.cmSelf.Defeats++
 				tx.rollback()
 			}
+			waited++
+			tx.work += yieldQuantum
+			runtime.Gosched()
 			continue
 		}
 		val := tx.rt.store.LoadWord(a)
@@ -304,14 +363,23 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 	tx.tick(2)
 	l := tx.rt.lockFor(a)
 	if !tx.held.Holds(l) {
+		waited := 0
 		for {
 			cur := l.Load()
 			if cur == locked {
+				// Writer/writer conflict against an anonymous eager
+				// lock: the policy decides (Suicide: one grace yield,
+				// then self-abort and retry).
+				tx.cmSelf.Point = cm.PointEncounter
+				tx.cmSelf.Writes = tx.held.Len()
+				tx.cmSelf.Waited = waited
+				if cm.Resolve(tx.rt.cmPol, &tx.cmSelf, nil) == cm.AbortSelf {
+					tx.cmSelf.Defeats++
+					tx.rollback()
+				}
+				waited++
 				tx.work += yieldQuantum
 				runtime.Gosched()
-				if l.Load() == locked {
-					tx.rollback() // writer/writer conflict: retry
-				}
 				continue
 			}
 			if cur > tx.rv && !tx.extendTo(cur) {

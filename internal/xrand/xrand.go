@@ -1,0 +1,26 @@
+// Package xrand is the tiny PRNG shared by the per-context probes of
+// internal/clock (GV7's randomized increments) and internal/cm
+// (randomized backoff, tie coin flips): a lazily splitmix-seeded
+// xorshift64 whose state lives in the owning probe, so drawing
+// randomness never touches shared state after the first call.
+package xrand
+
+import "sync/atomic"
+
+// seedCtr hands every state its own splitmix-derived stream.
+var seedCtr atomic.Uint64
+
+// Next steps the xorshift64 generator at state, seeding it on first
+// use (zero state). The returned value — and the state left behind —
+// is never 0.
+func Next(state *uint64) uint64 {
+	if *state == 0 {
+		z := seedCtr.Add(1) * 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		*state = z | 1
+	}
+	*state ^= *state << 13
+	*state ^= *state >> 7
+	*state ^= *state << 17
+	return *state
+}

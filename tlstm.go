@@ -66,6 +66,7 @@ package tlstm
 
 import (
 	"tlstm/internal/clock"
+	"tlstm/internal/cm"
 	"tlstm/internal/core"
 	"tlstm/internal/mem"
 	"tlstm/internal/rbtree"
@@ -111,6 +112,11 @@ type (
 	// maintained. See NewClock for the built-in strategies.
 	ClockSource = clock.Source
 
+	// CMPolicy is a contention-management policy for Config.CM (and
+	// NewBaselineWithCM): how write/write conflicts between
+	// transactions are resolved. See NewCM for the built-in policies.
+	CMPolicy = cm.Policy
+
 	// Direct is the non-transactional setup handle returned by
 	// (*Runtime).Direct and (*BaselineRuntime).Direct; it implements Tx.
 	Direct = mem.Direct
@@ -134,6 +140,30 @@ func NewClock(name string) (ClockSource, error) {
 		return nil, err
 	}
 	return clock.New(k), nil
+}
+
+// NewCM builds one of the built-in contention-management policies by
+// name:
+//
+//   - "suicide": pure self-abort with a short grace wait (TL2's and the
+//     write-through STM's historical behavior);
+//   - "backoff": self-abort with randomized exponential backoff between
+//     retries;
+//   - "greedy": SwissTM's two-phase greedy manager (polite phase, then
+//     seniority timestamps — older wins);
+//   - "karma": work-based priority accumulated across restarts;
+//   - "taskaware": the paper's Alg. 2 rule (abort the more speculative
+//     transaction) over a greedy base — TLSTM's default;
+//   - "default": each runtime's own default policy (returns nil).
+//
+// Each Runtime needs its own CMPolicy instance; do not share one
+// across runtimes.
+func NewCM(name string) (CMPolicy, error) {
+	k, err := cm.Parse(name)
+	if err != nil {
+		return nil, err
+	}
+	return cm.New(k), nil
 }
 
 // NilAddr is the nil word address (a NULL pointer for word-encoded
@@ -177,6 +207,13 @@ func NewBaseline() *BaselineRuntime { return stm.New() }
 // commit-clock strategy (see NewClock).
 func NewBaselineWithClock(src ClockSource) *BaselineRuntime {
 	return stm.New(stm.WithClock(src))
+}
+
+// NewBaselineWithCM creates a SwissTM runtime on the given
+// contention-management policy (see NewCM; nil keeps the two-phase
+// greedy default).
+func NewBaselineWithCM(pol CMPolicy) *BaselineRuntime {
+	return stm.New(stm.WithCM(pol))
 }
 
 // Loop decomposition (paper §3.3 — spec-DOALL and spec-DOACROSS) is

@@ -42,6 +42,54 @@ func TestBaselineFacade(t *testing.T) {
 	})
 }
 
+func TestCMFacade(t *testing.T) {
+	for _, name := range []string{"suicide", "backoff", "greedy", "karma", "taskaware"} {
+		pol, err := tlstm.NewCM(name)
+		if err != nil {
+			t.Fatalf("NewCM(%q): %v", name, err)
+		}
+		if pol == nil || pol.Name() != name {
+			t.Fatalf("NewCM(%q) = %v", name, pol)
+		}
+	}
+	if pol, err := tlstm.NewCM("default"); err != nil || pol != nil {
+		t.Fatalf("NewCM(default) = (%v, %v), want (nil, nil)", pol, err)
+	}
+	if _, err := tlstm.NewCM("bogus"); err == nil {
+		t.Fatal("NewCM must reject unknown policies")
+	}
+
+	// A runtime built on a named policy works end to end: baseline on
+	// karma, TLSTM on backoff via Config.CM.
+	karma, _ := tlstm.NewCM("karma")
+	base := tlstm.NewBaselineWithCM(karma)
+	var a tlstm.Addr
+	base.Atomic(nil, func(tx *tlstm.BaselineTx) {
+		a = tx.Alloc(1)
+		tx.Store(a, 7)
+	})
+	if base.LoadWordRaw(a) != 7 {
+		t.Fatal("karma baseline round trip failed")
+	}
+
+	backoff, _ := tlstm.NewCM("backoff")
+	rt := tlstm.New(tlstm.Config{SpecDepth: 2, CM: backoff})
+	defer rt.Close()
+	d := rt.Direct()
+	c := d.Alloc(1)
+	thr := rt.NewThread()
+	if err := thr.Atomic(
+		func(tk *tlstm.Task) { tk.Store(c, tk.Load(c)+1) },
+		func(tk *tlstm.Task) { tk.Store(c, tk.Load(c)+1) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	thr.Sync()
+	if d.Load(c) != 2 {
+		t.Fatalf("counter = %d, want 2", d.Load(c))
+	}
+}
+
 func TestDataStructuresOnBothRuntimes(t *testing.T) {
 	// TLSTM side.
 	rt := tlstm.New(tlstm.Config{SpecDepth: 2})
