@@ -12,7 +12,10 @@
 // any contention-management policy (-cm karma); -clocks swaps the soak
 // for the invariant-checked clock-strategy sweep across all four
 // runtimes (harness.CompareClocks), and -cms for the policy sweep
-// (harness.CompareCM).
+// (harness.CompareCM). Entry reclamation can be forced aggressive
+// (-reclaim 1: single-slot quiescence rings, recycling on almost every
+// commit) and audited (-audit: every recycle re-verifies the
+// quiescence invariant and panics on violation).
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"tlstm/internal/harness"
 	"tlstm/internal/sched"
 	"tlstm/internal/tm"
+	"tlstm/internal/xrand"
 )
 
 func main() {
@@ -35,13 +39,7 @@ func main() {
 
 type rng struct{ s uint64 }
 
-func (r *rng) next() uint64 {
-	r.s += 0x9e3779b97f4a7c15
-	z := r.s
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
+func (r *rng) next() uint64 { return xrand.Splitmix(&r.s) }
 
 func run() int {
 	seconds := flag.Int("seconds", 10, "soak duration")
@@ -53,6 +51,8 @@ func run() int {
 	clockCmp := flag.Bool("clocks", false, "run the invariant-checked clock-strategy sweep (all strategies × all runtimes) instead of the soak; -seconds scales the transaction count")
 	cmName := flag.String("cm", "default", `contention-management policy: "suicide", "backoff", "greedy", "karma", "taskaware" or "default" (task-aware)`)
 	cmCmp := flag.Bool("cms", false, "run the invariant-checked contention-policy sweep (all policies × all runtimes) instead of the soak; -seconds scales the transaction count")
+	reclaimRing := flag.Int("reclaim", 0, "cap each descriptor's quiescence ring of retired write-lock entries (0 = unbounded; 1 = aggressive, recycling exercised on almost every commit)")
+	reclaimAudit := flag.Bool("audit", false, "enable the entry-reclamation invariant checker: every recycle re-verifies the quiescence horizon against all live task attempts (panics on violation)")
 	flag.Parse()
 
 	if *clockCmp {
@@ -91,7 +91,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "tlstm-stress: %v\n", err)
 		return 2
 	}
-	rt := core.New(core.Config{SpecDepth: *depth, Policy: policy, Clock: clock.New(kind), CM: cm.New(cmKind)})
+	rt := core.New(core.Config{
+		SpecDepth: *depth, Policy: policy, Clock: clock.New(kind), CM: cm.New(cmKind),
+		ReclaimRing: *reclaimRing, ReclaimAudit: *reclaimAudit,
+	})
 	defer rt.Close()
 	d := rt.Direct()
 	const initial = 1_000_000
@@ -146,11 +149,12 @@ func run() int {
 		sum += d.Load(base + tm.Addr(i))
 	}
 	want := uint64(*accounts) * initial
-	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d clock=%s ext=%d clkRetry=%d cm=%s cmSelf=%d cmOwner=%d spins=%d\n",
+	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d clock=%s ext=%d clkRetry=%d cm=%s cmSelf=%d cmOwner=%d spins=%d reclaim=%d stall=%d\n",
 		total.TxCommitted, total.TxAborted, total.TaskRestarts, total.Work,
 		total.WorkersSpawned, total.DescriptorReuses,
 		rt.ClockName(), total.SnapshotExtensions, total.ClockCASRetries,
-		rt.CMName(), total.CMAbortsSelf, total.CMAbortsOwner, total.BackoffSpins)
+		rt.CMName(), total.CMAbortsSelf, total.CMAbortsOwner, total.BackoffSpins,
+		total.EntryReclaims, total.HorizonStalls)
 	if sum != want {
 		fmt.Printf("FAIL: total=%d want=%d (atomicity violated)\n", sum, want)
 		return 1

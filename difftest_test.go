@@ -116,7 +116,13 @@ func runOnWriteThrough(prog [][]diffOp, kind clock.Kind, pol cm.Kind) [diffWords
 }
 
 func runOnTLSTM(prog [][]diffOp, depth int, split bool, kind clock.Kind, pol cm.Kind) [diffWords]uint64 {
-	rt := core.New(core.Config{SpecDepth: depth, LockTableBits: 14, Clock: clock.New(kind), CM: cm.New(pol)})
+	return runOnTLSTMCfg(prog, split, core.Config{SpecDepth: depth, LockTableBits: 14, Clock: clock.New(kind), CM: cm.New(pol)})
+}
+
+func runOnTLSTMCfg(prog [][]diffOp, split bool, cfg core.Config) [diffWords]uint64 {
+	rt := core.New(cfg)
+	defer rt.Close() // drain the pooled workers; difftests build many runtimes
+	depth := cfg.SpecDepth
 	base := rt.Direct().Alloc(diffWords)
 	thr := rt.NewThread()
 	for _, ops := range prog {
@@ -150,6 +156,36 @@ func runOnTLSTM(prog [][]diffOp, depth int, split bool, kind clock.Kind, pol cm.
 	}
 	thr.Sync()
 	return snapshot(rt.Direct(), base)
+}
+
+// TestDifferentialAggressiveReclamation is the entry-reclamation leg:
+// the sequential-equivalence workload re-run on TLSTM with reclamation
+// forced aggressive — quiescence rings capped at one slot, the horizon
+// consulted on every retire, and the reclamation invariant checker
+// armed — so write-lock entries are recycled on (almost) every commit
+// rather than only under pipelined load. Any recycle that broke
+// validate-task's pointer-identity check (the ABA the horizon rules
+// out) would surface here as a state divergence from the SwissTM
+// reference, and any horizon violation as an audit panic.
+func TestDifferentialAggressiveReclamation(t *testing.T) {
+	const seeds = 8
+	for seed := int64(0); seed < seeds; seed++ {
+		prog := genProgram(seed+50, 30)
+		want := runOnSTM(prog, clock.KindGV4, cm.KindDefault)
+		for _, depth := range []int{2, 4} {
+			for _, split := range []bool{false, true} {
+				cfg := core.Config{
+					SpecDepth: depth, LockTableBits: 14,
+					Clock: clock.New(clock.KindGV4), CM: cm.New(cm.KindDefault),
+					ReclaimRing: 1, ReclaimAudit: true,
+				}
+				if got := runOnTLSTMCfg(prog, split, cfg); got != want {
+					t.Fatalf("seed %d: TLSTM depth %d (split=%v, aggressive reclaim) diverges\n got: %v\nwant: %v",
+						seed, depth, split, got, want)
+				}
+			}
+		}
+	}
 }
 
 // TestDifferentialCMPolicies is the contention-management leg: the same

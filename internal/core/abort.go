@@ -7,8 +7,10 @@ import (
 	"tlstm/internal/locktable"
 )
 
-// unwindWrites removes this task's redo-chain entries. It is idempotent:
-// a transaction-abort cleanup may already have removed them.
+// unwindWrites removes this task's redo-chain entries and retires them
+// into the descriptor's free ring. It is idempotent: a transaction-abort
+// cleanup may already have removed (and retired) them, in which case the
+// log is empty here.
 func (t *Task) unwindWrites() {
 	if t.writeLog.Len() == 0 {
 		return
@@ -18,9 +20,30 @@ func (t *Task) unwindWrites() {
 		removeEntryLocked(e)
 	}
 	t.thr.chainMu.Unlock()
-	// Reset, never Recycle: other tasks may still hold these entries as
-	// chain-identity markers (see the read-entry comment in task.go).
-	t.writeLog.Reset()
+	// Retire, never Recycle: other tasks may still hold these entries
+	// as chain-identity markers (see the read-entry comment in
+	// task.go), so reuse must wait for the quiescence horizon. Ordering
+	// matters for the audit's happens-before argument: detach first
+	// (above), then bump the retirement epoch, then sample the frontier
+	// for the stamp — a task arming after the frontier passes the stamp
+	// is then guaranteed to observe the bumped epoch.
+	t.retireWriteLog()
+}
+
+// retireWriteLog queues every (already detached) logged entry for
+// horizon-gated reuse: retirement serial = committed frontier +
+// SPECDEPTH, the upper bound on serials armed — and hence possibly
+// holding a stale pointer — at this moment. The bound holds because a
+// slot frees only when its previous task exits, and every exit is
+// gated on the task's transaction having PUBLISHED its commit to
+// txDone (the intermediate wait in commitStep deliberately gates on
+// the latch, not completedTask): armed serial n therefore implies
+// frontier ≥ n − SPECDEPTH.
+func (t *Task) retireWriteLog() {
+	thr := t.thr
+	epoch := thr.retireEpoch.Add(1)
+	horizon := thr.txDone.Seq()
+	t.writeLog.Retire(horizon+int64(thr.depth), epoch, horizon)
 }
 
 // removeEntryLocked unlinks e from its pair's redo chain. The caller
@@ -156,6 +179,19 @@ func (t *Task) cleanupTx() {
 		}
 	}
 	thr.chainMu.Unlock()
+
+	// Retire the swept entries into their descriptors' free rings and
+	// empty the swept logs, so the participants' own unwindWrites (run
+	// when they wake from the rendezvous) cannot retire them twice.
+	// The participants are parked until the round closes, so mutating
+	// their logs here is unraced, and the round's mutex hand-off orders
+	// these writes before their next access. Detach (above) precedes
+	// the epoch bump inside retireWriteLog, as the audit requires.
+	for _, task := range tx.tasks[:n] {
+		if task.writeLog.Len() > 0 {
+			task.retireWriteLog()
+		}
+	}
 
 	lowerCounter(&thr.completedTask, tx.startSerial-1)
 	lowerCounter(&thr.completedWriter, tx.startSerial-1)

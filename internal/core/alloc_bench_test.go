@@ -3,17 +3,20 @@ package core
 import (
 	"testing"
 
+	"tlstm/internal/locktable"
 	"tlstm/internal/sched"
 	"tlstm/internal/tm"
+	"tlstm/internal/txlog"
 )
 
 // Allocation-regression benchmarks for the TLSTM hot paths. The
 // steady-state read/write path of a warmed task must not allocate; with
 // the pooled scheduler (internal/sched) the whole Submit+Wait
-// round-trip must not allocate either for read-only transactions, and a
-// small writer transaction is down to the one write-lock entry this
-// runtime deliberately never recycles (validate-task depends on entry
-// pointer identity; see the ROADMAP's epoch-reclamation item).
+// round-trip must not allocate for read-only transactions, and — since
+// epoch-based entry reclamation (reclaim.go) — not for small writer
+// transactions either: retired write-lock entries recycle through each
+// descriptor's quiescence ring instead of reallocating (validate-task
+// depends on entry pointer identity, so reuse waits out the horizon).
 // Companion assertions live in alloc_norace_test.go.
 
 // BenchmarkTaskLoadStoreWarmed measures one read-modify-write pair per
@@ -47,9 +50,8 @@ const benchAddrs = 8
 
 // BenchmarkThreadCommitSmallTx measures a whole single-task writer
 // transaction — Submit, pooled dispatch, commit, Wait — on one thread.
-// With descriptors, handles and completion waits all recycled, the only
-// remaining allocation is the fresh write-lock entry (one object, via
-// the lock table's inline word buffer).
+// With descriptors, handles, completion waits and (via the quiescence
+// rings) write-lock entries all recycled, allocs/op must be 0.
 func BenchmarkThreadCommitSmallTx(b *testing.B) {
 	rt := New(Config{SpecDepth: 2})
 	defer rt.Close()
@@ -111,6 +113,48 @@ func BenchmarkThreadCommitReadOnlyTx(b *testing.B) {
 	}
 	b.StopTimer()
 	thr.Sync()
+}
+
+// BenchmarkEntryReclaimHorizonCheck isolates the reclamation machinery
+// the writer hot path gained: the committed-frontier load, the
+// quiescence-ring head check, retirement stamping and the Seed reset —
+// one full retire/reclaim cycle per op, no transaction around it. The
+// gap to BenchmarkEntryFreshAlloc is what recycling saves per entry;
+// the cycle's own ns/op is what the horizon check costs.
+func BenchmarkEntryReclaimHorizonCheck(b *testing.B) {
+	var latch sched.Latch
+	var wl txlog.WriteLog
+	tbl := locktable.NewTable(8)
+	owner := &locktable.OwnerRef{ThreadID: 0}
+	p := tbl.For(1)
+	const depth = 2
+	// Warm the ring with one retired, already-quiescent entry.
+	wl.Append(wl.NewEntryAt(owner, 0, p, 1, 0, latch.Seq()))
+	wl.Retire(0+depth, 1, latch.Seq())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial := int64(i + 1)
+		latch.Publish(serial + depth) // advance the frontier past the stamp
+		e := wl.NewEntryAt(owner, serial, p, 1, uint64(i), latch.Seq())
+		wl.Append(e)
+		wl.Retire(serial+depth, serial, latch.Seq())
+	}
+}
+
+// BenchmarkEntryFreshAlloc is the no-reclamation baseline for the
+// benchmark above: a heap-fresh entry per op.
+func BenchmarkEntryFreshAlloc(b *testing.B) {
+	tbl := locktable.NewTable(8)
+	owner := &locktable.OwnerRef{ThreadID: 0}
+	p := tbl.For(1)
+	var sink *locktable.WEntry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = locktable.NewEntry(owner, int64(i), p, 1, uint64(i))
+	}
+	_ = sink
 }
 
 // BenchmarkSubmitPipelined measures Submit throughput with the pipeline

@@ -7,6 +7,7 @@ import (
 	"tlstm/internal/clock"
 	"tlstm/internal/core"
 	"tlstm/internal/tm"
+	"tlstm/internal/xrand"
 )
 
 // Cross-thread atomicity under every commit-clock strategy: concurrent
@@ -40,14 +41,8 @@ func TestClockStrategiesTransferAtomicity(t *testing.T) {
 				wg.Add(1)
 				go func(seed uint64) {
 					defer wg.Done()
-					s := seed
-					next := func() uint64 {
-						s += 0x9e3779b97f4a7c15
-						z := s
-						z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-						z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-						return z ^ (z >> 31)
-					}
+					rng := seed
+					next := func() uint64 { return xrand.Splitmix(&rng) }
 					for i := 0; i < txPerThr; i++ {
 						idx := make([]tm.Addr, depth+1)
 						for j := range idx {

@@ -33,14 +33,31 @@ func (t *Task) commitStep() {
 	// a writer completed since we last validated.
 	t.maybeValidate()
 
+	// That was the attempt's last validate-task: from here on the read
+	// log's FirstPast markers are never compared again (commit-time
+	// validation is version-based), so the entry-reclamation audit may
+	// stop charging this task. A transaction abort from here restarts
+	// through begin, which reopens the window.
+	t.readHorizon.Store(horizonDead)
+
 	if !t.tryCommit {
 		// Intermediate task (lines 71–77): publish completion, then
-		// wait until the commit-task commits the user-transaction.
+		// wait until the commit-task commits the user-transaction. The
+		// wait gates on the committed-transaction frontier (txDone),
+		// NOT on completedTask, and the distinction is load-bearing for
+		// entry reclamation: finishCommit stores completedTask before
+		// it publishes the frontier, so a completedTask-gated exit
+		// could free this slot — letting the submitter arm serial
+		// ser+SPECDEPTH — while the frontier still trails, and the
+		// abort sweep's retirement stamp (frontier + SPECDEPTH) would
+		// no longer bound every armed serial. Exiting only after the
+		// publish keeps "armed serial ≤ frontier + SPECDEPTH" a
+		// whole-runtime invariant (see reclaim.go).
 		if t.writeLog.Len() > 0 {
 			thr.completedWriter.Store(ser)
 		}
 		thr.completedTask.Store(ser)
-		for thr.completedTask.Load() < t.tx.commitSerial {
+		for thr.txDone.Seq() < t.tx.commitSerial {
 			if t.tx.abortTx.Load() {
 				if t.rendezvousMayCommit(true) {
 					// The signal arrived after the commit-task passed
@@ -139,13 +156,18 @@ func (t *Task) commitTransaction() {
 	// head belongs to this transaction (lines 90–92). If a task of a
 	// future transaction already stacked an entry on top, the chain
 	// stays; the committed entries below it now mirror memory, and the
-	// future transaction's own commit or abort will unwind them.
+	// future transaction's own commit or abort will unwind them. Pairs
+	// whose chain we actually dropped are marked in the scratch: only
+	// their entries are detached, so only they retire into the free
+	// rings (finishCommit); entries left chained are dropped to the GC.
 	for _, p := range scr.Pairs() {
 		p.R.Store(ts)
 		h := p.W.Load()
 		if h != nil && h.Owner.ThreadID == thr.id &&
 			h.Serial >= tx.startSerial && h.Serial <= tx.commitSerial {
-			p.W.CompareAndSwap(h, nil)
+			if p.W.CompareAndSwap(h, nil) {
+				scr.MarkReleased(p)
+			}
 		}
 	}
 
@@ -243,7 +265,33 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 		thr.stats.CMAbortsSelf += cmSelf
 		thr.stats.CMAbortsOwner += cmOwner
 		thr.stats.BackoffSpins += spins
+		reclaims, stalls := task.writeLog.TakeReclaimCounts()
+		thr.stats.EntryReclaims += reclaims
+		thr.stats.HorizonStalls += stalls
 		cm.Committed(thr.rt.cm, &task.cmSelf)
+	}
+
+	// Retire the transaction's write-lock entries into their
+	// descriptors' free rings (entry lifecycle: armed → committed →
+	// retired → quiescent → reused). The chains were dropped by the
+	// release loop above, so the entries are detached; tasks whose
+	// attempts could still hold one as a FirstPast marker are exactly
+	// those armed by now, and every serial armed at any moment is at
+	// most the committed frontier plus SPECDEPTH — hence the retirement
+	// serial below, which reuse waits for. The epoch bump must follow
+	// the detach and precede this transaction's txDone publish so tasks
+	// arming after the frontier passes observe it (the audit's
+	// happens-before edge). Intermediate tasks of this transaction are
+	// parked until the txDone publish below (their commit wait gates on
+	// the latch), so pushing into their rings is unraced, and their
+	// next incarnation's pops are ordered after it.
+	if writeTx {
+		epoch := thr.retireEpoch.Add(1)
+		at := tx.startSerial - 1 + int64(thr.depth)
+		horizon := thr.txDone.Seq()
+		for _, task := range tx.tasks {
+			task.writeLog.RetireCommitted(&thr.commitScratch, at, epoch, horizon)
+		}
 	}
 
 	// Deferred frees of every task take effect now that the

@@ -70,6 +70,21 @@ type Config struct {
 	// GV4 fetch-and-add clock (default), the GV5-style deferred clock,
 	// or the sharded clock. nil means GV4.
 	Clock clock.Source
+	// ReclaimRing bounds each task descriptor's quiescence ring of
+	// retired write-lock entries (locktable.FreeRing): retirements past
+	// the bound fall back to the garbage collector. 0 means unbounded —
+	// the rings self-size to the pipeline depth and steady-state writer
+	// transactions allocate nothing. 1 is the aggressive test
+	// configuration: the single slot forces recycling to be exercised
+	// on (almost) every commit instead of only under pipelined load.
+	ReclaimRing int
+	// ReclaimAudit installs the entry-reclamation invariant checker on
+	// every thread: each entry reuse served from a quiescence ring
+	// re-verifies that the committed frontier covers the entry's
+	// retirement serial and that no task is mid-attempt from before the
+	// retirement (see reclaim.go). Costs a slot scan per recycle; meant
+	// for tests and stress soaks, not production runs.
+	ReclaimAudit bool
 }
 
 func (c *Config) fill() {
@@ -106,6 +121,8 @@ type Runtime struct {
 
 	specDepth    int
 	policy       sched.Policy
+	reclaimRing  int
+	reclaimAudit bool
 	nextThreadID atomic.Int32
 
 	// threadsMu guards the registry of threads whose scheduler pools
@@ -122,13 +139,15 @@ func New(cfg Config) *Runtime {
 	}
 	st := mem.NewStore()
 	return &Runtime{
-		store:     st,
-		alloc:     mem.NewAllocator(st),
-		locks:     locktable.NewTable(cfg.LockTableBits),
-		clk:       cfg.Clock,
-		cm:        cfg.CM,
-		specDepth: cfg.SpecDepth,
-		policy:    cfg.Policy,
+		store:        st,
+		alloc:        mem.NewAllocator(st),
+		locks:        locktable.NewTable(cfg.LockTableBits),
+		clk:          cfg.Clock,
+		cm:           cfg.CM,
+		specDepth:    cfg.SpecDepth,
+		policy:       cfg.Policy,
+		reclaimRing:  cfg.ReclaimRing,
+		reclaimAudit: cfg.ReclaimAudit,
 	}
 }
 
@@ -200,6 +219,13 @@ func (rt *Runtime) NewThread() *Thread {
 		t.ownerRef.CompletedTask = &thr.completedTask
 		t.ownerRef.AbortInternal = &t.abortInternal
 		t.cmSelf.Probe = &t.cmProbe
+		// Entry-reclamation wiring: no live read log yet, ring bound
+		// and audit hook fixed for the descriptor's whole lifetime.
+		t.readHorizon.Store(horizonDead)
+		t.writeLog.Ring().SetCap(rt.reclaimRing)
+		if rt.reclaimAudit {
+			t.writeLog.Ring().OnReclaim = thr.auditReclaim
+		}
 		thr.ring[i] = t
 	}
 	for i := range thr.txRing {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"runtime"
 	"sync/atomic"
 
@@ -50,6 +51,17 @@ type Task struct {
 	// write lock we hold, or by the abort of an earlier transaction
 	// whose speculative state we may have observed.
 	abortInternal atomic.Bool
+
+	// readHorizon is the thread's retirement epoch observed when the
+	// current attempt began, or MaxInt64 while the task holds no live
+	// read log (between attempts, and once the attempt is past its last
+	// validate-task). It is the task's side of the entry-reclamation
+	// invariant: an entry whose retirement epoch exceeds a live task's
+	// readHorizon may still be held by that task as a FirstPast marker,
+	// so it must not be recycled yet. The quiescence gate makes such a
+	// recycle impossible; the ReclaimAudit checker reads this field from
+	// other workers to prove it, hence the atomic.
+	readHorizon atomic.Int64
 
 	// ---- per-incarnation state (reset by Submit and begin) ----
 
@@ -107,10 +119,15 @@ type Task struct {
 // paper's serial-number checks of both the task-read-log (Alg. 1 lines
 // 18–25) and the read-log (lines 26–31) and is additionally robust to a
 // writer aborting and re-executing with the same serial. That identity
-// argument is also why this runtime never recycles write-log entries
-// (txlog.WriteLog.Reset, not Recycle): a reused entry re-installed on
-// the same pair would defeat the pointer-identity check (ABA). Task
-// descriptors recycle; their entries do not.
+// argument is also why entry reuse here is quiescence-gated: a reused
+// entry re-installed on the same pair while a stale reader still holds
+// it as FirstPast would defeat the pointer-identity check (ABA).
+// Entries therefore retire through the descriptor's free ring
+// (locktable.FreeRing) stamped with a retirement serial, and are
+// recycled only once the thread's committed-transaction frontier has
+// passed it — by which point every task whose attempt could span the
+// retirement has exited, so no stale FirstPast pointer survives. See
+// reclaim_test.go for the machinery that proves this.
 
 // restartSignal unwinds a task attempt back to its run loop. It never
 // escapes the package.
@@ -264,6 +281,10 @@ func (t *Task) preRestartWait() {
 
 // begin is the paper's start() (Alg. 1 lines 1–4) for one incarnation.
 func (t *Task) begin() {
+	// Open the read-log liveness window before anything is read: any
+	// entry retired from here on carries a retirement epoch above this
+	// snapshot, so the reclamation audit knows this attempt may hold it.
+	t.readHorizon.Store(t.thr.retireEpoch.Load())
 	t.abortInternal.Store(false)
 	t.lastWriter = t.thr.completedWriter.Load()
 	t.validTS = t.thr.rt.clk.Now()
@@ -283,7 +304,17 @@ func (t *Task) undoAttempt() {
 		t.thr.rt.alloc.Free(a)
 	}
 	t.allocs = t.allocs[:0]
+	// The attempt's read log is dead: it will never be validated again
+	// (consistent() runs before undoAttempt in the sandbox path, and a
+	// restart resets the log before reading). Close the liveness window
+	// so the reclamation audit stops charging this attempt.
+	t.readHorizon.Store(horizonDead)
 }
+
+// horizonDead is the readHorizon value of a task holding no live read
+// log: above every retirement epoch, so the reclamation audit never
+// charges it.
+const horizonDead = int64(math.MaxInt64)
 
 // consistent reports whether the attempt's reads are still valid (used
 // to distinguish speculation-induced panics from real bugs).
@@ -548,14 +579,19 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 		t.checkSignals()
 		e := p.W.Load()
 		if e == nil {
-			// Unlocked: install a fresh entry. Entries are never
-			// recycled in this runtime — validateTask depends on
-			// pointer identity (see the read-entry comment above).
-			ne := locktable.NewEntry(&t.ownerRef, ser, p, a, v)
+			// Unlocked: install an entry, recycled from this
+			// descriptor's free ring when one has quiesced.
+			// validateTask depends on entry pointer identity (see the
+			// read-entry comment above), so reuse is gated on the
+			// thread's committed frontier: an entry is served only
+			// once every task that could hold its pointer has exited
+			// (txlog.WriteLog.NewEntryAt).
+			ne := t.newEntry(p, a, v, ser)
 			if p.W.CompareAndSwap(nil, ne) {
 				t.writeLog.Append(ne)
 				break
 			}
+			t.writeLog.Release(ne) // never published; immediately reusable
 			continue
 		}
 		if e.Owner == &t.ownerRef && e.Serial == ser {
@@ -623,12 +659,13 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 			t.waitBeforeRestart = e.Serial
 			t.rollbackTask(restartWAW)
 		}
-		ne := locktable.NewEntry(&t.ownerRef, ser, p, a, v)
+		ne := t.newEntry(p, a, v, ser)
 		ne.Prev.Store(e)
 		if p.W.CompareAndSwap(e, ne) {
 			t.writeLog.Append(ne)
 			break
 		}
+		t.writeLog.Release(ne) // never published; immediately reusable
 	}
 	// Post-write checks (Alg. 2 lines 52–53). Passing the witnessed
 	// version into the extension matters beyond liveness: it guarantees
@@ -639,6 +676,14 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 		t.rollbackTask(restartExtend)
 	}
 	t.maybeValidate()
+}
+
+// newEntry produces a write-lock entry for installation, recycling a
+// retired one when the thread's committed-transaction frontier
+// (sched.Latch txDone — the horizon every reuse is gated on) has passed
+// its retirement serial.
+func (t *Task) newEntry(p *locktable.Pair, a tm.Addr, v uint64, ser int64) *locktable.WEntry {
+	return t.writeLog.NewEntryAt(&t.ownerRef, ser, p, a, v, t.thr.txDone.Seq())
 }
 
 // Alloc implements tm.Tx; the block is reclaimed if the attempt aborts.

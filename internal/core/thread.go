@@ -34,6 +34,18 @@ type Thread struct {
 	completedTask   atomic.Int64
 	completedWriter atomic.Int64
 
+	// retireEpoch counts entry-retirement batches: finishCommit bumps
+	// it once per committed transaction, and the abort sweeps
+	// (unwindWrites, cleanupTx) once per retiring task's log — always
+	// after the batch's entries are detached from their chains and
+	// before they are queued for reuse. A task's attempt that began at epoch E can hold (as a
+	// FirstPast marker) only entries retired with epoch > E — the
+	// relation the reclamation audit checks on every recycle. Note the
+	// epoch is deliberately distinct from the reuse gate: the gate keys
+	// on the committed-transaction frontier (txDone), which is monotonic
+	// where completedTask is not (transaction aborts lower it).
+	retireEpoch atomic.Int64
+
 	// slots is the owners[SPECDEPTH] array: slot serial%depth points to
 	// the active task with that serial, nil when free. It mirrors the
 	// scheduler's slot states for the abort machinery, which scans it to
@@ -304,6 +316,16 @@ type Stats struct {
 	CMAbortsSelf  uint64
 	CMAbortsOwner uint64
 	BackoffSpins  uint64
+	// EntryReclaims counts write-lock entries served from the
+	// descriptors' free rings instead of the heap — the steady-state
+	// case for every writer task once its ring has warmed, and what
+	// makes the writer hot path allocation-free. HorizonStalls counts
+	// entry requests that found only retired entries still inside their
+	// quiescence window and had to allocate fresh: the price of the
+	// reclamation safety rule under deep pipelining (each stalled
+	// allocation grows the ring, so stalls are self-limiting).
+	EntryReclaims uint64
+	HorizonStalls uint64
 }
 
 // Add folds o into s.
@@ -325,6 +347,8 @@ func (s *Stats) Add(o Stats) {
 	s.CMAbortsSelf += o.CMAbortsSelf
 	s.CMAbortsOwner += o.CMAbortsOwner
 	s.BackoffSpins += o.BackoffSpins
+	s.EntryReclaims += o.EntryReclaims
+	s.HorizonStalls += o.HorizonStalls
 }
 
 // minus returns the fieldwise difference s−o. It is only meaningful
@@ -349,6 +373,8 @@ func (s Stats) minus(o Stats) Stats {
 		CMAbortsSelf:       s.CMAbortsSelf - o.CMAbortsSelf,
 		CMAbortsOwner:      s.CMAbortsOwner - o.CMAbortsOwner,
 		BackoffSpins:       s.BackoffSpins - o.BackoffSpins,
+		EntryReclaims:      s.EntryReclaims - o.EntryReclaims,
+		HorizonStalls:      s.HorizonStalls - o.HorizonStalls,
 	}
 }
 

@@ -90,6 +90,14 @@ type Result struct {
 	CMAbortsSelf  uint64
 	CMAbortsOwner uint64
 	BackoffSpins  uint64
+	// EntryReclaims counts write-lock entries recycled from the
+	// runtimes' entry pools instead of the heap (for TLSTM, under the
+	// epoch-based quiescence horizon); HorizonStalls counts entry
+	// requests the horizon forced to allocate fresh — the measured cost
+	// of the reclamation safety rule. Folded from the per-thread stats
+	// shards.
+	EntryReclaims uint64
+	HorizonStalls uint64
 }
 
 // Throughput reports application operations per 1000 virtual work units
@@ -117,6 +125,9 @@ func (r Result) String() string {
 	}
 	if r.CMAbortsSelf > 0 || r.CMAbortsOwner > 0 || r.BackoffSpins > 0 {
 		s += fmt.Sprintf(" cm=%-9s cmSelf=%-5d cmOwner=%-5d spins=%d", r.CM, r.CMAbortsSelf, r.CMAbortsOwner, r.BackoffSpins)
+	}
+	if r.EntryReclaims > 0 || r.HorizonStalls > 0 {
+		s += fmt.Sprintf(" reclaim=%-6d stall=%d", r.EntryReclaims, r.HorizonStalls)
 	}
 	return s
 }
@@ -166,6 +177,8 @@ func RunSTM(rt *stm.Runtime, w Workload) Result {
 		res.CMAbortsSelf += st.CMAbortsSelf
 		res.CMAbortsOwner += st.CMAbortsOwner
 		res.BackoffSpins += st.BackoffSpins
+		res.EntryReclaims += st.EntryReclaims
+		res.HorizonStalls += st.HorizonStalls
 		if st.Work > res.VirtualUnits {
 			res.VirtualUnits = st.Work // threads run in parallel
 		}
@@ -179,6 +192,7 @@ func RunSTM(rt *stm.Runtime, w Workload) Result {
 type flatStats struct {
 	commits, aborts, work, extensions, clockRetries uint64
 	cmAbortsSelf, cmAbortsOwner, backoffSpins       uint64
+	entryReclaims, horizonStalls                    uint64
 }
 
 // runFlat drives a flat-transaction runtime: one goroutine per thread,
@@ -221,6 +235,8 @@ func runFlat[S any](w Workload, clockName, cmName string, atomic func(st *S, run
 		res.CMAbortsSelf += st.cmAbortsSelf
 		res.CMAbortsOwner += st.cmAbortsOwner
 		res.BackoffSpins += st.backoffSpins
+		res.EntryReclaims += st.entryReclaims
+		res.HorizonStalls += st.horizonStalls
 		if st.work > res.VirtualUnits {
 			res.VirtualUnits = st.work // threads run in parallel
 		}
@@ -236,7 +252,8 @@ func RunTL2(rt *tl2.Runtime, w Workload) Result {
 		},
 		func(st tl2.Stats) flatStats {
 			return flatStats{st.Commits, st.Aborts, st.Work, st.SnapshotExtensions, st.ClockCASRetries,
-				st.CMAbortsSelf, st.CMAbortsOwner, st.BackoffSpins}
+				st.CMAbortsSelf, st.CMAbortsOwner, st.BackoffSpins,
+				st.EntryReclaims, st.HorizonStalls}
 		})
 }
 
@@ -248,7 +265,8 @@ func RunWTSTM(rt *wtstm.Runtime, w Workload) Result {
 		},
 		func(st wtstm.Stats) flatStats {
 			return flatStats{st.Commits, st.Aborts, st.Work, st.SnapshotExtensions, st.ClockCASRetries,
-				st.CMAbortsSelf, st.CMAbortsOwner, st.BackoffSpins}
+				st.CMAbortsSelf, st.CMAbortsOwner, st.BackoffSpins,
+				st.EntryReclaims, st.HorizonStalls}
 		})
 }
 
@@ -302,6 +320,8 @@ func RunTLSTM(rt *core.Runtime, w Workload) Result {
 		res.CMAbortsSelf += st.CMAbortsSelf
 		res.CMAbortsOwner += st.CMAbortsOwner
 		res.BackoffSpins += st.BackoffSpins
+		res.EntryReclaims += st.EntryReclaims
+		res.HorizonStalls += st.HorizonStalls
 		if st.VirtualTime > res.VirtualUnits {
 			res.VirtualUnits = st.VirtualTime
 		}

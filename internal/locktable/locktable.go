@@ -164,6 +164,149 @@ func (o *OwnerRef) BindTx(startSerial int64, abortTx *atomic.Bool, timestamp *at
 	o.Timestamp.Store(timestamp)
 }
 
+// FreeRing is a pool of retired write-lock entries recycled under a
+// quiescence horizon: the per-descriptor half of TLSTM's epoch-based
+// entry reclamation (ROADMAP "Epoch-based entry reclamation", option
+// (b)).
+//
+// Entries cannot simply be recycled the moment they leave the lock
+// table: TLSTM's validate-task keys on bare entry pointers
+// (txlog.ReadEntry.FirstPast), so reusing an entry while any task that
+// could have recorded it is still mid-attempt is a textbook ABA — a
+// stale read could revalidate against the recycled pointer and pass
+// falsely. The ring therefore holds two tiers:
+//
+//   - free: entries that were never published (a lost install CAS) or
+//     whose quiescence has already been established. Reusable
+//     immediately.
+//   - quiesce: a FIFO of retired entries, each stamped with the
+//     retirement serial `at` below which it must stay untouched. An
+//     entry is reusable only when the caller's horizon — the owning
+//     thread's committed-transaction frontier — has reached its stamp:
+//     by then every task whose attempt could span the retirement has
+//     exited, so no stale FirstPast pointer to the entry survives.
+//
+// Stamps pushed into one ring are non-decreasing (retirements of one
+// descriptor's entries are serialized by the thread's commit order), so
+// Get only ever needs to examine the FIFO head.
+//
+// A FreeRing is owned by one task descriptor: Get is called only by the
+// descriptor's own incarnations, and Retire/Put only by contexts already
+// ordered before the descriptor's next use (its own attempt, its
+// transaction's commit-task, or an abort cleaner sweeping parked
+// participants).
+type FreeRing struct {
+	free    []*WEntry
+	quiesce []RetiredEntry
+	head    int
+
+	// cap bounds the quiesce FIFO; retirements past the bound drop the
+	// entry to the garbage collector instead (0 means unbounded). A cap
+	// of 1 is the "aggressive" test configuration: recycling happens on
+	// (almost) every commit instead of only under pipelined load.
+	cap int
+
+	reclaims uint64 // entries served from the ring instead of the heap
+	stalls   uint64 // Get calls that found only immature retired entries
+
+	// OnReclaim, when set, observes every reuse served from the quiesce
+	// tier with the entry's retirement stamps — the hook the reclamation
+	// invariant checker (core Config.ReclaimAudit) hangs off. It must be
+	// wired before the ring is first used and never changed after.
+	OnReclaim func(at, epoch int64)
+}
+
+// RetiredEntry is one quiescing entry: the entry itself, the retirement
+// serial `At` the owner thread's committed frontier must reach before
+// reuse, and the thread's retirement epoch `Epoch` at the moment the
+// entry was detached (consumed by the reclamation audit: every task
+// whose attempt began below this epoch could still hold the entry).
+type RetiredEntry struct {
+	E         *WEntry
+	At, Epoch int64
+}
+
+// SetCap bounds the quiesce FIFO at n retired entries (0 = unbounded).
+func (r *FreeRing) SetCap(n int) { r.cap = n }
+
+// Put returns an entry that was never published (or whose quiescence
+// the caller has already established) straight to the free tier.
+func (r *FreeRing) Put(e *WEntry) {
+	e.Prev.Store(nil) // unpublished: no reader can hold it; drop the chain link
+	r.free = append(r.free, e)
+}
+
+// Retire queues a detached entry for reuse once the owner thread's
+// committed frontier reaches at. The caller must have unlinked the
+// entry from its chain before calling (stale in-flight readers may
+// still compare or read it, which is exactly what the horizon protects).
+// Retired entries beyond the configured cap are dropped to the GC; the
+// current horizon is consulted first so a full FIFO whose head has
+// already matured promotes it instead of dropping the newcomer.
+func (r *FreeRing) Retire(e *WEntry, at, epoch, horizon int64) {
+	r.promote(horizon)
+	if r.cap > 0 && len(r.quiesce)-r.head >= r.cap {
+		return // ring full of immature entries: leak the newcomer to the GC
+	}
+	r.quiesce = append(r.quiesce, RetiredEntry{E: e, At: at, Epoch: epoch})
+}
+
+// promote moves every matured quiesce entry to the free tier. The
+// audit hook fires here rather than at the eventual free-tier pop: the
+// quiescence argument holds from the moment the horizon covers the
+// stamp (the frontier is monotonic), and auditing at promotion keeps
+// every horizon-gated reuse observed exactly once.
+func (r *FreeRing) promote(horizon int64) {
+	for r.head < len(r.quiesce) && r.quiesce[r.head].At <= horizon {
+		re := r.quiesce[r.head]
+		r.free = append(r.free, re.E)
+		r.quiesce[r.head] = RetiredEntry{}
+		r.head++
+		if r.OnReclaim != nil {
+			r.OnReclaim(re.At, re.Epoch)
+		}
+	}
+	if r.head == len(r.quiesce) {
+		r.quiesce = r.quiesce[:0]
+		r.head = 0
+	}
+}
+
+// Get returns a reusable entry, or nil if the ring has none whose
+// retirement serial the horizon covers (the caller then allocates
+// fresh). The returned entry must be re-initialized with WEntry.Seed
+// before use.
+func (r *FreeRing) Get(horizon int64) *WEntry {
+	if len(r.free) == 0 {
+		r.promote(horizon)
+	}
+	if n := len(r.free); n > 0 {
+		e := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		r.reclaims++
+		return e
+	}
+	if r.head < len(r.quiesce) {
+		r.stalls++ // only immature retired entries: the caller allocates
+	}
+	return nil
+}
+
+// Quiescing reports how many retired entries are still waiting for
+// their horizon (tests).
+func (r *FreeRing) Quiescing() int { return len(r.quiesce) - r.head }
+
+// Free reports how many entries are immediately reusable (tests).
+func (r *FreeRing) Free() int { return len(r.free) }
+
+// TakeCounts returns and clears the ring's reclaim/stall counters.
+func (r *FreeRing) TakeCounts() (reclaims, stalls uint64) {
+	reclaims, stalls = r.reclaims, r.stalls
+	r.reclaims, r.stalls = 0, 0
+	return reclaims, stalls
+}
+
 // Table is the global lock table. Addresses map to pairs by masking, as
 // in SwissTM; distinct addresses may share a pair, which yields false
 // conflicts but never missed ones.

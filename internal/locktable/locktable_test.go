@@ -79,3 +79,124 @@ func TestNewTablePanicsOutOfRange(t *testing.T) {
 	}()
 	NewTable(0)
 }
+
+// ---- FreeRing: the horizon-gated entry pool behind TLSTM's epoch-based
+// entry reclamation. These unit tests pin its contract in isolation; the
+// end-to-end safety proof lives in internal/core/reclaim_test.go.
+
+func ringOwner() *OwnerRef { return &OwnerRef{ThreadID: 1} }
+
+func TestFreeRingHorizonGatesReuse(t *testing.T) {
+	var r FreeRing
+	o := ringOwner()
+	e := NewEntry(o, 1, nil, 10, 100)
+	r.Retire(e, 5, 1, 0) // reusable only once the frontier reaches 5
+	for _, h := range []int64{0, 3, 4} {
+		if got := r.Get(h); got != nil {
+			t.Fatalf("Get(horizon=%d) returned an entry with retirement serial 5", h)
+		}
+	}
+	if reclaims, stalls := r.TakeCounts(); reclaims != 0 || stalls != 3 {
+		t.Fatalf("counts after 3 stalled Gets = (%d, %d), want (0, 3)", reclaims, stalls)
+	}
+	if got := r.Get(5); got != e {
+		t.Fatalf("Get(horizon=5) = %v, want the retired entry", got)
+	}
+	if reclaims, stalls := r.TakeCounts(); reclaims != 1 || stalls != 0 {
+		t.Fatalf("counts after matured Get = (%d, %d), want (1, 0)", reclaims, stalls)
+	}
+	if got := r.Get(100); got != nil {
+		t.Fatal("empty ring must report nil, not recycle twice")
+	}
+}
+
+func TestFreeRingFIFOAndPromotion(t *testing.T) {
+	var r FreeRing
+	o := ringOwner()
+	e1 := NewEntry(o, 1, nil, 1, 1)
+	e2 := NewEntry(o, 2, nil, 2, 2)
+	e3 := NewEntry(o, 3, nil, 3, 3)
+	r.Retire(e1, 3, 1, 0)
+	r.Retire(e2, 4, 2, 0)
+	// Retiring e3 with a horizon past e1 and e2 promotes both to the
+	// free tier ("horizon checked every retire").
+	r.Retire(e3, 9, 3, 4)
+	if free, q := r.Free(), r.Quiescing(); free != 2 || q != 1 {
+		t.Fatalf("after promotion: free=%d quiesce=%d, want 2, 1", free, q)
+	}
+	// Free tier serves LIFO; the quiesce head stays gated.
+	if got := r.Get(4); got != e2 {
+		t.Fatalf("first Get = entry serial %d, want e2", got.Serial)
+	}
+	if got := r.Get(4); got != e1 {
+		t.Fatalf("second Get = entry serial %d, want e1", got.Serial)
+	}
+	if got := r.Get(8); got != nil {
+		t.Fatal("e3 (retirement serial 9) must stay gated at horizon 8")
+	}
+	if got := r.Get(9); got != e3 {
+		t.Fatal("e3 must mature at horizon 9")
+	}
+}
+
+func TestFreeRingCapDropsOverflow(t *testing.T) {
+	var r FreeRing
+	r.SetCap(1)
+	o := ringOwner()
+	e1 := NewEntry(o, 1, nil, 1, 1)
+	e2 := NewEntry(o, 2, nil, 2, 2)
+	r.Retire(e1, 5, 1, 0)
+	r.Retire(e2, 6, 2, 0) // ring full of immature entries: e2 drops to the GC
+	if q := r.Quiescing(); q != 1 {
+		t.Fatalf("quiescing = %d, want 1 (cap)", q)
+	}
+	if got := r.Get(10); got != e1 {
+		t.Fatal("the capped ring must still serve its head")
+	}
+	if got := r.Get(10); got != nil {
+		t.Fatal("the dropped entry must not surface")
+	}
+	// With the head matured, a Retire at cap promotes it first instead
+	// of dropping the newcomer.
+	e3 := NewEntry(o, 3, nil, 3, 3)
+	e4 := NewEntry(o, 4, nil, 4, 4)
+	r.Retire(e3, 7, 3, 0)
+	r.Retire(e4, 8, 4, 7)
+	if free, q := r.Free(), r.Quiescing(); free != 1 || q != 1 {
+		t.Fatalf("promote-at-retire: free=%d quiesce=%d, want 1, 1", free, q)
+	}
+}
+
+func TestFreeRingPutBypassesHorizon(t *testing.T) {
+	var r FreeRing
+	o := ringOwner()
+	e := NewEntry(o, 1, nil, 1, 1)
+	e.Prev.Store(NewEntry(o, 0, nil, 0, 0))
+	r.Put(e) // never-published entry: no quiescence needed
+	got := r.Get(0)
+	if got != e {
+		t.Fatal("Put entry must be immediately reusable")
+	}
+	if got.Prev.Load() != nil {
+		t.Fatal("Put must drop the unpublished entry's chain link")
+	}
+}
+
+func TestFreeRingOnReclaimHook(t *testing.T) {
+	var r FreeRing
+	var gotAt, gotEpoch int64
+	calls := 0
+	r.OnReclaim = func(at, epoch int64) { gotAt, gotEpoch = at, epoch; calls++ }
+	o := ringOwner()
+	r.Put(NewEntry(o, 0, nil, 0, 0))
+	if r.Get(0) == nil || calls != 0 {
+		t.Fatal("free-tier reuse must not invoke the audit hook (nothing quiesced)")
+	}
+	r.Retire(NewEntry(o, 1, nil, 1, 1), 5, 7, 0)
+	if r.Get(5) == nil {
+		t.Fatal("matured entry must be served")
+	}
+	if calls != 1 || gotAt != 5 || gotEpoch != 7 {
+		t.Fatalf("hook saw (calls=%d at=%d epoch=%d), want (1, 5, 7)", calls, gotAt, gotEpoch)
+	}
+}

@@ -161,6 +161,15 @@ type Stats struct {
 	CMAbortsSelf  uint64
 	CMAbortsOwner uint64
 	BackoffSpins  uint64
+	// EntryReclaims counts write-lock entries served from the write
+	// log's pool instead of the heap. The baseline recycles entries
+	// unconditionally at attempt boundaries (no quiescence needed:
+	// validation here is version-based, not pointer-based), so
+	// HorizonStalls — requests blocked on TLSTM's reclamation horizon —
+	// is always 0; the field exists so reclamation sweeps report a
+	// uniform column across runtimes.
+	EntryReclaims uint64
+	HorizonStalls uint64
 }
 
 // Add folds o into s.
@@ -173,6 +182,8 @@ func (s *Stats) Add(o Stats) {
 	s.CMAbortsSelf += o.CMAbortsSelf
 	s.CMAbortsOwner += o.CMAbortsOwner
 	s.BackoffSpins += o.BackoffSpins
+	s.EntryReclaims += o.EntryReclaims
+	s.HorizonStalls += o.HorizonStalls
 }
 
 // Stats returns the runtime-global aggregate: the sum of every shard
@@ -351,6 +362,7 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 	}
 	cm.Committed(tx.rt.cm, &tx.cmSelf)
 	cmSelf, cmOwner, spins := tx.cmProbe.TakeCounts()
+	reclaims, stalls := tx.writeLog.TakeReclaimCounts()
 	if st != nil {
 		st.Commits++
 		st.Aborts += tx.aborts
@@ -360,6 +372,8 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 		st.CMAbortsSelf += cmSelf
 		st.CMAbortsOwner += cmOwner
 		st.BackoffSpins += spins
+		st.EntryReclaims += reclaims
+		st.HorizonStalls += stalls
 	}
 }
 

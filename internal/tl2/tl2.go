@@ -142,6 +142,13 @@ type Stats struct {
 	CMAbortsSelf  uint64
 	CMAbortsOwner uint64
 	BackoffSpins  uint64
+	// EntryReclaims and HorizonStalls are always 0 for TL2: its write
+	// set buffers (addr, value) records in place rather than pooling
+	// lock-table entries, so there is nothing to reclaim. The fields
+	// exist so reclamation sweeps report a uniform column across
+	// runtimes.
+	EntryReclaims uint64
+	HorizonStalls uint64
 }
 
 // Add folds o into s.
@@ -154,6 +161,8 @@ func (s *Stats) Add(o Stats) {
 	s.CMAbortsSelf += o.CMAbortsSelf
 	s.CMAbortsOwner += o.CMAbortsOwner
 	s.BackoffSpins += o.BackoffSpins
+	s.EntryReclaims += o.EntryReclaims
+	s.HorizonStalls += o.HorizonStalls
 }
 
 type rollbackSignal struct{}

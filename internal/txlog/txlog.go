@@ -24,6 +24,8 @@
 package txlog
 
 import (
+	"math"
+
 	"tlstm/internal/locktable"
 	"tlstm/internal/tm"
 )
@@ -68,47 +70,101 @@ func (rl *ReadLog) Entries() []ReadEntry { return rl.entries }
 func (rl *ReadLog) Len() int { return len(rl.entries) }
 
 // WriteLog is a transaction's (or task's) ordered set of write-lock
-// entries, with an optional pool of retired entries.
+// entries, with a pool of retired entries (locktable.FreeRing).
 //
-// Pooling contract: NewEntry reuses a retired entry only if Recycle has
-// been called, and Recycle is only sound when (a) none of the retired
-// entries is still installed in a lock table, and (b) concurrent holders
-// of stale entry pointers read no field other than Owner and the atomics
-// it points to. The SwissTM baseline satisfies both (entries are
-// detached by commit/rollback before the next attempt begins, and
-// cross-thread readers only consult Owner), so it recycles. TLSTM must
-// NOT recycle: its validate-task procedure detects chain changes by
-// entry pointer identity, and reusing an entry on the same pair would
-// let a stale read revalidate against a recycled pointer (ABA).
+// Pooling contract: all entries produced by one WriteLog must share the
+// same owner — the Owner field of a pooled entry is written exactly
+// once, when the entry is first allocated, so stale cross-thread
+// readers of Owner never race with reuse. Beyond that, the two runtimes
+// that pool entries have different soundness obligations:
+//
+//   - The SwissTM baseline recycles unconditionally (Recycle/NewEntry):
+//     entries are detached by commit/rollback before the next attempt
+//     begins, and cross-thread readers consult no field but Owner.
+//   - TLSTM's validate-task detects chain changes by entry pointer
+//     identity, so there reuse must additionally wait out a quiescence
+//     horizon (Retire/RetireCommitted/NewEntryAt): an entry is reusable
+//     only once the thread's committed-transaction frontier has passed
+//     its retirement serial, which guarantees every task that could
+//     hold the pointer as a txlog.ReadEntry.FirstPast marker has
+//     exited. Recycling without the horizon is the ABA the reclamation
+//     test suite (internal/core/reclaim_test.go) exists to rule out.
 type WriteLog struct {
 	entries []*locktable.WEntry
-	free    []*locktable.WEntry
+	ring    locktable.FreeRing
 }
 
-// Reset drops the log's entries without recycling them (TLSTM mode:
-// retired entries keep their identity and are left to the GC).
+// Ring exposes the log's entry pool for configuration (cap, audit
+// hook) and inspection by tests.
+func (wl *WriteLog) Ring() *locktable.FreeRing { return &wl.ring }
+
+// Reset drops the log's entries without recycling them (entries keep
+// their identity and are left to the GC).
 func (wl *WriteLog) Reset() { wl.entries = wl.entries[:0] }
 
-// Recycle retires every logged entry into the reuse pool and empties
-// the log (SwissTM mode; see the pooling contract above).
+// Recycle moves every logged entry straight to the reusable tier and
+// empties the log (SwissTM mode; see the pooling contract above).
 func (wl *WriteLog) Recycle() {
-	wl.free = append(wl.free, wl.entries...)
+	for _, e := range wl.entries {
+		wl.ring.Put(e)
+	}
+	wl.entries = wl.entries[:0]
+}
+
+// Retire queues every logged entry for horizon-gated reuse and empties
+// the log (TLSTM abort paths: every entry has been detached from its
+// chain by the caller). at is the retirement serial reuse must wait
+// for, epoch the thread's retirement epoch after the detach, and
+// horizon the current committed frontier (used to promote already
+// matured entries).
+func (wl *WriteLog) Retire(at, epoch, horizon int64) {
+	for _, e := range wl.entries {
+		wl.ring.Retire(e, at, epoch, horizon)
+	}
+	wl.entries = wl.entries[:0]
+}
+
+// RetireCommitted is Retire for the commit path, where not every entry
+// is guaranteed detached: a task of a future transaction may have
+// stacked its own entry on top of a written pair, in which case the
+// commit's release loop leaves that chain — committed entries included
+// — in place (they now mirror memory). Only entries whose pair the
+// commit actually released (scr.Released) are queued for reuse; the
+// still-chained remainder is dropped to the GC, exactly as the
+// pre-reclamation runtime dropped every entry.
+func (wl *WriteLog) RetireCommitted(scr *CommitScratch, at, epoch, horizon int64) {
+	for _, e := range wl.entries {
+		if scr.Released(e.Pair) {
+			wl.ring.Retire(e, at, epoch, horizon)
+		}
+	}
 	wl.entries = wl.entries[:0]
 }
 
 // NewEntry returns an entry initialized with one buffered word, reusing
-// a retired entry when one is available. All entries produced by one
-// WriteLog must share the same owner: the Owner field of a pooled entry
-// is written exactly once, when the entry is first allocated, so stale
-// cross-thread readers of Owner never race with reuse.
+// a pooled entry when one is immediately available (SwissTM mode: no
+// quiescence horizon; see the pooling contract above).
 func (wl *WriteLog) NewEntry(owner *locktable.OwnerRef, serial int64, p *locktable.Pair, a tm.Addr, v uint64) *locktable.WEntry {
-	if n := len(wl.free); n > 0 {
-		e := wl.free[n-1]
-		wl.free = wl.free[:n-1]
+	return wl.NewEntryAt(owner, serial, p, a, v, math.MaxInt64)
+}
+
+// NewEntryAt returns an entry initialized with one buffered word,
+// reusing a pooled entry when one is reusable under the given horizon
+// (the owning thread's committed-transaction frontier). When only
+// immature retired entries exist the ring records a horizon stall and a
+// fresh entry is allocated.
+func (wl *WriteLog) NewEntryAt(owner *locktable.OwnerRef, serial int64, p *locktable.Pair, a tm.Addr, v uint64, horizon int64) *locktable.WEntry {
+	if e := wl.ring.Get(horizon); e != nil {
 		e.Seed(serial, p, a, v)
 		return e
 	}
 	return locktable.NewEntry(owner, serial, p, a, v)
+}
+
+// TakeReclaimCounts returns and clears the pool's reclaim/stall
+// counters (folded into the owning runtime's stats shard at commit).
+func (wl *WriteLog) TakeReclaimCounts() (reclaims, stalls uint64) {
+	return wl.ring.TakeCounts()
 }
 
 // Append records an entry that has been installed in the lock table.
@@ -116,8 +172,9 @@ func (wl *WriteLog) Append(e *locktable.WEntry) { wl.entries = append(wl.entries
 
 // Release returns an entry that was never installed (its CAS lost) to
 // the pool, so a contended Store does not leak one pooled entry per
-// race.
-func (wl *WriteLog) Release(e *locktable.WEntry) { wl.free = append(wl.free, e) }
+// race. Unpublished entries need no quiescence: no other task can hold
+// a pointer to them.
+func (wl *WriteLog) Release(e *locktable.WEntry) { wl.ring.Put(e) }
 
 // Entries exposes the installed entries in installation order. The
 // slice is owned by the log and valid until the next Append, Reset or
@@ -140,12 +197,20 @@ type CommitScratch struct {
 	pairs []*locktable.Pair
 	saved []uint64
 	index map[*locktable.Pair]int32
+
+	// released marks, per locked pair, whether the commit's release
+	// loop actually dropped the pair's redo chain (it leaves the chain
+	// when a future task has stacked an entry on top). Entry
+	// reclamation consults it: only entries on released pairs are
+	// detached and may be queued for reuse (WriteLog.RetireCommitted).
+	released []bool
 }
 
 // Reset empties the scratch, keeping its backing storage.
 func (cs *CommitScratch) Reset() {
 	cs.pairs = cs.pairs[:0]
 	cs.saved = cs.saved[:0]
+	cs.released = cs.released[:0]
 	clear(cs.index)
 }
 
@@ -162,7 +227,22 @@ func (cs *CommitScratch) LockPair(p *locktable.Pair) bool {
 	cs.index[p] = int32(len(cs.pairs))
 	cs.pairs = append(cs.pairs, p)
 	cs.saved = append(cs.saved, p.R.Swap(locktable.Locked))
+	cs.released = append(cs.released, false)
 	return true
+}
+
+// MarkReleased records that the commit's release loop dropped p's redo
+// chain, detaching every entry of this transaction installed under p.
+func (cs *CommitScratch) MarkReleased(p *locktable.Pair) {
+	if i, ok := cs.index[p]; ok {
+		cs.released[i] = true
+	}
+}
+
+// Released reports whether p's chain was dropped by this commit.
+func (cs *CommitScratch) Released(p *locktable.Pair) bool {
+	i, ok := cs.index[p]
+	return ok && cs.released[i]
 }
 
 // Saved returns the version displaced from p, if this commit locked it.

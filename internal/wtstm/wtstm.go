@@ -146,6 +146,13 @@ type Stats struct {
 	CMAbortsSelf  uint64
 	CMAbortsOwner uint64
 	BackoffSpins  uint64
+	// EntryReclaims and HorizonStalls are always 0 for the
+	// write-through STM: it updates memory in place under versioned
+	// locks and keeps an undo log of plain records, so no lock-table
+	// entries exist to reclaim. The fields exist so reclamation sweeps
+	// report a uniform column across runtimes.
+	EntryReclaims uint64
+	HorizonStalls uint64
 }
 
 // Add folds o into s.
@@ -158,6 +165,8 @@ func (s *Stats) Add(o Stats) {
 	s.CMAbortsSelf += o.CMAbortsSelf
 	s.CMAbortsOwner += o.CMAbortsOwner
 	s.BackoffSpins += o.BackoffSpins
+	s.EntryReclaims += o.EntryReclaims
+	s.HorizonStalls += o.HorizonStalls
 }
 
 type rollbackSignal struct{}

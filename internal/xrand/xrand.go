@@ -24,3 +24,17 @@ func Next(state *uint64) uint64 {
 	*state ^= *state << 17
 	return *state
 }
+
+// Splitmix steps the splitmix64 generator at state. Unlike Next —
+// which lazily replaces a zero state with a draw from the
+// process-global seed counter, making its stream depend on seeding
+// order — Splitmix is a pure function of the caller's state, which is
+// what the stress-style workload generators (cmd/tlstm-stress, the
+// core clock/reclamation soak tests) need for reproducible runs.
+func Splitmix(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -101,7 +101,8 @@ type (
 	// Wait contract.
 	TxHandle = core.TxHandle
 	// Stats aggregates per-thread execution statistics, including the
-	// scheduler counters WorkersSpawned and DescriptorReuses.
+	// scheduler counters WorkersSpawned and DescriptorReuses and the
+	// entry-reclamation counters EntryReclaims and HorizonStalls.
 	Stats = core.Stats
 	// SchedPolicy selects how speculative tasks are dispatched; see
 	// Config.Policy and the worker-lifecycle package docs.
