@@ -12,9 +12,13 @@
 //	tlstm-bench -clocks         # clock-strategy sweep across runtimes
 //	tlstm-bench -cm karma       # figures under the Karma contention manager
 //	tlstm-bench -cms            # contention-policy sweep across runtimes
+//	tlstm-bench -mv 2           # figures with 2 retained versions per word
+//	tlstm-bench -mvs            # multi-version depth sweep (read-mostly mixes)
+//	tlstm-bench -mvs -json out.json  # ... also persisted as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +42,9 @@ func run() int {
 	clockCmp := flag.Bool("clocks", false, "sweep all commit-clock strategies across all four runtimes on a write-heavy workload (throughput, abort rate, snapshot extensions and clock CAS retries per strategy)")
 	cmName := flag.String("cm", "default", `contention-management policy for figure/headline runs: "suicide", "backoff", "greedy", "karma", "taskaware" or "default" (each runtime's own)`)
 	cmCmp := flag.Bool("cms", false, "sweep all contention-management policies across all four runtimes on a write-contended workload (throughput, abort rate and policy decision counters per policy)")
+	mvDepth := flag.Int("mv", 0, "retained version depth for figure/headline runs (0 disables multi-versioning)")
+	mvCmp := flag.Bool("mvs", false, "sweep retained version depths K=0..3 across all four runtimes on read-mostly workloads at 90/10 and 99/1 mixes (throughput, aborts, wait-free reads and fallback misses per depth)")
+	jsonPath := flag.String("json", "", "with -mvs: also write the sweep results as JSON to this file")
 	format := flag.String("format", "table", `output format: "table" or "csv"`)
 	flag.Parse()
 
@@ -57,7 +64,26 @@ func run() int {
 		return 2
 	}
 	sc.CM = cmKind
+	sc.MV = *mvDepth
 
+	if *mvCmp {
+		threads, txs := 4, 10_000
+		if *quick {
+			txs = 1_000
+		}
+		fmt.Printf("## Multi-version depth sweep (read-mostly, %d threads, %d tx/thread)\n", threads, txs)
+		results := harness.CompareMV(threads, txs)
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, threads, txs, results); err != nil {
+				fmt.Fprintf(os.Stderr, "tlstm-bench: %v\n", err)
+				return 1
+			}
+		}
+		return 0
+	}
 	if *clockCmp {
 		txs := 50_000
 		if *quick {
@@ -127,6 +153,22 @@ func run() int {
 		return 2
 	}
 	return 0
+}
+
+// writeJSON persists a sweep as an indented JSON document (the
+// perf-trajectory format committed as BENCH_<pr>.json).
+func writeJSON(path string, threads, txPerThread int, results []harness.Result) error {
+	doc := struct {
+		Sweep       string           `json:"sweep"`
+		Threads     int              `json:"threads"`
+		TxPerThread int              `json:"txPerThread"`
+		Results     []harness.Result `json:"results"`
+	}{"mv", threads, txPerThread, results}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // runCheck regenerates every figure and verifies the paper's

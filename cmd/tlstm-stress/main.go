@@ -15,7 +15,13 @@
 // (harness.CompareCM). Entry reclamation can be forced aggressive
 // (-reclaim 1: single-slot quiescence rings, recycling on almost every
 // commit) and audited (-audit: every recycle re-verifies the
-// quiescence invariant and panics on violation).
+// quiescence invariant and panics on violation). -mv K retains K
+// committed versions per word and -romix P makes P% of the soak's
+// transactions declared read-only full-array scans, each asserting the
+// exact preserved total at its snapshot — the strongest cheap check of
+// the wait-free multi-version read path; -mvs swaps the soak for the
+// invariant-checked depth sweep across all four runtimes
+// (harness.CompareMV).
 package main
 
 import (
@@ -53,7 +59,20 @@ func run() int {
 	cmCmp := flag.Bool("cms", false, "run the invariant-checked contention-policy sweep (all policies × all runtimes) instead of the soak; -seconds scales the transaction count")
 	reclaimRing := flag.Int("reclaim", 0, "cap each descriptor's quiescence ring of retired write-lock entries (0 = unbounded; 1 = aggressive, recycling exercised on almost every commit)")
 	reclaimAudit := flag.Bool("audit", false, "enable the entry-reclamation invariant checker: every recycle re-verifies the quiescence horizon against all live task attempts (panics on violation)")
+	mvDepth := flag.Int("mv", 0, "retained version depth for the soak runtime (0 disables multi-versioning)")
+	mvCmp := flag.Bool("mvs", false, "run the invariant-checked multi-version depth sweep (K=0..3 × all runtimes, read-mostly mixes) instead of the soak; -seconds scales the transaction count")
+	roMix := flag.Int("romix", 0, "percent of soak transactions that are declared read-only scans: each task sums every account at the transaction's snapshot and requires the exact preserved total")
 	flag.Parse()
+
+	if *mvCmp {
+		txs := 5_000 * *seconds
+		fmt.Printf("## Multi-version depth sweep (%d threads, %d tx/thread)\n", *threads, txs)
+		for _, r := range harness.CompareMV(*threads, txs) {
+			fmt.Println(r)
+		}
+		fmt.Println("OK: all depth/runtime snapshots and end states verified")
+		return 0
+	}
 
 	if *clockCmp {
 		// ~10k transactions per thread per requested second: a short,
@@ -93,7 +112,7 @@ func run() int {
 	}
 	rt := core.New(core.Config{
 		SpecDepth: *depth, Policy: policy, Clock: clock.New(kind), CM: cm.New(cmKind),
-		ReclaimRing: *reclaimRing, ReclaimAudit: *reclaimAudit,
+		ReclaimRing: *reclaimRing, ReclaimAudit: *reclaimAudit, MVDepth: *mvDepth,
 	})
 	defer rt.Close()
 	d := rt.Direct()
@@ -110,7 +129,40 @@ func run() int {
 		thr := rt.NewThread()
 		go func(seed uint64) {
 			r := &rng{s: seed}
+			nAcct := *accounts
+			want := uint64(nAcct) * initial
+			// scan is one read-only task: sum every account at the
+			// transaction's snapshot. Transfers preserve the total, so
+			// ANY consistent snapshot — wait-free multi-version or
+			// validated — must see it exactly; a stale, torn or too-new
+			// multi-version read almost surely breaks the sum. The panic
+			// is safe under speculation: an inconsistent validated
+			// attempt is sandbox-restarted, and the wait-free path reads
+			// one frozen snapshot, so its sums can only fail for real
+			// bugs.
+			scan := func(tk *core.Task) {
+				var sum uint64
+				for i := 0; i < nAcct; i++ {
+					sum += tk.Load(base + tm.Addr(i))
+				}
+				if sum != want {
+					panic(fmt.Sprintf("tlstm-stress: read-only scan saw total=%d want=%d", sum, want))
+				}
+			}
 			for time.Now().Before(deadline) {
+				if *roMix > 0 && r.next()%100 < uint64(*roMix) {
+					// Every task of the declared read-only transaction
+					// scans independently; with SPECDEPTH > 1 this also
+					// exercises the shared frozen snapshot across tasks.
+					fns := make([]core.TaskFunc, *depth)
+					for i := range fns {
+						fns[i] = scan
+					}
+					if err := thr.AtomicRO(fns...); err != nil {
+						panic(err)
+					}
+					continue
+				}
 				// A transaction of `depth` tasks moving money along a
 				// random cycle: task i moves amt from a_i to a_{i+1}.
 				n := *depth
@@ -149,12 +201,13 @@ func run() int {
 		sum += d.Load(base + tm.Addr(i))
 	}
 	want := uint64(*accounts) * initial
-	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d clock=%s ext=%d clkRetry=%d cm=%s cmSelf=%d cmOwner=%d spins=%d reclaim=%d stall=%d\n",
+	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d clock=%s ext=%d clkRetry=%d cm=%s cmSelf=%d cmOwner=%d spins=%d reclaim=%d stall=%d mv=%d mvRead=%d mvMiss=%d rset[%s] wset[%s]\n",
 		total.TxCommitted, total.TxAborted, total.TaskRestarts, total.Work,
 		total.WorkersSpawned, total.DescriptorReuses,
 		rt.ClockName(), total.SnapshotExtensions, total.ClockCASRetries,
 		rt.CMName(), total.CMAbortsSelf, total.CMAbortsOwner, total.BackoffSpins,
-		total.EntryReclaims, total.HorizonStalls)
+		total.EntryReclaims, total.HorizonStalls,
+		rt.MVDepth(), total.MVReads, total.MVMisses, total.ReadSetSizes, total.WriteSetSizes)
 	if sum != want {
 		fmt.Printf("FAIL: total=%d want=%d (atomicity violated)\n", sum, want)
 		return 1

@@ -1,6 +1,7 @@
 package tlstm_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -156,6 +157,169 @@ func runOnTLSTMCfg(prog [][]diffOp, split bool, cfg core.Config) [diffWords]uint
 	}
 	thr.Sync()
 	return snapshot(rt.Direct(), base)
+}
+
+// The multi-version leg interleaves a declared read-only audit scan
+// after every write transaction, with the version store enabled at the
+// degenerate depth K=1. The runs are sequential, so each scan's sum is
+// a deterministic function of the program prefix: every runtime must
+// produce the same final state AND the same per-step scan sums as the
+// multi-version-free reference — any stale, torn or mis-indexed version
+// served by the wait-free path shows up as a sum divergence.
+
+func runOnSTMMV(prog [][]diffOp) ([diffWords]uint64, []uint64) {
+	rt := stm.New(stm.WithMultiVersion(1))
+	base := rt.Direct().Alloc(diffWords)
+	sums := make([]uint64, len(prog))
+	for i, ops := range prog {
+		ops := ops
+		rt.Atomic(nil, func(tx *stm.Tx) {
+			for _, op := range ops {
+				applyOp(tx, base, op)
+			}
+		})
+		i := i
+		rt.AtomicRO(nil, func(tx *stm.Tx) {
+			var s uint64
+			for j := 0; j < diffWords; j++ {
+				s += tx.Load(base + tm.Addr(j))
+			}
+			sums[i] = s
+		})
+	}
+	return snapshot(rt.Direct(), base), sums
+}
+
+func runOnTL2MV(prog [][]diffOp) ([diffWords]uint64, []uint64) {
+	rt := tl2.New(16, tl2.WithMultiVersion(1))
+	base := rt.Direct().Alloc(diffWords)
+	sums := make([]uint64, len(prog))
+	for i, ops := range prog {
+		ops := ops
+		rt.Atomic(nil, func(tx *tl2.Tx) {
+			for _, op := range ops {
+				applyOp(tx, base, op)
+			}
+		})
+		i := i
+		rt.AtomicRO(nil, func(tx *tl2.Tx) {
+			var s uint64
+			for j := 0; j < diffWords; j++ {
+				s += tx.Load(base + tm.Addr(j))
+			}
+			sums[i] = s
+		})
+	}
+	return snapshot(rt.Direct(), base), sums
+}
+
+func runOnWriteThroughMV(prog [][]diffOp) ([diffWords]uint64, []uint64) {
+	rt := wtstm.New(16, wtstm.WithMultiVersion(1))
+	base := rt.Direct().Alloc(diffWords)
+	sums := make([]uint64, len(prog))
+	for i, ops := range prog {
+		ops := ops
+		rt.Atomic(nil, func(tx *wtstm.Tx) {
+			for _, op := range ops {
+				applyOp(tx, base, op)
+			}
+		})
+		i := i
+		rt.AtomicRO(nil, func(tx *wtstm.Tx) {
+			var s uint64
+			for j := 0; j < diffWords; j++ {
+				s += tx.Load(base + tm.Addr(j))
+			}
+			sums[i] = s
+		})
+	}
+	return snapshot(rt.Direct(), base), sums
+}
+
+// runOnTLSTMMV pipelines the program through a depth-2 TLSTM thread
+// with MVDepth 1, a read-only scan submitted after every write
+// transaction. Scans overlap in-flight writers here, so the wait-free
+// path's own-thread hazard check (pending redo chains force a validated
+// fallback) is exercised, not just the quiet case.
+func runOnTLSTMMV(prog [][]diffOp, split bool) ([diffWords]uint64, []uint64) {
+	rt := core.New(core.Config{SpecDepth: 2, LockTableBits: 14, MVDepth: 1})
+	defer rt.Close()
+	base := rt.Direct().Alloc(diffWords)
+	thr := rt.NewThread()
+	sums := make([]uint64, len(prog))
+	for i, ops := range prog {
+		var fns []core.TaskFunc
+		if split && len(ops) > 1 {
+			mid := len(ops) / 2
+			first, second := ops[:mid], ops[mid:]
+			fns = []core.TaskFunc{
+				func(tk *core.Task) {
+					for _, op := range first {
+						applyOp(tk, base, op)
+					}
+				},
+				func(tk *core.Task) {
+					for _, op := range second {
+						applyOp(tk, base, op)
+					}
+				},
+			}
+		} else {
+			ops := ops
+			fns = []core.TaskFunc{func(tk *core.Task) {
+				for _, op := range ops {
+					applyOp(tk, base, op)
+				}
+			}}
+		}
+		if _, err := thr.Submit(fns...); err != nil {
+			panic(err)
+		}
+		i := i
+		if _, err := thr.SubmitRO(func(tk *core.Task) {
+			var s uint64
+			for j := 0; j < diffWords; j++ {
+				s += tk.Load(base + tm.Addr(j))
+			}
+			sums[i] = s
+		}); err != nil {
+			panic(err)
+		}
+	}
+	thr.Sync()
+	return snapshot(rt.Direct(), base), sums
+}
+
+func TestDifferentialMultiVersion(t *testing.T) {
+	const seeds = 6
+	for seed := int64(0); seed < seeds; seed++ {
+		prog := genProgram(seed+200, 30)
+		want := runOnSTM(prog, clock.KindGV4, cm.KindDefault)
+
+		gotSTM, wantSums := runOnSTMMV(prog)
+		if gotSTM != want {
+			t.Fatalf("seed %d: SwissTM/mv1 diverges from plain SwissTM\n got: %v\nwant: %v", seed, gotSTM, want)
+		}
+		check := func(name string, got [diffWords]uint64, sums []uint64) {
+			if got != want {
+				t.Fatalf("seed %d: %s/mv1 diverges\n got: %v\nwant: %v", seed, name, got, want)
+			}
+			for i := range sums {
+				if sums[i] != wantSums[i] {
+					t.Fatalf("seed %d: %s/mv1 scan %d saw sum %d, want %d (stale or torn version served)",
+						seed, name, i, sums[i], wantSums[i])
+				}
+			}
+		}
+		got, sums := runOnTL2MV(prog)
+		check("TL2", got, sums)
+		got, sums = runOnWriteThroughMV(prog)
+		check("write-through", got, sums)
+		for _, split := range []bool{false, true} {
+			got, sums = runOnTLSTMMV(prog, split)
+			check(fmt.Sprintf("TLSTM(split=%v)", split), got, sums)
+		}
+	}
 }
 
 // TestDifferentialAggressiveReclamation is the entry-reclamation leg:

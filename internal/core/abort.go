@@ -206,6 +206,12 @@ func (t *Task) cleanupTx() {
 		}
 	}
 
+	// A fresh round of attempts must not inherit the aborted round's
+	// frozen snapshot: if the transaction is still on the wait-free
+	// read-only path it resamples (the abort may have been raised
+	// precisely because the snapshot was too old to serve).
+	tx.snapshot.Store(mvSnapUnset)
+
 	tx.txAborts.Add(1)
 }
 

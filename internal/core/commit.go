@@ -139,6 +139,25 @@ func (t *Task) commitTransaction() {
 		t.abortOwnTx()
 	}
 
+	// Feed the multi-version store while memory still holds the
+	// pre-images this commit is about to overwrite: each written word's
+	// current committed value was valid over [displaced r-lock version,
+	// ts), exactly the interval stamp a VersionedStore entry carries.
+	// When several tasks wrote the same word the publishes are
+	// identical duplicates — they only cost ring slots, never
+	// correctness.
+	if mv := rt.mv; mv != nil {
+		for _, task := range tx.tasks {
+			for _, e := range task.writeLog.Entries() {
+				if pre, ok := scr.Saved(e.Pair); ok {
+					for _, w := range e.Words {
+						mv.Publish(w.Addr, rt.store.LoadWord(w.Addr), pre, ts)
+					}
+				}
+			}
+		}
+	}
+
 	// Publish every task's buffered writes in serial order, so that when
 	// several tasks wrote the same word the latest in program order wins
 	// (lines 87–89; tx.tasks is already serial-ordered and each write
@@ -268,6 +287,15 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 		reclaims, stalls := task.writeLog.TakeReclaimCounts()
 		thr.stats.EntryReclaims += reclaims
 		thr.stats.HorizonStalls += stalls
+		thr.stats.MVReads += task.mvReads
+		task.mvReads = 0
+		thr.stats.MVMisses += task.mvMisses
+		task.mvMisses = 0
+		// Set-size histograms: read before RetireCommitted empties the
+		// write logs below. A wait-free read-only task logs nothing, so
+		// the multi-version fast path shows up as read-set size 0.
+		thr.stats.ReadSetSizes.Observe(task.readLog.Len())
+		thr.stats.WriteSetSizes.Observe(task.writeLog.Len())
 		cm.Committed(thr.rt.cm, &task.cmSelf)
 	}
 

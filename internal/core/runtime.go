@@ -31,6 +31,7 @@ import (
 	"tlstm/internal/locktable"
 	"tlstm/internal/mem"
 	"tlstm/internal/sched"
+	"tlstm/internal/txlog"
 	"tlstm/internal/txstats"
 )
 
@@ -85,6 +86,11 @@ type Config struct {
 	// retirement (see reclaim.go). Costs a slot scan per recycle; meant
 	// for tests and stress soaks, not production runs.
 	ReclaimAudit bool
+	// MVDepth, when positive, retains the last MVDepth displaced
+	// committed versions per word (txlog.VersionedStore) and enables the
+	// wait-free read path for user-transactions submitted through
+	// SubmitRO/AtomicRO. 0 (the default) disables multi-versioning.
+	MVDepth int
 }
 
 func (c *Config) fill() {
@@ -115,6 +121,10 @@ type Runtime struct {
 	clk clock.Source
 	cm  cm.Policy
 
+	// mv, when non-nil, is the multi-version word store declared
+	// read-only transactions read from without validating.
+	mv *txlog.VersionedStore
+
 	// stats aggregates per-thread shards, merged at Sync boundaries
 	// (see Thread.Sync); the hot path never touches it.
 	stats txstats.Aggregate[Stats, *Stats]
@@ -138,7 +148,7 @@ func New(cfg Config) *Runtime {
 		panic(fmt.Sprintf("core: the Inline scheduling policy requires SpecDepth 1, got %d (an intermediate task of a multi-task transaction parks until its transaction commits, which would deadlock the submitting goroutine)", cfg.SpecDepth))
 	}
 	st := mem.NewStore()
-	return &Runtime{
+	rt := &Runtime{
 		store:        st,
 		alloc:        mem.NewAllocator(st),
 		locks:        locktable.NewTable(cfg.LockTableBits),
@@ -149,10 +159,23 @@ func New(cfg Config) *Runtime {
 		reclaimRing:  cfg.ReclaimRing,
 		reclaimAudit: cfg.ReclaimAudit,
 	}
+	if cfg.MVDepth > 0 {
+		rt.mv = txlog.NewVersionedStore(cfg.MVDepth, txlog.DefaultVersionedStoreBits)
+	}
+	return rt
 }
 
 // SpecDepth reports the runtime's SPECDEPTH.
 func (rt *Runtime) SpecDepth() int { return rt.specDepth }
+
+// MVDepth reports the retained version depth (0 when multi-versioning
+// is off).
+func (rt *Runtime) MVDepth() int {
+	if rt.mv == nil {
+		return 0
+	}
+	return rt.mv.K()
+}
 
 // Policy reports the runtime's scheduler spawn policy.
 func (rt *Runtime) Policy() sched.Policy { return rt.policy }

@@ -86,6 +86,15 @@ type Task struct {
 	extends  uint64
 	clkProbe clock.Probe
 
+	// mvActive marks an attempt on the multi-version wait-free read
+	// path (declared read-only transaction, multi-versioning on, no
+	// fallback latched yet); begin recomputes it per attempt. mvReads
+	// and mvMisses accumulate across attempts of the incarnation and
+	// fold into the thread's shard in finishCommit, like extends.
+	mvActive bool
+	mvReads  uint64
+	mvMisses uint64
+
 	// cmSelf is the task's contention-management identity (its
 	// situational fields are refreshed in place before every Resolve,
 	// so the conflict path never allocates); cmProbe carries the
@@ -288,6 +297,25 @@ func (t *Task) begin() {
 	t.abortInternal.Store(false)
 	t.lastWriter = t.thr.completedWriter.Load()
 	t.validTS = t.thr.rt.clk.Now()
+	t.mvActive = false
+	if tx := t.tx; tx.readOnly && t.thr.rt.mv != nil && !tx.mvOff.Load() {
+		// Wait-free read-only mode: every task of the transaction reads
+		// at one frozen snapshot (the first beginner's clock sample), so
+		// the commit-time read-only fast path needs no validation even
+		// though nothing was logged. The snapshot must serialize after
+		// the thread's own program-order predecessors: a pipelined task
+		// can begin before an earlier transaction of this thread
+		// commits, and a snapshot frozen then would read the pre-state
+		// and commit it unvalidated. Park on the committed frontier
+		// first — a wait on our own pipeline only; the path stays
+		// wait-free with respect to other threads' writers.
+		for t.thr.txDone.Seq() < tx.startSerial-1 {
+			t.checkSignals()
+			runtime.Gosched()
+		}
+		t.validTS = tx.sharedSnapshot(t.thr.rt.clk.Now())
+		t.mvActive = true
+	}
 	t.workAcc += taskStartCost
 	t.readLog.Reset()
 	t.writeLog.Reset()
@@ -404,6 +432,9 @@ func (t *Task) firstPastOf(head *locktable.WEntry) *locktable.WEntry {
 
 // Load implements tm.Tx: the read-word procedure of Alg. 1.
 func (t *Task) Load(a tm.Addr) uint64 {
+	if t.mvActive {
+		return t.loadMV(a)
+	}
 	t.tick(1)
 	p := t.thr.rt.locks.For(a)
 	ser := t.serial.Load()
@@ -521,6 +552,67 @@ func (t *Task) loadCommitted(p *locktable.Pair, a tm.Addr) uint64 {
 	return t.loadCommittedRecording(p, a, nil)
 }
 
+// loadMV is the wait-free read path of a declared read-only
+// transaction with multi-versioning on: resolve a against the
+// transaction's frozen snapshot without appending to the read log. The
+// word's current value serves when its pair's version is at most the
+// snapshot; otherwise the version store supplies the displaced value
+// whose validity interval covers the snapshot. Neither case needs
+// validation or extension — the snapshot never moves — so the only
+// exits besides a value are the whole-transaction fallback
+// (mvFallback) and the abort signals every read path polls.
+func (t *Task) loadMV(a tm.Addr) uint64 {
+	t.tick(1)
+	p := t.thr.rt.locks.For(a)
+	for {
+		t.checkSignals()
+		if t.firstPastOf(p.W.Load()) != nil {
+			// A past task of this thread holds speculative state on the
+			// pair: in program order its value precedes us but in commit
+			// order it lies after the frozen snapshot, so the snapshot
+			// cannot serve this read. Re-execute validated, where the
+			// redo chains are read through.
+			t.mvFallback()
+		}
+		v1 := p.R.Load()
+		if v1 != locktable.Locked && v1 <= t.validTS {
+			val := t.thr.rt.store.LoadWord(a)
+			if p.R.Load() == v1 {
+				t.mvReads++
+				return val
+			}
+			continue
+		}
+		if val, ok := t.thr.rt.mv.ReadAt(a, t.validTS); ok {
+			t.mvReads++
+			return val
+		}
+		if v1 == locktable.Locked {
+			// A commit holds the r-lock for a bounded publish window; it
+			// may hand the version store exactly the displaced value the
+			// snapshot needs. Waiting on it costs parallel time.
+			t.workAcc += yieldQuantum
+			runtime.Gosched()
+			continue
+		}
+		// Committed past the snapshot and the ring holds no version old
+		// enough: overrun by more than MVDepth later commits.
+		t.mvFallback()
+	}
+}
+
+// mvFallback abandons the wait-free path: latch the fallback for the
+// whole user-transaction and abort it, so the re-execution runs every
+// task with ordinary validated reads. The abort must be
+// transaction-wide — the attempt's multi-version reads were never
+// logged, so no per-task restart could revalidate them against a moved
+// snapshot.
+func (t *Task) mvFallback() {
+	t.mvMisses++
+	t.tx.mvOff.Store(true)
+	t.abortOwnTx()
+}
+
 // extendTo revalidates the read log and advances valid-ts (SwissTM's
 // lazy snapshot extension), after asking the clock to cover the
 // witnessed stamp: pre-publishing strategies (deferred, sharded) only
@@ -571,6 +663,12 @@ func (t *Task) validateTask() bool {
 
 // Store implements tm.Tx: the write-word procedure of Alg. 2.
 func (t *Task) Store(a tm.Addr, v uint64) {
+	if t.mvActive {
+		// A write under a read-only declaration: the declaration was
+		// wrong (or conservative). Re-execute the transaction validated;
+		// correctness never depended on the caller's hint.
+		t.mvFallback()
+	}
 	t.tick(2)
 	p := t.thr.rt.locks.For(a)
 	ser := t.serial.Load()

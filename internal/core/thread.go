@@ -7,6 +7,7 @@ import (
 
 	"tlstm/internal/sched"
 	"tlstm/internal/txlog"
+	"tlstm/internal/txstats"
 )
 
 // Thread is one user-thread: a serial stream of user-transactions, each
@@ -137,6 +138,26 @@ func (h TxHandle) Wait() { h.thr.txDone.Wait(h.commit) }
 // Submit returns an error only for invalid arity; conflicts are handled
 // internally by re-execution.
 func (thr *Thread) Submit(fns ...TaskFunc) (TxHandle, error) {
+	return thr.submit(false, fns...)
+}
+
+// SubmitRO is Submit for a user-transaction the caller declares
+// read-only. With multi-versioning enabled (Config.MVDepth > 0) its
+// tasks take the wait-free read path: every load resolves against the
+// transaction's frozen snapshot (current memory if unchanged since, a
+// retained version otherwise), nothing is appended to the read logs,
+// and the commit needs no validation. A task that cannot be served at
+// the snapshot — the version ring was overrun by more than MVDepth
+// later commits, or the task observes speculative state of an earlier
+// task of its own thread — aborts the transaction once and re-executes
+// it on the ordinary validated path; a task that writes does the same.
+// So declaring a transaction read-only is a hint, never a correctness
+// obligation. Without multi-versioning SubmitRO is identical to Submit.
+func (thr *Thread) SubmitRO(fns ...TaskFunc) (TxHandle, error) {
+	return thr.submit(true, fns...)
+}
+
+func (thr *Thread) submit(ro bool, fns ...TaskFunc) (TxHandle, error) {
 	if err := thr.rt.validateArity(len(fns)); err != nil {
 		return TxHandle{}, err
 	}
@@ -160,6 +181,9 @@ func (thr *Thread) Submit(fns ...TaskFunc) (TxHandle, error) {
 
 	tx.startSerial = start
 	tx.commitSerial = commit
+	tx.readOnly = ro
+	tx.mvOff.Store(false)
+	tx.snapshot.Store(mvSnapUnset)
 	tx.gen = 0
 	tx.acks = 0
 	tx.participants = 0
@@ -229,6 +253,17 @@ func (thr *Thread) Submit(fns ...TaskFunc) (TxHandle, error) {
 // waits for it to commit.
 func (thr *Thread) Atomic(fns ...TaskFunc) error {
 	h, err := thr.Submit(fns...)
+	if err != nil {
+		return err
+	}
+	h.Wait()
+	return nil
+}
+
+// AtomicRO is Atomic for a declared read-only transaction (see
+// SubmitRO).
+func (thr *Thread) AtomicRO(fns ...TaskFunc) error {
+	h, err := thr.SubmitRO(fns...)
 	if err != nil {
 		return err
 	}
@@ -326,6 +361,20 @@ type Stats struct {
 	// allocation grows the ring, so stalls are self-limiting).
 	EntryReclaims uint64
 	HorizonStalls uint64
+	// MVReads counts loads served on the multi-version wait-free path
+	// (declared read-only transactions, Config.MVDepth > 0): current
+	// memory unchanged since the snapshot, or a retained version.
+	// MVMisses counts the times a declared read-only transaction left
+	// that path — version-ring overruns, same-thread speculative state
+	// at the snapshot, or a write in a declared read-only body — and
+	// re-executed validated.
+	MVReads  uint64
+	MVMisses uint64
+	// ReadSetSizes and WriteSetSizes are per-task histograms of the
+	// read-log and write-log lengths at commit (multi-version reads are
+	// unlogged, so a wait-free read-only task observes size 0).
+	ReadSetSizes  txstats.Hist
+	WriteSetSizes txstats.Hist
 }
 
 // Add folds o into s.
@@ -349,6 +398,10 @@ func (s *Stats) Add(o Stats) {
 	s.BackoffSpins += o.BackoffSpins
 	s.EntryReclaims += o.EntryReclaims
 	s.HorizonStalls += o.HorizonStalls
+	s.MVReads += o.MVReads
+	s.MVMisses += o.MVMisses
+	s.ReadSetSizes.Merge(o.ReadSetSizes)
+	s.WriteSetSizes.Merge(o.WriteSetSizes)
 }
 
 // minus returns the fieldwise difference s−o. It is only meaningful
@@ -375,6 +428,10 @@ func (s Stats) minus(o Stats) Stats {
 		BackoffSpins:       s.BackoffSpins - o.BackoffSpins,
 		EntryReclaims:      s.EntryReclaims - o.EntryReclaims,
 		HorizonStalls:      s.HorizonStalls - o.HorizonStalls,
+		MVReads:            s.MVReads - o.MVReads,
+		MVMisses:           s.MVMisses - o.MVMisses,
+		ReadSetSizes:       s.ReadSetSizes.Minus(o.ReadSetSizes),
+		WriteSetSizes:      s.WriteSetSizes.Minus(o.WriteSetSizes),
 	}
 }
 
@@ -422,4 +479,37 @@ type txState struct {
 	// to their slots. The decrement in Task.run is each task's final
 	// access to this state; Submit reuses the descriptor only at zero.
 	live atomic.Int32
+
+	// Multi-version read-only state (SubmitRO with Config.MVDepth > 0).
+	// readOnly is the caller's declaration, set by submit. snapshot is
+	// the transaction's frozen read timestamp, shared by all tasks: the
+	// first task to begin CAS-publishes its clock sample and every other
+	// task (and every re-begin after a single-task restart) adopts it,
+	// because unlogged reads taken at one snapshot cannot be revalidated
+	// at another. mvOff latches the fallback: once any task leaves the
+	// wait-free path the whole transaction aborts and re-executes with
+	// ordinary validated reads — mixing modes across tasks of one
+	// transaction would leave the unlogged reads unvalidated at commit.
+	// A whole-transaction abort clears snapshot (cleanupTx) so the
+	// validated re-execution's successor transactions resample.
+	readOnly bool
+	mvOff    atomic.Bool
+	snapshot atomic.Uint64
+}
+
+// mvSnapUnset marks a transaction whose frozen snapshot has not been
+// sampled yet.
+const mvSnapUnset = ^uint64(0)
+
+// sharedSnapshot returns the transaction's frozen read snapshot,
+// lazily initialized to fresh (the calling task's clock sample) if no
+// task published one first.
+func (tx *txState) sharedSnapshot(fresh uint64) uint64 {
+	if s := tx.snapshot.Load(); s != mvSnapUnset {
+		return s
+	}
+	if tx.snapshot.CompareAndSwap(mvSnapUnset, fresh) {
+		return fresh
+	}
+	return tx.snapshot.Load()
 }

@@ -31,6 +31,11 @@ type Scale struct {
 	// figures uses (cmd/tlstm-bench -cm); the zero value keeps each
 	// runtime's own default (greedy for SwissTM, task-aware for TLSTM).
 	CM cm.Kind
+	// MV is the retained version depth every runtime in the figures is
+	// built with (cmd/tlstm-bench -mv); 0 disables multi-versioning.
+	// Figure workloads only benefit where they declare transactions
+	// read-only, but building the stores is harmless everywhere.
+	MV int
 }
 
 // DefaultScale is used by the CLI and benches.
@@ -42,13 +47,15 @@ func QuickScale() Scale { return Scale{Fig1aTx: 40, Fig1bTx: 8, SB7Tx: 4} }
 // newSTM builds a SwissTM runtime with the configured clock strategy
 // and contention-management policy.
 func (sc Scale) newSTM() *stm.Runtime {
-	return stm.New(stm.WithClock(clock.New(sc.Clock)), stm.WithCM(cm.New(sc.CM)))
+	return stm.New(stm.WithClock(clock.New(sc.Clock)), stm.WithCM(cm.New(sc.CM)),
+		stm.WithMultiVersion(sc.MV))
 }
 
 // newTLSTM builds a TLSTM runtime with the configured clock strategy
 // and contention-management policy.
 func (sc Scale) newTLSTM(depth int) *core.Runtime {
-	return core.New(core.Config{SpecDepth: depth, Clock: clock.New(sc.Clock), CM: cm.New(sc.CM)})
+	return core.New(core.Config{SpecDepth: depth, Clock: clock.New(sc.Clock), CM: cm.New(sc.CM),
+		MVDepth: sc.MV})
 }
 
 func mix64(x uint64) uint64 {

@@ -27,6 +27,7 @@ import (
 	"tlstm/internal/stm"
 	"tlstm/internal/tl2"
 	"tlstm/internal/tm"
+	"tlstm/internal/txstats"
 	"tlstm/internal/wtstm"
 )
 
@@ -54,6 +55,19 @@ type Workload struct {
 	// Make produces the transaction to run; it must be deterministic in
 	// (thread, idx) so runtimes can be compared on identical work.
 	Make func(thread, idx int) TxSeq
+	// ReadOnly, when non-nil, declares transaction (thread, idx) as
+	// read-only: runners route it through the runtime's AtomicRO entry
+	// point, which takes the wait-free multi-version read path when the
+	// runtime has one configured. The declaration is a hint — a
+	// transaction that writes anyway falls back to the validated path —
+	// but a truthful one is what the mv= columns measure.
+	ReadOnly func(thread, idx int) bool
+}
+
+// declaredRO reports whether the workload declares (thread, idx)
+// read-only.
+func (w Workload) declaredRO(thread, idx int) bool {
+	return w.ReadOnly != nil && w.ReadOnly(thread, idx)
 }
 
 // Result is one configuration's measurement.
@@ -98,6 +112,20 @@ type Result struct {
 	// shards.
 	EntryReclaims uint64
 	HorizonStalls uint64
+	// MV is the runtime's retained version depth (0 when
+	// multi-versioning is off). MVReads counts loads served on the
+	// wait-free multi-version path; MVMisses counts declared read-only
+	// transactions that left it (ring overruns, writes under a
+	// read-only declaration) and re-executed validated.
+	MV       int
+	MVReads  uint64
+	MVMisses uint64
+	// ReadSets and WriteSets are the per-committed-transaction (per
+	// task, for TLSTM) set-size histograms folded from the runtimes'
+	// stats shards. Multi-version reads are unlogged, so a read-mostly
+	// run with mv on shows its read-set mass collapse into bucket 0.
+	ReadSets  txstats.Hist
+	WriteSets txstats.Hist
 }
 
 // Throughput reports application operations per 1000 virtual work units
@@ -129,6 +157,10 @@ func (r Result) String() string {
 	if r.EntryReclaims > 0 || r.HorizonStalls > 0 {
 		s += fmt.Sprintf(" reclaim=%-6d stall=%d", r.EntryReclaims, r.HorizonStalls)
 	}
+	if r.MV > 0 || r.MVReads > 0 || r.MVMisses > 0 {
+		s += fmt.Sprintf(" mv=%d mvRead=%-7d mvMiss=%-4d rset[%s] wset[%s]",
+			r.MV, r.MVReads, r.MVMisses, r.ReadSets, r.WriteSets)
+	}
 	return s
 }
 
@@ -151,11 +183,16 @@ func RunSTM(rt *stm.Runtime, w Workload) Result {
 			wk := workers[th]
 			for i := 0; i < w.TxPerThread; i++ {
 				seq := w.Make(th, i)
-				wk.Atomic(func(tx *stm.Tx) {
+				run := func(tx *stm.Tx) {
 					for _, body := range seq {
 						body(tx)
 					}
-				})
+				}
+				if w.declaredRO(th, i) {
+					wk.AtomicRO(run)
+				} else {
+					wk.Atomic(run)
+				}
 			}
 		}(th)
 	}
@@ -167,6 +204,7 @@ func RunSTM(rt *stm.Runtime, w Workload) Result {
 		Wall:  time.Since(start),
 		Clock: rt.ClockName(),
 		CM:    rt.CMName(),
+		MV:    rt.MVDepth(),
 	}
 	for _, wk := range workers {
 		st := wk.Stats()
@@ -179,6 +217,10 @@ func RunSTM(rt *stm.Runtime, w Workload) Result {
 		res.BackoffSpins += st.BackoffSpins
 		res.EntryReclaims += st.EntryReclaims
 		res.HorizonStalls += st.HorizonStalls
+		res.MVReads += st.MVReads
+		res.MVMisses += st.MVMisses
+		res.ReadSets.Merge(st.ReadSetSizes)
+		res.WriteSets.Merge(st.WriteSetSizes)
 		if st.Work > res.VirtualUnits {
 			res.VirtualUnits = st.Work // threads run in parallel
 		}
@@ -193,13 +235,17 @@ type flatStats struct {
 	commits, aborts, work, extensions, clockRetries uint64
 	cmAbortsSelf, cmAbortsOwner, backoffSpins       uint64
 	entryReclaims, horizonStalls                    uint64
+	mvReads, mvMisses                               uint64
+	readSets, writeSets                             txstats.Hist
 }
 
 // runFlat drives a flat-transaction runtime: one goroutine per thread,
-// each TxSeq concatenated into one transaction, per-thread statistics
+// each TxSeq concatenated into one transaction (routed through atomicRO
+// when the workload declares it read-only), per-thread statistics
 // extracted into the shared Result shape. RunTL2 and RunWTSTM are thin
 // wrappers so the fan-out/fold logic exists once.
-func runFlat[S any](w Workload, clockName, cmName string, atomic func(st *S, run func(tm.Tx)), extract func(S) flatStats) Result {
+func runFlat[S any](w Workload, clockName, cmName string, mvDepth int,
+	atomic, atomicRO func(st *S, run func(tm.Tx)), extract func(S) flatStats) Result {
 	start := time.Now()
 	stats := make([]S, w.Threads)
 	var wg sync.WaitGroup
@@ -209,11 +255,16 @@ func runFlat[S any](w Workload, clockName, cmName string, atomic func(st *S, run
 			defer wg.Done()
 			for i := 0; i < w.TxPerThread; i++ {
 				seq := w.Make(th, i)
-				atomic(&stats[th], func(tx tm.Tx) {
+				run := func(tx tm.Tx) {
 					for _, body := range seq {
 						body(tx)
 					}
-				})
+				}
+				if w.declaredRO(th, i) {
+					atomicRO(&stats[th], run)
+				} else {
+					atomic(&stats[th], run)
+				}
 			}
 		}(th)
 	}
@@ -225,6 +276,7 @@ func runFlat[S any](w Workload, clockName, cmName string, atomic func(st *S, run
 		Wall:  time.Since(start),
 		Clock: clockName,
 		CM:    cmName,
+		MV:    mvDepth,
 	}
 	for _, s := range stats {
 		st := extract(s)
@@ -237,6 +289,10 @@ func runFlat[S any](w Workload, clockName, cmName string, atomic func(st *S, run
 		res.BackoffSpins += st.backoffSpins
 		res.EntryReclaims += st.entryReclaims
 		res.HorizonStalls += st.horizonStalls
+		res.MVReads += st.mvReads
+		res.MVMisses += st.mvMisses
+		res.ReadSets.Merge(st.readSets)
+		res.WriteSets.Merge(st.writeSets)
 		if st.work > res.VirtualUnits {
 			res.VirtualUnits = st.work // threads run in parallel
 		}
@@ -246,27 +302,35 @@ func runFlat[S any](w Workload, clockName, cmName string, atomic func(st *S, run
 
 // RunTL2 executes the workload on the TL2 baseline.
 func RunTL2(rt *tl2.Runtime, w Workload) Result {
-	return runFlat(w, rt.ClockName(), rt.CMName(),
+	return runFlat(w, rt.ClockName(), rt.CMName(), rt.MVDepth(),
 		func(st *tl2.Stats, run func(tm.Tx)) {
 			rt.Atomic(st, func(tx *tl2.Tx) { run(tx) })
+		},
+		func(st *tl2.Stats, run func(tm.Tx)) {
+			rt.AtomicRO(st, func(tx *tl2.Tx) { run(tx) })
 		},
 		func(st tl2.Stats) flatStats {
 			return flatStats{st.Commits, st.Aborts, st.Work, st.SnapshotExtensions, st.ClockCASRetries,
 				st.CMAbortsSelf, st.CMAbortsOwner, st.BackoffSpins,
-				st.EntryReclaims, st.HorizonStalls}
+				st.EntryReclaims, st.HorizonStalls,
+				st.MVReads, st.MVMisses, st.ReadSetSizes, st.WriteSetSizes}
 		})
 }
 
 // RunWTSTM executes the workload on the write-through STM.
 func RunWTSTM(rt *wtstm.Runtime, w Workload) Result {
-	return runFlat(w, rt.ClockName(), rt.CMName(),
+	return runFlat(w, rt.ClockName(), rt.CMName(), rt.MVDepth(),
 		func(st *wtstm.Stats, run func(tm.Tx)) {
 			rt.Atomic(st, func(tx *wtstm.Tx) { run(tx) })
+		},
+		func(st *wtstm.Stats, run func(tm.Tx)) {
+			rt.AtomicRO(st, func(tx *wtstm.Tx) { run(tx) })
 		},
 		func(st wtstm.Stats) flatStats {
 			return flatStats{st.Commits, st.Aborts, st.Work, st.SnapshotExtensions, st.ClockCASRetries,
 				st.CMAbortsSelf, st.CMAbortsOwner, st.BackoffSpins,
-				st.EntryReclaims, st.HorizonStalls}
+				st.EntryReclaims, st.HorizonStalls,
+				st.MVReads, st.MVMisses, st.ReadSetSizes, st.WriteSetSizes}
 		})
 }
 
@@ -292,7 +356,13 @@ func RunTLSTM(rt *core.Runtime, w Workload) Result {
 					body := body
 					fns[j] = func(tk *core.Task) { body(tk) }
 				}
-				if err := thr.Atomic(fns...); err != nil {
+				var err error
+				if w.declaredRO(th, i) {
+					err = thr.AtomicRO(fns...)
+				} else {
+					err = thr.Atomic(fns...)
+				}
+				if err != nil {
 					panic(fmt.Sprintf("harness: %v", err))
 				}
 			}
@@ -307,6 +377,7 @@ func RunTLSTM(rt *core.Runtime, w Workload) Result {
 		Wall:  time.Since(start),
 		Clock: rt.ClockName(),
 		CM:    rt.CMName(),
+		MV:    rt.MVDepth(),
 	}
 	for _, thr := range threads {
 		st := thr.Stats()
@@ -322,6 +393,10 @@ func RunTLSTM(rt *core.Runtime, w Workload) Result {
 		res.BackoffSpins += st.BackoffSpins
 		res.EntryReclaims += st.EntryReclaims
 		res.HorizonStalls += st.HorizonStalls
+		res.MVReads += st.MVReads
+		res.MVMisses += st.MVMisses
+		res.ReadSets.Merge(st.ReadSetSizes)
+		res.WriteSets.Merge(st.WriteSetSizes)
 		if st.VirtualTime > res.VirtualUnits {
 			res.VirtualUnits = st.VirtualTime
 		}
@@ -540,6 +615,120 @@ func CompareCM(threads, txPerThread int) []Result {
 			out = append(out, RunTLSTM(rt, w))
 			checkCMSweep(rt.Direct().Load, base, threads, txPerThread)
 			rt.Close()
+		}
+	}
+	return out
+}
+
+// mvSweepWords is the number of shared accounts the CompareMV workload
+// scans: large enough that a read-only transaction's validated read set
+// is worth eliding, small enough that writers keep every account warm.
+const mvSweepWords = 32
+
+// mvScanPasses is how many times a read-only scan traverses the
+// accounts. The scan must outlast the yield quantum (see the runtimes'
+// forced-interleaving grain) so writers commit mid-scan: that is what
+// makes the validated path pay for extensions, revalidations and
+// (TL2) aborts that the wait-free path never performs.
+const mvScanPasses = 4
+
+// readMostlyWorkload is the CompareMV workload at a given read/write
+// mix: one transaction in writerEvery is a writer that transfers one
+// unit between two accounts (total preserved), the rest are declared
+// read-only scans summing every account. Because transfers conserve the
+// (wrapping) total, any consistent snapshot sums to zero — each scan
+// asserts it, so every multi-version read is checked against tearing
+// and too-new values, not just the end state.
+func readMostlyWorkload(name string, base tm.Addr, threads, txPerThread, writerEvery int) Workload {
+	return Workload{
+		Name:        name,
+		Threads:     threads,
+		TxPerThread: txPerThread,
+		OpsPerTx:    1,
+		Make: func(thread, idx int) TxSeq {
+			if idx%writerEvery == 0 {
+				src := (thread*7 + idx) % mvSweepWords
+				dst := (src + 1 + idx%(mvSweepWords-1)) % mvSweepWords
+				return TxSeq{func(tx tm.Tx) {
+					tx.Store(base+tm.Addr(src), tx.Load(base+tm.Addr(src))-1)
+					tx.Store(base+tm.Addr(dst), tx.Load(base+tm.Addr(dst))+1)
+				}}
+			}
+			return TxSeq{func(tx tm.Tx) {
+				var sum uint64
+				for p := 0; p < mvScanPasses; p++ {
+					for j := 0; j < mvSweepWords; j++ {
+						sum += tx.Load(base + tm.Addr(j))
+					}
+				}
+				if sum != 0 {
+					panic(fmt.Sprintf("harness: mv sweep scan saw inconsistent snapshot (sum=%d, want 0)", sum))
+				}
+			}}
+		},
+		ReadOnly: func(thread, idx int) bool { return idx%writerEvery != 0 },
+	}
+}
+
+// checkMVSweep verifies the sweep's end state: transfers conserve the
+// wrapping account total, so the final sum must be zero.
+func checkMVSweep(load func(tm.Addr) uint64, base tm.Addr) {
+	var sum uint64
+	for j := 0; j < mvSweepWords; j++ {
+		sum += load(base + tm.Addr(j))
+	}
+	if sum != 0 {
+		panic(fmt.Sprintf("harness: mv sweep end state sum = %d, want 0 (atomicity violated)", sum))
+	}
+}
+
+// CompareMV runs the read-mostly account-scan workload on all four
+// runtimes at two read/write mixes (90/10 and 99/1) across retained
+// version depths K = 0 (multi-versioning off: every scan validates and
+// extends) through 3, and reports every measurement: throughput, abort
+// and extension counts, wait-free reads and fallback misses per depth.
+// Both the per-scan snapshot assertion and each run's end-state check
+// make the sweep a cross-runtime consistency test for the version
+// store.
+func CompareMV(threads, txPerThread int) []Result {
+	var out []Result
+	for _, mix := range []struct {
+		tag         string
+		writerEvery int
+	}{{"90-10", 10}, {"99-1", 100}} {
+		for k := 0; k <= 3; k++ {
+			label := func(rtName string) string {
+				return fmt.Sprintf("%s/%s/mv%d", rtName, mix.tag, k)
+			}
+			{
+				rt := stm.New(stm.WithMultiVersion(k))
+				base := rt.Direct().Alloc(mvSweepWords)
+				w := readMostlyWorkload(label("SwissTM"), base, threads, txPerThread, mix.writerEvery)
+				out = append(out, RunSTM(rt, w))
+				checkMVSweep(rt.Direct().Load, base)
+			}
+			{
+				rt := tl2.New(20, tl2.WithMultiVersion(k))
+				base := rt.Direct().Alloc(mvSweepWords)
+				w := readMostlyWorkload(label("TL2"), base, threads, txPerThread, mix.writerEvery)
+				out = append(out, RunTL2(rt, w))
+				checkMVSweep(rt.Direct().Load, base)
+			}
+			{
+				rt := wtstm.New(20, wtstm.WithMultiVersion(k))
+				base := rt.Direct().Alloc(mvSweepWords)
+				w := readMostlyWorkload(label("wtstm"), base, threads, txPerThread, mix.writerEvery)
+				out = append(out, RunWTSTM(rt, w))
+				checkMVSweep(rt.Direct().Load, base)
+			}
+			{
+				rt := core.New(core.Config{SpecDepth: 2, MVDepth: k})
+				base := rt.Direct().Alloc(mvSweepWords)
+				w := readMostlyWorkload(label("TLSTM"), base, threads, txPerThread, mix.writerEvery)
+				out = append(out, RunTLSTM(rt, w))
+				checkMVSweep(rt.Direct().Load, base)
+				rt.Close()
+			}
 		}
 	}
 	return out

@@ -322,3 +322,44 @@ func TestCompareSchedPolicies(t *testing.T) {
 			pooled.VirtualUnits, inline.VirtualUnits)
 	}
 }
+
+// CompareMV must cover the depth × runtime × mix matrix, commit
+// everything (every read-only scan asserts its snapshot's account
+// total in-body, and each run's end state is invariant-checked), and
+// actually engage the wait-free path: depth-0 runs report no mv reads,
+// every positive depth reports some, and read-only transactions on the
+// mv path land in the read-set histogram's zero bucket.
+func TestCompareMVMatrix(t *testing.T) {
+	rs := CompareMV(2, 200)
+	if want := 2 * 4 * 4; len(rs) != want {
+		t.Fatalf("CompareMV returned %d results, want %d (2 mixes × 4 depths × 4 runtimes)", len(rs), want)
+	}
+	labels := map[string]bool{}
+	var mvReadsOn uint64
+	for _, r := range rs {
+		if labels[r.Label] {
+			t.Fatalf("duplicate label %q", r.Label)
+		}
+		labels[r.Label] = true
+		if r.TxCommitted != 2*200 {
+			t.Fatalf("%s committed %d, want 400", r.Label, r.TxCommitted)
+		}
+		if r.MV == 0 {
+			if r.MVReads != 0 || r.MVMisses != 0 {
+				t.Fatalf("%s: mv counters moved with multi-versioning off: %d/%d",
+					r.Label, r.MVReads, r.MVMisses)
+			}
+			continue
+		}
+		mvReadsOn += r.MVReads
+		if !strings.Contains(r.String(), "mv=") {
+			t.Fatalf("%s: Result.String does not surface mv counters: %q", r.Label, r.String())
+		}
+		if r.ReadSets[0] == 0 {
+			t.Fatalf("%s: no read-only transaction landed in the empty-read-set bucket", r.Label)
+		}
+	}
+	if mvReadsOn == 0 {
+		t.Fatal("no run with multi-versioning on served a single wait-free read")
+	}
+}

@@ -64,6 +64,41 @@ func BenchmarkWorkerAtomicReadOnly(b *testing.B) {
 	_ = sink
 }
 
+// setupMVWorkers builds a writer/reader pair over a depth-2
+// multi-version runtime for the wait-free read-path benchmarks and the
+// companion zero-alloc assertion.
+func setupMVWorkers(tb testing.TB) (writer, reader *stm.Worker, addrs []tm.Addr) {
+	tb.Helper()
+	rt := stm.New(stm.WithMultiVersion(2))
+	d := rt.Direct()
+	addrs = make([]tm.Addr, benchAddrs)
+	for i := range addrs {
+		addrs[i] = d.Alloc(1)
+	}
+	return rt.NewWorker(), rt.NewWorker(), addrs
+}
+
+// BenchmarkWorkerAtomicROMultiVersion measures one declared read-only
+// transaction on the wait-free multi-version path — begin, 8 unlogged
+// reads, unconditional commit. allocs/op must be 0; compare against
+// BenchmarkWorkerAtomicReadOnly for the validated-path cost.
+func BenchmarkWorkerAtomicROMultiVersion(b *testing.B) {
+	_, reader, addrs := setupMVWorkers(b)
+	var sink uint64
+	scan := func(tx *stm.Tx) {
+		for _, a := range addrs {
+			sink += tx.Load(a)
+		}
+	}
+	reader.AtomicRO(scan)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reader.AtomicRO(scan)
+	}
+	_ = sink
+}
+
 // BenchmarkRuntimeAtomicPooled measures the descriptor-per-call
 // compatibility entry point, which borrows a pooled Worker. allocs/op
 // must also be 0 at steady state.

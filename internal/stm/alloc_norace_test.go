@@ -33,6 +33,35 @@ func TestWorkerAtomicReadOnlyZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestWorkerAtomicROMultiVersionZeroAlloc asserts the headline property
+// of the wait-free read path: a warmed declared read-only transaction
+// on a multi-version runtime allocates nothing — even with a writer
+// committing between scans, which forces the reader through the version
+// ring (Publish and ReadAt are allocation-free by construction).
+func TestWorkerAtomicROMultiVersionZeroAlloc(t *testing.T) {
+	writer, reader, addrs := setupMVWorkers(t)
+	var sink uint64
+	scan := func(tx *stm.Tx) {
+		for _, a := range addrs {
+			sink += tx.Load(a)
+		}
+	}
+	inc := func(tx *stm.Tx) {
+		for _, a := range addrs {
+			tx.Store(a, tx.Load(a)+1)
+		}
+	}
+	writer.Atomic(inc)
+	reader.AtomicRO(scan)
+	if n := testing.AllocsPerRun(200, func() {
+		writer.Atomic(inc)
+		reader.AtomicRO(scan)
+	}); n != 0 {
+		t.Fatalf("warmed mv read-only Atomic (with interleaved writer) allocates %.1f objects/op, want 0", n)
+	}
+	_ = sink
+}
+
 func TestRuntimeAtomicPooledZeroAlloc(t *testing.T) {
 	rt := stm.New()
 	d := rt.Direct()

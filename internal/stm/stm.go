@@ -49,6 +49,7 @@ type config struct {
 	lockTableBits int
 	clk           clock.Source
 	pol           cm.Policy
+	mvDepth       int
 }
 
 // WithLockTableBits sets the lock table to 2^bits pairs.
@@ -68,6 +69,14 @@ func WithCM(pol cm.Policy) Option {
 	return func(c *config) { c.pol = pol }
 }
 
+// WithMultiVersion retains the last k displaced committed versions per
+// word (txlog.VersionedStore) and enables the wait-free read path for
+// transactions run through AtomicRO. k <= 0 disables multi-versioning
+// (the default).
+func WithMultiVersion(k int) Option {
+	return func(c *config) { c.mvDepth = k }
+}
+
 // Runtime is one SwissTM instance: a word store, an allocator, a lock
 // table, the global commit clock and a contention manager. Independent
 // Runtimes are fully isolated from each other.
@@ -78,6 +87,10 @@ type Runtime struct {
 
 	clk clock.Source
 	cm  cm.Policy
+
+	// mv, when non-nil, is the multi-version word store declared
+	// read-only transactions read from without validating.
+	mv *txlog.VersionedStore
 
 	// stats aggregates the shards merged by Worker.Close (SNIPPETS-style
 	// per-thread stats: workers accumulate unshared, merge at exit).
@@ -101,13 +114,26 @@ func New(opts ...Option) *Runtime {
 		c.pol = cm.New(cm.KindGreedy)
 	}
 	st := mem.NewStore()
-	return &Runtime{
+	rt := &Runtime{
 		store: st,
 		alloc: mem.NewAllocator(st),
 		locks: locktable.NewTable(c.lockTableBits),
 		clk:   c.clk,
 		cm:    c.pol,
 	}
+	if c.mvDepth > 0 {
+		rt.mv = txlog.NewVersionedStore(c.mvDepth, txlog.DefaultVersionedStoreBits)
+	}
+	return rt
+}
+
+// MVDepth reports the retained version depth (0 when multi-versioning
+// is off).
+func (rt *Runtime) MVDepth() int {
+	if rt.mv == nil {
+		return 0
+	}
+	return rt.mv.K()
 }
 
 // CommitTS exposes the current global commit timestamp (for tests).
@@ -170,6 +196,19 @@ type Stats struct {
 	// uniform column across runtimes.
 	EntryReclaims uint64
 	HorizonStalls uint64
+	// MVReads counts reads served on the multi-version wait-free path
+	// (current version within snapshot, or a retained version covering
+	// it); MVMisses counts read-only transactions that fell off that
+	// path — a version ring overrun or an undeclared write — and re-ran
+	// validated.
+	MVReads  uint64
+	MVMisses uint64
+	// ReadSetSizes and WriteSetSizes histogram the per-committed-
+	// transaction set sizes (logged reads / locked pairs); read-only
+	// transactions on the multi-version path log nothing, so they land
+	// in bucket 0.
+	ReadSetSizes  txstats.Hist
+	WriteSetSizes txstats.Hist
 }
 
 // Add folds o into s.
@@ -184,6 +223,10 @@ func (s *Stats) Add(o Stats) {
 	s.BackoffSpins += o.BackoffSpins
 	s.EntryReclaims += o.EntryReclaims
 	s.HorizonStalls += o.HorizonStalls
+	s.MVReads += o.MVReads
+	s.MVMisses += o.MVMisses
+	s.ReadSetSizes.Merge(o.ReadSetSizes)
+	s.WriteSetSizes.Merge(o.WriteSetSizes)
 }
 
 // Stats returns the runtime-global aggregate: the sum of every shard
@@ -259,6 +302,15 @@ type Tx struct {
 	aborts  uint64
 	extends uint64 // successful snapshot extensions (all attempts)
 
+	// ro marks a transaction declared read-only (AtomicRO); mvOn is
+	// true while the current transaction runs the multi-version
+	// wait-free read path. A miss clears mvOn for the rest of the
+	// transaction and re-runs it validated — never an error.
+	ro       bool
+	mvOn     bool
+	mvReads  uint64
+	mvMisses uint64
+
 	// cmSelf is the transaction's contention-management identity: its
 	// situational fields are refreshed in place before every conflict
 	// resolution, so the conflict path never allocates. cmProbe holds
@@ -312,6 +364,20 @@ func (w *Worker) Atomic(fn func(tx *Tx)) {
 	w.atomic(&w.stats, fn)
 }
 
+// AtomicRO runs fn as one transaction declared read-only. With
+// multi-versioning enabled (WithMultiVersion), the transaction reads
+// the newest version with timestamp <= its snapshot, appends nothing to
+// the read log, skips validation and extension entirely, and commits
+// unconditionally; a reader overrun by more than K writers falls back
+// to the validated path. If fn stores after all, the transaction
+// silently restarts in validated read-write mode — declaring wrongly
+// costs performance, never correctness.
+func (w *Worker) AtomicRO(fn func(tx *Tx)) {
+	w.tx.ro = true
+	w.atomic(&w.stats, fn)
+	w.tx.ro = false
+}
+
 // Stats returns a snapshot of the worker's unshared shard.
 func (w *Worker) Stats() Stats { return w.stats }
 
@@ -338,6 +404,19 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 	rt.workerPool.Put(w)
 }
 
+// AtomicRO is Atomic with the transaction declared read-only (see
+// Worker.AtomicRO).
+func (rt *Runtime) AtomicRO(st *Stats, fn func(tx *Tx)) {
+	w, _ := rt.workerPool.Get().(*Worker)
+	if w == nil {
+		w = rt.NewWorker()
+	}
+	w.tx.ro = true
+	w.atomic(st, fn)
+	w.tx.ro = false
+	rt.workerPool.Put(w)
+}
+
 // atomic is the retry loop shared by both entry points.
 func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 	tx := &w.tx
@@ -346,6 +425,9 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 	tx.work = 0
 	tx.aborts = 0
 	tx.extends = 0
+	tx.mvOn = tx.ro && tx.rt.mv != nil
+	tx.mvReads = 0
+	tx.mvMisses = 0
 	for {
 		tx.beginAttempt()
 		if tx.attempt(fn) {
@@ -374,6 +456,10 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 		st.BackoffSpins += spins
 		st.EntryReclaims += reclaims
 		st.HorizonStalls += stalls
+		st.MVReads += tx.mvReads
+		st.MVMisses += tx.mvMisses
+		st.ReadSetSizes.Observe(tx.readLog.Len())
+		st.WriteSetSizes.Observe(tx.writeLog.Len())
 	}
 }
 
@@ -441,6 +527,9 @@ func (tx *Tx) checkSignals() {
 
 // Load implements tm.Tx (paper §3.1; TLSTM Alg. 1 line 16 is this path).
 func (tx *Tx) Load(a tm.Addr) uint64 {
+	if tx.mvOn {
+		return tx.loadMV(a)
+	}
 	tx.tick(1)
 	p := tx.rt.locks.For(a)
 	if e := p.W.Load(); e != nil && e.Owner == &tx.owner {
@@ -474,6 +563,43 @@ func (tx *Tx) loadCommitted(p *locktable.Pair, a tm.Addr) uint64 {
 		}
 		tx.readLog.Append(p, v1, nil)
 		return val
+	}
+}
+
+// loadMV is the wait-free read path of a declared read-only transaction
+// under multi-versioning: serve the newest version with timestamp <=
+// the frozen snapshot — from memory when the current version qualifies,
+// else from the version ring — logging nothing and never validating. A
+// ring overrun (more than K commits displaced the version the snapshot
+// needs) re-runs the whole transaction on the validated path: the
+// snapshot cannot be extended in place, because the reads taken so far
+// were unlogged and could not be revalidated forward.
+func (tx *Tx) loadMV(a tm.Addr) uint64 {
+	tx.tick(1)
+	p := tx.rt.locks.For(a)
+	for {
+		v1 := p.R.Load()
+		if v1 != locktable.Locked && v1 <= tx.validTS {
+			val := tx.rt.store.LoadWord(a)
+			if p.R.Load() == v1 {
+				tx.mvReads++
+				return val
+			}
+			continue // torn read: version moved underneath us
+		}
+		if val, ok := tx.rt.mv.ReadAt(a, tx.validTS); ok {
+			tx.mvReads++
+			return val
+		}
+		if v1 == locktable.Locked {
+			// A committer is publishing this pair; its displaced version
+			// lands in the ring, so wait out the brief lock and retry.
+			runtime.Gosched()
+			continue
+		}
+		tx.mvMisses++
+		tx.mvOn = false
+		tx.rollback()
 	}
 }
 
@@ -514,6 +640,14 @@ func (tx *Tx) ownsPair(p *locktable.Pair) bool {
 
 // Store implements tm.Tx: eager w-lock acquisition with redo logging.
 func (tx *Tx) Store(a tm.Addr, v uint64) {
+	if tx.mvOn {
+		// A store in a declared read-only transaction: the earlier
+		// multi-version reads were unlogged at a frozen snapshot, so the
+		// attempt cannot be upgraded in place — re-run it on the
+		// validated read-write path.
+		tx.mvOn = false
+		tx.rollback()
+	}
 	tx.tick(2)
 	p := tx.rt.locks.For(a)
 	waited := 0
@@ -595,6 +729,18 @@ func (tx *Tx) commit() {
 	if !tx.validateCommit() {
 		tx.scratch.Restore()
 		tx.rollback()
+	}
+
+	// Feed the multi-version store while memory still holds the values
+	// this commit is about to overwrite: each written word's old value
+	// was the committed value over [displaced version, ts).
+	if mv := tx.rt.mv; mv != nil {
+		for _, e := range tx.writeLog.Entries() {
+			pre, _ := tx.scratch.Saved(e.Pair)
+			for _, w := range e.Words {
+				mv.Publish(w.Addr, tx.rt.store.LoadWord(w.Addr), pre, ts)
+			}
+		}
 	}
 
 	// Phase 2: publish values, then release locks with the new version.

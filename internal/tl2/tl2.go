@@ -34,6 +34,7 @@ import (
 	"tlstm/internal/mem"
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
+	"tlstm/internal/txstats"
 )
 
 // Locked marks a versioned lock held by a committing transaction.
@@ -65,6 +66,17 @@ func WithCM(pol cm.Policy) Option {
 	return func(rt *Runtime) { rt.cmPol = pol }
 }
 
+// WithMultiVersion retains the last k displaced committed versions per
+// word and enables the wait-free read path for transactions run through
+// AtomicRO. k <= 0 disables multi-versioning (the default).
+func WithMultiVersion(k int) Option {
+	return func(rt *Runtime) {
+		if k > 0 {
+			rt.mv = txlog.NewVersionedStore(k, txlog.DefaultVersionedStoreBits)
+		}
+	}
+}
+
 // Runtime is one TL2 instance.
 type Runtime struct {
 	store *mem.Store
@@ -77,6 +89,10 @@ type Runtime struct {
 
 	locks []atomic.Uint64 // versioned write-locks (version or locked)
 	mask  uint64
+
+	// mv, when non-nil, is the multi-version word store declared
+	// read-only transactions read from without validating.
+	mv *txlog.VersionedStore
 
 	txPool sync.Pool // *Tx descriptors, reused across Atomic calls
 }
@@ -104,6 +120,15 @@ func New(bits int, opts ...Option) *Runtime {
 	}
 	rt.exclusive = rt.clk.Exclusive()
 	return rt
+}
+
+// MVDepth reports the retained version depth (0 when multi-versioning
+// is off).
+func (rt *Runtime) MVDepth() int {
+	if rt.mv == nil {
+		return 0
+	}
+	return rt.mv.K()
 }
 
 // ClockName reports the commit-clock strategy this runtime uses.
@@ -149,6 +174,16 @@ type Stats struct {
 	// runtimes.
 	EntryReclaims uint64
 	HorizonStalls uint64
+	// MVReads counts reads served on the multi-version wait-free path;
+	// MVMisses counts read-only transactions that fell off it (ring
+	// overrun or an undeclared write) and re-ran validated. For TL2 the
+	// path also removes the read-past-rv abort for declared readers.
+	MVReads  uint64
+	MVMisses uint64
+	// ReadSetSizes and WriteSetSizes histogram the per-committed-
+	// transaction set sizes (logged locks / buffered addresses).
+	ReadSetSizes  txstats.Hist
+	WriteSetSizes txstats.Hist
 }
 
 // Add folds o into s.
@@ -163,6 +198,10 @@ func (s *Stats) Add(o Stats) {
 	s.BackoffSpins += o.BackoffSpins
 	s.EntryReclaims += o.EntryReclaims
 	s.HorizonStalls += o.HorizonStalls
+	s.MVReads += o.MVReads
+	s.MVMisses += o.MVMisses
+	s.ReadSetSizes.Merge(o.ReadSetSizes)
+	s.WriteSetSizes.Merge(o.WriteSetSizes)
 }
 
 type rollbackSignal struct{}
@@ -187,6 +226,15 @@ type Tx struct {
 	work   uint64
 	aborts uint64
 
+	// ro marks a transaction declared read-only (AtomicRO); mvOn is
+	// true while it runs the multi-version wait-free read path. A miss
+	// clears mvOn for the rest of the transaction and re-runs it
+	// validated — never an error.
+	ro       bool
+	mvOn     bool
+	mvReads  uint64
+	mvMisses uint64
+
 	// clkProbe accumulates clock CAS retries (and pins this descriptor
 	// to a shard under the sharded strategy).
 	clkProbe clock.Probe
@@ -205,6 +253,20 @@ var _ tm.Tx = (*Tx)(nil)
 
 // Atomic runs fn as one transaction, retrying until commit.
 func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
+	rt.run(st, fn, false)
+}
+
+// AtomicRO runs fn as one transaction declared read-only. With
+// multi-versioning enabled (WithMultiVersion), the transaction reads
+// the newest version with timestamp <= its snapshot, logs nothing,
+// skips validation, and commits unconditionally; a reader overrun by
+// more than K writers — or an undeclared store — silently re-runs the
+// transaction on the validated path.
+func (rt *Runtime) AtomicRO(st *Stats, fn func(tx *Tx)) {
+	rt.run(st, fn, true)
+}
+
+func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 	tx, _ := rt.txPool.Get().(*Tx)
 	if tx == nil {
 		tx = &Tx{rt: rt}
@@ -215,6 +277,10 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 	tx.aborts = 0
 	tx.greedTS.Store(0)
 	tx.cmSelf.Defeats = 0
+	tx.ro = ro
+	tx.mvOn = ro && rt.mv != nil
+	tx.mvReads = 0
+	tx.mvMisses = 0
 	for {
 		tx.rv = rt.clk.Now()
 		tx.readLog.Reset()
@@ -243,7 +309,12 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 		st.CMAbortsSelf += cmSelf
 		st.CMAbortsOwner += cmOwner
 		st.BackoffSpins += spins
+		st.MVReads += tx.mvReads
+		st.MVMisses += tx.mvMisses
+		st.ReadSetSizes.Observe(tx.readLog.Len())
+		st.WriteSetSizes.Observe(tx.writeSet.Len())
 	}
+	tx.ro = false
 	rt.txPool.Put(tx)
 }
 
@@ -280,6 +351,9 @@ func (tx *Tx) tick(units uint64) {
 
 // Load implements tm.Tx: TL2's versioned read with pre/post lock checks.
 func (tx *Tx) Load(a tm.Addr) uint64 {
+	if tx.mvOn {
+		return tx.loadMV(a)
+	}
 	tx.tick(1)
 	if v, buffered := tx.writeSet.Get(a); buffered {
 		return v
@@ -321,8 +395,51 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 	}
 }
 
+// loadMV is the wait-free read path of a declared read-only transaction
+// under multi-versioning: serve the newest version with timestamp <=
+// the frozen read version — from memory when the current version
+// qualifies, else from the version ring — logging nothing. Where
+// baseline TL2 aborts on any read past rv, a declared reader only
+// leaves this path (and re-runs validated) when the ring has been
+// overrun by more than K commits.
+func (tx *Tx) loadMV(a tm.Addr) uint64 {
+	tx.tick(1)
+	l := tx.rt.lockFor(a)
+	for {
+		v1 := l.Load()
+		if v1 != locked && v1 <= tx.rv {
+			val := tx.rt.store.LoadWord(a)
+			if l.Load() == v1 {
+				tx.mvReads++
+				return val
+			}
+			continue // torn read: version moved underneath us
+		}
+		if val, ok := tx.rt.mv.ReadAt(a, tx.rv); ok {
+			tx.mvReads++
+			return val
+		}
+		if v1 == locked {
+			// A committer is publishing this lock; its displaced version
+			// lands in the ring, so wait out the brief hold and retry.
+			runtime.Gosched()
+			continue
+		}
+		tx.mvMisses++
+		tx.mvOn = false
+		tx.rollback()
+	}
+}
+
 // Store implements tm.Tx: writes buffer in the write set until commit.
 func (tx *Tx) Store(a tm.Addr, v uint64) {
+	if tx.mvOn {
+		// A store in a declared read-only transaction: the earlier
+		// multi-version reads were unlogged at a frozen read version, so
+		// re-run the attempt on the validated read-write path.
+		tx.mvOn = false
+		tx.rollback()
+	}
 	tx.tick(2)
 	tx.writeSet.Put(a, v)
 }
@@ -414,6 +531,16 @@ func (tx *Tx) commit() {
 				tx.rollback()
 			}
 		}
+	}
+
+	// Feed the multi-version store while memory still holds the values
+	// this commit is about to overwrite: each written word's old value
+	// was the committed value over [displaced lock version, wv).
+	if mv := tx.rt.mv; mv != nil {
+		tx.writeSet.Range(func(a tm.Addr, _ uint64) {
+			pre, _ := tx.held.Displaced(tx.rt.lockFor(a))
+			mv.Publish(a, tx.rt.store.LoadWord(a), pre, wv)
+		})
 	}
 
 	tx.writeSet.Range(func(a tm.Addr, v uint64) {

@@ -61,10 +61,11 @@ func (ll *LockLog) Len() int { return len(ll.locks) }
 // LockSet tracks the versioned locks a transaction holds, with the
 // version each acquisition displaced, plus a membership index for O(1)
 // holds-this-lock tests (read-own-lock on the load path, self-locked
-// entries during validation). Reset retains all backing storage.
+// entries during validation) and displaced-version lookups (the
+// multi-version publish at commit). Reset retains all backing storage.
 type LockSet struct {
 	held []VersionedRead
-	mine map[*atomic.Uint64]bool
+	mine map[*atomic.Uint64]int32
 }
 
 // Reset empties the set, keeping its backing storage.
@@ -77,14 +78,28 @@ func (ls *LockSet) Reset() {
 // performs the CAS itself (acquisition protocols differ per runtime).
 func (ls *LockSet) Add(l *atomic.Uint64, ver uint64) {
 	if ls.mine == nil {
-		ls.mine = make(map[*atomic.Uint64]bool, 16)
+		ls.mine = make(map[*atomic.Uint64]int32, 16)
 	}
+	ls.mine[l] = int32(len(ls.held))
 	ls.held = append(ls.held, VersionedRead{Lock: l, Version: ver})
-	ls.mine[l] = true
 }
 
 // Holds reports whether l is in the set.
-func (ls *LockSet) Holds(l *atomic.Uint64) bool { return ls.mine[l] }
+func (ls *LockSet) Holds(l *atomic.Uint64) bool {
+	_, ok := ls.mine[l]
+	return ok
+}
+
+// Displaced returns the version this transaction's acquisition of l
+// displaced, if l is in the set. Commit-time version publishing uses it
+// as the `from` stamp of the interval the overwritten value covered.
+func (ls *LockSet) Displaced(l *atomic.Uint64) (uint64, bool) {
+	i, ok := ls.mine[l]
+	if !ok {
+		return 0, false
+	}
+	return ls.held[i].Version, true
+}
 
 // Len reports the number of held locks.
 func (ls *LockSet) Len() int { return len(ls.held) }

@@ -1,0 +1,150 @@
+package txlog
+
+import (
+	"sync/atomic"
+
+	"tlstm/internal/tm"
+)
+
+// mvWords is the flat width of one version entry: address, value, and
+// the [from, to) timestamp interval over which value was the word's
+// committed value.
+const mvWords = 4
+
+// DefaultVersionedStoreBits sizes the version table at 2^16 slots
+// (~0.5 MiB per retained version depth). The table is deliberately
+// smaller than the lock table: versions are a best-effort cache for
+// parked readers, and a hash collision only costs a fallback to the
+// validated read path, never a wrong value.
+const DefaultVersionedStoreBits = 16
+
+// VersionedStore retains, per hashed word slot, a small ring of the
+// last K displaced committed versions. Committers publish into it at
+// commit time, while they hold the word's write lock and memory still
+// holds the value they are about to overwrite; declared read-only
+// transactions whose snapshot predates the current committed version
+// read from it instead of validating (see the runtimes' loadMV paths).
+//
+// Entry format and soundness. Each entry is (addr, val, from, to):
+// val was the committed value of addr over the timestamp interval
+// [from, to), where `from` is the version the publishing commit
+// displaced from the word's lock and `to` is the commit's own
+// timestamp. A reader with snapshot s may consume val iff
+// from <= s < to. The interval makes every entry self-validating:
+// correctness never depends on ring order, on publish completeness, or
+// on which addresses share a slot. When several addresses share a lock,
+// `from` may exceed the address's true last-write timestamp — the entry
+// then claims a sub-interval of the value's real validity, which is
+// conservative and sound.
+//
+// Publishing is lossy by design: a publisher that fails to win a slot's
+// seqlock (two locks hashing onto one version slot) simply skips the
+// publish. A missing entry only sends a reader to the validated path.
+//
+// Retirement needs no second garbage collector: unlike the write-log
+// entries PR 5's FreeRing reclaims, version entries are value-inline —
+// four words, no pointers — so a slot ring retires its oldest version
+// by in-place overwrite under the seqlock, and the interval stamps keep
+// any concurrent reader from consuming a half-overwritten or too-new
+// entry. The committed-version frontier that bounds retention is the
+// same one the FreeRing's horizon tracks: an entry leaves the ring
+// exactly K commits after it was displaced.
+//
+// Concurrency. Per slot: a seqlock word (odd while a publisher is
+// writing) guards K flat entries of atomics. Readers are wait-free
+// (bounded retries, then a miss); publishers never block (failed
+// seqlock acquisition skips). heads is written only under the seqlock,
+// whose acquire/release edges order it across publishers.
+type VersionedStore struct {
+	seqs  []atomic.Uint64 // one seqlock per slot
+	heads []uint32        // per slot: next ring position to overwrite
+	vers  []atomic.Uint64 // slots × k × mvWords flat entries
+	mask  uint64
+	k     int
+}
+
+// NewVersionedStore creates a store with 2^bits slots of k retained
+// versions each. k is clamped to at least 1.
+func NewVersionedStore(k, bits int) *VersionedStore {
+	if k < 1 {
+		k = 1
+	}
+	if bits < 4 || bits > 24 {
+		panic("txlog: versioned store bits out of range [4,24]")
+	}
+	n := 1 << bits
+	return &VersionedStore{
+		seqs:  make([]atomic.Uint64, n),
+		heads: make([]uint32, n),
+		vers:  make([]atomic.Uint64, n*k*mvWords),
+		mask:  uint64(n) - 1,
+		k:     k,
+	}
+}
+
+// K reports the configured version depth.
+func (vs *VersionedStore) K() int { return vs.k }
+
+// Publish records that val was the committed value of a over [from, to).
+// The caller must hold a's write lock (so publishers for one word are
+// serialized); cross-word slot contention makes the publish a no-op.
+// Intervals that are empty — from >= to, possible when a lock-sharing
+// neighbor published between the displaced version and this commit's
+// timestamp — carry no information a reader could use and are skipped.
+func (vs *VersionedStore) Publish(a tm.Addr, val, from, to uint64) {
+	if from >= to {
+		return
+	}
+	s := uint64(a) & vs.mask
+	seq := &vs.seqs[s]
+	v := seq.Load()
+	if v&1 != 0 || !seq.CompareAndSwap(v, v+1) {
+		return // slot busy with another publisher: lossy by design
+	}
+	base := (int(s)*vs.k + int(vs.heads[s])) * mvWords
+	vs.vers[base].Store(uint64(a))
+	vs.vers[base+1].Store(val)
+	vs.vers[base+2].Store(from)
+	vs.vers[base+3].Store(to)
+	if vs.heads[s]++; int(vs.heads[s]) == vs.k {
+		vs.heads[s] = 0
+	}
+	seq.Add(1)
+}
+
+// ReadAt returns the retained value of a at snapshot snap, if the ring
+// still holds a version whose interval covers snap. A miss — no
+// covering entry, or a publisher overwriting the slot faster than the
+// bounded retries — returns ok == false and the caller falls back to
+// its validated read path. ReadAt is wait-free.
+func (vs *VersionedStore) ReadAt(a tm.Addr, snap uint64) (uint64, bool) {
+	s := uint64(a) & vs.mask
+	seq := &vs.seqs[s]
+	base := int(s) * vs.k * mvWords
+	for attempt := 0; attempt < 3; attempt++ {
+		v1 := seq.Load()
+		if v1&1 != 0 {
+			continue // publisher mid-write: reread the seqlock
+		}
+		matched := false
+		var val uint64
+		for i := 0; i < vs.k; i++ {
+			e := base + i*mvWords
+			if vs.vers[e].Load() != uint64(a) {
+				continue
+			}
+			from := vs.vers[e+2].Load()
+			to := vs.vers[e+3].Load()
+			if from <= snap && snap < to {
+				val = vs.vers[e+1].Load()
+				matched = true
+				break
+			}
+		}
+		if seq.Load() != v1 {
+			continue // slot changed under the scan: retry
+		}
+		return val, matched
+	}
+	return 0, false
+}

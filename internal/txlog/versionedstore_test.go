@@ -1,0 +1,112 @@
+package txlog
+
+import (
+	"testing"
+
+	"tlstm/internal/tm"
+)
+
+func TestVersionedStoreIntervalSemantics(t *testing.T) {
+	vs := NewVersionedStore(3, 4)
+	a := tm.Addr(7)
+	vs.Publish(a, 42, 5, 9)
+
+	if v, ok := vs.ReadAt(a, 5); !ok || v != 42 {
+		t.Fatalf("ReadAt(snap=from) = %d, %v; want 42, true", v, ok)
+	}
+	if v, ok := vs.ReadAt(a, 8); !ok || v != 42 {
+		t.Fatalf("ReadAt(snap inside) = %d, %v; want 42, true", v, ok)
+	}
+	if _, ok := vs.ReadAt(a, 4); ok {
+		t.Fatalf("ReadAt(snap < from) hit; want miss")
+	}
+	if _, ok := vs.ReadAt(a, 9); ok {
+		t.Fatalf("ReadAt(snap = to) hit; the interval is half-open, want miss")
+	}
+	if _, ok := vs.ReadAt(tm.Addr(8), 6); ok {
+		t.Fatalf("ReadAt on an unpublished address hit; want miss")
+	}
+}
+
+func TestVersionedStoreEmptyIntervalIgnored(t *testing.T) {
+	vs := NewVersionedStore(2, 4)
+	a := tm.Addr(3)
+	vs.Publish(a, 99, 6, 6) // from >= to: no reader could use it
+	vs.Publish(a, 98, 7, 5)
+	for snap := uint64(0); snap < 10; snap++ {
+		if v, ok := vs.ReadAt(a, snap); ok {
+			t.Fatalf("empty-interval publish became readable: snap=%d val=%d", snap, v)
+		}
+	}
+}
+
+// TestVersionedStoreRingWraparound is the store-level half of the
+// overrun regression: once K fresher versions displace an entry, a
+// reader parked at the old snapshot must get a miss (fall back to the
+// validated path) — never a too-new value.
+func TestVersionedStoreRingWraparound(t *testing.T) {
+	const k = 2
+	vs := NewVersionedStore(k, 4)
+	a := tm.Addr(11)
+	// Consecutive committed versions: val i was current over [i, i+1).
+	for i := uint64(1); i <= k+2; i++ {
+		vs.Publish(a, 100+i, i, i+1)
+	}
+	// Snapshots covered by evicted entries must miss.
+	for snap := uint64(1); snap <= 2; snap++ {
+		if v, ok := vs.ReadAt(a, snap); ok {
+			t.Fatalf("snap=%d served %d after ring wraparound; want miss", snap, v)
+		}
+	}
+	// The last k published versions are still served exactly.
+	for i := uint64(3); i <= k+2; i++ {
+		if v, ok := vs.ReadAt(a, i); !ok || v != 100+i {
+			t.Fatalf("snap=%d = %d, %v; want %d, true", i, v, ok, 100+i)
+		}
+	}
+}
+
+// TestVersionedStoreK1Degenerate pins the K=1 configuration used by the
+// differential test: only the single most recent displaced version is
+// retained, and it still obeys interval semantics.
+func TestVersionedStoreK1Degenerate(t *testing.T) {
+	vs := NewVersionedStore(1, 4)
+	if vs.K() != 1 {
+		t.Fatalf("K() = %d, want 1", vs.K())
+	}
+	a := tm.Addr(5)
+	vs.Publish(a, 10, 1, 2)
+	vs.Publish(a, 20, 2, 3)
+	if _, ok := vs.ReadAt(a, 1); ok {
+		t.Fatalf("K=1 retained the displaced version; want miss at snap=1")
+	}
+	if v, ok := vs.ReadAt(a, 2); !ok || v != 20 {
+		t.Fatalf("ReadAt(2) = %d, %v; want 20, true", v, ok)
+	}
+	if c := NewVersionedStore(0, 4); c.K() != 1 {
+		t.Fatalf("K clamp: NewVersionedStore(0).K() = %d, want 1", c.K())
+	}
+}
+
+// TestVersionedStoreSlotCollision checks that two addresses hashing to
+// the same slot are distinguished by the stored address and only ever
+// cost each other ring capacity, never a wrong value.
+func TestVersionedStoreSlotCollision(t *testing.T) {
+	vs := NewVersionedStore(2, 4)
+	a := tm.Addr(1)
+	b := a + 16 // same slot under 2^4 slots
+	vs.Publish(a, 111, 1, 5)
+	vs.Publish(b, 222, 1, 5)
+	if v, ok := vs.ReadAt(a, 3); !ok || v != 111 {
+		t.Fatalf("ReadAt(a) = %d, %v; want 111, true", v, ok)
+	}
+	if v, ok := vs.ReadAt(b, 3); !ok || v != 222 {
+		t.Fatalf("ReadAt(b) = %d, %v; want 222, true", v, ok)
+	}
+	// A third publish into the shared ring evicts a's entry; a must then
+	// miss rather than serve b's value.
+	vs.Publish(b, 333, 5, 6)
+	if v, ok := vs.ReadAt(a, 3); ok {
+		t.Fatalf("evicted address served %d from a colliding slot; want miss", v)
+	}
+}

@@ -1,0 +1,110 @@
+package txstats
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// HistBuckets is the number of power-of-two buckets in a Hist. Bucket 0
+// counts observations of 0; bucket b >= 1 counts observations in
+// [2^(b-1), 2^b). The last bucket absorbs everything larger.
+const HistBuckets = 16
+
+// Hist is a fixed-size power-of-two histogram of small per-transaction
+// set sizes (read-set and write-set lengths). It follows the shard
+// idiom of this package: a Hist lives inside a runtime's Stats shard,
+// Observe is called by the owning worker only, and shards are folded
+// with Merge at synchronization boundaries. The zero value is ready to
+// use, and the type is a plain comparable array so Stats structs that
+// embed it stay comparable.
+type Hist [HistBuckets]uint64
+
+func histBucket(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	b := bits.Len(uint(n))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// histUpper is the inclusive upper bound of bucket b.
+func histUpper(b int) int {
+	if b == 0 {
+		return 0
+	}
+	return 1<<b - 1
+}
+
+// Observe counts one set of size n.
+func (h *Hist) Observe(n int) { h[histBucket(n)]++ }
+
+// Merge folds another histogram into this one (shard → aggregate).
+func (h *Hist) Merge(o Hist) {
+	for i := range h {
+		h[i] += o[i]
+	}
+}
+
+// Minus returns the bucket-wise difference h − o (windowed Sync deltas).
+func (h Hist) Minus(o Hist) Hist {
+	var d Hist
+	for i := range h {
+		d[i] = h[i] - o[i]
+	}
+	return d
+}
+
+// Total reports the number of observations.
+func (h Hist) Total() uint64 {
+	var n uint64
+	for _, c := range h {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns an inclusive upper bound on the q-quantile (0 < q <=
+// 1) of the observed sizes: the upper edge of the first bucket at which
+// the cumulative count reaches q·Total. An empty histogram reports 0.
+func (h Hist) Quantile(q float64) int {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	need := uint64(q * float64(total))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for b, c := range h {
+		cum += c
+		if cum >= need {
+			return histUpper(b)
+		}
+	}
+	return histUpper(HistBuckets - 1)
+}
+
+// Max returns an inclusive upper bound on the largest observed size.
+func (h Hist) Max() int {
+	for b := HistBuckets - 1; b >= 0; b-- {
+		if h[b] != 0 {
+			return histUpper(b)
+		}
+	}
+	return 0
+}
+
+// String renders the summary figures consume: observation count and
+// quantile bounds.
+func (h Hist) String() string {
+	total := h.Total()
+	if total == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d p50<=%d p90<=%d max<=%d",
+		total, h.Quantile(0.5), h.Quantile(0.9), h.Max())
+}

@@ -1,0 +1,71 @@
+package txstats
+
+import "testing"
+
+func TestHistBucketEdges(t *testing.T) {
+	cases := []struct{ n, bucket int }{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 14, 15}, {1 << 20, 15},
+	}
+	for _, c := range cases {
+		if b := histBucket(c.n); b != c.bucket {
+			t.Errorf("histBucket(%d) = %d, want %d", c.n, b, c.bucket)
+		}
+	}
+	if u := histUpper(0); u != 0 {
+		t.Errorf("histUpper(0) = %d, want 0", u)
+	}
+	if u := histUpper(3); u != 7 {
+		t.Errorf("histUpper(3) = %d, want 7", u)
+	}
+}
+
+func TestHistObserveQuantileMax(t *testing.T) {
+	var h Hist
+	if h.String() != "n=0" {
+		t.Fatalf("empty String() = %q, want n=0", h.String())
+	}
+	if h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatalf("empty hist reported nonzero quantile/max")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	if got := h.Total(); got != 100 {
+		t.Fatalf("Total = %d, want 100", got)
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Fatalf("p50 = %d, want 1", q)
+	}
+	if q := h.Quantile(0.95); q != 127 {
+		t.Fatalf("p95 = %d, want 127 (upper edge of 100's bucket)", q)
+	}
+	if m := h.Max(); m != 127 {
+		t.Fatalf("Max = %d, want 127", m)
+	}
+}
+
+func TestHistMergeMinus(t *testing.T) {
+	var a, b Hist
+	a.Observe(0)
+	a.Observe(5)
+	b.Observe(5)
+	b.Observe(9)
+
+	sum := a
+	sum.Merge(b)
+	if sum.Total() != 4 {
+		t.Fatalf("merged Total = %d, want 4", sum.Total())
+	}
+	d := sum.Minus(a)
+	if d != b {
+		t.Fatalf("Minus: got %v, want %v", d, b)
+	}
+	// Comparable-array property the Stats delta checks rely on.
+	if (Hist{}) != (Hist{}) || d == (Hist{}) {
+		t.Fatalf("Hist comparability broken")
+	}
+}

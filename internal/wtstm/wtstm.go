@@ -37,6 +37,7 @@ import (
 	"tlstm/internal/mem"
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
+	"tlstm/internal/txstats"
 )
 
 const locked = ^uint64(0)
@@ -70,6 +71,20 @@ func WithCM(pol cm.Policy) Option {
 	return func(rt *Runtime) { rt.cmPol = pol }
 }
 
+// WithMultiVersion retains the last k displaced committed versions per
+// word and enables the wait-free read path for transactions run through
+// AtomicRO. For a write-through runtime this is the difference between
+// a reader aborting on any eagerly locked word and reading straight
+// past it from the ring. k <= 0 disables multi-versioning (the
+// default).
+func WithMultiVersion(k int) Option {
+	return func(rt *Runtime) {
+		if k > 0 {
+			rt.mv = txlog.NewVersionedStore(k, txlog.DefaultVersionedStoreBits)
+		}
+	}
+}
+
 // Runtime is one write-through STM instance.
 type Runtime struct {
 	store *mem.Store
@@ -82,6 +97,10 @@ type Runtime struct {
 
 	locks []atomic.Uint64
 	mask  uint64
+
+	// mv, when non-nil, is the multi-version word store declared
+	// read-only transactions read from without validating.
+	mv *txlog.VersionedStore
 
 	txPool sync.Pool // *Tx descriptors, reused across Atomic calls
 }
@@ -109,6 +128,15 @@ func New(bits int, opts ...Option) *Runtime {
 	}
 	rt.exclusive = rt.clk.Exclusive()
 	return rt
+}
+
+// MVDepth reports the retained version depth (0 when multi-versioning
+// is off).
+func (rt *Runtime) MVDepth() int {
+	if rt.mv == nil {
+		return 0
+	}
+	return rt.mv.K()
 }
 
 // ClockName reports the commit-clock strategy this runtime uses.
@@ -153,6 +181,16 @@ type Stats struct {
 	// report a uniform column across runtimes.
 	EntryReclaims uint64
 	HorizonStalls uint64
+	// MVReads counts reads served on the multi-version wait-free path;
+	// MVMisses counts read-only transactions that fell off it (ring
+	// overrun, a word locked by an in-flight writer with no covering
+	// version, or an undeclared write) and re-ran validated.
+	MVReads  uint64
+	MVMisses uint64
+	// ReadSetSizes and WriteSetSizes histogram the per-committed-
+	// transaction set sizes (logged reads / held locks).
+	ReadSetSizes  txstats.Hist
+	WriteSetSizes txstats.Hist
 }
 
 // Add folds o into s.
@@ -167,6 +205,10 @@ func (s *Stats) Add(o Stats) {
 	s.BackoffSpins += o.BackoffSpins
 	s.EntryReclaims += o.EntryReclaims
 	s.HorizonStalls += o.HorizonStalls
+	s.MVReads += o.MVReads
+	s.MVMisses += o.MVMisses
+	s.ReadSetSizes.Merge(o.ReadSetSizes)
+	s.WriteSetSizes.Merge(o.WriteSetSizes)
 }
 
 type rollbackSignal struct{}
@@ -189,6 +231,24 @@ type Tx struct {
 	aborts  uint64
 	extends uint64
 
+	// ro marks a transaction declared read-only (AtomicRO); mvOn is
+	// true while it runs the multi-version wait-free read path. A miss
+	// clears mvOn for the rest of the transaction and re-runs it
+	// validated — never an error.
+	ro       bool
+	mvOn     bool
+	mvReads  uint64
+	mvMisses uint64
+
+	// mvSeen dedupes undo records per address during the commit-time
+	// version publish (the undo log holds one record per Store, and only
+	// the first per address carries the original committed value).
+	mvSeen map[tm.Addr]struct{}
+
+	// lastWrites snapshots held.Len() at commit, before Publish empties
+	// the set, for the write-set-size histogram.
+	lastWrites int
+
 	// clkProbe accumulates clock CAS retries (and pins this descriptor
 	// to a shard under the sharded strategy).
 	clkProbe clock.Probe
@@ -207,6 +267,20 @@ var _ tm.Tx = (*Tx)(nil)
 
 // Atomic runs fn as one transaction, retrying until commit.
 func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
+	rt.run(st, fn, false)
+}
+
+// AtomicRO runs fn as one transaction declared read-only. With
+// multi-versioning enabled (WithMultiVersion), the transaction reads
+// the newest version with timestamp <= its snapshot, logs nothing,
+// skips validation, and commits unconditionally; a reader overrun by
+// more than K writers — or an undeclared store — silently re-runs the
+// transaction on the validated path.
+func (rt *Runtime) AtomicRO(st *Stats, fn func(tx *Tx)) {
+	rt.run(st, fn, true)
+}
+
+func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 	tx, _ := rt.txPool.Get().(*Tx)
 	if tx == nil {
 		tx = &Tx{rt: rt}
@@ -218,6 +292,11 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 	tx.extends = 0
 	tx.greedTS.Store(0)
 	tx.cmSelf.Defeats = 0
+	tx.ro = ro
+	tx.mvOn = ro && rt.mv != nil
+	tx.mvReads = 0
+	tx.mvMisses = 0
+	tx.lastWrites = 0
 	for {
 		tx.rv = rt.clk.Now()
 		tx.readLog.Reset()
@@ -247,7 +326,12 @@ func (rt *Runtime) Atomic(st *Stats, fn func(tx *Tx)) {
 		st.CMAbortsSelf += cmSelf
 		st.CMAbortsOwner += cmOwner
 		st.BackoffSpins += spins
+		st.MVReads += tx.mvReads
+		st.MVMisses += tx.mvMisses
+		st.ReadSetSizes.Observe(tx.readLog.Len())
+		st.WriteSetSizes.Observe(tx.lastWrites)
 	}
+	tx.ro = false
 	rt.txPool.Put(tx)
 }
 
@@ -299,6 +383,9 @@ func (tx *Tx) tick(units uint64) {
 
 // Load implements tm.Tx.
 func (tx *Tx) Load(a tm.Addr) uint64 {
+	if tx.mvOn {
+		return tx.loadMV(a)
+	}
 	tx.tick(1)
 	l := tx.rt.lockFor(a)
 	if tx.held.Holds(l) {
@@ -341,6 +428,40 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 	}
 }
 
+// loadMV is the wait-free read path of a declared read-only transaction
+// under multi-versioning: serve the newest version with timestamp <=
+// the frozen read version — from memory when the current version
+// qualifies, else from the version ring — logging nothing and never
+// consulting the contention manager. For this write-through runtime the
+// ring is what lets a reader pass a word another transaction holds
+// eagerly locked for its whole lifetime: memory holds uncommitted
+// in-place data, but the last committed versions are retained. A miss
+// (ring overrun, or a locked word whose committed value predates the
+// ring) re-runs the whole transaction validated — the owner can hold
+// the lock arbitrarily long, so waiting here is not an option.
+func (tx *Tx) loadMV(a tm.Addr) uint64 {
+	tx.tick(1)
+	l := tx.rt.lockFor(a)
+	for {
+		v1 := l.Load()
+		if v1 != locked && v1 <= tx.rv {
+			val := tx.rt.store.LoadWord(a)
+			if l.Load() == v1 {
+				tx.mvReads++
+				return val
+			}
+			continue // torn read: version moved underneath us
+		}
+		if val, ok := tx.rt.mv.ReadAt(a, tx.rv); ok {
+			tx.mvReads++
+			return val
+		}
+		tx.mvMisses++
+		tx.mvOn = false
+		tx.rollback()
+	}
+}
+
 // extendTo revalidates the read log and advances rv after asking the
 // clock to cover the witnessed stamp (pre-publishing strategies only
 // advance on Observe; without it the stamp that sent us here would
@@ -369,6 +490,13 @@ func (tx *Tx) extendTo(witness uint64) bool {
 
 // Store implements tm.Tx: eager lock, undo log, in-place update.
 func (tx *Tx) Store(a tm.Addr, v uint64) {
+	if tx.mvOn {
+		// A store in a declared read-only transaction: the earlier
+		// multi-version reads were unlogged at a frozen read version, so
+		// re-run the attempt on the validated read-write path.
+		tx.mvOn = false
+		tx.rollback()
+	}
 	tx.tick(2)
 	l := tx.rt.lockFor(a)
 	if !tx.held.Holds(l) {
@@ -440,9 +568,35 @@ func (tx *Tx) commit() {
 		}
 	}
 	tx.work += uint64(tx.held.Len())
+	// Feed the multi-version store before the undo log is dropped:
+	// memory already holds this transaction's in-place values, so the
+	// displaced committed value of each written word lives in its first
+	// undo record, valid over [displaced lock version, wv).
+	if mv := tx.rt.mv; mv != nil {
+		tx.publishVersions(wv)
+	}
+	tx.lastWrites = tx.held.Len()
 	tx.undo.Reset()
 	tx.held.Publish(wv)
 	tx.applyFrees()
+}
+
+// publishVersions walks the undo log in append order, keeping the first
+// record per address (the original committed value — later records for
+// the same address saved this transaction's own in-place writes).
+func (tx *Tx) publishVersions(wv uint64) {
+	if tx.mvSeen == nil {
+		tx.mvSeen = make(map[tm.Addr]struct{}, 16)
+	}
+	for _, rec := range tx.undo.Recs() {
+		if _, dup := tx.mvSeen[rec.Addr]; dup {
+			continue
+		}
+		tx.mvSeen[rec.Addr] = struct{}{}
+		pre, _ := tx.held.Displaced(tx.rt.lockFor(rec.Addr))
+		tx.rt.mv.Publish(rec.Addr, rec.Old, pre, wv)
+	}
+	clear(tx.mvSeen)
 }
 
 func (tx *Tx) applyFrees() {
