@@ -26,6 +26,7 @@ import (
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
 	"tlstm/internal/harness"
+	"tlstm/internal/txtrace"
 )
 
 func main() {
@@ -46,11 +47,32 @@ func run() int {
 	mvCmp := flag.Bool("mvs", false, "sweep retained version depths K=0..3 across all four runtimes on read-mostly workloads at 90/10 and 99/1 mixes (throughput, aborts, wait-free reads and fallback misses per depth)")
 	jsonPath := flag.String("json", "", "with -mvs: also write the sweep results as JSON to this file")
 	format := flag.String("format", "table", `output format: "table" or "csv"`)
+	traceFile := flag.String("trace", "", "arm the flight recorder in every runtime the figures build and write the binary trace dump (TXTRACE1) here on exit; inspect with tlstm-trace")
 	flag.Parse()
 
 	sc := harness.DefaultScale()
 	if *quick {
 		sc = harness.QuickScale()
+	}
+	if *traceFile != "" {
+		sc.Trace = txtrace.NewRecorder(0)
+		defer func() {
+			// Figure runs join every worker/thread before returning, so
+			// all ring owners are quiesced by the time we get here.
+			f, err := os.Create(*traceFile)
+			if err == nil {
+				err = sc.Trace.Dump(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tlstm-bench: -trace: %v\n", err)
+				return
+			}
+			fmt.Printf("trace: %d rings, %d events, %d dropped -> %s\n",
+				len(sc.Trace.Rings()), sc.Trace.Events(), sc.Trace.Drops(), *traceFile)
+		}()
 	}
 	kind, err := clock.Parse(*clockName)
 	if err != nil {

@@ -36,6 +36,9 @@ import (
 	"tlstm/internal/harness"
 	"tlstm/internal/sched"
 	"tlstm/internal/tm"
+	"tlstm/internal/txmetrics"
+	"tlstm/internal/txstats"
+	"tlstm/internal/txtrace"
 	"tlstm/internal/xrand"
 )
 
@@ -62,6 +65,8 @@ func run() int {
 	mvDepth := flag.Int("mv", 0, "retained version depth for the soak runtime (0 disables multi-versioning)")
 	mvCmp := flag.Bool("mvs", false, "run the invariant-checked multi-version depth sweep (K=0..3 × all runtimes, read-mostly mixes) instead of the soak; -seconds scales the transaction count")
 	roMix := flag.Int("romix", 0, "percent of soak transactions that are declared read-only scans: each task sums every account at the transaction's snapshot and requires the exact preserved total")
+	traceFile := flag.String("trace", "", "arm the flight recorder and write the binary trace dump (TXTRACE1) to this file when the soak ends; inspect with tlstm-trace")
+	metricsAddr := flag.String("metrics", "", "serve live metrics over HTTP on this address (/debug/vars, /debug/pprof) and print one-line stat deltas every 2s; threads sync their stats shards periodically so the feed is live")
 	flag.Parse()
 
 	if *mvCmp {
@@ -110,11 +115,68 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "tlstm-stress: %v\n", err)
 		return 2
 	}
+	var rec *txtrace.Recorder
+	if *traceFile != "" {
+		rec = txtrace.NewRecorder(0)
+	}
 	rt := core.New(core.Config{
 		SpecDepth: *depth, Policy: policy, Clock: clock.New(kind), CM: cm.New(cmKind),
 		ReclaimRing: *reclaimRing, ReclaimAudit: *reclaimAudit, MVDepth: *mvDepth,
+		Trace: rec,
 	})
 	defer rt.Close()
+
+	// syncEvery > 0 makes each soak thread merge its stats shard into
+	// the runtime aggregate every N transactions, so the live metrics
+	// feed moves during the run instead of only at the end. A Sync after
+	// a completed Atomic is nearly free (the thread is quiescent).
+	syncEvery := 0
+	stopMetrics := make(chan struct{})
+	if *metricsAddr != "" {
+		syncEvery = 512
+		pub := txmetrics.New()
+		pub.AddSource("tlstm", func() txmetrics.Snapshot {
+			st := rt.Stats()
+			return txmetrics.Snapshot{
+				Counters: map[string]uint64{
+					"committed": st.TxCommitted, "txAborts": st.TxAborted,
+					"taskRestarts": st.TaskRestarts, "work": st.Work,
+					"extensions": st.SnapshotExtensions, "clockRetries": st.ClockCASRetries,
+					"cmAbortsSelf": st.CMAbortsSelf, "cmAbortsOwner": st.CMAbortsOwner,
+					"backoffSpins": st.BackoffSpins, "entryReclaims": st.EntryReclaims,
+					"horizonStalls": st.HorizonStalls, "mvReads": st.MVReads, "mvMisses": st.MVMisses,
+				},
+				Hists: map[string]txstats.Hist{
+					"commitLat": st.CommitLatency, "restartLat": st.RestartLatency,
+					"attempts": st.Attempts,
+				},
+			}
+		})
+		if rec != nil {
+			pub.SetTrace(rec)
+		}
+		pub.Publish("tlstm")
+		bound, err := txmetrics.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlstm-stress: -metrics: %v\n", err)
+			return 2
+		}
+		fmt.Printf("metrics: serving http://%s/debug/vars (pprof at /debug/pprof)\n", bound)
+		go func() {
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopMetrics:
+					return
+				case <-tick.C:
+					if line := pub.DeltaLine(); line != "" {
+						fmt.Printf("metrics: %s\n", line)
+					}
+				}
+			}
+		}()
+	}
 	d := rt.Direct()
 	const initial = 1_000_000
 	base := d.Alloc(*accounts)
@@ -149,7 +211,14 @@ func run() int {
 					panic(fmt.Sprintf("tlstm-stress: read-only scan saw total=%d want=%d", sum, want))
 				}
 			}
+			txSinceSync := 0
 			for time.Now().Before(deadline) {
+				if syncEvery > 0 {
+					if txSinceSync++; txSinceSync >= syncEvery {
+						thr.Sync() // publish this shard to the live metrics feed
+						txSinceSync = 0
+					}
+				}
 				if *roMix > 0 && r.next()%100 < uint64(*roMix) {
 					// Every task of the declared read-only transaction
 					// scans independently; with SPECDEPTH > 1 this also
@@ -195,19 +264,42 @@ func run() int {
 	for w := 0; w < *threads; w++ {
 		total.Add(<-done)
 	}
+	close(stopMetrics)
+
+	if rec != nil {
+		// Every thread has Synced and its completion was received above,
+		// so every ring owner is quiesced: the dump is race-free.
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlstm-stress: -trace: %v\n", err)
+			return 1
+		}
+		if err := rec.Dump(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "tlstm-stress: writing trace: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tlstm-stress: writing trace: %v\n", err)
+			return 1
+		}
+		fmt.Printf("trace: %d rings, %d events, %d dropped -> %s\n",
+			len(rec.Rings()), rec.Events(), rec.Drops(), *traceFile)
+	}
 
 	var sum uint64
 	for i := 0; i < *accounts; i++ {
 		sum += d.Load(base + tm.Addr(i))
 	}
 	want := uint64(*accounts) * initial
-	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d clock=%s ext=%d clkRetry=%d cm=%s cmSelf=%d cmOwner=%d spins=%d reclaim=%d stall=%d mv=%d mvRead=%d mvMiss=%d rset[%s] wset[%s]\n",
+	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d clock=%s ext=%d clkRetry=%d cm=%s cmSelf=%d cmOwner=%d spins=%d reclaim=%d stall=%d mv=%d mvRead=%d mvMiss=%d rset[%s] wset[%s] commitLat[%s] attempts[%s] restartLat[%s]\n",
 		total.TxCommitted, total.TxAborted, total.TaskRestarts, total.Work,
 		total.WorkersSpawned, total.DescriptorReuses,
 		rt.ClockName(), total.SnapshotExtensions, total.ClockCASRetries,
 		rt.CMName(), total.CMAbortsSelf, total.CMAbortsOwner, total.BackoffSpins,
 		total.EntryReclaims, total.HorizonStalls,
-		rt.MVDepth(), total.MVReads, total.MVMisses, total.ReadSetSizes, total.WriteSetSizes)
+		rt.MVDepth(), total.MVReads, total.MVMisses, total.ReadSetSizes, total.WriteSetSizes,
+		total.CommitLatency, total.Attempts, total.RestartLatency)
 	if sum != want {
 		fmt.Printf("FAIL: total=%d want=%d (atomicity violated)\n", sum, want)
 		return 1

@@ -1,0 +1,359 @@
+// Command tlstm-trace inspects binary flight-recorder dumps written by
+// the runtimes' -trace flag (internal/txtrace format, magic TXTRACE1).
+//
+// Formats:
+//
+//	-format summary   per-ring abort-chain and CM-defeat summaries (default)
+//	-format text      one line per event, decoded
+//	-format json      the whole trace as JSON, kinds and codes named
+//	-format perfetto  Chrome trace_event JSON: open in Perfetto
+//	                  (ui.perfetto.dev) or chrome://tracing
+//
+// Every invocation first validates the dump's structural invariants
+// (monotonic per-ring sequences, known kinds, non-decreasing times) and
+// fails if they do not hold: this tool is the reference consumer of the
+// format the future opacity checker will parse.
+//
+//	tlstm-stress -seconds 5 -trace /tmp/run.trace
+//	tlstm-trace -format perfetto /tmp/run.trace > /tmp/run.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"tlstm/internal/cm"
+	"tlstm/internal/txtrace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	format := flag.String("format", "summary", `output format: "summary", "text", "json" or "perfetto"`)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tlstm-trace [-format summary|text|json|perfetto] <trace-file>")
+		return 2
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlstm-trace: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	tr, err := txtrace.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlstm-trace: %v\n", err)
+		return 1
+	}
+	if err := tr.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "tlstm-trace: invalid trace: %v\n", err)
+		return 1
+	}
+
+	w := os.Stdout
+	switch *format {
+	case "summary":
+		err = writeSummary(w, tr)
+	case "text":
+		err = writeText(w, tr)
+	case "json":
+		err = writeJSON(w, tr)
+	case "perfetto":
+		err = writePerfetto(w, tr)
+	default:
+		fmt.Fprintf(os.Stderr, "tlstm-trace: unknown format %q\n", *format)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlstm-trace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// text
+// ---------------------------------------------------------------------------
+
+// pointName names a conflict point for output (cm.Point has no String).
+func pointName(p cm.Point) string {
+	switch p {
+	case cm.PointEncounter:
+		return "encounter"
+	case cm.PointCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("point(%d)", int(p))
+	}
+}
+
+// describe decodes an event's kind-specific fields for human output.
+func describe(e txtrace.Event) string {
+	switch txtrace.Kind(e.Kind) {
+	case txtrace.KindTxBegin:
+		return fmt.Sprintf("serial=%d", e.Arg)
+	case txtrace.KindAttemptStart:
+		return fmt.Sprintf("attempt=%d", e.Arg)
+	case txtrace.KindRead, txtrace.KindWrite:
+		return fmt.Sprintf("addr=%#x aux=%d", e.Arg, e.Aux)
+	case txtrace.KindValidate:
+		return fmt.Sprintf("readSet=%d ok=%d", e.Arg, e.Aux)
+	case txtrace.KindExtend:
+		return fmt.Sprintf("bound=%d ok=%d", e.Arg, e.Aux)
+	case txtrace.KindCMDecision:
+		dec, point := txtrace.CMAuxDecode(e.Aux)
+		return fmt.Sprintf("addr=%#x decision=%s point=%s", e.Arg, cm.Decision(dec), pointName(cm.Point(point)))
+	case txtrace.KindAbort:
+		return fmt.Sprintf("serial=%d reason=%s", e.Arg, txtrace.AbortReasonString(e.Aux))
+	case txtrace.KindCommit:
+		return fmt.Sprintf("writeSet=%d", e.Arg)
+	case txtrace.KindReclaim:
+		return fmt.Sprintf("retireSerial=%d epoch=%d", e.Arg, e.Aux)
+	default:
+		return fmt.Sprintf("arg=%d aux=%d", e.Arg, e.Aux)
+	}
+}
+
+func writeText(w io.Writer, tr *txtrace.Trace) error {
+	for _, rd := range tr.Rings {
+		if _, err := fmt.Fprintf(w, "ring %d %q: %d events, %d dropped\n",
+			rd.ID, rd.Label, len(rd.Events), rd.Drops); err != nil {
+			return err
+		}
+		for _, e := range rd.Events {
+			if _, err := fmt.Fprintf(w, "  [%6d] +%-12d %-12s clock=%-8d %s\n",
+				e.Seq, e.Time, txtrace.Kind(e.Kind), e.Clock, describe(e)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// json
+// ---------------------------------------------------------------------------
+
+type jsonEvent struct {
+	Seq   uint64 `json:"seq"`
+	Time  int64  `json:"time"`
+	Kind  string `json:"kind"`
+	Clock uint64 `json:"clock"`
+	Arg   uint64 `json:"arg"`
+	Aux   uint32 `json:"aux"`
+	Desc  string `json:"desc"`
+}
+
+type jsonRing struct {
+	ID     uint32      `json:"id"`
+	Label  string      `json:"label"`
+	Drops  uint64      `json:"drops"`
+	Events []jsonEvent `json:"events"`
+}
+
+func writeJSON(w io.Writer, tr *txtrace.Trace) error {
+	out := struct {
+		StartUnixNanos int64      `json:"startUnixNanos"`
+		Rings          []jsonRing `json:"rings"`
+	}{StartUnixNanos: tr.StartUnixNanos}
+	for _, rd := range tr.Rings {
+		jr := jsonRing{ID: rd.ID, Label: rd.Label, Drops: rd.Drops, Events: make([]jsonEvent, 0, len(rd.Events))}
+		for _, e := range rd.Events {
+			jr.Events = append(jr.Events, jsonEvent{
+				Seq: e.Seq, Time: e.Time, Kind: txtrace.Kind(e.Kind).String(),
+				Clock: e.Clock, Arg: e.Arg, Aux: e.Aux, Desc: describe(e),
+			})
+		}
+		out.Rings = append(out.Rings, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ---------------------------------------------------------------------------
+// summary
+// ---------------------------------------------------------------------------
+
+type ringSummary struct {
+	commits, aborts uint64
+	byReason        map[uint32]uint64
+	// abort chains: runs of consecutive aborts with no commit between
+	// them. chainMax is the longest observed; chains counts runs.
+	chainMax, chainCur, chains uint64
+	// CM tallies: resolutions seen, split by verdict. "Defeats" are
+	// AbortSelf verdicts — conflicts this ring lost.
+	cmSeen, cmDefeats, cmWins, cmWaits uint64
+}
+
+func summarize(rd txtrace.RingDump) ringSummary {
+	s := ringSummary{byReason: map[uint32]uint64{}}
+	for _, e := range rd.Events {
+		switch txtrace.Kind(e.Kind) {
+		case txtrace.KindAbort:
+			s.aborts++
+			s.byReason[e.Aux]++
+			s.chainCur++
+			if s.chainCur == 1 {
+				s.chains++
+			}
+			if s.chainCur > s.chainMax {
+				s.chainMax = s.chainCur
+			}
+		case txtrace.KindCommit:
+			s.commits++
+			s.chainCur = 0
+		case txtrace.KindCMDecision:
+			dec, _ := txtrace.CMAuxDecode(e.Aux)
+			s.cmSeen++
+			switch cm.Decision(dec) {
+			case cm.AbortSelf:
+				s.cmDefeats++
+			case cm.AbortOwner:
+				s.cmWins++
+			case cm.Wait:
+				s.cmWaits++
+			}
+		}
+	}
+	return s
+}
+
+func writeSummary(w io.Writer, tr *txtrace.Trace) error {
+	var total ringSummary
+	total.byReason = map[uint32]uint64{}
+	for _, rd := range tr.Rings {
+		s := summarize(rd)
+		total.commits += s.commits
+		total.aborts += s.aborts
+		total.chains += s.chains
+		if s.chainMax > total.chainMax {
+			total.chainMax = s.chainMax
+		}
+		total.cmSeen += s.cmSeen
+		total.cmDefeats += s.cmDefeats
+		total.cmWins += s.cmWins
+		total.cmWaits += s.cmWaits
+		for k, v := range s.byReason {
+			total.byReason[k] += v
+		}
+		if _, err := fmt.Fprintf(w, "ring %3d %-24q events=%-7d drops=%-5d commits=%-6d aborts=%-6d chains=%d maxChain=%d cm[seen=%d defeats=%d wins=%d waits=%d]%s\n",
+			rd.ID, rd.Label, len(rd.Events), rd.Drops, s.commits, s.aborts,
+			s.chains, s.chainMax, s.cmSeen, s.cmDefeats, s.cmWins, s.cmWaits,
+			reasonList(s.byReason)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "total: rings=%d commits=%d aborts=%d abortChains=%d maxChain=%d cm[seen=%d defeats=%d wins=%d waits=%d]%s\n",
+		len(tr.Rings), total.commits, total.aborts, total.chains, total.chainMax,
+		total.cmSeen, total.cmDefeats, total.cmWins, total.cmWaits, reasonList(total.byReason))
+	return err
+}
+
+// reasonList formats abort counts by reason, stable order.
+func reasonList(m map[uint32]uint64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	codes := make([]uint32, 0, len(m))
+	for c := range m {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	s := " reasons["
+	for i, c := range codes {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", txtrace.AbortReasonString(c), m[c])
+	}
+	return s + "]"
+}
+
+// ---------------------------------------------------------------------------
+// perfetto (Chrome trace_event JSON)
+// ---------------------------------------------------------------------------
+
+// perfettoEvent is one Chrome trace_event record. Perfetto and
+// chrome://tracing both consume the JSON array form; timestamps are
+// microseconds.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint32         `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func writePerfetto(w io.Writer, tr *txtrace.Trace) error {
+	var out []perfettoEvent
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	for _, rd := range tr.Rings {
+		out = append(out, perfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: rd.ID,
+			Args: map[string]any{"name": rd.Label},
+		})
+		// Attempts become complete ("X") spans from AttemptStart to the
+		// attempt's Abort or Commit; everything else becomes an instant.
+		var open *txtrace.Event
+		for i := range rd.Events {
+			e := rd.Events[i]
+			switch txtrace.Kind(e.Kind) {
+			case txtrace.KindAttemptStart:
+				open = &rd.Events[i]
+			case txtrace.KindAbort, txtrace.KindCommit:
+				name := "commit"
+				args := map[string]any{"clock": e.Clock, "writeSet": e.Arg}
+				if txtrace.Kind(e.Kind) == txtrace.KindAbort {
+					name = "abort:" + txtrace.AbortReasonString(e.Aux)
+					args = map[string]any{"clock": e.Clock, "serial": e.Arg}
+				}
+				if open != nil {
+					out = append(out, perfettoEvent{
+						Name: name, Cat: "attempt", Ph: "X",
+						Ts: us(open.Time), Dur: us(e.Time - open.Time),
+						Pid: 1, Tid: rd.ID, Args: args,
+					})
+					open = nil
+				} else {
+					out = append(out, perfettoEvent{
+						Name: name, Cat: "attempt", Ph: "i", Ts: us(e.Time),
+						Pid: 1, Tid: rd.ID, S: "t", Args: args,
+					})
+				}
+			case txtrace.KindCMDecision:
+				dec, point := txtrace.CMAuxDecode(e.Aux)
+				out = append(out, perfettoEvent{
+					Name: "cm:" + cm.Decision(dec).String(), Cat: "cm", Ph: "i",
+					Ts: us(e.Time), Pid: 1, Tid: rd.ID, S: "t",
+					Args: map[string]any{"addr": e.Arg, "point": pointName(cm.Point(point))},
+				})
+			case txtrace.KindExtend:
+				out = append(out, perfettoEvent{
+					Name: "extend", Cat: "snapshot", Ph: "i", Ts: us(e.Time),
+					Pid: 1, Tid: rd.ID, S: "t",
+					Args: map[string]any{"bound": e.Arg, "ok": e.Aux},
+				})
+			case txtrace.KindReclaim:
+				out = append(out, perfettoEvent{
+					Name: "reclaim", Cat: "reclaim", Ph: "i", Ts: us(e.Time),
+					Pid: 1, Tid: rd.ID, S: "t",
+					Args: map[string]any{"retireSerial": e.Arg, "epoch": e.Aux},
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,6 +1,7 @@
 package tlstm_test
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"tlstm/internal/stm"
 	"tlstm/internal/tl2"
 	"tlstm/internal/tm"
+	"tlstm/internal/txtrace"
 	"tlstm/internal/wtstm"
 )
 
@@ -430,5 +432,93 @@ func TestDifferentialRuntimes(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tracing leg
+// ---------------------------------------------------------------------------
+
+// TestDifferentialTracing is the observability leg: the same programs,
+// re-run with the flight recorder armed on every runtime (TLSTM at
+// depth 2, split, so tracing covers real task structure), must produce
+// bit-identical final state — tracing is pure observation. Each
+// recorder's dump must also round-trip through the binary format with
+// its structural invariants (monotonic sequences, known kinds) intact.
+func TestDifferentialTracing(t *testing.T) {
+	const seeds = 4
+	for seed := int64(0); seed < seeds; seed++ {
+		prog := genProgram(seed+300, 30)
+		want := runOnSTM(prog, clock.KindGV4, cm.KindDefault)
+
+		check := func(name string, got [diffWords]uint64, rec *txtrace.Recorder) {
+			t.Helper()
+			if got != want {
+				t.Fatalf("seed %d: %s traced run diverges\n got: %v\nwant: %v", seed, name, got, want)
+			}
+			var buf bytes.Buffer
+			if err := rec.Dump(&buf); err != nil {
+				t.Fatalf("seed %d: %s dump: %v", seed, name, err)
+			}
+			tr, err := txtrace.ReadTrace(&buf)
+			if err != nil {
+				t.Fatalf("seed %d: %s trace round-trip: %v", seed, name, err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("seed %d: %s trace invalid: %v", seed, name, err)
+			}
+			if rec.Events() == 0 {
+				t.Fatalf("seed %d: %s recorded no events", seed, name)
+			}
+		}
+
+		{
+			rec := txtrace.NewRecorder(1 << 10)
+			rt := stm.New(stm.WithTrace(rec))
+			base := rt.Direct().Alloc(diffWords)
+			for _, ops := range prog {
+				ops := ops
+				rt.Atomic(nil, func(tx *stm.Tx) {
+					for _, op := range ops {
+						applyOp(tx, base, op)
+					}
+				})
+			}
+			check("SwissTM", snapshot(rt.Direct(), base), rec)
+		}
+		{
+			rec := txtrace.NewRecorder(1 << 10)
+			rt := tl2.New(16, tl2.WithTrace(rec))
+			base := rt.Direct().Alloc(diffWords)
+			for _, ops := range prog {
+				ops := ops
+				rt.Atomic(nil, func(tx *tl2.Tx) {
+					for _, op := range ops {
+						applyOp(tx, base, op)
+					}
+				})
+			}
+			check("TL2", snapshot(rt.Direct(), base), rec)
+		}
+		{
+			rec := txtrace.NewRecorder(1 << 10)
+			rt := wtstm.New(16, wtstm.WithTrace(rec))
+			base := rt.Direct().Alloc(diffWords)
+			for _, ops := range prog {
+				ops := ops
+				rt.Atomic(nil, func(tx *wtstm.Tx) {
+					for _, op := range ops {
+						applyOp(tx, base, op)
+					}
+				})
+			}
+			check("write-through", snapshot(rt.Direct(), base), rec)
+		}
+		{
+			rec := txtrace.NewRecorder(1 << 10)
+			cfg := core.Config{SpecDepth: 2, LockTableBits: 14, Trace: rec}
+			got := runOnTLSTMCfg(prog, true, cfg)
+			check("TLSTM", got, rec)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"tlstm/internal/sched"
 	"tlstm/internal/tm"
+	"tlstm/internal/txtrace"
 )
 
 // Zero-allocation and zero-spawn assertions for the pooled scheduler
@@ -185,5 +186,38 @@ func TestInlinePolicyZeroAllocAndZeroWorkers(t *testing.T) {
 	thr.Sync()
 	if st := thr.Stats(); st.WorkersSpawned != 0 {
 		t.Fatalf("WorkersSpawned = %d under Inline, want 0", st.WorkersSpawned)
+	}
+}
+
+// TestTracedWriterTxZeroAllocWarmed is TestWriterTxZeroAllocWarmed with
+// the flight recorder armed: the rings are pre-allocated at NewThread,
+// so every Record on the warmed writer path is a plain store into a
+// ring slot — tracing must not reintroduce allocations. (The disabled
+// case is covered by every other test here: Config.Trace defaults to
+// nil, which is exactly the no-op-tracer hot path the benchmarks
+// measure.)
+func TestTracedWriterTxZeroAllocWarmed(t *testing.T) {
+	rec := txtrace.NewRecorder(1 << 12)
+	rt := New(Config{SpecDepth: 2, Trace: rec})
+	defer rt.Close()
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	body := func(tk *Task) { tk.Store(a, tk.Load(a)+1) }
+	for i := 0; i < 2*rt.SpecDepth(); i++ {
+		_ = thr.Atomic(body) // warm: one retired entry per descriptor ring
+	}
+	thr.Sync()
+	got := testing.AllocsPerRun(200, func() {
+		if err := thr.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	thr.Sync()
+	if got != 0 {
+		t.Fatalf("traced warmed single-write Atomic allocates %.1f objects/op, want 0 (the record path must be a plain ring store)", got)
+	}
+	if rec.Events() == 0 {
+		t.Fatal("recorder captured no events; the zero-alloc result would be vacuous")
 	}
 }

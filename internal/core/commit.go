@@ -2,10 +2,13 @@ package core
 
 import (
 	"runtime"
+	"time"
 
 	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
 	"tlstm/internal/txlog"
+	"tlstm/internal/txstats"
+	"tlstm/internal/txtrace"
 )
 
 // commitCost is the modeled per-task commit serialization cost in work
@@ -66,6 +69,9 @@ func (t *Task) commitStep() {
 					// rendezvousMayCommit). Exit the wait normally.
 					return
 				}
+				if t.traced {
+					t.tr.Record(txtrace.KindAbort, t.validTS, uint64(ser), txtrace.AbortSignal)
+				}
 				panic(restartSignal{})
 			}
 			runtime.Gosched()
@@ -106,6 +112,7 @@ func (t *Task) commitTransaction() {
 			}
 		}
 		if !sameTS && !t.validateTxReads(nil) {
+			t.recordTxValidate(t.validTS, false)
 			t.abortOwnTx()
 		}
 		t.finishCommit(0, false)
@@ -115,6 +122,7 @@ func (t *Task) commitTransaction() {
 	// Optimistic pre-lock validation (line 78): cheaper to discover a
 	// doomed transaction before acquiring r-locks.
 	if !t.validateTxReads(nil) {
+		t.recordTxValidate(t.validTS, false)
 		t.abortOwnTx()
 	}
 
@@ -136,8 +144,10 @@ func (t *Task) commitTransaction() {
 
 	if !t.validateTxReads(scr) { // line 85
 		scr.Restore()
+		t.recordTxValidate(ts, false)
 		t.abortOwnTx()
 	}
+	t.recordTxValidate(ts, true)
 
 	// Feed the multi-version store while memory still holds the
 	// pre-images this commit is about to overwrite: each written word's
@@ -221,6 +231,28 @@ func (t *Task) validateTxReads(scr *txlog.CommitScratch) bool {
 	return true
 }
 
+// recordTxValidate records a commit-time whole-transaction validation
+// pass on the commit-task's flight recorder — and, on failure, the
+// validation abort that inevitably follows (every failing caller aborts
+// the transaction next).
+func (t *Task) recordTxValidate(clock uint64, ok bool) {
+	if !t.traced {
+		return
+	}
+	var n uint64
+	for _, task := range t.tx.tasks {
+		n += uint64(task.readLog.Len())
+	}
+	aux := uint32(0)
+	if ok {
+		aux = 1
+	}
+	t.tr.Record(txtrace.KindValidate, clock, n, aux)
+	if !ok {
+		t.tr.Record(txtrace.KindAbort, clock, uint64(t.serial.Load()), txtrace.AbortValidation)
+	}
+}
+
 // abortOwnTx aborts this task's entire user-transaction: commit-time
 // inter-thread conflict (§3.2, "Transaction abort").
 func (t *Task) abortOwnTx() {
@@ -233,7 +265,6 @@ func (t *Task) abortOwnTx() {
 // 93–94), folds statistics and the virtual-time model, and releases
 // waiters.
 func (t *Task) finishCommit(ts uint64, writeTx bool) {
-	_ = ts
 	tx := t.tx
 	thr := t.thr
 	ser := t.serial.Load()
@@ -276,6 +307,7 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 	// intermediate task's lost work must be settled at its
 	// transaction's commit too, or the carry would outlive the
 	// transaction and inflate that descriptor's priority forever.
+	var txWrites uint64
 	for _, task := range tx.tasks {
 		thr.stats.SnapshotExtensions += task.extends
 		task.extends = 0
@@ -296,7 +328,19 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 		// the multi-version fast path shows up as read-set size 0.
 		thr.stats.ReadSetSizes.Observe(task.readLog.Len())
 		thr.stats.WriteSetSizes.Observe(task.writeLog.Len())
+		txWrites += uint64(task.writeLog.Len())
+		// Rolled-back attempt latencies fold like the probes above —
+		// accumulated by each task's own worker, read here after the
+		// tasks have completed (intermediate tasks are parked until the
+		// completedTask store below).
+		thr.stats.RestartLatency.Merge(task.restartLat)
+		task.restartLat = txstats.Hist{}
 		cm.Committed(thr.rt.cm, &task.cmSelf)
+	}
+	thr.stats.CommitLatency.Observe(int(time.Since(t.attemptStart)))
+	thr.stats.Attempts.Observe(int(tx.txAborts.Load()) + 1)
+	if t.traced {
+		t.tr.Record(txtrace.KindCommit, ts, txWrites, 0)
 	}
 
 	// Retire the transaction's write-lock entries into their

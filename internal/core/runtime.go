@@ -33,6 +33,7 @@ import (
 	"tlstm/internal/sched"
 	"tlstm/internal/txlog"
 	"tlstm/internal/txstats"
+	"tlstm/internal/txtrace"
 )
 
 // Config configures a Runtime.
@@ -91,6 +92,13 @@ type Config struct {
 	// wait-free read path for user-transactions submitted through
 	// SubmitRO/AtomicRO. 0 (the default) disables multi-versioning.
 	MVDepth int
+	// Trace, when non-nil, attaches a flight recorder
+	// (internal/txtrace): every task descriptor gets its own
+	// single-owner event ring and records the task lifecycle (begin,
+	// attempts, reads, writes, validation, CM decisions, aborts,
+	// commits, entry reclaims). nil keeps tracing off — the default
+	// no-op tracer compiles to a dead branch on the hot paths.
+	Trace *txtrace.Recorder
 }
 
 func (c *Config) fill() {
@@ -125,6 +133,10 @@ type Runtime struct {
 	// read-only transactions read from without validating.
 	mv *txlog.VersionedStore
 
+	// trace, when non-nil, hands each task descriptor a flight-recorder
+	// ring.
+	trace *txtrace.Recorder
+
 	// stats aggregates per-thread shards, merged at Sync boundaries
 	// (see Thread.Sync); the hot path never touches it.
 	stats txstats.Aggregate[Stats, *Stats]
@@ -158,6 +170,7 @@ func New(cfg Config) *Runtime {
 		policy:       cfg.Policy,
 		reclaimRing:  cfg.ReclaimRing,
 		reclaimAudit: cfg.ReclaimAudit,
+		trace:        cfg.Trace,
 	}
 	if cfg.MVDepth > 0 {
 		rt.mv = txlog.NewVersionedStore(cfg.MVDepth, txlog.DefaultVersionedStoreBits)
@@ -249,12 +262,28 @@ func (rt *Runtime) NewThread() *Thread {
 		if rt.reclaimAudit {
 			t.writeLog.Ring().OnReclaim = thr.auditReclaim
 		}
+		t.tr = txtrace.Nop
+		if rt.trace != nil {
+			t.tr = rt.trace.NewRing(fmt.Sprintf("core-thr%d-slot%d", id, i))
+			t.traced = true
+			// Compose the reclaim hook: OnReclaim fires on the pop path
+			// of the descriptor's own free ring, i.e. on the ring
+			// owner's worker, so recording here stays single-owner.
+			tr, audit := t.tr, t.writeLog.Ring().OnReclaim
+			t.writeLog.Ring().OnReclaim = func(at, epoch int64) {
+				tr.Record(txtrace.KindReclaim, uint64(epoch), uint64(at), uint32(epoch))
+				if audit != nil {
+					audit(at, epoch)
+				}
+			}
+		}
 		thr.ring[i] = t
 	}
 	for i := range thr.txRing {
 		thr.txRing[i] = &txState{thr: thr}
 	}
 	thr.pool = sched.New(rt.specDepth, rt.policy, thr.runSlot)
+	thr.pool.SetLabel(fmt.Sprintf("tlstm-thr%d", id))
 	rt.threadsMu.Lock()
 	rt.threads = append(rt.threads, thr)
 	rt.threadsMu.Unlock()

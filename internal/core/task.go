@@ -4,12 +4,15 @@ import (
 	"math"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
+	"tlstm/internal/txstats"
+	"tlstm/internal/txtrace"
 )
 
 // noVersion marks read-log entries whose value came from a speculative
@@ -116,6 +119,22 @@ type Task struct {
 	// backoff is the adaptive yield count applied before a restart that
 	// followed an inter-thread contention-manager defeat.
 	backoff int
+
+	// tr is this descriptor's flight recorder (txtrace.Nop unless the
+	// runtime was configured with a Trace recorder); traced caches
+	// tr.Enabled() so the hot paths pay one predictable branch. The
+	// descriptor is always executed by the same scheduler slot's worker
+	// (or the submitting goroutine under Inline), so the ring stays
+	// single-owner across incarnations.
+	tr     txtrace.Tracer
+	traced bool
+
+	// attemptStart stamps the start of the current attempt; restartLat
+	// accumulates the latency of this descriptor's rolled-back attempts
+	// until finishCommit folds it into the thread shard (under the same
+	// serialization that protects workAcc).
+	attemptStart time.Time
+	restartLat   txstats.Hist
 }
 
 // Read entries are txlog.ReadEntry at lock-pair granularity (SwissTM's
@@ -200,6 +219,9 @@ func (t *Task) run() {
 		t.slot().Store(nil)
 		tx.live.Add(-1)
 	}()
+	if t.traced {
+		t.tr.Record(txtrace.KindTxBegin, t.thr.rt.clk.Now(), uint64(t.serial.Load()), 0)
+	}
 	t.joinTx()
 	for t.attempt() {
 	}
@@ -220,6 +242,7 @@ func (t *Task) joinTx() {
 
 // attempt runs the body once; it reports whether the task must restart.
 func (t *Task) attempt() (restart bool) {
+	t.attemptStart = time.Now()
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -227,6 +250,7 @@ func (t *Task) attempt() (restart bool) {
 		}
 		if _, is := r.(restartSignal); is {
 			t.undoAttempt()
+			t.restartLat.Observe(int(time.Since(t.attemptStart)))
 			restart = true
 			return
 		}
@@ -238,6 +262,10 @@ func (t *Task) attempt() (restart bool) {
 			t.undoAttempt()
 			t.tx.taskRestarts.Add(1)
 			t.tx.restartKind[restartSandbox].Add(1)
+			if t.traced {
+				t.tr.Record(txtrace.KindAbort, t.validTS, uint64(t.serial.Load()), txtrace.AbortSpec)
+			}
+			t.restartLat.Observe(int(time.Since(t.attemptStart)))
 			restart = true
 			return
 		}
@@ -262,6 +290,9 @@ func (t *Task) preRestartWait() {
 	if w := t.waitBeforeRestart; w >= 0 {
 		for t.thr.completedTask.Load() < w {
 			if t.tx.abortTx.Load() {
+				if t.traced {
+					t.tr.Record(txtrace.KindAbort, t.validTS, uint64(t.serial.Load()), txtrace.AbortSignal)
+				}
 				t.rendezvous()
 				panic(restartSignal{})
 			}
@@ -321,6 +352,13 @@ func (t *Task) begin() {
 	t.writeLog.Reset()
 	t.allocs = t.allocs[:0]
 	t.frees = t.frees[:0]
+	if t.traced {
+		aux := uint32(0)
+		if t.mvActive {
+			aux = 1
+		}
+		t.tr.Record(txtrace.KindAttemptStart, t.validTS, uint64(t.serial.Load()), aux)
+	}
 }
 
 // undoAttempt releases everything a failed attempt left behind. Chain
@@ -374,10 +412,24 @@ const (
 	numRestartKinds
 )
 
+// restartAbortCode maps single-task restart kinds onto the txtrace
+// abort-reason codes (WAR and sandbox restarts are both
+// speculation-specific; the fine-grained breakdown lives in Stats).
+var restartAbortCode = [numRestartKinds]uint32{
+	restartWAR:     txtrace.AbortSpec,
+	restartWAW:     txtrace.AbortConflict,
+	restartExtend:  txtrace.AbortExtend,
+	restartCM:      txtrace.AbortCM,
+	restartSandbox: txtrace.AbortSpec,
+}
+
 // rollbackTask aborts just this task and restarts it, recording why.
 func (t *Task) rollbackTask(kind restartKind) {
 	t.tx.taskRestarts.Add(1)
 	t.tx.restartKind[kind].Add(1)
+	if t.traced {
+		t.tr.Record(txtrace.KindAbort, t.validTS, uint64(t.serial.Load()), restartAbortCode[kind])
+	}
 	panic(restartSignal{})
 }
 
@@ -393,6 +445,9 @@ func (t *Task) checkSignals() {
 		t.rollbackTask(restartWAW)
 	}
 	if t.tx.abortTx.Load() {
+		if t.traced {
+			t.tr.Record(txtrace.KindAbort, t.validTS, uint64(t.serial.Load()), txtrace.AbortSignal)
+		}
 		t.rendezvous()
 		panic(restartSignal{})
 	}
@@ -487,6 +542,11 @@ func (t *Task) Load(a tm.Addr) uint64 {
 			if v, hit := e.Lookup(a); hit {
 				t.readLog.Append(p, noVersion, firstPast)
 				t.workAcc++
+				if t.traced {
+					// Aux 2: speculative read served from a past task's
+					// redo chain (no committed version to carry).
+					t.tr.Record(txtrace.KindRead, 0, uint64(a), 2)
+				}
 				return v
 			}
 		}
@@ -542,6 +602,9 @@ func (t *Task) loadCommittedRecording(p *locktable.Pair, a tm.Addr, firstPast *l
 			continue
 		}
 		t.readLog.Append(p, v1, firstPast)
+		if t.traced {
+			t.tr.Record(txtrace.KindRead, v1, uint64(a), 0)
+		}
 		return val
 	}
 }
@@ -579,12 +642,18 @@ func (t *Task) loadMV(a tm.Addr) uint64 {
 			val := t.thr.rt.store.LoadWord(a)
 			if p.R.Load() == v1 {
 				t.mvReads++
+				if t.traced {
+					t.tr.Record(txtrace.KindRead, v1, uint64(a), 1)
+				}
 				return val
 			}
 			continue
 		}
 		if val, ok := t.thr.rt.mv.ReadAt(a, t.validTS); ok {
 			t.mvReads++
+			if t.traced {
+				t.tr.Record(txtrace.KindRead, t.validTS, uint64(a), 1)
+			}
 			return val
 		}
 		if v1 == locktable.Locked {
@@ -610,6 +679,9 @@ func (t *Task) loadMV(a tm.Addr) uint64 {
 func (t *Task) mvFallback() {
 	t.mvMisses++
 	t.tx.mvOff.Store(true)
+	if t.traced {
+		t.tr.Record(txtrace.KindAbort, t.validTS, uint64(t.serial.Load()), txtrace.AbortSpec)
+	}
 	t.abortOwnTx()
 }
 
@@ -635,10 +707,16 @@ func (t *Task) extendTo(witness uint64) bool {
 		if t.ownsPairW(re.Pair) {
 			continue
 		}
+		if t.traced {
+			t.tr.Record(txtrace.KindExtend, ts, witness, 0)
+		}
 		return false
 	}
 	if ts > t.validTS {
 		t.extends++
+		if t.traced {
+			t.tr.Record(txtrace.KindExtend, ts, witness, 1)
+		}
 	}
 	t.validTS = ts
 	return true
@@ -687,6 +765,9 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 			ne := t.newEntry(p, a, v, ser)
 			if p.W.CompareAndSwap(nil, ne) {
 				t.writeLog.Append(ne)
+				if t.traced {
+					t.tr.Record(txtrace.KindWrite, t.validTS, uint64(a), 0)
+				}
 				break
 			}
 			t.writeLog.Release(ne) // never published; immediately reusable
@@ -709,7 +790,12 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 			t.cmSelf.Defeats = int(t.tx.cmDefeats.Load())
 			t.cmSelf.Completed = t.thr.completedTask.Load()
 			t.cmSelf.Waited = waited
-			switch cm.Resolve(t.thr.rt.cm, &t.cmSelf, e.Owner) {
+			dec := cm.Resolve(t.thr.rt.cm, &t.cmSelf, e.Owner)
+			if t.traced {
+				t.tr.Record(txtrace.KindCMDecision, t.validTS, uint64(a),
+					txtrace.CMAux(int(dec), int(cm.PointEncounter)))
+			}
+			switch dec {
 			case cm.AbortSelf:
 				defeats := t.tx.cmDefeats.Add(1)
 				t.cmSelf.Aborts = uint64(defeats)
@@ -725,6 +811,9 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 				// task-aware, karma) break cycles long before this
 				// bound is reached.
 				if defeats%txSelfAbortDefeats == 0 {
+					if t.traced {
+						t.tr.Record(txtrace.KindAbort, t.validTS, uint64(ser), txtrace.AbortCM)
+					}
 					t.abortOwnTx()
 				}
 				t.rollbackTask(restartCM)
@@ -761,6 +850,9 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 		ne.Prev.Store(e)
 		if p.W.CompareAndSwap(e, ne) {
 			t.writeLog.Append(ne)
+			if t.traced {
+				t.tr.Record(txtrace.KindWrite, t.validTS, uint64(a), 0)
+			}
 			break
 		}
 		t.writeLog.Release(ne) // never published; immediately reusable

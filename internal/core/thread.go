@@ -375,6 +375,14 @@ type Stats struct {
 	// unlogged, so a wait-free read-only task observes size 0).
 	ReadSetSizes  txstats.Hist
 	WriteSetSizes txstats.Hist
+	// RestartLatency histograms the nanoseconds burned per rolled-back
+	// task attempt (all restart kinds); CommitLatency the nanoseconds of
+	// each transaction's final commit-task attempt; Attempts the
+	// whole-transaction attempt distribution (abort rounds + 1, so 1 =
+	// first-try commit; single-task restarts do not count as rounds).
+	RestartLatency txstats.Hist
+	CommitLatency  txstats.Hist
+	Attempts       txstats.Hist
 }
 
 // Add folds o into s.
@@ -402,6 +410,9 @@ func (s *Stats) Add(o Stats) {
 	s.MVMisses += o.MVMisses
 	s.ReadSetSizes.Merge(o.ReadSetSizes)
 	s.WriteSetSizes.Merge(o.WriteSetSizes)
+	s.RestartLatency.Merge(o.RestartLatency)
+	s.CommitLatency.Merge(o.CommitLatency)
+	s.Attempts.Merge(o.Attempts)
 }
 
 // minus returns the fieldwise difference s−o. It is only meaningful
@@ -432,6 +443,9 @@ func (s Stats) minus(o Stats) Stats {
 		MVMisses:           s.MVMisses - o.MVMisses,
 		ReadSetSizes:       s.ReadSetSizes.Minus(o.ReadSetSizes),
 		WriteSetSizes:      s.WriteSetSizes.Minus(o.WriteSetSizes),
+		RestartLatency:     s.RestartLatency.Minus(o.RestartLatency),
+		CommitLatency:      s.CommitLatency.Minus(o.CommitLatency),
+		Attempts:           s.Attempts.Minus(o.Attempts),
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"tlstm/internal/sb7"
 	"tlstm/internal/stm"
 	"tlstm/internal/tm"
+	"tlstm/internal/txtrace"
 	"tlstm/internal/vacation"
 )
 
@@ -36,6 +37,10 @@ type Scale struct {
 	// Figure workloads only benefit where they declare transactions
 	// read-only, but building the stores is harmless everywhere.
 	MV int
+	// Trace, when non-nil, arms the flight recorder in every runtime the
+	// figures build (cmd/tlstm-bench -trace). All points of a run share
+	// one recorder; rings are labeled per runtime thread.
+	Trace *txtrace.Recorder
 }
 
 // DefaultScale is used by the CLI and benches.
@@ -48,14 +53,14 @@ func QuickScale() Scale { return Scale{Fig1aTx: 40, Fig1bTx: 8, SB7Tx: 4} }
 // and contention-management policy.
 func (sc Scale) newSTM() *stm.Runtime {
 	return stm.New(stm.WithClock(clock.New(sc.Clock)), stm.WithCM(cm.New(sc.CM)),
-		stm.WithMultiVersion(sc.MV))
+		stm.WithMultiVersion(sc.MV), stm.WithTrace(sc.Trace))
 }
 
 // newTLSTM builds a TLSTM runtime with the configured clock strategy
 // and contention-management policy.
 func (sc Scale) newTLSTM(depth int) *core.Runtime {
 	return core.New(core.Config{SpecDepth: depth, Clock: clock.New(sc.Clock), CM: cm.New(sc.CM),
-		MVDepth: sc.MV})
+		MVDepth: sc.MV, Trace: sc.Trace})
 }
 
 func mix64(x uint64) uint64 {

@@ -126,6 +126,14 @@ type Result struct {
 	// run with mv on shows its read-set mass collapse into bucket 0.
 	ReadSets  txstats.Hist
 	WriteSets txstats.Hist
+	// RestartLatency and CommitLatency are nanosecond histograms of the
+	// time burned per aborted attempt and spent by each final successful
+	// attempt; Attempts is the attempts-per-committed-transaction
+	// distribution (1 = first-try commit). All folded from the runtimes'
+	// stats shards.
+	RestartLatency txstats.Hist
+	CommitLatency  txstats.Hist
+	Attempts       txstats.Hist
 }
 
 // Throughput reports application operations per 1000 virtual work units
@@ -160,6 +168,12 @@ func (r Result) String() string {
 	if r.MV > 0 || r.MVReads > 0 || r.MVMisses > 0 {
 		s += fmt.Sprintf(" mv=%d mvRead=%-7d mvMiss=%-4d rset[%s] wset[%s]",
 			r.MV, r.MVReads, r.MVMisses, r.ReadSets, r.WriteSets)
+	}
+	if r.CommitLatency.Total() > 0 {
+		s += fmt.Sprintf(" commitLat[%s] attempts[%s]", r.CommitLatency, r.Attempts)
+		if r.RestartLatency.Total() > 0 {
+			s += fmt.Sprintf(" restartLat[%s]", r.RestartLatency)
+		}
 	}
 	return s
 }
@@ -221,6 +235,9 @@ func RunSTM(rt *stm.Runtime, w Workload) Result {
 		res.MVMisses += st.MVMisses
 		res.ReadSets.Merge(st.ReadSetSizes)
 		res.WriteSets.Merge(st.WriteSetSizes)
+		res.RestartLatency.Merge(st.RestartLatency)
+		res.CommitLatency.Merge(st.CommitLatency)
+		res.Attempts.Merge(st.Attempts)
 		if st.Work > res.VirtualUnits {
 			res.VirtualUnits = st.Work // threads run in parallel
 		}
@@ -237,6 +254,7 @@ type flatStats struct {
 	entryReclaims, horizonStalls                    uint64
 	mvReads, mvMisses                               uint64
 	readSets, writeSets                             txstats.Hist
+	restartLat, commitLat, attempts                 txstats.Hist
 }
 
 // runFlat drives a flat-transaction runtime: one goroutine per thread,
@@ -293,6 +311,9 @@ func runFlat[S any](w Workload, clockName, cmName string, mvDepth int,
 		res.MVMisses += st.mvMisses
 		res.ReadSets.Merge(st.readSets)
 		res.WriteSets.Merge(st.writeSets)
+		res.RestartLatency.Merge(st.restartLat)
+		res.CommitLatency.Merge(st.commitLat)
+		res.Attempts.Merge(st.attempts)
 		if st.work > res.VirtualUnits {
 			res.VirtualUnits = st.work // threads run in parallel
 		}
@@ -313,7 +334,8 @@ func RunTL2(rt *tl2.Runtime, w Workload) Result {
 			return flatStats{st.Commits, st.Aborts, st.Work, st.SnapshotExtensions, st.ClockCASRetries,
 				st.CMAbortsSelf, st.CMAbortsOwner, st.BackoffSpins,
 				st.EntryReclaims, st.HorizonStalls,
-				st.MVReads, st.MVMisses, st.ReadSetSizes, st.WriteSetSizes}
+				st.MVReads, st.MVMisses, st.ReadSetSizes, st.WriteSetSizes,
+				st.RestartLatency, st.CommitLatency, st.Attempts}
 		})
 }
 
@@ -330,7 +352,8 @@ func RunWTSTM(rt *wtstm.Runtime, w Workload) Result {
 			return flatStats{st.Commits, st.Aborts, st.Work, st.SnapshotExtensions, st.ClockCASRetries,
 				st.CMAbortsSelf, st.CMAbortsOwner, st.BackoffSpins,
 				st.EntryReclaims, st.HorizonStalls,
-				st.MVReads, st.MVMisses, st.ReadSetSizes, st.WriteSetSizes}
+				st.MVReads, st.MVMisses, st.ReadSetSizes, st.WriteSetSizes,
+				st.RestartLatency, st.CommitLatency, st.Attempts}
 		})
 }
 
@@ -397,6 +420,9 @@ func RunTLSTM(rt *core.Runtime, w Workload) Result {
 		res.MVMisses += st.MVMisses
 		res.ReadSets.Merge(st.ReadSetSizes)
 		res.WriteSets.Merge(st.WriteSetSizes)
+		res.RestartLatency.Merge(st.RestartLatency)
+		res.CommitLatency.Merge(st.CommitLatency)
+		res.Attempts.Merge(st.Attempts)
 		if st.VirtualTime > res.VirtualUnits {
 			res.VirtualUnits = st.VirtualTime
 		}

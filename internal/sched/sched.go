@@ -39,7 +39,10 @@
 package sched
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -119,6 +122,11 @@ type Pool struct {
 	drained bool
 
 	spawnedCount int // submitter-owned counter of workers spawned
+
+	// label, when set, tags every worker goroutine spawned afterwards
+	// with pprof labels, so CPU and goroutine profiles attribute samples
+	// to the owning user-thread instead of an anonymous pool.
+	label string
 }
 
 // New creates a pool of n execution slots whose armed descriptors are
@@ -135,6 +143,13 @@ func New(n int, policy Policy, run func(slot int)) *Pool {
 	}
 	return p
 }
+
+// SetLabel names the pool in runtime profiles: every worker spawned
+// after the call carries the pprof labels {"sched_pool": name,
+// "sched_slot": <i>}. Submitter-owned like Arm; call it before the
+// first Arm so every worker is tagged. An empty name (the default)
+// spawns unlabeled workers.
+func (p *Pool) SetLabel(name string) { p.label = name }
 
 // Policy reports the pool's spawn policy.
 func (p *Pool) Policy() Policy { return p.policy }
@@ -164,7 +179,7 @@ func (p *Pool) Arm(i int) (spawnedWorker bool) {
 		p.spawnedCount++
 		spawnedWorker = true
 		p.workers.Add(1)
-		go p.worker(i)
+		go p.workerEntry(i)
 	}
 	s.state.Store(slotArmed)
 	// One token at most is ever outstanding: the worker drains stale
@@ -196,6 +211,18 @@ func (p *Pool) Generation(i int) uint64 { return p.slots[i].gen }
 // WorkersSpawned reports how many worker goroutines this pool has
 // created so far. Submitter-owned, like Arm.
 func (p *Pool) WorkersSpawned() int { return p.spawnedCount }
+
+// workerEntry is the spawned goroutine's entry point: apply the pool's
+// pprof labels (if any), then run the worker loop.
+func (p *Pool) workerEntry(i int) {
+	if p.label == "" {
+		p.worker(i)
+		return
+	}
+	pprof.Do(context.Background(),
+		pprof.Labels("sched_pool", p.label, "sched_slot", strconv.Itoa(i)),
+		func(context.Context) { p.worker(i) })
+}
 
 // worker is the long-lived execution loop for slot i: run the armed
 // descriptor, mark the slot idle, park until the next arm.

@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
@@ -40,6 +41,7 @@ import (
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
 	"tlstm/internal/txstats"
+	"tlstm/internal/txtrace"
 )
 
 // Option configures a Runtime.
@@ -50,6 +52,7 @@ type config struct {
 	clk           clock.Source
 	pol           cm.Policy
 	mvDepth       int
+	trace         *txtrace.Recorder
 }
 
 // WithLockTableBits sets the lock table to 2^bits pairs.
@@ -77,6 +80,13 @@ func WithMultiVersion(k int) Option {
 	return func(c *config) { c.mvDepth = k }
 }
 
+// WithTrace arms flight-recorder tracing: every Worker records its
+// transactional events into its own txtrace ring registered with rec.
+// nil (the default) keeps the no-op tracer and the zero-alloc hot path.
+func WithTrace(rec *txtrace.Recorder) Option {
+	return func(c *config) { c.trace = rec }
+}
+
 // Runtime is one SwissTM instance: a word store, an allocator, a lock
 // table, the global commit clock and a contention manager. Independent
 // Runtimes are fully isolated from each other.
@@ -91,6 +101,10 @@ type Runtime struct {
 	// mv, when non-nil, is the multi-version word store declared
 	// read-only transactions read from without validating.
 	mv *txlog.VersionedStore
+
+	// trace, when non-nil, is the flight recorder Workers register
+	// their event rings with (WithTrace).
+	trace *txtrace.Recorder
 
 	// stats aggregates the shards merged by Worker.Close (SNIPPETS-style
 	// per-thread stats: workers accumulate unshared, merge at exit).
@@ -120,6 +134,7 @@ func New(opts ...Option) *Runtime {
 		locks: locktable.NewTable(c.lockTableBits),
 		clk:   c.clk,
 		cm:    c.pol,
+		trace: c.trace,
 	}
 	if c.mvDepth > 0 {
 		rt.mv = txlog.NewVersionedStore(c.mvDepth, txlog.DefaultVersionedStoreBits)
@@ -209,6 +224,14 @@ type Stats struct {
 	// in bucket 0.
 	ReadSetSizes  txstats.Hist
 	WriteSetSizes txstats.Hist
+	// RestartLatency histograms attempt-start → abort deltas in
+	// nanoseconds (one observation per aborted attempt); CommitLatency
+	// histograms attempt-start → commit deltas for the final,
+	// successful attempt. Attempts histograms attempts per committed
+	// transaction (1 = committed first try).
+	RestartLatency txstats.Hist
+	CommitLatency  txstats.Hist
+	Attempts       txstats.Hist
 }
 
 // Add folds o into s.
@@ -227,6 +250,9 @@ func (s *Stats) Add(o Stats) {
 	s.MVMisses += o.MVMisses
 	s.ReadSetSizes.Merge(o.ReadSetSizes)
 	s.WriteSetSizes.Merge(o.WriteSetSizes)
+	s.RestartLatency.Merge(o.RestartLatency)
+	s.CommitLatency.Merge(o.CommitLatency)
+	s.Attempts.Merge(o.Attempts)
 }
 
 // Stats returns the runtime-global aggregate: the sum of every shard
@@ -322,6 +348,12 @@ type Tx struct {
 	// to a shard under the sharded strategy); folded into the stats
 	// shard per transaction.
 	clkProbe clock.Probe
+
+	// tr is this descriptor's flight recorder (txtrace.Nop by default);
+	// traced caches tr.Enabled() so the disabled hot path costs one
+	// predicted branch instead of an interface call per operation.
+	tr     txtrace.Tracer
+	traced bool
 }
 
 // completedZero is a shared always-zero counter: the baseline has no
@@ -353,6 +385,11 @@ func (rt *Runtime) NewWorker() *Worker {
 	w.tx.owner.BindTx(0, &w.tx.abortTx, &w.tx.greedTS)
 	w.tx.cmSelf.Timestamp = &w.tx.greedTS
 	w.tx.cmSelf.Probe = &w.tx.cmProbe
+	w.tx.tr = txtrace.Nop
+	if rt.trace != nil {
+		w.tx.tr = rt.trace.NewRing("stm-worker")
+		w.tx.traced = true
+	}
 	return w
 }
 
@@ -428,10 +465,21 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 	tx.mvOn = tx.ro && tx.rt.mv != nil
 	tx.mvReads = 0
 	tx.mvMisses = 0
+	if tx.traced {
+		tx.tr.Record(txtrace.KindTxBegin, tx.rt.clk.Now(), 0, 0)
+	}
+	var lastAttempt time.Time
 	for {
+		lastAttempt = time.Now()
 		tx.beginAttempt()
+		if tx.traced {
+			tx.tr.Record(txtrace.KindAttemptStart, tx.validTS, tx.aborts+1, 0)
+		}
 		if tx.attempt(fn) {
 			break
+		}
+		if st != nil {
+			st.RestartLatency.Observe(int(time.Since(lastAttempt)))
 		}
 		tx.aborts++
 		// Back off per policy so the conflict window is not re-entered
@@ -460,6 +508,8 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 		st.MVMisses += tx.mvMisses
 		st.ReadSetSizes.Observe(tx.readLog.Len())
 		st.WriteSetSizes.Observe(tx.writeLog.Len())
+		st.CommitLatency.Observe(int(time.Since(lastAttempt)))
+		st.Attempts.Observe(int(tx.aborts) + 1)
 	}
 }
 
@@ -509,6 +559,14 @@ func (tx *Tx) rollback() {
 	panic(rollbackSignal{})
 }
 
+// abort records the rollback's reason on the trace and unwinds.
+func (tx *Tx) abort(reason uint32) {
+	if tx.traced {
+		tx.tr.Record(txtrace.KindAbort, tx.validTS, 0, reason)
+	}
+	tx.rollback()
+}
+
 func (tx *Tx) releaseWrites() {
 	for _, e := range tx.writeLog.Entries() {
 		// The baseline never stacks entries: eager W/W locking admits
@@ -521,7 +579,7 @@ func (tx *Tx) releaseWrites() {
 // manager asked us to.
 func (tx *Tx) checkSignals() {
 	if tx.abortTx.Load() {
-		tx.rollback()
+		tx.abort(txtrace.AbortSignal)
 	}
 }
 
@@ -556,12 +614,15 @@ func (tx *Tx) loadCommitted(p *locktable.Pair, a tm.Addr) uint64 {
 			continue // torn read: version moved underneath us
 		}
 		if v1 > tx.validTS && !tx.extendTo(v1) {
-			tx.rollback()
+			tx.abort(txtrace.AbortExtend)
 		}
 		if v1 > tx.validTS {
 			continue // extended, but not far enough; re-read
 		}
 		tx.readLog.Append(p, v1, nil)
+		if tx.traced {
+			tx.tr.Record(txtrace.KindRead, v1, uint64(a), 0)
+		}
 		return val
 	}
 }
@@ -583,12 +644,18 @@ func (tx *Tx) loadMV(a tm.Addr) uint64 {
 			val := tx.rt.store.LoadWord(a)
 			if p.R.Load() == v1 {
 				tx.mvReads++
+				if tx.traced {
+					tx.tr.Record(txtrace.KindRead, v1, uint64(a), 1)
+				}
 				return val
 			}
 			continue // torn read: version moved underneath us
 		}
 		if val, ok := tx.rt.mv.ReadAt(a, tx.validTS); ok {
 			tx.mvReads++
+			if tx.traced {
+				tx.tr.Record(txtrace.KindRead, tx.validTS, uint64(a), 1)
+			}
 			return val
 		}
 		if v1 == locktable.Locked {
@@ -599,7 +666,7 @@ func (tx *Tx) loadMV(a tm.Addr) uint64 {
 		}
 		tx.mvMisses++
 		tx.mvOn = false
-		tx.rollback()
+		tx.abort(txtrace.AbortSpec)
 	}
 }
 
@@ -624,10 +691,16 @@ func (tx *Tx) extendTo(witness uint64) bool {
 		if tx.ownsPair(re.Pair) {
 			continue // we hold the w-lock; nobody else can have changed it
 		}
+		if tx.traced {
+			tx.tr.Record(txtrace.KindExtend, ts, witness, 0)
+		}
 		return false
 	}
 	if ts > tx.validTS {
 		tx.extends++
+		if tx.traced {
+			tx.tr.Record(txtrace.KindExtend, ts, witness, 1)
+		}
 	}
 	tx.validTS = ts
 	return true
@@ -646,7 +719,7 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 		// attempt cannot be upgraded in place — re-run it on the
 		// validated read-write path.
 		tx.mvOn = false
-		tx.rollback()
+		tx.abort(txtrace.AbortSpec)
 	}
 	tx.tick(2)
 	p := tx.rt.locks.For(a)
@@ -662,10 +735,15 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 			tx.cmSelf.Point = cm.PointEncounter
 			tx.cmSelf.Writes = tx.writeLog.Len()
 			tx.cmSelf.Waited = waited
-			switch cm.Resolve(tx.rt.cm, &tx.cmSelf, e.Owner) {
+			dec := cm.Resolve(tx.rt.cm, &tx.cmSelf, e.Owner)
+			if tx.traced {
+				tx.tr.Record(txtrace.KindCMDecision, tx.validTS, uint64(a),
+					txtrace.CMAux(int(dec), int(cm.PointEncounter)))
+			}
+			switch dec {
 			case cm.AbortSelf:
 				tx.cmSelf.Defeats++
-				tx.rollback()
+				tx.abort(txtrace.AbortCM)
 			case cm.AbortOwner:
 				e.Owner.AbortTx.Load().Store(true)
 			}
@@ -684,10 +762,13 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 		}
 		tx.writeLog.Release(ne) // CAS lost; recycle the unused entry
 	}
+	if tx.traced {
+		tx.tr.Record(txtrace.KindWrite, tx.validTS, uint64(a), 0)
+	}
 	// Mirror of TLSTM Alg. 2 line 52: if the location moved past our
 	// snapshot, extend or die.
 	if ver := p.R.Load(); ver != locktable.Locked && ver > tx.validTS && !tx.extendTo(ver) {
-		tx.rollback()
+		tx.abort(txtrace.AbortExtend)
 	}
 }
 
@@ -710,6 +791,9 @@ func (tx *Tx) commit() {
 		// Read-only transactions are consistent by construction at
 		// valid-ts; nothing to publish.
 		tx.applyFrees()
+		if tx.traced {
+			tx.tr.Record(txtrace.KindCommit, tx.validTS, 0, 0)
+		}
 		return
 	}
 	tx.checkSignals()
@@ -726,9 +810,17 @@ func (tx *Tx) commit() {
 
 	ts := tx.rt.clk.Tick(&tx.clkProbe)
 
-	if !tx.validateCommit() {
+	ok := tx.validateCommit()
+	if tx.traced {
+		var aux uint32
+		if ok {
+			aux = 1
+		}
+		tx.tr.Record(txtrace.KindValidate, ts, uint64(tx.readLog.Len()), aux)
+	}
+	if !ok {
 		tx.scratch.Restore()
-		tx.rollback()
+		tx.abort(txtrace.AbortValidation)
 	}
 
 	// Feed the multi-version store while memory still holds the values
@@ -755,6 +847,9 @@ func (tx *Tx) commit() {
 		e.Pair.W.CompareAndSwap(e, nil)
 	}
 	tx.applyFrees()
+	if tx.traced {
+		tx.tr.Record(txtrace.KindCommit, ts, uint64(tx.writeLog.Len()), 0)
+	}
 }
 
 // validateCommit re-checks the read log; pairs this commit holds

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
@@ -35,6 +36,7 @@ import (
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
 	"tlstm/internal/txstats"
+	"tlstm/internal/txtrace"
 )
 
 // Locked marks a versioned lock held by a committing transaction.
@@ -77,6 +79,13 @@ func WithMultiVersion(k int) Option {
 	}
 }
 
+// WithTrace arms flight-recorder tracing: every pooled descriptor
+// records its transactional events into its own txtrace ring registered
+// with rec. nil (the default) keeps the no-op tracer.
+func WithTrace(rec *txtrace.Recorder) Option {
+	return func(rt *Runtime) { rt.trace = rec }
+}
+
 // Runtime is one TL2 instance.
 type Runtime struct {
 	store *mem.Store
@@ -93,6 +102,10 @@ type Runtime struct {
 	// mv, when non-nil, is the multi-version word store declared
 	// read-only transactions read from without validating.
 	mv *txlog.VersionedStore
+
+	// trace, when non-nil, is the flight recorder pooled descriptors
+	// register their event rings with (WithTrace).
+	trace *txtrace.Recorder
 
 	txPool sync.Pool // *Tx descriptors, reused across Atomic calls
 }
@@ -184,6 +197,13 @@ type Stats struct {
 	// transaction set sizes (logged locks / buffered addresses).
 	ReadSetSizes  txstats.Hist
 	WriteSetSizes txstats.Hist
+	// RestartLatency histograms attempt-start → abort deltas in
+	// nanoseconds; CommitLatency histograms attempt-start → commit
+	// deltas for the final attempt; Attempts histograms attempts per
+	// committed transaction (1 = committed first try).
+	RestartLatency txstats.Hist
+	CommitLatency  txstats.Hist
+	Attempts       txstats.Hist
 }
 
 // Add folds o into s.
@@ -202,6 +222,9 @@ func (s *Stats) Add(o Stats) {
 	s.MVMisses += o.MVMisses
 	s.ReadSetSizes.Merge(o.ReadSetSizes)
 	s.WriteSetSizes.Merge(o.WriteSetSizes)
+	s.RestartLatency.Merge(o.RestartLatency)
+	s.CommitLatency.Merge(o.CommitLatency)
+	s.Attempts.Merge(o.Attempts)
 }
 
 type rollbackSignal struct{}
@@ -247,6 +270,12 @@ type Tx struct {
 	cmSelf  cm.Self
 	cmProbe cm.Probe
 	greedTS atomic.Uint64
+
+	// tr is this descriptor's flight recorder (txtrace.Nop by default);
+	// traced caches tr.Enabled() so the disabled hot path costs one
+	// predicted branch instead of an interface call per operation.
+	tr     txtrace.Tracer
+	traced bool
 }
 
 var _ tm.Tx = (*Tx)(nil)
@@ -272,6 +301,11 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 		tx = &Tx{rt: rt}
 		tx.cmSelf.Timestamp = &tx.greedTS
 		tx.cmSelf.Probe = &tx.cmProbe
+		tx.tr = txtrace.Nop
+		if rt.trace != nil {
+			tx.tr = rt.trace.NewRing("tl2-tx")
+			tx.traced = true
+		}
 	}
 	tx.work = 0
 	tx.aborts = 0
@@ -281,7 +315,12 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 	tx.mvOn = ro && rt.mv != nil
 	tx.mvReads = 0
 	tx.mvMisses = 0
+	if tx.traced {
+		tx.tr.Record(txtrace.KindTxBegin, rt.clk.Now(), 0, 0)
+	}
+	var lastAttempt time.Time
 	for {
+		lastAttempt = time.Now()
 		tx.rv = rt.clk.Now()
 		tx.readLog.Reset()
 		tx.writeSet.Reset()
@@ -289,9 +328,15 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 		tx.allocs = tx.allocs[:0]
 		tx.frees = tx.frees[:0]
 		tx.work += txStartCost
+		if tx.traced {
+			tx.tr.Record(txtrace.KindAttemptStart, tx.rv, tx.aborts+1, 0)
+		}
 
 		if tx.attempt(fn) {
 			break
+		}
+		if st != nil {
+			st.RestartLatency.Observe(int(time.Since(lastAttempt)))
 		}
 		tx.aborts++
 		tx.cmSelf.Aborts = tx.aborts
@@ -313,6 +358,8 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 		st.MVMisses += tx.mvMisses
 		st.ReadSetSizes.Observe(tx.readLog.Len())
 		st.WriteSetSizes.Observe(tx.writeSet.Len())
+		st.CommitLatency.Observe(int(time.Since(lastAttempt)))
+		st.Attempts.Observe(int(tx.aborts) + 1)
 	}
 	tx.ro = false
 	rt.txPool.Put(tx)
@@ -340,6 +387,14 @@ func (tx *Tx) rollback() {
 		tx.rt.alloc.Free(a)
 	}
 	panic(rollbackSignal{})
+}
+
+// abort records the rollback's reason on the trace and unwinds.
+func (tx *Tx) abort(reason uint32) {
+	if tx.traced {
+		tx.tr.Record(txtrace.KindAbort, tx.rv, 0, reason)
+	}
+	tx.rollback()
 }
 
 func (tx *Tx) tick(units uint64) {
@@ -370,9 +425,14 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 			tx.cmSelf.Point = cm.PointCommit
 			tx.cmSelf.Writes = tx.writeSet.Len()
 			tx.cmSelf.Waited = waited
-			if cm.Resolve(tx.rt.cmPol, &tx.cmSelf, nil) == cm.AbortSelf {
+			dec := cm.Resolve(tx.rt.cmPol, &tx.cmSelf, nil)
+			if tx.traced {
+				tx.tr.Record(txtrace.KindCMDecision, tx.rv, uint64(a),
+					txtrace.CMAux(int(dec), int(cm.PointCommit)))
+			}
+			if dec == cm.AbortSelf {
 				tx.cmSelf.Defeats++
-				tx.rollback()
+				tx.abort(txtrace.AbortCM)
 			}
 			waited++
 			runtime.Gosched()
@@ -388,9 +448,12 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 			// read version covers it (pre-publishing strategies never
 			// advance on their own).
 			tx.rt.clk.Observe(v1, &tx.clkProbe)
-			tx.rollback()
+			tx.abort(txtrace.AbortValidation)
 		}
 		tx.readLog.Append(l)
+		if tx.traced {
+			tx.tr.Record(txtrace.KindRead, v1, uint64(a), 0)
+		}
 		return val
 	}
 }
@@ -411,12 +474,18 @@ func (tx *Tx) loadMV(a tm.Addr) uint64 {
 			val := tx.rt.store.LoadWord(a)
 			if l.Load() == v1 {
 				tx.mvReads++
+				if tx.traced {
+					tx.tr.Record(txtrace.KindRead, v1, uint64(a), 1)
+				}
 				return val
 			}
 			continue // torn read: version moved underneath us
 		}
 		if val, ok := tx.rt.mv.ReadAt(a, tx.rv); ok {
 			tx.mvReads++
+			if tx.traced {
+				tx.tr.Record(txtrace.KindRead, tx.rv, uint64(a), 1)
+			}
 			return val
 		}
 		if v1 == locked {
@@ -427,7 +496,7 @@ func (tx *Tx) loadMV(a tm.Addr) uint64 {
 		}
 		tx.mvMisses++
 		tx.mvOn = false
-		tx.rollback()
+		tx.abort(txtrace.AbortSpec)
 	}
 }
 
@@ -438,10 +507,13 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 		// multi-version reads were unlogged at a frozen read version, so
 		// re-run the attempt on the validated read-write path.
 		tx.mvOn = false
-		tx.rollback()
+		tx.abort(txtrace.AbortSpec)
 	}
 	tx.tick(2)
 	tx.writeSet.Put(a, v)
+	if tx.traced {
+		tx.tr.Record(txtrace.KindWrite, tx.rv, uint64(a), 0)
+	}
 }
 
 // Alloc implements tm.Tx.
@@ -462,6 +534,9 @@ func (tx *Tx) commit() {
 	if tx.writeSet.Len() == 0 {
 		// Read-only: already validated against rv at every read.
 		tx.applyFrees()
+		if tx.traced {
+			tx.tr.Record(txtrace.KindCommit, tx.rv, 0, 0)
+		}
 		return
 	}
 
@@ -482,10 +557,15 @@ func (tx *Tx) commit() {
 				tx.cmSelf.Point = cm.PointCommit
 				tx.cmSelf.Writes = tx.writeSet.Len()
 				tx.cmSelf.Waited = waited
-				if cm.Resolve(tx.rt.cmPol, &tx.cmSelf, nil) == cm.AbortSelf {
+				dec := cm.Resolve(tx.rt.cmPol, &tx.cmSelf, nil)
+				if tx.traced {
+					tx.tr.Record(txtrace.KindCMDecision, tx.rv, uint64(a),
+						txtrace.CMAux(int(dec), int(cm.PointCommit)))
+				}
+				if dec == cm.AbortSelf {
 					tx.cmSelf.Defeats++
 					tx.held.Restore()
-					tx.rollback()
+					tx.abort(txtrace.AbortCM)
 				}
 				waited++
 				tx.work += yieldQuantum
@@ -495,7 +575,7 @@ func (tx *Tx) commit() {
 			if v > tx.rv {
 				tx.held.Restore()
 				tx.rt.clk.Observe(v, &tx.clkProbe)
-				tx.rollback()
+				tx.abort(txtrace.AbortConflict)
 			}
 			if l.CompareAndSwap(v, locked) {
 				tx.held.Add(l, v)
@@ -520,16 +600,25 @@ func (tx *Tx) commit() {
 			v := l.Load()
 			if v == locked {
 				if !tx.held.Holds(l) {
+					if tx.traced {
+						tx.tr.Record(txtrace.KindValidate, wv, uint64(tx.readLog.Len()), 0)
+					}
 					tx.held.Restore()
-					tx.rollback()
+					tx.abort(txtrace.AbortValidation)
 				}
 				continue
 			}
 			if v > tx.rv {
+				if tx.traced {
+					tx.tr.Record(txtrace.KindValidate, wv, uint64(tx.readLog.Len()), 0)
+				}
 				tx.held.Restore()
 				tx.rt.clk.Observe(v, &tx.clkProbe)
-				tx.rollback()
+				tx.abort(txtrace.AbortValidation)
 			}
+		}
+		if tx.traced {
+			tx.tr.Record(txtrace.KindValidate, wv, uint64(tx.readLog.Len()), 1)
 		}
 	}
 
@@ -549,6 +638,9 @@ func (tx *Tx) commit() {
 	})
 	tx.held.Publish(wv)
 	tx.applyFrees()
+	if tx.traced {
+		tx.tr.Record(txtrace.KindCommit, wv, uint64(tx.writeSet.Len()), 0)
+	}
 }
 
 func (tx *Tx) applyFrees() {

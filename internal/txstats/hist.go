@@ -7,16 +7,18 @@ import (
 
 // HistBuckets is the number of power-of-two buckets in a Hist. Bucket 0
 // counts observations of 0; bucket b >= 1 counts observations in
-// [2^(b-1), 2^b). The last bucket absorbs everything larger.
-const HistBuckets = 16
+// [2^(b-1), 2^b). The last bucket absorbs everything larger. 32 buckets
+// cover both set sizes and nanosecond latencies (histUpper(31) ≈ 2.1 s).
+const HistBuckets = 32
 
 // Hist is a fixed-size power-of-two histogram of small per-transaction
-// set sizes (read-set and write-set lengths). It follows the shard
-// idiom of this package: a Hist lives inside a runtime's Stats shard,
-// Observe is called by the owning worker only, and shards are folded
-// with Merge at synchronization boundaries. The zero value is ready to
-// use, and the type is a plain comparable array so Stats structs that
-// embed it stay comparable.
+// quantities (set sizes, restart/commit latencies in nanoseconds,
+// attempts per commit). It follows the shard idiom of this package: a
+// Hist lives inside a runtime's Stats shard, Observe is called by the
+// owning worker only, and shards are folded with Merge at
+// synchronization boundaries. The zero value is ready to use, and the
+// type is a plain comparable array so Stats structs that embed it stay
+// comparable.
 type Hist [HistBuckets]uint64
 
 func histBucket(n int) int {
@@ -74,14 +76,16 @@ func (h Hist) Quantile(q float64) int {
 	if total == 0 {
 		return 0
 	}
-	need := uint64(q * float64(total))
-	if need == 0 {
-		need = 1
-	}
+	// Compare cumulative mass against q·total in floating point: the
+	// truncating integer form (need := uint64(q*total)) understated the
+	// rank — e.g. q=0.3 over 10 observations truncated 3.0 - ε to 2 and
+	// returned a bucket below 30% of the mass, violating the inclusive
+	// upper-bound contract at bucket boundaries.
+	target := q * float64(total)
 	var cum uint64
 	for b, c := range h {
 		cum += c
-		if cum >= need {
+		if float64(cum) >= target {
 			return histUpper(b)
 		}
 	}

@@ -5,7 +5,8 @@ import "testing"
 func TestHistBucketEdges(t *testing.T) {
 	cases := []struct{ n, bucket int }{
 		{-1, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
-		{1 << 14, 15}, {1 << 20, 15},
+		{1 << 14, 15}, {1 << 20, 21},
+		{1 << 30, 31}, {1<<31 - 1, 31}, {1 << 31, 31}, {1 << 40, 31},
 	}
 	for _, c := range cases {
 		if b := histBucket(c.n); b != c.bucket {
@@ -45,6 +46,60 @@ func TestHistObserveQuantileMax(t *testing.T) {
 	}
 	if m := h.Max(); m != 127 {
 		t.Fatalf("Max = %d, want 127", m)
+	}
+}
+
+// TestHistQuantileBoundaryBuckets is the directed boundary coverage:
+// bucket 0 (all-zero observations), the open-ended top bucket, and the
+// rank arithmetic at exact bucket edges.
+func TestHistQuantileBoundaryBuckets(t *testing.T) {
+	// All mass in bucket 0: every quantile is 0.
+	var zeros Hist
+	for i := 0; i < 7; i++ {
+		zeros.Observe(0)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := zeros.Quantile(q); got != 0 {
+			t.Errorf("all-zeros Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if zeros.Max() != 0 {
+		t.Errorf("all-zeros Max = %d, want 0", zeros.Max())
+	}
+
+	// All mass in the open-ended top bucket: every quantile reports its
+	// (clamped) inclusive upper edge, and Max agrees.
+	var top Hist
+	top.Observe(1 << 62) // far beyond the last bucket's lower edge
+	top.Observe(1<<31 - 1)
+	wantTop := histUpper(HistBuckets - 1)
+	for _, q := range []float64{0.01, 0.5, 1.0} {
+		if got := top.Quantile(q); got != wantTop {
+			t.Errorf("top-bucket Quantile(%v) = %d, want %d", q, got, wantTop)
+		}
+	}
+	if top.Max() != wantTop {
+		t.Errorf("top-bucket Max = %d, want %d", top.Max(), wantTop)
+	}
+
+	// Regression for the truncation off-by-one: 2 observations of 0 and
+	// 8 of 1 — the 0.2-quantile sits exactly on bucket 0's cumulative
+	// mass (2 of 10), so p20 must be 0 and p30 must already be 1. The
+	// old integer-rank form truncated q·total and reported p30 = 0.
+	var edge Hist
+	edge.Observe(0)
+	edge.Observe(0)
+	for i := 0; i < 8; i++ {
+		edge.Observe(1)
+	}
+	if got := edge.Quantile(0.2); got != 0 {
+		t.Errorf("p20 = %d, want 0 (exact boundary)", got)
+	}
+	if got := edge.Quantile(0.3); got != 1 {
+		t.Errorf("p30 = %d, want 1 (truncation off-by-one)", got)
+	}
+	if got := edge.Quantile(1.0); got != 1 {
+		t.Errorf("p100 = %d, want 1", got)
 	}
 }
 

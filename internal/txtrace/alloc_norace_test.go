@@ -1,0 +1,34 @@
+//go:build !race
+
+package txtrace
+
+import "testing"
+
+// The record path must be allocation-free even when tracing is armed:
+// the ring is pre-allocated and Record is a plain store plus the
+// monotonic-clock read. (The race detector instruments allocations, so
+// this assertion only runs in normal builds — same split as the other
+// alloc_norace suites.)
+func TestRecordZeroAlloc(t *testing.T) {
+	rec := NewRecorder(1 << 10)
+	r := rec.NewRing("alloc")
+	var i uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(KindRead, i, i, 0)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("armed Record allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// The no-op tracer must be free too (it is what every hot path holds by
+// default).
+func TestNopZeroAlloc(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		Nop.Record(KindRead, 0, 0, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Nop.Record allocates %.1f per op, want 0", allocs)
+	}
+}

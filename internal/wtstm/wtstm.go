@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
@@ -38,6 +39,7 @@ import (
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
 	"tlstm/internal/txstats"
+	"tlstm/internal/txtrace"
 )
 
 const locked = ^uint64(0)
@@ -85,6 +87,15 @@ func WithMultiVersion(k int) Option {
 	}
 }
 
+// WithTrace attaches a flight recorder (internal/txtrace): every pooled
+// descriptor gets its own single-owner event ring and records the
+// transaction lifecycle (begin, attempts, reads, writes, validation,
+// CM decisions, aborts, commits). nil keeps tracing off — the default
+// no-op tracer compiles to a dead branch on the hot paths.
+func WithTrace(rec *txtrace.Recorder) Option {
+	return func(rt *Runtime) { rt.trace = rec }
+}
+
 // Runtime is one write-through STM instance.
 type Runtime struct {
 	store *mem.Store
@@ -101,6 +112,9 @@ type Runtime struct {
 	// mv, when non-nil, is the multi-version word store declared
 	// read-only transactions read from without validating.
 	mv *txlog.VersionedStore
+
+	// trace, when non-nil, hands each descriptor a flight-recorder ring.
+	trace *txtrace.Recorder
 
 	txPool sync.Pool // *Tx descriptors, reused across Atomic calls
 }
@@ -191,6 +205,13 @@ type Stats struct {
 	// transaction set sizes (logged reads / held locks).
 	ReadSetSizes  txstats.Hist
 	WriteSetSizes txstats.Hist
+	// RestartLatency histograms the nanoseconds burned per aborted
+	// attempt; CommitLatency the nanoseconds of each final, successful
+	// attempt; Attempts the attempts-per-committed-transaction
+	// distribution (1 = first-try commit).
+	RestartLatency txstats.Hist
+	CommitLatency  txstats.Hist
+	Attempts       txstats.Hist
 }
 
 // Add folds o into s.
@@ -209,6 +230,9 @@ func (s *Stats) Add(o Stats) {
 	s.MVMisses += o.MVMisses
 	s.ReadSetSizes.Merge(o.ReadSetSizes)
 	s.WriteSetSizes.Merge(o.WriteSetSizes)
+	s.RestartLatency.Merge(o.RestartLatency)
+	s.CommitLatency.Merge(o.CommitLatency)
+	s.Attempts.Merge(o.Attempts)
 }
 
 type rollbackSignal struct{}
@@ -261,6 +285,12 @@ type Tx struct {
 	cmSelf  cm.Self
 	cmProbe cm.Probe
 	greedTS atomic.Uint64
+
+	// tr is this descriptor's flight recorder (txtrace.Nop unless the
+	// runtime was built WithTrace); traced caches tr.Enabled() so the
+	// hot paths pay one predictable branch.
+	tr     txtrace.Tracer
+	traced bool
 }
 
 var _ tm.Tx = (*Tx)(nil)
@@ -286,6 +316,11 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 		tx = &Tx{rt: rt}
 		tx.cmSelf.Timestamp = &tx.greedTS
 		tx.cmSelf.Probe = &tx.cmProbe
+		tx.tr = txtrace.Nop
+		if rt.trace != nil {
+			tx.tr = rt.trace.NewRing("wtstm-tx")
+			tx.traced = true
+		}
 	}
 	tx.work = 0
 	tx.aborts = 0
@@ -297,7 +332,12 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 	tx.mvReads = 0
 	tx.mvMisses = 0
 	tx.lastWrites = 0
+	if tx.traced {
+		tx.tr.Record(txtrace.KindTxBegin, rt.clk.Now(), 0, 0)
+	}
+	var lastAttempt time.Time
 	for {
+		lastAttempt = time.Now()
 		tx.rv = rt.clk.Now()
 		tx.readLog.Reset()
 		tx.undo.Reset()
@@ -305,9 +345,15 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 		tx.allocs = tx.allocs[:0]
 		tx.frees = tx.frees[:0]
 		tx.work += txStartCost
+		if tx.traced {
+			tx.tr.Record(txtrace.KindAttemptStart, tx.rv, tx.aborts+1, 0)
+		}
 
 		if tx.attempt(fn) {
 			break
+		}
+		if st != nil {
+			st.RestartLatency.Observe(int(time.Since(lastAttempt)))
 		}
 		tx.aborts++
 		tx.cmSelf.Aborts = tx.aborts
@@ -330,6 +376,8 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 		st.MVMisses += tx.mvMisses
 		st.ReadSetSizes.Observe(tx.readLog.Len())
 		st.WriteSetSizes.Observe(tx.lastWrites)
+		st.CommitLatency.Observe(int(time.Since(lastAttempt)))
+		st.Attempts.Observe(int(tx.aborts) + 1)
 	}
 	tx.ro = false
 	rt.txPool.Put(tx)
@@ -351,6 +399,16 @@ func (tx *Tx) attempt(fn func(tx *Tx)) (ok bool) {
 	fn(tx)
 	tx.commit()
 	return true
+}
+
+// abort records the abort reason on the flight recorder, then rolls
+// back (every rollback site routes through here so traces carry the
+// cause alongside the count).
+func (tx *Tx) abort(reason uint32) {
+	if tx.traced {
+		tx.tr.Record(txtrace.KindAbort, tx.rv, 0, reason)
+	}
+	tx.rollback()
 }
 
 // rollback restores in-place writes and unwinds to the retry loop.
@@ -404,9 +462,14 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 			tx.cmSelf.Point = cm.PointEncounter
 			tx.cmSelf.Writes = tx.held.Len()
 			tx.cmSelf.Waited = waited
-			if cm.Resolve(tx.rt.cmPol, &tx.cmSelf, nil) == cm.AbortSelf {
+			dec := cm.Resolve(tx.rt.cmPol, &tx.cmSelf, nil)
+			if tx.traced {
+				tx.tr.Record(txtrace.KindCMDecision, tx.rv, uint64(a),
+					txtrace.CMAux(int(dec), int(cm.PointEncounter)))
+			}
+			if dec == cm.AbortSelf {
 				tx.cmSelf.Defeats++
-				tx.rollback()
+				tx.abort(txtrace.AbortCM)
 			}
 			waited++
 			tx.work += yieldQuantum
@@ -418,12 +481,15 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 			continue
 		}
 		if v1 > tx.rv && !tx.extendTo(v1) {
-			tx.rollback()
+			tx.abort(txtrace.AbortExtend)
 		}
 		if v1 > tx.rv {
 			continue
 		}
 		tx.readLog.Append(l, v1)
+		if tx.traced {
+			tx.tr.Record(txtrace.KindRead, v1, uint64(a), 0)
+		}
 		return val
 	}
 }
@@ -448,17 +514,23 @@ func (tx *Tx) loadMV(a tm.Addr) uint64 {
 			val := tx.rt.store.LoadWord(a)
 			if l.Load() == v1 {
 				tx.mvReads++
+				if tx.traced {
+					tx.tr.Record(txtrace.KindRead, v1, uint64(a), 1)
+				}
 				return val
 			}
 			continue // torn read: version moved underneath us
 		}
 		if val, ok := tx.rt.mv.ReadAt(a, tx.rv); ok {
 			tx.mvReads++
+			if tx.traced {
+				tx.tr.Record(txtrace.KindRead, tx.rv, uint64(a), 1)
+			}
 			return val
 		}
 		tx.mvMisses++
 		tx.mvOn = false
-		tx.rollback()
+		tx.abort(txtrace.AbortSpec)
 	}
 }
 
@@ -479,10 +551,16 @@ func (tx *Tx) extendTo(witness uint64) bool {
 		if tx.held.Holds(re.Lock) {
 			continue
 		}
+		if tx.traced {
+			tx.tr.Record(txtrace.KindExtend, ts, witness, 0)
+		}
 		return false
 	}
 	if ts > tx.rv {
 		tx.extends++
+		if tx.traced {
+			tx.tr.Record(txtrace.KindExtend, ts, witness, 1)
+		}
 	}
 	tx.rv = ts
 	return true
@@ -495,7 +573,7 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 		// multi-version reads were unlogged at a frozen read version, so
 		// re-run the attempt on the validated read-write path.
 		tx.mvOn = false
-		tx.rollback()
+		tx.abort(txtrace.AbortSpec)
 	}
 	tx.tick(2)
 	l := tx.rt.lockFor(a)
@@ -510,9 +588,14 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 				tx.cmSelf.Point = cm.PointEncounter
 				tx.cmSelf.Writes = tx.held.Len()
 				tx.cmSelf.Waited = waited
-				if cm.Resolve(tx.rt.cmPol, &tx.cmSelf, nil) == cm.AbortSelf {
+				dec := cm.Resolve(tx.rt.cmPol, &tx.cmSelf, nil)
+				if tx.traced {
+					tx.tr.Record(txtrace.KindCMDecision, tx.rv, uint64(a),
+						txtrace.CMAux(int(dec), int(cm.PointEncounter)))
+				}
+				if dec == cm.AbortSelf {
 					tx.cmSelf.Defeats++
-					tx.rollback()
+					tx.abort(txtrace.AbortCM)
 				}
 				waited++
 				tx.work += yieldQuantum
@@ -520,7 +603,7 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 				continue
 			}
 			if cur > tx.rv && !tx.extendTo(cur) {
-				tx.rollback()
+				tx.abort(txtrace.AbortExtend)
 			}
 			if cur > tx.rv {
 				continue
@@ -533,6 +616,9 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 	}
 	tx.undo.Append(a, tx.rt.store.LoadWord(a))
 	tx.rt.store.StoreWord(a, v)
+	if tx.traced {
+		tx.tr.Record(txtrace.KindWrite, tx.rv, uint64(a), 0)
+	}
 }
 
 // Alloc implements tm.Tx.
@@ -551,6 +637,9 @@ func (tx *Tx) Free(a tm.Addr) { tx.frees = append(tx.frees, a) }
 func (tx *Tx) commit() {
 	if tx.held.Len() == 0 {
 		tx.applyFrees()
+		if tx.traced {
+			tx.tr.Record(txtrace.KindCommit, tx.rv, 0, 0)
+		}
 		return
 	}
 	wv := tx.rt.clk.Tick(&tx.clkProbe)
@@ -563,8 +652,14 @@ func (tx *Tx) commit() {
 			}
 			v := re.Lock.Load()
 			if v != re.Version && !tx.held.Holds(re.Lock) {
-				tx.rollback()
+				if tx.traced {
+					tx.tr.Record(txtrace.KindValidate, wv, uint64(tx.readLog.Len()), 0)
+				}
+				tx.abort(txtrace.AbortValidation)
 			}
+		}
+		if tx.traced {
+			tx.tr.Record(txtrace.KindValidate, wv, uint64(tx.readLog.Len()), 1)
 		}
 	}
 	tx.work += uint64(tx.held.Len())
@@ -579,6 +674,9 @@ func (tx *Tx) commit() {
 	tx.undo.Reset()
 	tx.held.Publish(wv)
 	tx.applyFrees()
+	if tx.traced {
+		tx.tr.Record(txtrace.KindCommit, wv, uint64(tx.lastWrites), 0)
+	}
 }
 
 // publishVersions walks the undo log in append order, keeping the first
