@@ -15,6 +15,9 @@
 //	tlstm-bench -mv 2           # figures with 2 retained versions per word
 //	tlstm-bench -mvs            # multi-version depth sweep (read-mostly mixes)
 //	tlstm-bench -mvs -json out.json  # ... also persisted as JSON
+//	tlstm-bench -shards 4       # figures with a 4-shard lock table
+//	tlstm-bench -shards 4 -affinity  # ... plus conflict-sketch thread placement
+//	tlstm-bench -shardss        # shard-count sweep (hot-word and 90/10 mixes)
 package main
 
 import (
@@ -45,7 +48,10 @@ func run() int {
 	cmCmp := flag.Bool("cms", false, "sweep all contention-management policies across all four runtimes on a write-contended workload (throughput, abort rate and policy decision counters per policy)")
 	mvDepth := flag.Int("mv", 0, "retained version depth for figure/headline runs (0 disables multi-versioning)")
 	mvCmp := flag.Bool("mvs", false, "sweep retained version depths K=0..3 across all four runtimes on read-mostly workloads at 90/10 and 99/1 mixes (throughput, aborts, wait-free reads and fallback misses per depth)")
-	jsonPath := flag.String("json", "", "with -mvs: also write the sweep results as JSON to this file")
+	shards := flag.Int("shards", 0, "lock-table shard count for figure/headline runs (a power of two; 0 or 1 keeps the flat table)")
+	affinity := flag.Bool("affinity", false, "replace static round-robin thread placement with the conflict-sketch affinity policy (only meaningful with -shards > 1)")
+	shardCmp := flag.Bool("shardss", false, "sweep lock-table shard counts N=1,2,4,8 (plus an affinity leg at each N>1) across all four runtimes on hot-word and 90/10 mixes (throughput, aborts, cross-shard conflicts and remaps per geometry)")
+	jsonPath := flag.String("json", "", "with -mvs or -shardss: also write the sweep results as JSON to this file")
 	format := flag.String("format", "table", `output format: "table" or "csv"`)
 	traceFile := flag.String("trace", "", "arm the flight recorder in every runtime the figures build and write the binary trace dump (TXTRACE1) here on exit; inspect with tlstm-trace")
 	flag.Parse()
@@ -87,7 +93,27 @@ func run() int {
 	}
 	sc.CM = cmKind
 	sc.MV = *mvDepth
+	sc.Shards = *shards
+	sc.Affinity = *affinity
 
+	if *shardCmp {
+		threads, txs := 4, 5_000
+		if *quick {
+			txs = 500
+		}
+		fmt.Printf("## Lock-table shard sweep (hot-word and 90/10 mixes, %d threads, %d tx/thread)\n", threads, txs)
+		results := harness.CompareShards(threads, txs)
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, "shards", threads, txs, results); err != nil {
+				fmt.Fprintf(os.Stderr, "tlstm-bench: %v\n", err)
+				return 1
+			}
+		}
+		return 0
+	}
 	if *mvCmp {
 		threads, txs := 4, 10_000
 		if *quick {
@@ -99,7 +125,7 @@ func run() int {
 			fmt.Println(r)
 		}
 		if *jsonPath != "" {
-			if err := writeJSON(*jsonPath, threads, txs, results); err != nil {
+			if err := writeJSON(*jsonPath, "mv", threads, txs, results); err != nil {
 				fmt.Fprintf(os.Stderr, "tlstm-bench: %v\n", err)
 				return 1
 			}
@@ -179,13 +205,13 @@ func run() int {
 
 // writeJSON persists a sweep as an indented JSON document (the
 // perf-trajectory format committed as BENCH_<pr>.json).
-func writeJSON(path string, threads, txPerThread int, results []harness.Result) error {
+func writeJSON(path, sweep string, threads, txPerThread int, results []harness.Result) error {
 	doc := struct {
 		Sweep       string           `json:"sweep"`
 		Threads     int              `json:"threads"`
 		TxPerThread int              `json:"txPerThread"`
 		Results     []harness.Result `json:"results"`
-	}{"mv", threads, txPerThread, results}
+	}{sweep, threads, txPerThread, results}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -21,7 +21,10 @@
 // exact preserved total at its snapshot — the strongest cheap check of
 // the wait-free multi-version read path; -mvs swaps the soak for the
 // invariant-checked depth sweep across all four runtimes
-// (harness.CompareMV).
+// (harness.CompareMV). The soak's lock table can be sharded (-shards 4)
+// with optional conflict-sketch thread placement (-affinity); -shardss
+// swaps the soak for the invariant-checked shard-count sweep across all
+// four runtimes (harness.CompareShards).
 package main
 
 import (
@@ -65,9 +68,22 @@ func run() int {
 	mvDepth := flag.Int("mv", 0, "retained version depth for the soak runtime (0 disables multi-versioning)")
 	mvCmp := flag.Bool("mvs", false, "run the invariant-checked multi-version depth sweep (K=0..3 × all runtimes, read-mostly mixes) instead of the soak; -seconds scales the transaction count")
 	roMix := flag.Int("romix", 0, "percent of soak transactions that are declared read-only scans: each task sums every account at the transaction's snapshot and requires the exact preserved total")
+	shards := flag.Int("shards", 0, "lock-table shard count for the soak runtime (a power of two; 0 or 1 keeps the flat table)")
+	affinity := flag.Bool("affinity", false, "replace static round-robin thread placement with the conflict-sketch affinity policy (only meaningful with -shards > 1)")
+	shardCmp := flag.Bool("shardss", false, "run the invariant-checked lock-table shard-count sweep (N=1,2,4,8 plus affinity legs × all runtimes, hot-word and 90/10 mixes) instead of the soak; -seconds scales the transaction count")
 	traceFile := flag.String("trace", "", "arm the flight recorder and write the binary trace dump (TXTRACE1) to this file when the soak ends; inspect with tlstm-trace")
 	metricsAddr := flag.String("metrics", "", "serve live metrics over HTTP on this address (/debug/vars, /debug/pprof) and print one-line stat deltas every 2s; threads sync their stats shards periodically so the feed is live")
 	flag.Parse()
+
+	if *shardCmp {
+		txs := 2_000 * *seconds
+		fmt.Printf("## Lock-table shard sweep (%d threads, %d tx/thread)\n", *threads, txs)
+		for _, r := range harness.CompareShards(*threads, txs) {
+			fmt.Println(r)
+		}
+		fmt.Println("OK: all geometry/runtime end states verified")
+		return 0
+	}
 
 	if *mvCmp {
 		txs := 5_000 * *seconds
@@ -122,6 +138,7 @@ func run() int {
 	rt := core.New(core.Config{
 		SpecDepth: *depth, Policy: policy, Clock: clock.New(kind), CM: cm.New(cmKind),
 		ReclaimRing: *reclaimRing, ReclaimAudit: *reclaimAudit, MVDepth: *mvDepth,
+		Shards: *shards, Affinity: *affinity,
 		Trace: rec,
 	})
 	defer rt.Close()
@@ -145,6 +162,7 @@ func run() int {
 					"cmAbortsSelf": st.CMAbortsSelf, "cmAbortsOwner": st.CMAbortsOwner,
 					"backoffSpins": st.BackoffSpins, "entryReclaims": st.EntryReclaims,
 					"horizonStalls": st.HorizonStalls, "mvReads": st.MVReads, "mvMisses": st.MVMisses,
+					"crossShardConflicts": st.CrossShardConflicts, "remaps": st.Remaps,
 				},
 				Hists: map[string]txstats.Hist{
 					"commitLat": st.CommitLatency, "restartLat": st.RestartLatency,
@@ -292,13 +310,15 @@ func run() int {
 		sum += d.Load(base + tm.Addr(i))
 	}
 	want := uint64(*accounts) * initial
-	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d clock=%s ext=%d clkRetry=%d cm=%s cmSelf=%d cmOwner=%d spins=%d reclaim=%d stall=%d mv=%d mvRead=%d mvMiss=%d rset[%s] wset[%s] commitLat[%s] attempts[%s] restartLat[%s]\n",
+	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d clock=%s ext=%d clkRetry=%d cm=%s cmSelf=%d cmOwner=%d spins=%d reclaim=%d stall=%d mv=%d mvRead=%d mvMiss=%d shards=%d place=%s xshard=%d remap=%d rset[%s] wset[%s] commitLat[%s] attempts[%s] restartLat[%s]\n",
 		total.TxCommitted, total.TxAborted, total.TaskRestarts, total.Work,
 		total.WorkersSpawned, total.DescriptorReuses,
 		rt.ClockName(), total.SnapshotExtensions, total.ClockCASRetries,
 		rt.CMName(), total.CMAbortsSelf, total.CMAbortsOwner, total.BackoffSpins,
 		total.EntryReclaims, total.HorizonStalls,
-		rt.MVDepth(), total.MVReads, total.MVMisses, total.ReadSetSizes, total.WriteSetSizes,
+		rt.MVDepth(), total.MVReads, total.MVMisses,
+		rt.Shards(), rt.PlacementName(), total.CrossShardConflicts, total.Remaps,
+		total.ReadSetSizes, total.WriteSetSizes,
 		total.CommitLatency, total.Attempts, total.RestartLatency)
 	if sum != want {
 		fmt.Printf("FAIL: total=%d want=%d (atomicity violated)\n", sum, want)

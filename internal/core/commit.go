@@ -15,6 +15,11 @@ import (
 // units, used by the virtual-time model (DESIGN.md §3).
 const commitCost = 2
 
+// remapPeriod is how many committed transactions a thread accumulates
+// between affinity-placement rebalance checks (same cadence as the flat
+// runtimes' per-worker remap windows).
+const remapPeriod = 64
+
 // commitStep is the task's commit procedure (Alg. 3 lines 65–77): wait
 // for all past tasks of the user-thread to complete, run the gated WAR
 // validation, then either mark this task completed and wait for the
@@ -111,9 +116,12 @@ func (t *Task) commitTransaction() {
 				break
 			}
 		}
-		if !sameTS && !t.validateTxReads(nil) {
-			t.recordTxValidate(t.validTS, false)
-			t.abortOwnTx()
+		if !sameTS {
+			if failed := t.validateTxReads(nil); failed != nil {
+				t.noteConflictPair(failed)
+				t.recordTxValidate(t.validTS, false)
+				t.abortOwnTx()
+			}
 		}
 		t.finishCommit(0, false)
 		return
@@ -121,7 +129,8 @@ func (t *Task) commitTransaction() {
 
 	// Optimistic pre-lock validation (line 78): cheaper to discover a
 	// doomed transaction before acquiring r-locks.
-	if !t.validateTxReads(nil) {
+	if failed := t.validateTxReads(nil); failed != nil {
+		t.noteConflictPair(failed)
 		t.recordTxValidate(t.validTS, false)
 		t.abortOwnTx()
 	}
@@ -142,8 +151,9 @@ func (t *Task) commitTransaction() {
 
 	ts := rt.clk.Tick(&t.clkProbe) // line 84
 
-	if !t.validateTxReads(scr) { // line 85
+	if failed := t.validateTxReads(scr); failed != nil { // line 85
 		scr.Restore()
+		t.noteConflictPair(failed)
 		t.recordTxValidate(ts, false)
 		t.abortOwnTx()
 	}
@@ -204,10 +214,12 @@ func (t *Task) commitTransaction() {
 }
 
 // validateTxReads validates the committed reads of every task of the
-// transaction against current r-lock versions. Pairs r-locked by this
-// commit (recorded in scr; nil during the optimistic pre-lock pass)
-// compare against their displaced version.
-func (t *Task) validateTxReads(scr *txlog.CommitScratch) bool {
+// transaction against current r-lock versions, returning the first
+// failing pair (nil when every read is valid — the pair feeds the
+// conflict sketch). Pairs r-locked by this commit (recorded in scr;
+// nil during the optimistic pre-lock pass) compare against their
+// displaced version.
+func (t *Task) validateTxReads(scr *txlog.CommitScratch) *locktable.Pair {
 	for _, task := range t.tx.tasks {
 		for i, re := range task.readLog.Entries() {
 			if re.Version == noVersion {
@@ -225,10 +237,10 @@ func (t *Task) validateTxReads(scr *txlog.CommitScratch) bool {
 					continue
 				}
 			}
-			return false
+			return re.Pair
 		}
 	}
-	return true
+	return nil
 }
 
 // recordTxValidate records a commit-time whole-transaction validation
@@ -323,6 +335,13 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 		task.mvReads = 0
 		thr.stats.MVMisses += task.mvMisses
 		task.mvMisses = 0
+		// Conflict-sketch fold: into the thread shard for reporting and
+		// into the remap window the placement step below consumes.
+		thr.stats.ConflictSketch.Merge(task.sketch)
+		thr.stats.CrossShardConflicts += task.crossShard
+		thr.remapWindow.Merge(task.sketch)
+		task.sketch = txstats.Sketch{}
+		task.crossShard = 0
 		// Set-size histograms: read before RetireCommitted empties the
 		// write logs below. A wait-free read-only task logs nothing, so
 		// the multi-version fast path shows up as read-set size 0.
@@ -341,6 +360,26 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 	thr.stats.Attempts.Observe(int(tx.txAborts.Load()) + 1)
 	if t.traced {
 		t.tr.Record(txtrace.KindCommit, ts, txWrites, 0)
+	}
+
+	// Affinity remap step: every remapPeriod commits, hand the window of
+	// conflict observations since the last check to the placement policy
+	// and adopt whatever home it decides. finishCommit is serialized per
+	// thread, so the window and countdown need no synchronization; only
+	// the home itself is shared (tasks read it on conflict paths).
+	thr.txSinceRemap++
+	if thr.txSinceRemap >= remapPeriod {
+		thr.txSinceRemap = 0
+		if thr.rt.placement.Rebalance(int(thr.id), thr.remapWindow) {
+			old := thr.homeShard.Load()
+			home := int32(thr.rt.placement.Home(int(thr.id)))
+			thr.homeShard.Store(home)
+			thr.stats.Remaps++
+			if t.traced {
+				t.tr.Record(txtrace.KindRemap, ts, uint64(home), uint32(old))
+			}
+		}
+		thr.remapWindow = txstats.Sketch{}
 	}
 
 	// Retire the transaction's write-lock entries into their

@@ -47,6 +47,18 @@ type Config struct {
 	// LockTableBits sizes the global lock table at 2^bits pairs.
 	// Defaults to 20.
 	LockTableBits int
+	// Shards splits the lock table into that many contiguous shards
+	// (power of two; 0 or 1 means flat). Sharding never changes which
+	// pair an address resolves to — it only labels regions for the
+	// conflict sketch and affinity placement.
+	Shards int
+	// Affinity enables the affinity placement policy: threads whose
+	// conflict sketches concentrate on one shard are re-homed onto it
+	// (sched.Affinity). Off means static round-robin homes.
+	Affinity bool
+	// PadLockTable spreads lock pairs one per cache line
+	// (locktable.PadStride) to trade memory for false-sharing isolation.
+	PadLockTable bool
 	// PlainGreedyCM disables the task-aware inter-thread contention
 	// policy and falls back to bare two-phase greedy. The paper argues
 	// task-awareness is necessary to avoid inter-thread deadlocks and
@@ -141,6 +153,11 @@ type Runtime struct {
 	// (see Thread.Sync); the hot path never touches it.
 	stats txstats.Aggregate[Stats, *Stats]
 
+	// placement assigns each thread a home lock-table shard and, under
+	// the affinity policy, rebinds it toward where the thread's
+	// conflicts concentrate (finishCommit's remap step).
+	placement sched.Placement
+
 	specDepth    int
 	policy       sched.Policy
 	reclaimRing  int
@@ -161,9 +178,13 @@ func New(cfg Config) *Runtime {
 	}
 	st := mem.NewStore()
 	rt := &Runtime{
-		store:        st,
-		alloc:        mem.NewAllocator(st),
-		locks:        locktable.NewTable(cfg.LockTableBits),
+		store: st,
+		alloc: mem.NewAllocator(st),
+		locks: locktable.New(locktable.Config{
+			Bits:   cfg.LockTableBits,
+			Shards: cfg.Shards,
+			Padded: cfg.PadLockTable,
+		}),
 		clk:          cfg.Clock,
 		cm:           cfg.CM,
 		specDepth:    cfg.SpecDepth,
@@ -172,11 +193,23 @@ func New(cfg Config) *Runtime {
 		reclaimAudit: cfg.ReclaimAudit,
 		trace:        cfg.Trace,
 	}
+	if cfg.Affinity {
+		rt.placement = sched.NewAffinity(rt.locks.Shards())
+	} else {
+		rt.placement = sched.NewRoundRobin(rt.locks.Shards())
+	}
 	if cfg.MVDepth > 0 {
 		rt.mv = txlog.NewVersionedStore(cfg.MVDepth, txlog.DefaultVersionedStoreBits)
 	}
 	return rt
 }
+
+// Shards reports the lock table's shard count (1 when flat).
+func (rt *Runtime) Shards() int { return rt.locks.Shards() }
+
+// PlacementName reports the thread-placement policy ("static" or
+// "affinity").
+func (rt *Runtime) PlacementName() string { return rt.placement.Name() }
 
 // SpecDepth reports the runtime's SPECDEPTH.
 func (rt *Runtime) SpecDepth() int { return rt.specDepth }
@@ -246,6 +279,7 @@ func (rt *Runtime) NewThread() *Thread {
 		ring:   make([]*Task, rt.specDepth),
 		txRing: make([]*txState, rt.specDepth),
 	}
+	thr.homeShard.Store(int32(rt.placement.Home(int(id))))
 	for i := range thr.ring {
 		t := &Task{thr: thr, waitBeforeRestart: -1}
 		// The per-context owner-header fields are wired once for the

@@ -13,6 +13,7 @@ import (
 	"tlstm/internal/txlog"
 	"tlstm/internal/txstats"
 	"tlstm/internal/txtrace"
+	"tlstm/internal/xrand"
 )
 
 // noVersion marks read-log entries whose value came from a speculative
@@ -98,6 +99,13 @@ type Task struct {
 	mvReads  uint64
 	mvMisses uint64
 
+	// sketch histograms this incarnation's conflicts by lock-table
+	// shard and crossShard counts those outside the thread's home shard
+	// at conflict time; both accumulate across attempts and fold into
+	// the thread's shard in finishCommit, like mvReads.
+	sketch     txstats.Sketch
+	crossShard uint64
+
 	// cmSelf is the task's contention-management identity (its
 	// situational fields are refreshed in place before every Resolve,
 	// so the conflict path never allocates); cmProbe carries the
@@ -105,6 +113,11 @@ type Task struct {
 	// thread's stats shard by finishCommit like clkProbe.
 	cmSelf  cm.Self
 	cmProbe cm.Probe
+
+	// jitterRng is the xorshift state behind the randomized relaunch
+	// jitter of whole-transaction aborts (see preRestartWait); lazily
+	// seeded, private to the descriptor's worker.
+	jitterRng uint64
 
 	// waitBeforeRestart, when ≥ 0, is a completed-task serial the next
 	// attempt must wait for before re-executing. Set on intra-thread
@@ -313,7 +326,16 @@ func (t *Task) preRestartWait() {
 	// transactions relaunch in lockstep and livelock.
 	if n := t.tx.txAborts.Load(); n > 0 {
 		t.cmSelf.Aborts = n
-		for i, y := 0, cm.AbortBackoff(t.thr.rt.cm, &t.cmSelf); i < y; i++ {
+		y := cm.AbortBackoff(t.thr.rt.cm, &t.cmSelf)
+		// Randomized relaunch jitter on top of whatever the policy
+		// returned. The txSelfAbortDefeats escalation can kill BOTH
+		// sides of a cross-thread lock cycle, and under a policy with
+		// deterministic backoff (suicide) the two victims relaunch in
+		// lockstep and can re-kill each other indefinitely; the policies
+		// with randomized spacing never needed this, and a few extra
+		// yields on a whole-transaction abort are noise to them.
+		y += int(xrand.Next(&t.jitterRng) & 63)
+		for i := 0; i < y; i++ {
 			runtime.Gosched()
 		}
 	}
@@ -421,6 +443,28 @@ var restartAbortCode = [numRestartKinds]uint32{
 	restartExtend:  txtrace.AbortExtend,
 	restartCM:      txtrace.AbortCM,
 	restartSandbox: txtrace.AbortSpec,
+}
+
+// noteConflict attributes one conflict to the lock-table shard of the
+// contended address: observed in the task's sketch (the affinity
+// placement's input) and counted as cross-shard when it lies outside
+// the thread's current home. Called only on cold abort/defeat paths.
+func (t *Task) noteConflict(a tm.Addr) {
+	shard := t.thr.rt.locks.ShardOf(a)
+	t.sketch.Observe(shard)
+	if int32(shard) != t.thr.homeShard.Load() {
+		t.crossShard++
+	}
+}
+
+// noteConflictPair is noteConflict for sites that hold only the lock
+// pair (commit-time validation walks log entries, not addresses).
+func (t *Task) noteConflictPair(p *locktable.Pair) {
+	shard := t.thr.rt.locks.ShardOfPair(p)
+	t.sketch.Observe(shard)
+	if int32(shard) != t.thr.homeShard.Load() {
+		t.crossShard++
+	}
 }
 
 // rollbackTask aborts just this task and restarts it, recording why.
@@ -596,6 +640,7 @@ func (t *Task) loadCommittedRecording(p *locktable.Pair, a tm.Addr, firstPast *l
 			continue
 		}
 		if v1 > t.validTS && !t.extendTo(v1) {
+			t.noteConflict(a)
 			t.rollbackTask(restartExtend)
 		}
 		if v1 > t.validTS {
@@ -797,6 +842,7 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 			}
 			switch dec {
 			case cm.AbortSelf:
+				t.noteConflict(a)
 				defeats := t.tx.cmDefeats.Add(1)
 				t.cmSelf.Aborts = uint64(defeats)
 				t.backoff = cm.AbortBackoff(t.thr.rt.cm, &t.cmSelf)
@@ -843,6 +889,7 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 		// 44–45). If it completed, we stack a new entry on the
 		// location's redo log (lines 49–51).
 		if t.thr.completedTask.Load() < e.Serial {
+			t.noteConflict(a)
 			t.waitBeforeRestart = e.Serial
 			t.rollbackTask(restartWAW)
 		}
@@ -863,6 +910,7 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 	// displaces, so locations never regress under pre-publishing
 	// strategies.
 	if ver := p.R.Load(); ver != locktable.Locked && ver > t.validTS && !t.extendTo(ver) {
+		t.noteConflict(a)
 		t.rollbackTask(restartExtend)
 	}
 	t.maybeValidate()

@@ -81,6 +81,15 @@ type Thread struct {
 
 	nextSerial int64 // owned by the submitting goroutine
 
+	// homeShard is the thread's current home lock-table shard under the
+	// runtime's placement policy. Tasks read it from their workers while
+	// finishCommit's remap step may rebind it, hence the atomic; the
+	// remap bookkeeping below it (window, countdown) is written only by
+	// finishCommit, serialized per thread like stats.
+	homeShard    atomic.Int32
+	remapWindow  txstats.Sketch
+	txSinceRemap int
+
 	// stats is the thread's unshared statistics shard (SNIPPETS-style
 	// per-thread counters). Transaction counters are written only by
 	// finishCommit, whose invocations are serialized per thread by the
@@ -361,6 +370,14 @@ type Stats struct {
 	// allocation grows the ring, so stalls are self-limiting).
 	EntryReclaims uint64
 	HorizonStalls uint64
+	// ConflictSketch histograms aborts and contention-manager defeats by
+	// the lock-table shard of the contended location; it is the signal
+	// the affinity placement's remap step reads. CrossShardConflicts
+	// counts the subset that hit outside the thread's home shard at the
+	// time of the conflict; Remaps counts home-shard rebinds.
+	ConflictSketch      txstats.Sketch
+	CrossShardConflicts uint64
+	Remaps              uint64
 	// MVReads counts loads served on the multi-version wait-free path
 	// (declared read-only transactions, Config.MVDepth > 0): current
 	// memory unchanged since the snapshot, or a retained version.
@@ -406,6 +423,9 @@ func (s *Stats) Add(o Stats) {
 	s.BackoffSpins += o.BackoffSpins
 	s.EntryReclaims += o.EntryReclaims
 	s.HorizonStalls += o.HorizonStalls
+	s.ConflictSketch.Merge(o.ConflictSketch)
+	s.CrossShardConflicts += o.CrossShardConflicts
+	s.Remaps += o.Remaps
 	s.MVReads += o.MVReads
 	s.MVMisses += o.MVMisses
 	s.ReadSetSizes.Merge(o.ReadSetSizes)
@@ -420,32 +440,35 @@ func (s *Stats) Add(o Stats) {
 // how Sync computes the not-yet-merged part of a thread's shard.
 func (s Stats) minus(o Stats) Stats {
 	return Stats{
-		TxCommitted:        s.TxCommitted - o.TxCommitted,
-		TxAborted:          s.TxAborted - o.TxAborted,
-		TaskRestarts:       s.TaskRestarts - o.TaskRestarts,
-		RestartWAR:         s.RestartWAR - o.RestartWAR,
-		RestartWAW:         s.RestartWAW - o.RestartWAW,
-		RestartExtend:      s.RestartExtend - o.RestartExtend,
-		RestartCM:          s.RestartCM - o.RestartCM,
-		RestartSandbox:     s.RestartSandbox - o.RestartSandbox,
-		Work:               s.Work - o.Work,
-		VirtualTime:        s.VirtualTime - o.VirtualTime,
-		WorkersSpawned:     s.WorkersSpawned - o.WorkersSpawned,
-		DescriptorReuses:   s.DescriptorReuses - o.DescriptorReuses,
-		SnapshotExtensions: s.SnapshotExtensions - o.SnapshotExtensions,
-		ClockCASRetries:    s.ClockCASRetries - o.ClockCASRetries,
-		CMAbortsSelf:       s.CMAbortsSelf - o.CMAbortsSelf,
-		CMAbortsOwner:      s.CMAbortsOwner - o.CMAbortsOwner,
-		BackoffSpins:       s.BackoffSpins - o.BackoffSpins,
-		EntryReclaims:      s.EntryReclaims - o.EntryReclaims,
-		HorizonStalls:      s.HorizonStalls - o.HorizonStalls,
-		MVReads:            s.MVReads - o.MVReads,
-		MVMisses:           s.MVMisses - o.MVMisses,
-		ReadSetSizes:       s.ReadSetSizes.Minus(o.ReadSetSizes),
-		WriteSetSizes:      s.WriteSetSizes.Minus(o.WriteSetSizes),
-		RestartLatency:     s.RestartLatency.Minus(o.RestartLatency),
-		CommitLatency:      s.CommitLatency.Minus(o.CommitLatency),
-		Attempts:           s.Attempts.Minus(o.Attempts),
+		TxCommitted:         s.TxCommitted - o.TxCommitted,
+		TxAborted:           s.TxAborted - o.TxAborted,
+		TaskRestarts:        s.TaskRestarts - o.TaskRestarts,
+		RestartWAR:          s.RestartWAR - o.RestartWAR,
+		RestartWAW:          s.RestartWAW - o.RestartWAW,
+		RestartExtend:       s.RestartExtend - o.RestartExtend,
+		RestartCM:           s.RestartCM - o.RestartCM,
+		RestartSandbox:      s.RestartSandbox - o.RestartSandbox,
+		Work:                s.Work - o.Work,
+		VirtualTime:         s.VirtualTime - o.VirtualTime,
+		WorkersSpawned:      s.WorkersSpawned - o.WorkersSpawned,
+		DescriptorReuses:    s.DescriptorReuses - o.DescriptorReuses,
+		SnapshotExtensions:  s.SnapshotExtensions - o.SnapshotExtensions,
+		ClockCASRetries:     s.ClockCASRetries - o.ClockCASRetries,
+		CMAbortsSelf:        s.CMAbortsSelf - o.CMAbortsSelf,
+		CMAbortsOwner:       s.CMAbortsOwner - o.CMAbortsOwner,
+		BackoffSpins:        s.BackoffSpins - o.BackoffSpins,
+		EntryReclaims:       s.EntryReclaims - o.EntryReclaims,
+		HorizonStalls:       s.HorizonStalls - o.HorizonStalls,
+		ConflictSketch:      s.ConflictSketch.Minus(o.ConflictSketch),
+		CrossShardConflicts: s.CrossShardConflicts - o.CrossShardConflicts,
+		Remaps:              s.Remaps - o.Remaps,
+		MVReads:             s.MVReads - o.MVReads,
+		MVMisses:            s.MVMisses - o.MVMisses,
+		ReadSetSizes:        s.ReadSetSizes.Minus(o.ReadSetSizes),
+		WriteSetSizes:       s.WriteSetSizes.Minus(o.WriteSetSizes),
+		RestartLatency:      s.RestartLatency.Minus(o.RestartLatency),
+		CommitLatency:       s.CommitLatency.Minus(o.CommitLatency),
+		Attempts:            s.Attempts.Minus(o.Attempts),
 	}
 }
 

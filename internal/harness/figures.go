@@ -41,6 +41,14 @@ type Scale struct {
 	// figures build (cmd/tlstm-bench -trace). All points of a run share
 	// one recorder; rings are labeled per runtime thread.
 	Trace *txtrace.Recorder
+	// Shards is the lock-table shard count every runtime in the figures
+	// is built with (cmd/tlstm-bench -shards); 0 or 1 keeps the flat
+	// single-shard layout.
+	Shards int
+	// Affinity selects the conflict-sketch placement policy instead of
+	// the static round-robin one (cmd/tlstm-bench -affinity); it only
+	// matters with Shards > 1.
+	Affinity bool
 }
 
 // DefaultScale is used by the CLI and benches.
@@ -53,14 +61,15 @@ func QuickScale() Scale { return Scale{Fig1aTx: 40, Fig1bTx: 8, SB7Tx: 4} }
 // and contention-management policy.
 func (sc Scale) newSTM() *stm.Runtime {
 	return stm.New(stm.WithClock(clock.New(sc.Clock)), stm.WithCM(cm.New(sc.CM)),
-		stm.WithMultiVersion(sc.MV), stm.WithTrace(sc.Trace))
+		stm.WithMultiVersion(sc.MV), stm.WithTrace(sc.Trace),
+		stm.WithShards(sc.Shards), stm.WithAffinity(sc.Affinity))
 }
 
 // newTLSTM builds a TLSTM runtime with the configured clock strategy
 // and contention-management policy.
 func (sc Scale) newTLSTM(depth int) *core.Runtime {
 	return core.New(core.Config{SpecDepth: depth, Clock: clock.New(sc.Clock), CM: cm.New(sc.CM),
-		MVDepth: sc.MV, Trace: sc.Trace})
+		MVDepth: sc.MV, Trace: sc.Trace, Shards: sc.Shards, Affinity: sc.Affinity})
 }
 
 func mix64(x uint64) uint64 {

@@ -23,6 +23,7 @@ import (
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
 	"tlstm/internal/core"
+	"tlstm/internal/locktable"
 	"tlstm/internal/sched"
 	"tlstm/internal/stm"
 	"tlstm/internal/tl2"
@@ -112,6 +113,16 @@ type Result struct {
 	// shards.
 	EntryReclaims uint64
 	HorizonStalls uint64
+	// Shards is the run's lock-table shard count (1 = flat) and
+	// Placement the thread-placement policy ("static" round-robin or
+	// "affinity"). CrossShardConflicts counts conflicts attributed to a
+	// shard other than the conflicting thread's home at conflict time;
+	// Remaps counts affinity home rebinds. Folded from the per-thread
+	// conflict sketches.
+	Shards              int
+	Placement           string
+	CrossShardConflicts uint64
+	Remaps              uint64
 	// MV is the runtime's retained version depth (0 when
 	// multi-versioning is off). MVReads counts loads served on the
 	// wait-free multi-version path; MVMisses counts declared read-only
@@ -165,6 +176,10 @@ func (r Result) String() string {
 	if r.EntryReclaims > 0 || r.HorizonStalls > 0 {
 		s += fmt.Sprintf(" reclaim=%-6d stall=%d", r.EntryReclaims, r.HorizonStalls)
 	}
+	if r.Shards > 1 || r.CrossShardConflicts > 0 || r.Remaps > 0 {
+		s += fmt.Sprintf(" shards=%-2d place=%-8s xshard=%-6d remap=%d",
+			r.Shards, r.Placement, r.CrossShardConflicts, r.Remaps)
+	}
 	if r.MV > 0 || r.MVReads > 0 || r.MVMisses > 0 {
 		s += fmt.Sprintf(" mv=%d mvRead=%-7d mvMiss=%-4d rset[%s] wset[%s]",
 			r.MV, r.MVReads, r.MVMisses, r.ReadSets, r.WriteSets)
@@ -213,17 +228,21 @@ func RunSTM(rt *stm.Runtime, w Workload) Result {
 	wg.Wait()
 
 	res := Result{
-		Label: w.Name,
-		Ops:   uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
-		Wall:  time.Since(start),
-		Clock: rt.ClockName(),
-		CM:    rt.CMName(),
-		MV:    rt.MVDepth(),
+		Label:     w.Name,
+		Ops:       uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
+		Wall:      time.Since(start),
+		Clock:     rt.ClockName(),
+		CM:        rt.CMName(),
+		MV:        rt.MVDepth(),
+		Shards:    rt.Shards(),
+		Placement: rt.PlacementName(),
 	}
 	for _, wk := range workers {
 		st := wk.Stats()
 		res.TxCommitted += st.Commits
 		res.TxAborted += st.Aborts
+		res.CrossShardConflicts += st.CrossShardConflicts
+		res.Remaps += st.Remaps
 		res.SnapshotExtensions += st.SnapshotExtensions
 		res.ClockCASRetries += st.ClockCASRetries
 		res.CMAbortsSelf += st.CMAbortsSelf
@@ -255,6 +274,7 @@ type flatStats struct {
 	mvReads, mvMisses                               uint64
 	readSets, writeSets                             txstats.Hist
 	restartLat, commitLat, attempts                 txstats.Hist
+	crossShardConflicts, remaps                     uint64
 }
 
 // runFlat drives a flat-transaction runtime: one goroutine per thread,
@@ -262,7 +282,7 @@ type flatStats struct {
 // when the workload declares it read-only), per-thread statistics
 // extracted into the shared Result shape. RunTL2 and RunWTSTM are thin
 // wrappers so the fan-out/fold logic exists once.
-func runFlat[S any](w Workload, clockName, cmName string, mvDepth int,
+func runFlat[S any](w Workload, clockName, cmName string, mvDepth, shards int, placement string,
 	atomic, atomicRO func(st *S, run func(tm.Tx)), extract func(S) flatStats) Result {
 	start := time.Now()
 	stats := make([]S, w.Threads)
@@ -289,17 +309,21 @@ func runFlat[S any](w Workload, clockName, cmName string, mvDepth int,
 	wg.Wait()
 
 	res := Result{
-		Label: w.Name,
-		Ops:   uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
-		Wall:  time.Since(start),
-		Clock: clockName,
-		CM:    cmName,
-		MV:    mvDepth,
+		Label:     w.Name,
+		Ops:       uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
+		Wall:      time.Since(start),
+		Clock:     clockName,
+		CM:        cmName,
+		MV:        mvDepth,
+		Shards:    shards,
+		Placement: placement,
 	}
 	for _, s := range stats {
 		st := extract(s)
 		res.TxCommitted += st.commits
 		res.TxAborted += st.aborts
+		res.CrossShardConflicts += st.crossShardConflicts
+		res.Remaps += st.remaps
 		res.SnapshotExtensions += st.extensions
 		res.ClockCASRetries += st.clockRetries
 		res.CMAbortsSelf += st.cmAbortsSelf
@@ -323,7 +347,7 @@ func runFlat[S any](w Workload, clockName, cmName string, mvDepth int,
 
 // RunTL2 executes the workload on the TL2 baseline.
 func RunTL2(rt *tl2.Runtime, w Workload) Result {
-	return runFlat(w, rt.ClockName(), rt.CMName(), rt.MVDepth(),
+	return runFlat(w, rt.ClockName(), rt.CMName(), rt.MVDepth(), rt.Shards(), rt.PlacementName(),
 		func(st *tl2.Stats, run func(tm.Tx)) {
 			rt.Atomic(st, func(tx *tl2.Tx) { run(tx) })
 		},
@@ -335,13 +359,14 @@ func RunTL2(rt *tl2.Runtime, w Workload) Result {
 				st.CMAbortsSelf, st.CMAbortsOwner, st.BackoffSpins,
 				st.EntryReclaims, st.HorizonStalls,
 				st.MVReads, st.MVMisses, st.ReadSetSizes, st.WriteSetSizes,
-				st.RestartLatency, st.CommitLatency, st.Attempts}
+				st.RestartLatency, st.CommitLatency, st.Attempts,
+				st.CrossShardConflicts, st.Remaps}
 		})
 }
 
 // RunWTSTM executes the workload on the write-through STM.
 func RunWTSTM(rt *wtstm.Runtime, w Workload) Result {
-	return runFlat(w, rt.ClockName(), rt.CMName(), rt.MVDepth(),
+	return runFlat(w, rt.ClockName(), rt.CMName(), rt.MVDepth(), rt.Shards(), rt.PlacementName(),
 		func(st *wtstm.Stats, run func(tm.Tx)) {
 			rt.Atomic(st, func(tx *wtstm.Tx) { run(tx) })
 		},
@@ -353,7 +378,8 @@ func RunWTSTM(rt *wtstm.Runtime, w Workload) Result {
 				st.CMAbortsSelf, st.CMAbortsOwner, st.BackoffSpins,
 				st.EntryReclaims, st.HorizonStalls,
 				st.MVReads, st.MVMisses, st.ReadSetSizes, st.WriteSetSizes,
-				st.RestartLatency, st.CommitLatency, st.Attempts}
+				st.RestartLatency, st.CommitLatency, st.Attempts,
+				st.CrossShardConflicts, st.Remaps}
 		})
 }
 
@@ -395,18 +421,22 @@ func RunTLSTM(rt *core.Runtime, w Workload) Result {
 	wg.Wait()
 
 	res := Result{
-		Label: w.Name,
-		Ops:   uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
-		Wall:  time.Since(start),
-		Clock: rt.ClockName(),
-		CM:    rt.CMName(),
-		MV:    rt.MVDepth(),
+		Label:     w.Name,
+		Ops:       uint64(w.Threads * w.TxPerThread * w.OpsPerTx),
+		Wall:      time.Since(start),
+		Clock:     rt.ClockName(),
+		CM:        rt.CMName(),
+		MV:        rt.MVDepth(),
+		Shards:    rt.Shards(),
+		Placement: rt.PlacementName(),
 	}
 	for _, thr := range threads {
 		st := thr.Stats()
 		res.TxCommitted += st.TxCommitted
 		res.TxAborted += st.TxAborted
 		res.TaskRestarts += st.TaskRestarts
+		res.CrossShardConflicts += st.CrossShardConflicts
+		res.Remaps += st.Remaps
 		res.WorkersSpawned += st.WorkersSpawned
 		res.DescriptorReuses += st.DescriptorReuses
 		res.SnapshotExtensions += st.SnapshotExtensions
@@ -755,6 +785,193 @@ func CompareMV(threads, txPerThread int) []Result {
 				checkMVSweep(rt.Direct().Load, base)
 				rt.Close()
 			}
+		}
+	}
+	return out
+}
+
+// shardSweepFill is the number of private filler reads each hot-word
+// CompareShards transaction performs while holding the hot word's write
+// lock (same role as cmSweepFill: push transactions past the yield
+// quantum so they genuinely overlap on the single-CPU simulator).
+const shardSweepFill = 48
+
+// shardSweepAlloc is the number of words a CompareShards runtime
+// allocates: a probe region the hot word is picked from, one private
+// counter per thread, and each thread's filler region.
+func shardSweepAlloc(threads int) int {
+	return shardProbeWords + threads + threads*shardSweepFill
+}
+
+// shardProbeWords sizes the region scanned for a hot word that maps to
+// shard 0. The Fibonacci index spreads any address range about evenly
+// across shards, so a few hundred candidates always contain one.
+const shardProbeWords = 512
+
+// hotWordFor returns the first address in [base, base+shardProbeWords)
+// the layout maps to shard 0, so the sweep's contention concentrates in
+// one known shard regardless of the shard count.
+func hotWordFor(base tm.Addr, layout locktable.Layout) tm.Addr {
+	for off := 0; off < shardProbeWords; off++ {
+		if layout.ShardOf(base+tm.Addr(off)) == 0 {
+			return base + tm.Addr(off)
+		}
+	}
+	return base
+}
+
+// shardSweepWorkload is the hot-word CompareShards workload: every
+// transaction increments one shared hot word chosen to live in shard 0,
+// reads its thread's filler region while holding the lock, and
+// increments the thread's private counter. All contention lands in one
+// shard, which is the configuration sharding is about: under static
+// round-robin placement every thread homed elsewhere counts each
+// conflict as cross-shard, and the affinity policy should migrate every
+// thread's home onto the hot shard and drive that counter down.
+func shardSweepWorkload(name string, hot, counters, fillers tm.Addr, threads, txPerThread int) Workload {
+	return Workload{
+		Name:        name,
+		Threads:     threads,
+		TxPerThread: txPerThread,
+		OpsPerTx:    2,
+		Make: func(thread, idx int) TxSeq {
+			mine := counters + tm.Addr(thread)
+			fill := fillers + tm.Addr(thread*shardSweepFill)
+			return TxSeq{func(tx tm.Tx) {
+				tx.Store(hot, tx.Load(hot)+1)
+				var sink uint64
+				for j := 0; j < shardSweepFill; j++ {
+					sink += tx.Load(fill + tm.Addr(j))
+				}
+				tx.Store(mine, tx.Load(mine)+1+sink)
+			}}
+		},
+	}
+}
+
+// checkShardSweep verifies the hot-word sweep's end state (one hot
+// increment per transaction, one private increment per thread
+// transaction), so the sweep doubles as an atomicity check across shard
+// counts and placement policies.
+func checkShardSweep(load func(tm.Addr) uint64, hot, counters tm.Addr, threads, txPerThread int) {
+	if got, want := load(hot), uint64(threads*txPerThread); got != want {
+		panic(fmt.Sprintf("harness: shard sweep hot counter = %d, want %d (atomicity violated)", got, want))
+	}
+	for th := 0; th < threads; th++ {
+		if got := load(counters + tm.Addr(th)); got != uint64(txPerThread) {
+			panic(fmt.Sprintf("harness: shard sweep thread %d counter = %d, want %d", th, got, txPerThread))
+		}
+	}
+}
+
+// ShardCounts is the lock-table geometry CompareShards sweeps.
+var ShardCounts = []int{1, 2, 4, 8}
+
+// CompareShards sweeps lock-table shard counts (1 = flat) across all
+// four runtimes and two contention mixes — the hot-word mix above,
+// whose conflicts concentrate in one shard, and the diffuse 90/10
+// read-mostly account mix — and, at every sharded count, runs both
+// placement policies. The rows to read against each other: at N >= 2
+// the hot-word affinity legs should show Remaps > 0 and materially
+// fewer CrossShardConflicts than their static twins (threads migrate
+// onto the hot shard), while the diffuse mix's affinity legs should
+// show no remaps at all (no shard dominates a window); N = 1 is the
+// degenerate flat layout whose throughput bounds the sharding overhead.
+// Every run's end state is invariant-checked.
+func CompareShards(threads, txPerThread int) []Result {
+	var out []Result
+	type leg struct {
+		shards   int
+		affinity bool
+	}
+	var legs []leg
+	for _, n := range ShardCounts {
+		legs = append(legs, leg{n, false})
+		if n > 1 {
+			legs = append(legs, leg{n, true})
+		}
+	}
+	label := func(rtName, mix string, l leg) string {
+		p := "static"
+		if l.affinity {
+			p = "affinity"
+		}
+		return fmt.Sprintf("%s/%s/s%d/%s", rtName, mix, l.shards, p)
+	}
+	for _, l := range legs {
+		layout := locktable.NewLayout(stm.DefaultLockTableBits, l.shards)
+		hotRun := func(rtName string, direct func() (tm.Addr, func(tm.Addr) uint64), run func(Workload) Result) {
+			base, load := direct()
+			hot := hotWordFor(base, layout)
+			counters := base + tm.Addr(shardProbeWords)
+			fillers := counters + tm.Addr(threads)
+			w := shardSweepWorkload(label(rtName, "hot", l), hot, counters, fillers, threads, txPerThread)
+			out = append(out, run(w))
+			checkShardSweep(load, hot, counters, threads, txPerThread)
+		}
+		mixRun := func(rtName string, direct func() (tm.Addr, func(tm.Addr) uint64), run func(Workload) Result) {
+			base, load := direct()
+			w := readMostlyWorkload(label(rtName, "90-10", l), base, threads, txPerThread, 10)
+			out = append(out, run(w))
+			checkMVSweep(load, base)
+		}
+		{
+			rt := stm.New(stm.WithShards(l.shards), stm.WithAffinity(l.affinity))
+			hotRun("SwissTM",
+				func() (tm.Addr, func(tm.Addr) uint64) {
+					return rt.Direct().Alloc(shardSweepAlloc(threads)), rt.Direct().Load
+				},
+				func(w Workload) Result { return RunSTM(rt, w) })
+			rt2 := stm.New(stm.WithShards(l.shards), stm.WithAffinity(l.affinity))
+			mixRun("SwissTM",
+				func() (tm.Addr, func(tm.Addr) uint64) {
+					return rt2.Direct().Alloc(mvSweepWords), rt2.Direct().Load
+				},
+				func(w Workload) Result { return RunSTM(rt2, w) })
+		}
+		{
+			rt := tl2.New(stm.DefaultLockTableBits, tl2.WithShards(l.shards), tl2.WithAffinity(l.affinity))
+			hotRun("TL2",
+				func() (tm.Addr, func(tm.Addr) uint64) {
+					return rt.Direct().Alloc(shardSweepAlloc(threads)), rt.Direct().Load
+				},
+				func(w Workload) Result { return RunTL2(rt, w) })
+			rt2 := tl2.New(stm.DefaultLockTableBits, tl2.WithShards(l.shards), tl2.WithAffinity(l.affinity))
+			mixRun("TL2",
+				func() (tm.Addr, func(tm.Addr) uint64) {
+					return rt2.Direct().Alloc(mvSweepWords), rt2.Direct().Load
+				},
+				func(w Workload) Result { return RunTL2(rt2, w) })
+		}
+		{
+			rt := wtstm.New(stm.DefaultLockTableBits, wtstm.WithShards(l.shards), wtstm.WithAffinity(l.affinity))
+			hotRun("wtstm",
+				func() (tm.Addr, func(tm.Addr) uint64) {
+					return rt.Direct().Alloc(shardSweepAlloc(threads)), rt.Direct().Load
+				},
+				func(w Workload) Result { return RunWTSTM(rt, w) })
+			rt2 := wtstm.New(stm.DefaultLockTableBits, wtstm.WithShards(l.shards), wtstm.WithAffinity(l.affinity))
+			mixRun("wtstm",
+				func() (tm.Addr, func(tm.Addr) uint64) {
+					return rt2.Direct().Alloc(mvSweepWords), rt2.Direct().Load
+				},
+				func(w Workload) Result { return RunWTSTM(rt2, w) })
+		}
+		{
+			rt := core.New(core.Config{SpecDepth: 1, Shards: l.shards, Affinity: l.affinity})
+			hotRun("TLSTM",
+				func() (tm.Addr, func(tm.Addr) uint64) {
+					return rt.Direct().Alloc(shardSweepAlloc(threads)), rt.Direct().Load
+				},
+				func(w Workload) Result { return RunTLSTM(rt, w) })
+			rt.Close()
+			rt2 := core.New(core.Config{SpecDepth: 1, Shards: l.shards, Affinity: l.affinity})
+			mixRun("TLSTM",
+				func() (tm.Addr, func(tm.Addr) uint64) {
+					return rt2.Direct().Alloc(mvSweepWords), rt2.Direct().Load
+				},
+				func(w Workload) Result { return RunTLSTM(rt2, w) })
+			rt2.Close()
 		}
 	}
 	return out

@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
 	"tlstm/internal/core"
+	"tlstm/internal/locktable"
 	"tlstm/internal/sb7"
 	"tlstm/internal/stm"
 	"tlstm/internal/tl2"
@@ -361,5 +363,79 @@ func TestCompareMVMatrix(t *testing.T) {
 	}
 	if mvReadsOn == 0 {
 		t.Fatal("no run with multi-versioning on served a single wait-free read")
+	}
+}
+
+// CompareShards must cover the shard-count × placement × mix × runtime
+// matrix, commit everything (each leg's end state is invariant-checked
+// inside the sweep itself), and keep the flat degenerate case clean: at
+// one shard every conflict is by definition in the only (home) shard,
+// so N=1 rows must report zero cross-shard conflicts and zero remaps.
+func TestCompareShardsMatrix(t *testing.T) {
+	rs := CompareShards(2, 120)
+	legs := 0
+	for _, n := range ShardCounts {
+		legs++
+		if n > 1 {
+			legs++
+		}
+	}
+	if want := legs * 2 * 4; len(rs) != want {
+		t.Fatalf("CompareShards returned %d results, want %d (%d legs × 2 mixes × 4 runtimes)", len(rs), want, legs)
+	}
+	labels := map[string]bool{}
+	for _, r := range rs {
+		if labels[r.Label] {
+			t.Fatalf("duplicate label %q", r.Label)
+		}
+		labels[r.Label] = true
+		if r.TxCommitted != 2*120 {
+			t.Fatalf("%s committed %d, want 240", r.Label, r.TxCommitted)
+		}
+		if !strings.Contains(r.Label, fmt.Sprintf("/s%d/", r.Shards)) ||
+			!strings.HasSuffix(r.Label, "/"+r.Placement) {
+			t.Fatalf("label %q does not carry shards=%d placement=%q", r.Label, r.Shards, r.Placement)
+		}
+		if r.Shards == 1 && (r.CrossShardConflicts != 0 || r.Remaps != 0) {
+			t.Fatalf("%s: flat table reports cross-shard activity: xshard=%d remap=%d",
+				r.Label, r.CrossShardConflicts, r.Remaps)
+		}
+	}
+}
+
+// On the hot-word mix every conflict lands in one shard, so the
+// affinity placement must (a) actually migrate threads there and (b)
+// cut the cross-shard conflict count against the static twin — the
+// sweep's acceptance trend, asserted here on the SwissTM runtime at a
+// size where each thread sees several remap windows.
+func TestAffinityReducesCrossShardConflictsHotWord(t *testing.T) {
+	const threads, txPerThread, shards = 6, 600, 4
+	layout := locktable.NewLayout(stm.DefaultLockTableBits, shards)
+	leg := func(affinity bool) Result {
+		rt := stm.New(stm.WithShards(shards), stm.WithAffinity(affinity))
+		base := rt.Direct().Alloc(shardSweepAlloc(threads))
+		hot := hotWordFor(base, layout)
+		counters := base + tm.Addr(shardProbeWords)
+		fillers := counters + tm.Addr(threads)
+		name := "static"
+		if affinity {
+			name = "affinity"
+		}
+		w := shardSweepWorkload(name, hot, counters, fillers, threads, txPerThread)
+		r := RunSTM(rt, w)
+		checkShardSweep(rt.Direct().Load, hot, counters, threads, txPerThread)
+		return r
+	}
+	static := leg(false)
+	aff := leg(true)
+	if static.CrossShardConflicts == 0 {
+		t.Fatal("static hot-word run reports no cross-shard conflicts; the mix is not contending")
+	}
+	if aff.Remaps == 0 {
+		t.Fatal("affinity run never remapped a thread onto the hot shard")
+	}
+	if aff.CrossShardConflicts >= static.CrossShardConflicts {
+		t.Fatalf("affinity did not reduce cross-shard conflicts: affinity=%d static=%d",
+			aff.CrossShardConflicts, static.CrossShardConflicts)
 	}
 }

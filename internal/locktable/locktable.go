@@ -19,6 +19,7 @@ package locktable
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"tlstm/internal/tm"
 )
@@ -307,29 +308,138 @@ func (r *FreeRing) TakeCounts() (reclaims, stalls uint64) {
 	return reclaims, stalls
 }
 
-// Table is the global lock table. Addresses map to pairs by masking, as
-// in SwissTM; distinct addresses may share a pair, which yields false
-// conflicts but never missed ones.
-type Table struct {
-	pairs []Pair
-	mask  uint64
+// fibMult is the 64-bit Fibonacci-hashing multiplier (2^64/φ, forced
+// odd). Taking the top bits of a*fibMult spreads strided address
+// sequences — array scans with power-of-two strides, struct fields at
+// fixed offsets — across the whole table, where the old low-bit mask
+// folded every stride-2^k scan onto a 1/2^k sliver of the pairs.
+const fibMult = 0x9e3779b97f4a7c15
+
+// Layout is the pure address→slot→shard mapping of a sharded lock
+// table, separated from Pair storage so the version-lock runtimes
+// (tl2, wtstm) can share the exact same sharded geometry over their
+// bare lock-word arrays. A Layout is immutable after construction; the
+// mapping never changes at runtime (affinity remaps move threads, not
+// addresses — see internal/sched.Placement).
+//
+// Slots are assigned by Fibonacci hashing and shards are the top
+// log2(shards) bits of the slot index, so each shard is one contiguous
+// region of the table — the "two-level" structure is an indexing
+// convention over a single flat allocation, which keeps For at one
+// multiply+shift and the N=1 case bit-identical to an unsharded table.
+type Layout struct {
+	bits       int
+	shardShift uint
+	shards     int
 }
 
-// NewTable creates a table with 2^bits lock pairs.
-func NewTable(bits int) *Table {
+// NewLayout builds the mapping for a table of 2^bits slots split into
+// shards contiguous regions. shards must be a power of two (0 and 1
+// both mean unsharded) no larger than the slot count.
+func NewLayout(bits, shards int) Layout {
 	if bits < 4 || bits > 28 {
 		panic("locktable: bits out of range [4,28]")
 	}
-	return &Table{
-		pairs: make([]Pair, 1<<bits),
-		mask:  uint64(1<<bits) - 1,
+	if shards <= 0 {
+		shards = 1
 	}
+	if shards&(shards-1) != 0 {
+		panic("locktable: shard count must be a power of two")
+	}
+	sb := 0
+	for s := shards; s > 1; s >>= 1 {
+		sb++
+	}
+	if sb > bits {
+		panic("locktable: more shards than slots")
+	}
+	return Layout{bits: bits, shardShift: uint(bits - sb), shards: shards}
+}
+
+// Index maps an address to its slot in [0, Slots()).
+func (l Layout) Index(a tm.Addr) uint64 {
+	return (uint64(a) * fibMult) >> (64 - uint(l.bits))
+}
+
+// ShardOf maps an address to its shard in [0, Shards()).
+func (l Layout) ShardOf(a tm.Addr) int {
+	return int(l.Index(a) >> l.shardShift)
+}
+
+// ShardOfIndex maps a slot index (as returned by Index) to its shard.
+func (l Layout) ShardOfIndex(idx uint64) int {
+	return int(idx >> l.shardShift)
+}
+
+// Slots reports the number of lock slots.
+func (l Layout) Slots() int { return 1 << l.bits }
+
+// Shards reports the shard count (1 for an unsharded table).
+func (l Layout) Shards() int { return l.shards }
+
+// PadStride is the slot stride of a padded table: Pair is 16 B, so a
+// stride of 4 gives every pair its own 64 B cache line. Adjacent-slot
+// commits then cannot false-share a line at 4× the memory cost.
+const PadStride = 4
+
+// Config selects a table geometry. The zero value of Shards and Padded
+// gives the historical flat, unpadded layout.
+type Config struct {
+	// Bits is the log2 of the slot count, in [4, 28].
+	Bits int
+	// Shards is the power-of-two shard count (0 or 1 = unsharded).
+	Shards int
+	// Padded strides pairs to one per cache line (PadStride slots of
+	// backing array per logical slot).
+	Padded bool
+}
+
+// Table is the global lock table: a Layout plus the Pair storage it
+// indexes. Distinct addresses may share a pair, which yields false
+// conflicts but never missed ones (SwissTM's lock granularity).
+type Table struct {
+	Layout
+	pairs  []Pair
+	stride uint64
+}
+
+// New creates a table with the given geometry.
+func New(cfg Config) *Table {
+	lay := NewLayout(cfg.Bits, cfg.Shards)
+	stride := uint64(1)
+	if cfg.Padded {
+		stride = PadStride
+	}
+	return &Table{
+		Layout: lay,
+		pairs:  make([]Pair, uint64(lay.Slots())*stride),
+		stride: stride,
+	}
+}
+
+// NewTable creates a flat, unpadded table with 2^bits lock pairs: the
+// Shards=1 degenerate case of New.
+func NewTable(bits int) *Table {
+	return New(Config{Bits: bits})
 }
 
 // For returns the lock pair covering address a.
 func (t *Table) For(a tm.Addr) *Pair {
-	return &t.pairs[uint64(a)&t.mask]
+	return &t.pairs[t.Index(a)*t.stride]
 }
 
-// Len reports the number of lock pairs (used by tests).
-func (t *Table) Len() int { return len(t.pairs) }
+// ShardOfPair reports the shard of a pair previously returned by For.
+// Validation loops hold only the *Pair recorded in a read-log entry, so
+// the reverse mapping recovers the shard by pointer arithmetic within
+// the table's single contiguous allocation.
+func (t *Table) ShardOfPair(p *Pair) int {
+	off := (uintptr(unsafe.Pointer(p)) - uintptr(unsafe.Pointer(&t.pairs[0]))) /
+		unsafe.Sizeof(Pair{})
+	return t.ShardOfIndex(uint64(off) / t.stride)
+}
+
+// Padded reports whether pairs are strided to one per cache line.
+func (t *Table) Padded() bool { return t.stride > 1 }
+
+// Len reports the number of logical lock pairs (used by tests).
+func (t *Table) Len() int { return t.Slots() }

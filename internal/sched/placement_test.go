@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"testing"
+
+	"tlstm/internal/txstats"
+)
+
+func concentrated(shard, n int) txstats.Sketch {
+	var s txstats.Sketch
+	for i := 0; i < n; i++ {
+		s.Observe(shard)
+	}
+	return s
+}
+
+func TestRoundRobinStatic(t *testing.T) {
+	p := NewRoundRobin(4)
+	for i := 0; i < 12; i++ {
+		if p.Home(i) != i%4 {
+			t.Fatalf("Home(%d) = %d, want %d", i, p.Home(i), i%4)
+		}
+	}
+	if p.Rebalance(1, concentrated(3, 1000)) {
+		t.Fatal("static placement must never rebalance")
+	}
+	if p.Home(1) != 1 {
+		t.Fatal("static home moved")
+	}
+}
+
+func TestAffinityRebindsOnConcentratedWindow(t *testing.T) {
+	p := NewAffinity(4)
+	if p.Home(1) != 1 {
+		t.Fatalf("initial home = %d, want round-robin 1", p.Home(1))
+	}
+	if !p.Rebalance(1, concentrated(3, AffinityMinSamples)) {
+		t.Fatal("concentrated window must rebind")
+	}
+	if p.Home(1) != 3 {
+		t.Fatalf("home after rebind = %d, want 3", p.Home(1))
+	}
+	// Already home: no churn.
+	if p.Rebalance(1, concentrated(3, 100)) {
+		t.Fatal("rebind to the current home must report no move")
+	}
+}
+
+func TestAffinityIgnoresThinAndDiffuseWindows(t *testing.T) {
+	p := NewAffinity(4)
+	if p.Rebalance(0, concentrated(2, AffinityMinSamples-1)) {
+		t.Fatal("thin window must not rebind")
+	}
+	var diffuse txstats.Sketch
+	for i := 0; i < 100; i++ {
+		diffuse.Observe(i % 4) // 25% per shard: under the concentration bar
+	}
+	if p.Rebalance(0, diffuse) {
+		t.Fatal("diffuse window must not rebind")
+	}
+	if p.Home(0) != 0 {
+		t.Fatal("home moved without a rebind")
+	}
+}
+
+func TestAffinityHotSlotAliasesIntoShardRange(t *testing.T) {
+	// A hot sketch slot above the policy's shard count (the sketch has
+	// txstats.SketchShards slots regardless of the table's geometry)
+	// must fold back into the valid home range.
+	p := NewAffinity(2)
+	if !p.Rebalance(0, concentrated(3, 100)) {
+		t.Fatal("expected rebind")
+	}
+	if h := p.Home(0); h != 3%2 {
+		t.Fatalf("home = %d, want %d", h, 3%2)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
 	"tlstm/internal/mem"
+	"tlstm/internal/sched"
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
 	"tlstm/internal/txstats"
@@ -49,15 +50,45 @@ type Option func(*config)
 
 type config struct {
 	lockTableBits int
+	shards        int
+	affinity      bool
+	padded        bool
 	clk           clock.Source
 	pol           cm.Policy
 	mvDepth       int
 	trace         *txtrace.Recorder
 }
 
+// DefaultLockTableBits is the lock-table size (2^bits pairs) used when
+// WithLockTableBits is not given; the other runtimes' constructors and
+// the harness use it as the common geometry.
+const DefaultLockTableBits = 20
+
 // WithLockTableBits sets the lock table to 2^bits pairs.
 func WithLockTableBits(bits int) Option {
 	return func(c *config) { c.lockTableBits = bits }
+}
+
+// WithShards splits the lock table into n contiguous shards (a power of
+// two; 0 and 1 both mean the flat table). Sharding only relabels pairs
+// for conflict attribution and placement — address→pair resolution is
+// identical at every shard count.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithAffinity replaces the static round-robin thread placement with
+// the conflict-sketch affinity policy (sched.Affinity): workers are
+// periodically rebound toward the shard their aborts concentrate in.
+func WithAffinity(on bool) Option {
+	return func(c *config) { c.affinity = on }
+}
+
+// WithPaddedLockTable strides lock pairs to one per cache line
+// (locktable.Config.Padded): 4x the table memory for zero false
+// sharing between adjacent pairs.
+func WithPaddedLockTable(on bool) Option {
+	return func(c *config) { c.padded = on }
 }
 
 // WithClock selects the commit-clock strategy (internal/clock). The
@@ -106,6 +137,13 @@ type Runtime struct {
 	// their event rings with (WithTrace).
 	trace *txtrace.Recorder
 
+	// placement maps workers to home lock-table shards; workers offer
+	// it their conflict-sketch windows at commit boundaries.
+	placement sched.Placement
+
+	// workerIDs hands each Worker a placement identity at creation.
+	workerIDs atomic.Int32
+
 	// stats aggregates the shards merged by Worker.Close (SNIPPETS-style
 	// per-thread stats: workers accumulate unshared, merge at exit).
 	stats txstats.Aggregate[Stats, *Stats]
@@ -117,7 +155,7 @@ type Runtime struct {
 
 // New creates a SwissTM runtime.
 func New(opts ...Option) *Runtime {
-	c := config{lockTableBits: 20}
+	c := config{lockTableBits: DefaultLockTableBits}
 	for _, o := range opts {
 		o(&c)
 	}
@@ -131,16 +169,31 @@ func New(opts ...Option) *Runtime {
 	rt := &Runtime{
 		store: st,
 		alloc: mem.NewAllocator(st),
-		locks: locktable.NewTable(c.lockTableBits),
+		locks: locktable.New(locktable.Config{
+			Bits:   c.lockTableBits,
+			Shards: c.shards,
+			Padded: c.padded,
+		}),
 		clk:   c.clk,
 		cm:    c.pol,
 		trace: c.trace,
+	}
+	if c.affinity {
+		rt.placement = sched.NewAffinity(rt.locks.Shards())
+	} else {
+		rt.placement = sched.NewRoundRobin(rt.locks.Shards())
 	}
 	if c.mvDepth > 0 {
 		rt.mv = txlog.NewVersionedStore(c.mvDepth, txlog.DefaultVersionedStoreBits)
 	}
 	return rt
 }
+
+// Shards reports the lock table's shard count.
+func (rt *Runtime) Shards() int { return rt.locks.Shards() }
+
+// PlacementName reports the thread-placement policy in use.
+func (rt *Runtime) PlacementName() string { return rt.placement.Name() }
 
 // MVDepth reports the retained version depth (0 when multi-versioning
 // is off).
@@ -232,6 +285,14 @@ type Stats struct {
 	RestartLatency txstats.Hist
 	CommitLatency  txstats.Hist
 	Attempts       txstats.Hist
+	// ConflictSketch counts aborts and CM defeats per lock-table shard
+	// — the feedback signal the affinity placement policy consumes.
+	// CrossShardConflicts counts the subset that landed outside the
+	// worker's home shard at the time; Remaps counts placement rebinds
+	// (home-shard changes) the worker underwent.
+	ConflictSketch      txstats.Sketch
+	CrossShardConflicts uint64
+	Remaps              uint64
 }
 
 // Add folds o into s.
@@ -253,6 +314,9 @@ func (s *Stats) Add(o Stats) {
 	s.RestartLatency.Merge(o.RestartLatency)
 	s.CommitLatency.Merge(o.CommitLatency)
 	s.Attempts.Merge(o.Attempts)
+	s.ConflictSketch.Merge(o.ConflictSketch)
+	s.CrossShardConflicts += o.CrossShardConflicts
+	s.Remaps += o.Remaps
 }
 
 // Stats returns the runtime-global aggregate: the sum of every shard
@@ -328,6 +392,15 @@ type Tx struct {
 	aborts  uint64
 	extends uint64 // successful snapshot extensions (all attempts)
 
+	// home is the worker's current home lock-table shard (refreshed
+	// from the placement policy at remap boundaries); sketch and
+	// crossShard attribute this transaction's aborts and CM defeats to
+	// shards, relative to home. All per-transaction, folded into the
+	// stats shard at commit.
+	home       int32
+	sketch     txstats.Sketch
+	crossShard uint64
+
 	// ro marks a transaction declared read-only (AtomicRO); mvOn is
 	// true while the current transaction runs the multi-version
 	// wait-free read path. A miss clears mvOn for the rest of the
@@ -369,12 +442,26 @@ type Worker struct {
 	rt    *Runtime
 	tx    Tx
 	stats Stats // unshared shard; merged into rt.stats by Close
+
+	// id is the worker's placement identity; remapWindow accumulates
+	// the conflict sketch since the last Rebalance offer, made every
+	// remapPeriod transactions.
+	id           int
+	remapWindow  txstats.Sketch
+	txSinceRemap int
 }
+
+// remapPeriod is how many transactions a worker commits between
+// consecutive Rebalance offers to the placement policy. Large enough
+// that the policy sees a meaningful sketch window, small enough that a
+// shifted workload re-homes within tens of microseconds of work.
+const remapPeriod = 64
 
 // NewWorker creates a worker context for this runtime.
 func (rt *Runtime) NewWorker() *Worker {
-	w := &Worker{rt: rt}
+	w := &Worker{rt: rt, id: int(rt.workerIDs.Add(1) - 1)}
 	w.tx.rt = rt
+	w.tx.home = int32(rt.placement.Home(w.id))
 	w.tx.owner = locktable.OwnerRef{
 		ThreadID:      -1,
 		CompletedTask: &completedZero,
@@ -462,6 +549,8 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 	tx.work = 0
 	tx.aborts = 0
 	tx.extends = 0
+	tx.sketch = txstats.Sketch{}
+	tx.crossShard = 0
 	tx.mvOn = tx.ro && tx.rt.mv != nil
 	tx.mvReads = 0
 	tx.mvMisses = 0
@@ -510,6 +599,56 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 		st.WriteSetSizes.Observe(tx.writeLog.Len())
 		st.CommitLatency.Observe(int(time.Since(lastAttempt)))
 		st.Attempts.Observe(int(tx.aborts) + 1)
+		st.ConflictSketch.Merge(tx.sketch)
+		st.CrossShardConflicts += tx.crossShard
+	}
+	w.maybeRemap(st)
+}
+
+// maybeRemap is the commit-epilogue placement step: every remapPeriod
+// transactions the worker offers its conflict-sketch window to the
+// placement policy and refreshes its home shard. Runs on the worker's
+// own goroutine — the "periodic controller" is decentralized, like the
+// sharded clock's Observe reconciliation.
+func (w *Worker) maybeRemap(st *Stats) {
+	w.remapWindow.Merge(w.tx.sketch)
+	w.txSinceRemap++
+	if w.txSinceRemap < remapPeriod {
+		return
+	}
+	w.txSinceRemap = 0
+	moved := w.rt.placement.Rebalance(w.id, w.remapWindow)
+	w.remapWindow = txstats.Sketch{}
+	if moved {
+		old := w.tx.home
+		w.tx.home = int32(w.rt.placement.Home(w.id))
+		if st != nil {
+			st.Remaps++
+		}
+		if w.tx.traced {
+			w.tx.tr.Record(txtrace.KindRemap, w.rt.clk.Now(),
+				uint64(w.tx.home), uint32(old))
+		}
+	}
+}
+
+// noteConflict attributes one abort or CM defeat at address a to its
+// lock-table shard (cold path: runs only when an attempt dies).
+func (tx *Tx) noteConflict(a tm.Addr) {
+	shard := tx.rt.locks.ShardOf(a)
+	tx.sketch.Observe(shard)
+	if int32(shard) != tx.home {
+		tx.crossShard++
+	}
+}
+
+// noteConflictPair is noteConflict for sites that hold only the *Pair
+// recorded in a read-log entry (commit validation).
+func (tx *Tx) noteConflictPair(p *locktable.Pair) {
+	shard := tx.rt.locks.ShardOfPair(p)
+	tx.sketch.Observe(shard)
+	if int32(shard) != tx.home {
+		tx.crossShard++
 	}
 }
 
@@ -614,6 +753,7 @@ func (tx *Tx) loadCommitted(p *locktable.Pair, a tm.Addr) uint64 {
 			continue // torn read: version moved underneath us
 		}
 		if v1 > tx.validTS && !tx.extendTo(v1) {
+			tx.noteConflict(a)
 			tx.abort(txtrace.AbortExtend)
 		}
 		if v1 > tx.validTS {
@@ -743,6 +883,7 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 			switch dec {
 			case cm.AbortSelf:
 				tx.cmSelf.Defeats++
+				tx.noteConflict(a)
 				tx.abort(txtrace.AbortCM)
 			case cm.AbortOwner:
 				e.Owner.AbortTx.Load().Store(true)
@@ -768,6 +909,7 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 	// Mirror of TLSTM Alg. 2 line 52: if the location moved past our
 	// snapshot, extend or die.
 	if ver := p.R.Load(); ver != locktable.Locked && ver > tx.validTS && !tx.extendTo(ver) {
+		tx.noteConflict(a)
 		tx.abort(txtrace.AbortExtend)
 	}
 }
@@ -810,16 +952,17 @@ func (tx *Tx) commit() {
 
 	ts := tx.rt.clk.Tick(&tx.clkProbe)
 
-	ok := tx.validateCommit()
+	failed := tx.validateCommit()
 	if tx.traced {
 		var aux uint32
-		if ok {
+		if failed == nil {
 			aux = 1
 		}
 		tx.tr.Record(txtrace.KindValidate, ts, uint64(tx.readLog.Len()), aux)
 	}
-	if !ok {
+	if failed != nil {
 		tx.scratch.Restore()
+		tx.noteConflictPair(failed)
 		tx.abort(txtrace.AbortValidation)
 	}
 
@@ -854,8 +997,10 @@ func (tx *Tx) commit() {
 
 // validateCommit re-checks the read log; pairs this commit holds
 // r-locked compare against the version they had when we locked them
-// (the commit scratch remembers exactly that).
-func (tx *Tx) validateCommit() bool {
+// (the commit scratch remembers exactly that). It returns the first
+// pair that fails validation (for shard attribution), or nil when the
+// whole read set is still consistent.
+func (tx *Tx) validateCommit() *locktable.Pair {
 	for i, re := range tx.readLog.Entries() {
 		if i%validationStride == 0 {
 			tx.work++
@@ -869,9 +1014,9 @@ func (tx *Tx) validateCommit() bool {
 				continue
 			}
 		}
-		return false
+		return re.Pair
 	}
-	return true
+	return nil
 }
 
 func (tx *Tx) applyFrees() {

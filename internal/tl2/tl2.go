@@ -29,10 +29,13 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
+	"tlstm/internal/locktable"
 	"tlstm/internal/mem"
+	"tlstm/internal/sched"
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
 	"tlstm/internal/txstats"
@@ -86,6 +89,20 @@ func WithTrace(rec *txtrace.Recorder) Option {
 	return func(rt *Runtime) { rt.trace = rec }
 }
 
+// WithShards splits the versioned-lock array into n contiguous shards
+// (a power of two; 0 and 1 both mean flat). Sharding only relabels
+// locks for conflict attribution — address→lock resolution is
+// identical at every shard count.
+func WithShards(n int) Option {
+	return func(rt *Runtime) { rt.shards = n }
+}
+
+// WithAffinity replaces the static round-robin thread placement with
+// the conflict-sketch affinity policy (sched.Affinity).
+func WithAffinity(on bool) Option {
+	return func(rt *Runtime) { rt.affinity = on }
+}
+
 // Runtime is one TL2 instance.
 type Runtime struct {
 	store *mem.Store
@@ -96,8 +113,16 @@ type Runtime struct {
 
 	cmPol cm.Policy // contention-management policy (conflict paths only)
 
-	locks []atomic.Uint64 // versioned write-locks (version or locked)
-	mask  uint64
+	locks  []atomic.Uint64  // versioned write-locks (version or locked)
+	layout locktable.Layout // address→lock→shard mapping (shared geometry)
+
+	// shards/affinity are config captured by options; placement is the
+	// resulting thread→shard policy. threadIDs hands each caller-owned
+	// Stats shard a placement identity on first use.
+	shards    int
+	affinity  bool
+	placement sched.Placement
+	threadIDs atomic.Int32
 
 	// mv, when non-nil, is the multi-version word store declared
 	// read-only transactions read from without validating.
@@ -119,11 +144,16 @@ func New(bits int, opts ...Option) *Runtime {
 	rt := &Runtime{
 		store: st,
 		alloc: mem.NewAllocator(st),
-		locks: make([]atomic.Uint64, 1<<bits),
-		mask:  uint64(1<<bits) - 1,
 	}
 	for _, o := range opts {
 		o(rt)
+	}
+	rt.layout = locktable.NewLayout(bits, rt.shards)
+	rt.locks = make([]atomic.Uint64, rt.layout.Slots())
+	if rt.affinity {
+		rt.placement = sched.NewAffinity(rt.layout.Shards())
+	} else {
+		rt.placement = sched.NewRoundRobin(rt.layout.Shards())
 	}
 	if rt.clk == nil {
 		rt.clk = clock.New(clock.KindGV4)
@@ -134,6 +164,12 @@ func New(bits int, opts ...Option) *Runtime {
 	rt.exclusive = rt.clk.Exclusive()
 	return rt
 }
+
+// Shards reports the lock array's shard count.
+func (rt *Runtime) Shards() int { return rt.layout.Shards() }
+
+// PlacementName reports the thread-placement policy in use.
+func (rt *Runtime) PlacementName() string { return rt.placement.Name() }
 
 // MVDepth reports the retained version depth (0 when multi-versioning
 // is off).
@@ -157,7 +193,16 @@ func (rt *Runtime) Direct() mem.Direct { return mem.Direct{Mem: rt.store, Al: rt
 func (rt *Runtime) Allocator() *mem.Allocator { return rt.alloc }
 
 func (rt *Runtime) lockFor(a tm.Addr) *atomic.Uint64 {
-	return &rt.locks[uint64(a)&rt.mask]
+	return &rt.locks[rt.layout.Index(a)]
+}
+
+// lockShard recovers the shard of a lock word previously returned by
+// lockFor, by pointer arithmetic within the contiguous lock array
+// (read-set validation holds only the lock pointer, not the address).
+func (rt *Runtime) lockShard(l *atomic.Uint64) int {
+	idx := (uintptr(unsafe.Pointer(l)) - uintptr(unsafe.Pointer(&rt.locks[0]))) /
+		unsafe.Sizeof(atomic.Uint64{})
+	return rt.layout.ShardOfIndex(uint64(idx))
 }
 
 // Stats accumulates commits, aborts and work units across Atomic calls.
@@ -204,6 +249,23 @@ type Stats struct {
 	RestartLatency txstats.Hist
 	CommitLatency  txstats.Hist
 	Attempts       txstats.Hist
+	// ConflictSketch counts aborts and CM defeats per lock-array shard;
+	// CrossShardConflicts counts the subset outside the thread's home
+	// shard; Remaps counts placement rebinds.
+	ConflictSketch      txstats.Sketch
+	CrossShardConflicts uint64
+	Remaps              uint64
+
+	// TL2 has no thread descriptor (Tx descriptors are pooled per
+	// runtime, not per caller), so the caller-owned Stats shard IS the
+	// logical thread: its placement identity lives here, assigned on
+	// the shard's first transaction and touched only by the owning
+	// goroutine.
+	bound        bool
+	threadID     int32
+	home         int32
+	txSinceRemap int
+	remapWindow  txstats.Sketch
 }
 
 // Add folds o into s.
@@ -225,6 +287,9 @@ func (s *Stats) Add(o Stats) {
 	s.RestartLatency.Merge(o.RestartLatency)
 	s.CommitLatency.Merge(o.CommitLatency)
 	s.Attempts.Merge(o.Attempts)
+	s.ConflictSketch.Merge(o.ConflictSketch)
+	s.CrossShardConflicts += o.CrossShardConflicts
+	s.Remaps += o.Remaps
 }
 
 type rollbackSignal struct{}
@@ -248,6 +313,13 @@ type Tx struct {
 
 	work   uint64
 	aborts uint64
+
+	// home is the calling thread's home shard for this transaction;
+	// sketch/crossShard attribute its aborts and CM defeats to shards.
+	// Per-transaction, folded into the caller's Stats after commit.
+	home       int32
+	sketch     txstats.Sketch
+	crossShard uint64
 
 	// ro marks a transaction declared read-only (AtomicRO); mvOn is
 	// true while it runs the multi-version wait-free read path. A miss
@@ -315,6 +387,17 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 	tx.mvOn = ro && rt.mv != nil
 	tx.mvReads = 0
 	tx.mvMisses = 0
+	tx.sketch = txstats.Sketch{}
+	tx.crossShard = 0
+	tx.home = 0
+	if st != nil {
+		if !st.bound {
+			st.bound = true
+			st.threadID = rt.threadIDs.Add(1) - 1
+			st.home = int32(rt.placement.Home(int(st.threadID)))
+		}
+		tx.home = st.home
+	}
 	if tx.traced {
 		tx.tr.Record(txtrace.KindTxBegin, rt.clk.Now(), 0, 0)
 	}
@@ -360,9 +443,59 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 		st.WriteSetSizes.Observe(tx.writeSet.Len())
 		st.CommitLatency.Observe(int(time.Since(lastAttempt)))
 		st.Attempts.Observe(int(tx.aborts) + 1)
+		st.ConflictSketch.Merge(tx.sketch)
+		st.CrossShardConflicts += tx.crossShard
+		rt.maybeRemap(st, tx)
 	}
 	tx.ro = false
 	rt.txPool.Put(tx)
+}
+
+// remapPeriod is how many transactions a thread commits between
+// consecutive Rebalance offers to the placement policy.
+const remapPeriod = 64
+
+// maybeRemap is the commit-epilogue placement step, run on the calling
+// thread against its own Stats shard: every remapPeriod transactions
+// offer the accumulated conflict-sketch window to the placement policy
+// and refresh the shard's home.
+func (rt *Runtime) maybeRemap(st *Stats, tx *Tx) {
+	st.remapWindow.Merge(tx.sketch)
+	st.txSinceRemap++
+	if st.txSinceRemap < remapPeriod {
+		return
+	}
+	st.txSinceRemap = 0
+	moved := rt.placement.Rebalance(int(st.threadID), st.remapWindow)
+	st.remapWindow = txstats.Sketch{}
+	if moved {
+		old := st.home
+		st.home = int32(rt.placement.Home(int(st.threadID)))
+		st.Remaps++
+		if tx.traced {
+			tx.tr.Record(txtrace.KindRemap, rt.clk.Now(), uint64(st.home), uint32(old))
+		}
+	}
+}
+
+// noteConflict attributes one abort or CM defeat at address a to its
+// lock-array shard (cold path).
+func (tx *Tx) noteConflict(a tm.Addr) {
+	shard := tx.rt.layout.ShardOf(a)
+	tx.sketch.Observe(shard)
+	if int32(shard) != tx.home {
+		tx.crossShard++
+	}
+}
+
+// noteConflictLock is noteConflict for sites that hold only the lock
+// word (read-set validation).
+func (tx *Tx) noteConflictLock(l *atomic.Uint64) {
+	shard := tx.rt.lockShard(l)
+	tx.sketch.Observe(shard)
+	if int32(shard) != tx.home {
+		tx.crossShard++
+	}
 }
 
 func (tx *Tx) attempt(fn func(tx *Tx)) (ok bool) {
@@ -432,6 +565,7 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 			}
 			if dec == cm.AbortSelf {
 				tx.cmSelf.Defeats++
+				tx.noteConflict(a)
 				tx.abort(txtrace.AbortCM)
 			}
 			waited++
@@ -448,6 +582,7 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 			// read version covers it (pre-publishing strategies never
 			// advance on their own).
 			tx.rt.clk.Observe(v1, &tx.clkProbe)
+			tx.noteConflict(a)
 			tx.abort(txtrace.AbortValidation)
 		}
 		tx.readLog.Append(l)
@@ -565,6 +700,7 @@ func (tx *Tx) commit() {
 				if dec == cm.AbortSelf {
 					tx.cmSelf.Defeats++
 					tx.held.Restore()
+					tx.noteConflict(a)
 					tx.abort(txtrace.AbortCM)
 				}
 				waited++
@@ -575,6 +711,7 @@ func (tx *Tx) commit() {
 			if v > tx.rv {
 				tx.held.Restore()
 				tx.rt.clk.Observe(v, &tx.clkProbe)
+				tx.noteConflict(a)
 				tx.abort(txtrace.AbortConflict)
 			}
 			if l.CompareAndSwap(v, locked) {
@@ -604,6 +741,7 @@ func (tx *Tx) commit() {
 						tx.tr.Record(txtrace.KindValidate, wv, uint64(tx.readLog.Len()), 0)
 					}
 					tx.held.Restore()
+					tx.noteConflictLock(l)
 					tx.abort(txtrace.AbortValidation)
 				}
 				continue
@@ -614,6 +752,7 @@ func (tx *Tx) commit() {
 				}
 				tx.held.Restore()
 				tx.rt.clk.Observe(v, &tx.clkProbe)
+				tx.noteConflictLock(l)
 				tx.abort(txtrace.AbortValidation)
 			}
 		}

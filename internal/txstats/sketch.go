@@ -1,0 +1,86 @@
+package txstats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SketchShards is the fixed slot count of a conflict Sketch. It bounds
+// the shard counts the sketch can distinguish; a lock table with more
+// shards than this aliases modulo SketchShards (coarser attribution,
+// never lost counts). 16 slots is 128 B — two cache lines inside a
+// Stats shard that only its owner touches.
+const SketchShards = 16
+
+// Sketch is a per-thread conflict sketch: a fixed-size array counting,
+// per lock-table shard, the aborts and contention-manager defeats the
+// owning thread suffered there. It follows the shard idiom of this
+// package exactly as Hist does — Observe is owner-only, shards are
+// folded with Merge at synchronization boundaries, Minus yields
+// windowed deltas — and it is a plain comparable array so the Stats
+// structs embedding it stay comparable. The affinity placement policy
+// (internal/sched) reads sketch windows to rebind threads toward the
+// shards their conflicts concentrate in.
+type Sketch [SketchShards]uint64
+
+// Observe counts one conflict attributed to the given lock-table shard.
+func (s *Sketch) Observe(shard int) {
+	s[uint(shard)%SketchShards]++
+}
+
+// Merge folds another sketch into this one (shard → aggregate).
+func (s *Sketch) Merge(o Sketch) {
+	for i := range s {
+		s[i] += o[i]
+	}
+}
+
+// Minus returns the slot-wise difference s − o (windowed deltas).
+func (s Sketch) Minus(o Sketch) Sketch {
+	var d Sketch
+	for i := range s {
+		d[i] = s[i] - o[i]
+	}
+	return d
+}
+
+// Total reports the number of observed conflicts.
+func (s Sketch) Total() uint64 {
+	var n uint64
+	for _, c := range s {
+		n += c
+	}
+	return n
+}
+
+// Hot returns the slot holding the most conflicts and that slot's
+// share of the total (0 ≤ frac ≤ 1). An empty sketch reports (0, 0).
+// Ties resolve to the lowest slot, so Hot is deterministic.
+func (s Sketch) Hot() (shard int, frac float64) {
+	total := s.Total()
+	if total == 0 {
+		return 0, 0
+	}
+	best := 0
+	for i := 1; i < len(s); i++ {
+		if s[i] > s[best] {
+			best = i
+		}
+	}
+	return best, float64(s[best]) / float64(total)
+}
+
+// String renders the non-empty slots for result rows and debugging.
+func (s Sketch) String() string {
+	if s.Total() == 0 {
+		return "n=0"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d", s.Total())
+	for i, c := range s {
+		if c != 0 {
+			fmt.Fprintf(&b, " s%d:%d", i, c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package txstats
+
+import "testing"
+
+func TestSketchObserveAliasing(t *testing.T) {
+	var s Sketch
+	s.Observe(3)
+	s.Observe(3)
+	s.Observe(3 + SketchShards) // aliases modulo the slot count
+	if s[3] != 3 {
+		t.Fatalf("slot 3 = %d, want 3", s[3])
+	}
+	if s.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", s.Total())
+	}
+}
+
+// TestSketchMergeMinusConformance pins the shard-fold algebra every
+// Stats pipeline relies on: Merge is slot-wise addition, Minus is its
+// inverse, and windowed deltas (cur.Minus(prev)) recover exactly the
+// observations between two snapshots.
+func TestSketchMergeMinusConformance(t *testing.T) {
+	var a, b Sketch
+	for i := 0; i < 100; i++ {
+		a.Observe(i % 5)
+	}
+	for i := 0; i < 40; i++ {
+		b.Observe(1 + i%3)
+	}
+	sum := a
+	sum.Merge(b)
+	if sum.Total() != a.Total()+b.Total() {
+		t.Fatalf("Merge total = %d, want %d", sum.Total(), a.Total()+b.Total())
+	}
+	for i := range sum {
+		if sum[i] != a[i]+b[i] {
+			t.Fatalf("Merge slot %d = %d, want %d", i, sum[i], a[i]+b[i])
+		}
+	}
+	if got := sum.Minus(b); got != a {
+		t.Fatalf("Minus did not invert Merge: %v", got)
+	}
+	if got := sum.Minus(sum); got.Total() != 0 {
+		t.Fatalf("x.Minus(x) not empty: %v", got)
+	}
+
+	// Windowed delta: observations after a snapshot are exactly the
+	// snapshot difference.
+	snap := sum
+	sum.Observe(7)
+	sum.Observe(7)
+	delta := sum.Minus(snap)
+	if delta[7] != 2 || delta.Total() != 2 {
+		t.Fatalf("windowed delta = %v, want two observations of slot 7", delta)
+	}
+}
+
+func TestSketchHot(t *testing.T) {
+	var s Sketch
+	if shard, frac := s.Hot(); shard != 0 || frac != 0 {
+		t.Fatalf("empty Hot = (%d, %v), want (0, 0)", shard, frac)
+	}
+	for i := 0; i < 6; i++ {
+		s.Observe(2)
+	}
+	for i := 0; i < 2; i++ {
+		s.Observe(9)
+	}
+	shard, frac := s.Hot()
+	if shard != 2 {
+		t.Fatalf("Hot shard = %d, want 2", shard)
+	}
+	if frac < 0.74 || frac > 0.76 {
+		t.Fatalf("Hot frac = %v, want 0.75", frac)
+	}
+	// Ties resolve to the lowest slot.
+	var tie Sketch
+	tie.Observe(4)
+	tie.Observe(11)
+	if shard, _ := tie.Hot(); shard != 4 {
+		t.Fatalf("tied Hot = %d, want lowest slot 4", shard)
+	}
+}

@@ -30,7 +30,7 @@ import (
 	"time"
 )
 
-// Kind classifies one trace event. The ten kinds cover the probe points
+// Kind classifies one trace event. The kinds cover the probe points
 // every runtime shares; a runtime that lacks a phase (TL2 cannot
 // extend) simply never emits that kind.
 type Kind uint8
@@ -67,6 +67,10 @@ const (
 	// quiescence ring. Arg: retirement serial; Aux: low bits of the
 	// retirement epoch.
 	KindReclaim
+	// KindRemap records an affinity placement rebind: the recording
+	// thread's home lock-table shard changed. Arg: the new home shard;
+	// Aux: the previous home shard.
+	KindRemap
 
 	kindMax
 )
@@ -82,6 +86,7 @@ var kindNames = [...]string{
 	KindAbort:        "Abort",
 	KindCommit:       "Commit",
 	KindReclaim:      "Reclaim",
+	KindRemap:        "Remap",
 }
 
 // String names the kind for dumps.

@@ -88,7 +88,9 @@ type (
 
 	// Runtime is a TLSTM instance.
 	Runtime = core.Runtime
-	// Config configures a Runtime (SpecDepth is the paper's SPECDEPTH).
+	// Config configures a Runtime (SpecDepth is the paper's SPECDEPTH;
+	// Shards/Affinity select the sharded lock-table geometry and the
+	// conflict-sketch thread placement policy).
 	Config = core.Config
 	// Thread is a user-thread: a serial stream of user-transactions.
 	Thread = core.Thread
@@ -101,8 +103,9 @@ type (
 	// Wait contract.
 	TxHandle = core.TxHandle
 	// Stats aggregates per-thread execution statistics, including the
-	// scheduler counters WorkersSpawned and DescriptorReuses and the
-	// entry-reclamation counters EntryReclaims and HorizonStalls.
+	// scheduler counters WorkersSpawned and DescriptorReuses, the
+	// entry-reclamation counters EntryReclaims and HorizonStalls, and
+	// the placement counters CrossShardConflicts and Remaps.
 	Stats = core.Stats
 	// SchedPolicy selects how speculative tasks are dispatched; see
 	// Config.Policy and the worker-lifecycle package docs.
