@@ -28,9 +28,11 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"tlstm/internal/clock"
@@ -39,6 +41,7 @@ import (
 	"tlstm/internal/harness"
 	"tlstm/internal/sched"
 	"tlstm/internal/tm"
+	"tlstm/internal/txcheck"
 	"tlstm/internal/txmetrics"
 	"tlstm/internal/txstats"
 	"tlstm/internal/txtrace"
@@ -71,7 +74,8 @@ func run() int {
 	shards := flag.Int("shards", 0, "lock-table shard count for the soak runtime (a power of two; 0 or 1 keeps the flat table)")
 	affinity := flag.Bool("affinity", false, "replace static round-robin thread placement with the conflict-sketch affinity policy (only meaningful with -shards > 1)")
 	shardCmp := flag.Bool("shardss", false, "run the invariant-checked lock-table shard-count sweep (N=1,2,4,8 plus affinity legs × all runtimes, hot-word and 90/10 mixes) instead of the soak; -seconds scales the transaction count")
-	traceFile := flag.String("trace", "", "arm the flight recorder and write the binary trace dump (TXTRACE1) to this file when the soak ends; inspect with tlstm-trace")
+	traceFile := flag.String("trace", "", "arm the flight recorder and write the binary trace dump (TXTRACE2) to this file when the soak ends; inspect with tlstm-trace")
+	check := flag.Bool("check", false, "arm the flight recorder (even without -trace) and run the offline opacity checker (internal/txcheck) on the recorded trace at soak exit; fails the run on any violation")
 	metricsAddr := flag.String("metrics", "", "serve live metrics over HTTP on this address (/debug/vars, /debug/pprof) and print one-line stat deltas every 2s; threads sync their stats shards periodically so the feed is live")
 	flag.Parse()
 
@@ -132,7 +136,7 @@ func run() int {
 		return 2
 	}
 	var rec *txtrace.Recorder
-	if *traceFile != "" {
+	if *traceFile != "" || *check {
 		rec = txtrace.NewRecorder(0)
 	}
 	rt := core.New(core.Config{
@@ -142,6 +146,11 @@ func run() int {
 		Trace: rec,
 	})
 	defer rt.Close()
+
+	// checkReport holds the opacity checker's verdicts once -check has
+	// run at soak exit; the txcheck metrics source below reads it, so
+	// the counters appear on /debug/vars scrapes taken after the check.
+	var checkReport atomic.Pointer[txcheck.Report]
 
 	// syncEvery > 0 makes each soak thread merge its stats shard into
 	// the runtime aggregate every N transactions, so the live metrics
@@ -172,6 +181,16 @@ func run() int {
 		})
 		if rec != nil {
 			pub.SetTrace(rec)
+		}
+		if *check {
+			pub.AddSource("txcheck", func() txmetrics.Snapshot {
+				rep := checkReport.Load()
+				if rep == nil {
+					return txmetrics.Snapshot{}
+				}
+				return txmetrics.Snapshot{Counters: rep.Counters()}
+			})
+			pub.Publish("txcheck")
 		}
 		pub.Publish("tlstm")
 		bound, err := txmetrics.Serve(*metricsAddr)
@@ -284,7 +303,7 @@ func run() int {
 	}
 	close(stopMetrics)
 
-	if rec != nil {
+	if *traceFile != "" {
 		// Every thread has Synced and its completion was received above,
 		// so every ring owner is quiesced: the dump is race-free.
 		f, err := os.Create(*traceFile)
@@ -303,6 +322,37 @@ func run() int {
 		}
 		fmt.Printf("trace: %d rings, %d events, %d dropped -> %s\n",
 			len(rec.Rings()), rec.Events(), rec.Drops(), *traceFile)
+	}
+
+	if *check {
+		// Same quiesce argument as the file dump above: every ring owner
+		// has joined, so serializing to memory and checking is race-free.
+		checkStart := time.Now()
+		var buf bytes.Buffer
+		if err := rec.Dump(&buf); err != nil {
+			fmt.Fprintf(os.Stderr, "tlstm-stress: -check: dumping trace: %v\n", err)
+			return 1
+		}
+		tr, err := txtrace.ReadTrace(&buf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlstm-stress: -check: reading trace back: %v\n", err)
+			return 1
+		}
+		if err := tr.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "tlstm-stress: -check: invalid trace: %v\n", err)
+			return 1
+		}
+		rep, err := txcheck.Check(tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlstm-stress: -check: %v\n", err)
+			return 1
+		}
+		checkReport.Store(rep)
+		rep.WriteTable(os.Stdout, time.Since(checkStart))
+		if !rep.Ok() {
+			fmt.Println("FAIL: opacity violated (see violations above)")
+			return 1
+		}
 	}
 
 	var sum uint64

@@ -1,5 +1,6 @@
 // Command tlstm-trace inspects binary flight-recorder dumps written by
-// the runtimes' -trace flag (internal/txtrace format, magic TXTRACE1).
+// the runtimes' -trace flag (internal/txtrace format, magic TXTRACE2;
+// the older TXTRACE1 is still readable).
 //
 // Formats:
 //
@@ -9,13 +10,24 @@
 //	-format perfetto  Chrome trace_event JSON: open in Perfetto
 //	                  (ui.perfetto.dev) or chrome://tracing
 //
+// Verbs:
+//
+//	tlstm-trace check <trace-file>
+//
+// runs the offline opacity checker (internal/txcheck) and prints a
+// per-ring verdict table: transactions checked, aborted-transaction
+// snapshots verified, and the sequence-gap / ring-overwrite counts that
+// downgrade a verdict from "complete" to "partial". Exit status 1 when
+// the trace contains an opacity violation.
+//
 // Every invocation first validates the dump's structural invariants
 // (monotonic per-ring sequences, known kinds, non-decreasing times) and
-// fails if they do not hold: this tool is the reference consumer of the
-// format the future opacity checker will parse.
+// fails if they do not hold: this tool and the checker are the
+// reference consumers of the format.
 //
 //	tlstm-stress -seconds 5 -trace /tmp/run.trace
 //	tlstm-trace -format perfetto /tmp/run.trace > /tmp/run.json
+//	tlstm-trace check /tmp/run.trace
 package main
 
 import (
@@ -25,8 +37,10 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"tlstm/internal/cm"
+	"tlstm/internal/txcheck"
 	"tlstm/internal/txtrace"
 )
 
@@ -37,11 +51,17 @@ func main() {
 func run() int {
 	format := flag.String("format", "summary", `output format: "summary", "text", "json" or "perfetto"`)
 	flag.Parse()
-	if flag.NArg() != 1 {
+	args := flag.Args()
+	checkVerb := len(args) > 0 && args[0] == "check"
+	if checkVerb {
+		args = args[1:]
+	}
+	if len(args) != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tlstm-trace [-format summary|text|json|perfetto] <trace-file>")
+		fmt.Fprintln(os.Stderr, "       tlstm-trace check <trace-file>")
 		return 2
 	}
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(args[0])
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlstm-trace: %v\n", err)
 		return 1
@@ -58,6 +78,9 @@ func run() int {
 	}
 
 	w := os.Stdout
+	if checkVerb {
+		return runCheck(w, tr)
+	}
 	switch *format {
 	case "summary":
 		err = writeSummary(w, tr)
@@ -73,6 +96,26 @@ func run() int {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlstm-trace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// check
+// ---------------------------------------------------------------------------
+
+// runCheck runs the opacity checker and prints its per-ring verdict
+// table. Exit status: 0 clean, 1 violated (or checker error).
+func runCheck(w io.Writer, tr *txtrace.Trace) int {
+	start := time.Now()
+	rep, err := txcheck.Check(tr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlstm-trace: check: %v\n", err)
+		return 1
+	}
+	rep.WriteTable(w, time.Since(start))
+	if !rep.Ok() {
 		return 1
 	}
 	return 0
@@ -116,6 +159,10 @@ func describe(e txtrace.Event) string {
 		return fmt.Sprintf("writeSet=%d", e.Arg)
 	case txtrace.KindReclaim:
 		return fmt.Sprintf("retireSerial=%d epoch=%d", e.Arg, e.Aux)
+	case txtrace.KindRemap:
+		return fmt.Sprintf("homeShard=%d prevShard=%d", e.Arg, e.Aux)
+	case txtrace.KindCommitWord:
+		return fmt.Sprintf("addr=%#x stamp=%d", e.Arg, e.Clock)
 	default:
 		return fmt.Sprintf("arg=%d aux=%d", e.Arg, e.Aux)
 	}
@@ -191,11 +238,22 @@ type ringSummary struct {
 	// CM tallies: resolutions seen, split by verdict. "Defeats" are
 	// AbortSelf verdicts — conflicts this ring lost.
 	cmSeen, cmDefeats, cmWins, cmWaits uint64
+	// remaps counts affinity placement rebinds (KindRemap).
+	remaps uint64
+	// seqGaps counts mid-ring sequence discontinuities: events lost
+	// inside the retained window (distinct from Drops, which counts
+	// oldest events the ring overwrote).
+	seqGaps uint64
 }
 
 func summarize(rd txtrace.RingDump) ringSummary {
 	s := ringSummary{byReason: map[uint32]uint64{}}
-	for _, e := range rd.Events {
+	var prevSeq uint64
+	for i, e := range rd.Events {
+		if i > 0 && e.Seq != prevSeq+1 {
+			s.seqGaps++
+		}
+		prevSeq = e.Seq
 		switch txtrace.Kind(e.Kind) {
 		case txtrace.KindAbort:
 			s.aborts++
@@ -221,6 +279,8 @@ func summarize(rd txtrace.RingDump) ringSummary {
 			case cm.Wait:
 				s.cmWaits++
 			}
+		case txtrace.KindRemap:
+			s.remaps++
 		}
 	}
 	return s
@@ -229,6 +289,8 @@ func summarize(rd txtrace.RingDump) ringSummary {
 func writeSummary(w io.Writer, tr *txtrace.Trace) error {
 	var total ringSummary
 	total.byReason = map[uint32]uint64{}
+	var totalDrops uint64
+	lossyRings := 0
 	for _, rd := range tr.Rings {
 		s := summarize(rd)
 		total.commits += s.commits
@@ -241,20 +303,40 @@ func writeSummary(w io.Writer, tr *txtrace.Trace) error {
 		total.cmDefeats += s.cmDefeats
 		total.cmWins += s.cmWins
 		total.cmWaits += s.cmWaits
+		total.remaps += s.remaps
+		total.seqGaps += s.seqGaps
+		totalDrops += rd.Drops
 		for k, v := range s.byReason {
 			total.byReason[k] += v
 		}
-		if _, err := fmt.Fprintf(w, "ring %3d %-24q events=%-7d drops=%-5d commits=%-6d aborts=%-6d chains=%d maxChain=%d cm[seen=%d defeats=%d wins=%d waits=%d]%s\n",
+		if _, err := fmt.Fprintf(w, "ring %3d %-24q events=%-7d drops=%-5d commits=%-6d aborts=%-6d chains=%d maxChain=%d remaps=%d cm[seen=%d defeats=%d wins=%d waits=%d]%s\n",
 			rd.ID, rd.Label, len(rd.Events), rd.Drops, s.commits, s.aborts,
-			s.chains, s.chainMax, s.cmSeen, s.cmDefeats, s.cmWins, s.cmWaits,
+			s.chains, s.chainMax, s.remaps, s.cmSeen, s.cmDefeats, s.cmWins, s.cmWaits,
 			reasonList(s.byReason)); err != nil {
 			return err
 		}
+		// Event loss is reported, never silently summarized away: a
+		// lossy ring's tallies describe a truncated suffix of the run.
+		if rd.Drops > 0 || s.seqGaps > 0 {
+			lossyRings++
+			if _, err := fmt.Fprintf(w, "  WARNING ring %d lost events: %d oldest overwritten, %d mid-ring sequence gaps — tallies above cover only the retained window\n",
+				rd.ID, rd.Drops, s.seqGaps); err != nil {
+				return err
+			}
+		}
 	}
-	_, err := fmt.Fprintf(w, "total: rings=%d commits=%d aborts=%d abortChains=%d maxChain=%d cm[seen=%d defeats=%d wins=%d waits=%d]%s\n",
+	if _, err := fmt.Fprintf(w, "total: rings=%d commits=%d aborts=%d abortChains=%d maxChain=%d remaps=%d cm[seen=%d defeats=%d wins=%d waits=%d]%s\n",
 		len(tr.Rings), total.commits, total.aborts, total.chains, total.chainMax,
-		total.cmSeen, total.cmDefeats, total.cmWins, total.cmWaits, reasonList(total.byReason))
-	return err
+		total.remaps, total.cmSeen, total.cmDefeats, total.cmWins, total.cmWaits, reasonList(total.byReason)); err != nil {
+		return err
+	}
+	if totalDrops > 0 || total.seqGaps > 0 {
+		if _, err := fmt.Fprintf(w, "total: EVENT LOSS across %d ring(s): %d events overwritten, %d sequence gaps — totals above undercount the run\n",
+			lossyRings, totalDrops, total.seqGaps); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // reasonList formats abort counts by reason, stable order.
@@ -350,6 +432,12 @@ func writePerfetto(w io.Writer, tr *txtrace.Trace) error {
 					Name: "reclaim", Cat: "reclaim", Ph: "i", Ts: us(e.Time),
 					Pid: 1, Tid: rd.ID, S: "t",
 					Args: map[string]any{"retireSerial": e.Arg, "epoch": e.Aux},
+				})
+			case txtrace.KindRemap:
+				out = append(out, perfettoEvent{
+					Name: "remap", Cat: "placement", Ph: "i", Ts: us(e.Time),
+					Pid: 1, Tid: rd.ID, S: "t",
+					Args: map[string]any{"homeShard": e.Arg, "prevShard": e.Aux},
 				})
 			}
 		}

@@ -12,6 +12,7 @@ import (
 	"tlstm/internal/stm"
 	"tlstm/internal/tl2"
 	"tlstm/internal/tm"
+	"tlstm/internal/txcheck"
 	"tlstm/internal/txtrace"
 	"tlstm/internal/wtstm"
 )
@@ -563,6 +564,27 @@ func TestDifferentialTracing(t *testing.T) {
 			}
 			if rec.Events() == 0 {
 				t.Fatalf("seed %d: %s recorded no events", seed, name)
+			}
+			rep, err := txcheck.Check(tr)
+			if err != nil {
+				t.Fatalf("seed %d: %s opacity check: %v", seed, name, err)
+			}
+			if !rep.Ok() {
+				for _, v := range rep.Violations {
+					t.Errorf("seed %d: %s ring %q seq %d: %s: %s",
+						seed, name, v.Ring, v.Seq, v.Code, v.Msg)
+				}
+				t.Fatalf("seed %d: %s opacity violated (%d violations)", seed, name, len(rep.Violations))
+			}
+			// These runs are short enough to fit entirely in the rings,
+			// so the checker must see the whole history, not a suffix.
+			if !rep.Complete() {
+				t.Fatalf("seed %d: %s verdict partial (dropped=%d) on a drop-free run",
+					seed, name, rep.DroppedEvents)
+			}
+			if rep.TxsChecked == 0 || rep.ReadsChecked == 0 {
+				t.Fatalf("seed %d: %s checker saw no work (txs=%d reads=%d)",
+					seed, name, rep.TxsChecked, rep.ReadsChecked)
 			}
 		}
 

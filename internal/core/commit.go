@@ -186,6 +186,14 @@ func (t *Task) commitTransaction() {
 		for _, e := range task.writeLog.Entries() {
 			for _, w := range e.Words {
 				rt.store.StoreWord(w.Addr, w.Val)
+				if t.traced {
+					// Written-word identities land on the commit task's
+					// ring, between its Validate and Commit events, so the
+					// opacity checker can rebuild per-slot version
+					// histories. Same-word repeats across tasks dedup
+					// offline.
+					t.tr.Record(txtrace.KindCommitWord, ts, uint64(w.Addr), 0)
+				}
 				t.workAcc++
 			}
 		}

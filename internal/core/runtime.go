@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -200,6 +201,14 @@ func New(cfg Config) *Runtime {
 	}
 	if cfg.MVDepth > 0 {
 		rt.mv = txlog.NewVersionedStore(cfg.MVDepth, txlog.DefaultVersionedStoreBits)
+	}
+	if rt.trace != nil {
+		// The offline opacity checker recomputes lock-table slots and
+		// picks its clock model from this metadata (txcheck).
+		rt.trace.SetMeta("core.lockbits", strconv.Itoa(cfg.LockTableBits))
+		rt.trace.SetMeta("core.clock", rt.clk.Name())
+		rt.trace.SetMeta("core.exclusive", strconv.FormatBool(rt.clk.Exclusive()))
+		rt.trace.SetMeta("core.mvdepth", strconv.Itoa(cfg.MVDepth))
 	}
 	return rt
 }

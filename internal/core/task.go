@@ -414,8 +414,12 @@ func (t *Task) consistent() bool {
 		if re.Version == noVersion {
 			continue
 		}
+		// Same rule as extendTo: a moved version on a pair we
+		// write-lock still means the read predates a conflicting
+		// commit, so the attempt is a zombie — classify it as
+		// inconsistent and restart rather than surface its panic.
 		cur := re.Pair.R.Load()
-		if cur != re.Version && !t.ownsPairW(re.Pair) {
+		if cur != re.Version {
 			return false
 		}
 	}
@@ -495,21 +499,6 @@ func (t *Task) checkSignals() {
 		t.rendezvous()
 		panic(restartSignal{})
 	}
-}
-
-// ownsPairW reports whether this task's current incarnation holds the
-// pair's write lock (its entry is somewhere in the chain). The serial
-// comparison matters: a recycled descriptor's owner header may still be
-// referenced by a lingering committed entry of an earlier incarnation,
-// and serials — never reused — tell them apart.
-func (t *Task) ownsPairW(p *locktable.Pair) bool {
-	ser := t.serial.Load()
-	for e := p.W.Load(); e != nil; e = e.Prev.Load() {
-		if e.Owner == &t.ownerRef && e.Serial == ser {
-			return true
-		}
-	}
-	return false
 }
 
 // firstPastOf walks a chain for the newest entry written by a *past*
@@ -694,10 +683,12 @@ func (t *Task) loadMV(a tm.Addr) uint64 {
 			}
 			continue
 		}
-		if val, ok := t.thr.rt.mv.ReadAt(a, t.validTS); ok {
+		if val, from, ok := t.thr.rt.mv.ReadAt(a, t.validTS); ok {
 			t.mvReads++
 			if t.traced {
-				t.tr.Record(txtrace.KindRead, t.validTS, uint64(a), 1)
+				// Clock carries the served version's birth stamp, not the
+				// snapshot: the opacity checker needs the observed version.
+				t.tr.Record(txtrace.KindRead, from, uint64(a), 1)
 			}
 			return val
 		}
@@ -749,9 +740,16 @@ func (t *Task) extendTo(witness uint64) bool {
 		if cur == re.Version {
 			continue
 		}
-		if t.ownsPairW(re.Pair) {
-			continue
-		}
+		// Pairs this task write-locks are deliberately NOT exempt:
+		// holding the chain freezes the r-lock against other threads,
+		// but the version may have moved between our read and our
+		// acquisition (a foreign commit while the pair was free), and
+		// under pipelining an earlier transaction of our own thread
+		// may publish a pair our entry sits on. Either way the read's
+		// snapshot no longer covers the extension target — the
+		// exemption let such zombies run on a mixed read set until
+		// commit-time validation, which the trace-based opacity
+		// checker flagged under high contention.
 		if t.traced {
 			t.tr.Record(txtrace.KindExtend, ts, witness, 0)
 		}

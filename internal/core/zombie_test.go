@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestExtensionRefusesZombieAcrossOwnWriteLock is the TLSTM twin of the
+// stm regression with the same name: extension must not exempt pairs
+// this task write-locks, because the pair's r-lock may have been
+// advanced by another thread's commit between the task's read and its
+// own chain installation. The trace-based opacity checker caught the
+// old exemption letting a doomed task extend past a conflicting commit
+// and run on old-X/new-Y until commit-time validation aborted it.
+func TestExtensionRefusesZombieAcrossOwnWriteLock(t *testing.T) {
+	rt := New(Config{SpecDepth: 2, LockTableBits: 12})
+	defer rt.Close()
+	d := rt.Direct()
+	base := d.Alloc(2)
+	addrX, addrY := base, base+1
+
+	start := make(chan struct{})
+	committed := make(chan struct{})
+	var once sync.Once
+	go func() {
+		<-start
+		thr := rt.NewThread()
+		if err := thr.Atomic(func(tk *Task) {
+			tk.Store(addrX, 1)
+			tk.Store(addrY, 1)
+		}); err != nil {
+			t.Error(err)
+		}
+		close(committed)
+	}()
+
+	thr := rt.NewThread()
+	attempts := 0
+	torn := false
+	if err := thr.Atomic(func(tk *Task) {
+		attempts++
+		x := tk.Load(addrX)
+		once.Do(func() {
+			close(start)
+			<-committed
+		})
+		<-committed
+		tk.Store(addrX, x+2)
+		y := tk.Load(addrY)
+		if x == 0 && y == 1 {
+			torn = true
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if torn {
+		t.Fatalf("task observed old X with new Y: zombie snapshot survived extension")
+	}
+	if attempts < 2 {
+		t.Fatalf("victim committed in %d attempt(s); the interleaving never forced the doomed first attempt", attempts)
+	}
+	if got := d.Load(addrX); got != 3 {
+		t.Fatalf("X = %d, want 3 (writer's 1 + victim's +2)", got)
+	}
+	if got := d.Load(addrY); got != 1 {
+		t.Fatalf("Y = %d, want 1", got)
+	}
+}

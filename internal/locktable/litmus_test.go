@@ -1,0 +1,124 @@
+package locktable
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tlstm/internal/tm"
+)
+
+// Memory-model litmus for FreeRing's reuse protocol. A FreeRing is
+// deliberately unsynchronized: Get runs on the owning descriptor's
+// incarnations while Retire runs on the transaction's commit task — a
+// different goroutine — and the only thing keeping the two (and the
+// plain entry fields they touch) apart is the committed-frontier
+// publish: Retire(e, at, …) happens before the frontier reaches at,
+// and Get(horizon) serves e only once horizon ≥ at.
+//
+// The test plays both roles with that edge, and nothing else, between
+// them: an owner goroutine reuses entries and mutates their plain
+// fields (Seed, Update), a retirer goroutine reads those fields and
+// retires the entry, and the sole cross-goroutine ordering is a pair
+// of sequentially consistent counters standing in for the write-log
+// handoff and sched.Latch's frontier publish. Run under -race, any
+// missing edge in the protocol — an entry served before its stamp
+// matured, a promotion that lets reuse overtake retirement — surfaces
+// as a data race on Serial/Words; the directed assertions additionally
+// pin pointer identity (reuse really recycles the retired entry, the
+// ABA the quiescence gate must make safe) and the OnReclaim invariant
+// At ≤ horizon.
+func TestLitmusFreeRingStampGatesReuse(t *testing.T) {
+	const rounds = int64(20000)
+
+	ring := &FreeRing{}
+	var (
+		handoff  atomic.Pointer[WEntry] // owner → retirer: the entry in use (the redo-chain handoff)
+		used     atomic.Int64           // owner → retirer: rounds handed off
+		frontier atomic.Int64           // retirer → owner: committed frontier (sched.Latch stand-in)
+	)
+	pair := &Pair{}
+	owner := &OwnerRef{ThreadID: 1}
+
+	var horizon int64 // plain: written by the owner goroutine just before Get
+	var audited, matured int64
+	ring.OnReclaim = func(at, epoch int64) {
+		audited++
+		if at > horizon {
+			t.Errorf("entry promoted with At=%d above horizon %d", at, horizon)
+		}
+		if epoch <= 0 {
+			t.Errorf("entry promoted with epoch %d", epoch)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // retirer: the commit-task role
+		defer wg.Done()
+		for r := int64(1); r <= rounds; r++ {
+			for used.Load() < r {
+				runtime.Gosched()
+			}
+			e := handoff.Load()
+			// Plain reads of the owner's plain writes: ordered only by
+			// the `used` publish above.
+			if e.Serial != r {
+				t.Errorf("round %d: entry carries serial %d", r, e.Serial)
+				return
+			}
+			if v, ok := e.Lookup(tm.Addr(0x40)); !ok || v != uint64(r) {
+				t.Errorf("round %d: buffered word lost (v=%d ok=%v)", r, v, ok)
+				return
+			}
+			// Odd rounds retire with a stamp one past the frontier the
+			// owner will hold next round: the entry must sit immature
+			// for a round before promote may serve it. Stamps stay
+			// non-decreasing (1+1=2, 2+0=2, 3+1=4, …), the ring's
+			// documented push order.
+			at := r + r%2
+			ring.Retire(e, at, r, frontier.Load())
+			frontier.Store(r) // the publish: everything above happens before reuse
+		}
+	}()
+
+	var reused, fresh int64
+	prev := make(map[*WEntry]int64) // entry → round it was retired in
+	for r := int64(1); r <= rounds; r++ {
+		for frontier.Load() < r-1 {
+			runtime.Gosched()
+		}
+		horizon = frontier.Load()
+		e := ring.Get(horizon)
+		if e != nil {
+			retiredAt, known := prev[e]
+			if !known {
+				t.Fatalf("round %d: Get returned an entry that was never retired", r)
+			}
+			if retiredAt+retiredAt%2 > horizon {
+				t.Fatalf("round %d: entry retired at round %d (stamp %d) served under horizon %d",
+					r, retiredAt, retiredAt+retiredAt%2, horizon)
+			}
+			matured++
+			e.Seed(r, pair, tm.Addr(0x40), uint64(r))
+			reused++
+		} else {
+			e = NewEntry(owner, r, pair, tm.Addr(0x40), uint64(r))
+			fresh++
+		}
+		e.Update(tm.Addr(0x48), uint64(r)*2) // second plain write: spills Words past one element
+		prev[e] = r
+		handoff.Store(e)
+		used.Store(r)
+	}
+	wg.Wait()
+
+	if reused == 0 {
+		t.Fatalf("no entry was ever recycled; litmus is vacuous (fresh=%d)", fresh)
+	}
+	if audited != matured {
+		t.Fatalf("OnReclaim fired %d times for %d horizon-gated reuses", audited, matured)
+	}
+	t.Logf("reused=%d fresh=%d audited=%d", reused, fresh, audited)
+}

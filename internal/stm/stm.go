@@ -30,6 +30,7 @@ package stm
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -185,6 +186,15 @@ func New(opts ...Option) *Runtime {
 	}
 	if c.mvDepth > 0 {
 		rt.mv = txlog.NewVersionedStore(c.mvDepth, txlog.DefaultVersionedStoreBits)
+	}
+	if rt.trace != nil {
+		// The opacity checker recomputes lock-table slots and gates its
+		// stamp-uniqueness checks on the clock strategy; the dump's
+		// metadata section is where it learns both.
+		rt.trace.SetMeta("stm.lockbits", strconv.Itoa(c.lockTableBits))
+		rt.trace.SetMeta("stm.clock", rt.clk.Name())
+		rt.trace.SetMeta("stm.exclusive", strconv.FormatBool(rt.clk.Exclusive()))
+		rt.trace.SetMeta("stm.mvdepth", strconv.Itoa(c.mvDepth))
 	}
 	return rt
 }
@@ -791,10 +801,12 @@ func (tx *Tx) loadMV(a tm.Addr) uint64 {
 			}
 			continue // torn read: version moved underneath us
 		}
-		if val, ok := tx.rt.mv.ReadAt(a, tx.validTS); ok {
+		if val, from, ok := tx.rt.mv.ReadAt(a, tx.validTS); ok {
 			tx.mvReads++
 			if tx.traced {
-				tx.tr.Record(txtrace.KindRead, tx.validTS, uint64(a), 1)
+				// Clock carries the served version's birth stamp, not the
+				// snapshot: the opacity checker needs the observed version.
+				tx.tr.Record(txtrace.KindRead, from, uint64(a), 1)
 			}
 			return val
 		}
@@ -828,9 +840,14 @@ func (tx *Tx) extendTo(witness uint64) bool {
 		if cur == re.Version {
 			continue
 		}
-		if tx.ownsPair(re.Pair) {
-			continue // we hold the w-lock; nobody else can have changed it
-		}
+		// No exemption for pairs whose w-lock we hold: owning the
+		// w-lock freezes the r-lock from acquisition onward, but the
+		// version may have moved between our read and our acquisition
+		// (another transaction committed the pair while it was free).
+		// Skipping the check here let exactly that zombie extend its
+		// snapshot past the conflicting commit and keep running on a
+		// mixed read set until commit-time validation — the opacity
+		// violation the trace checker flagged under high contention.
 		if tx.traced {
 			tx.tr.Record(txtrace.KindExtend, ts, witness, 0)
 		}
@@ -844,11 +861,6 @@ func (tx *Tx) extendTo(witness uint64) bool {
 	}
 	tx.validTS = ts
 	return true
-}
-
-func (tx *Tx) ownsPair(p *locktable.Pair) bool {
-	e := p.W.Load()
-	return e != nil && e.Owner == &tx.owner
 }
 
 // Store implements tm.Tx: eager w-lock acquisition with redo logging.
@@ -982,6 +994,12 @@ func (tx *Tx) commit() {
 	for _, e := range tx.writeLog.Entries() {
 		for _, w := range e.Words {
 			tx.rt.store.StoreWord(w.Addr, w.Val)
+			if tx.traced {
+				// Written-word identities, between Validate and Commit:
+				// the opacity checker rebuilds per-slot version
+				// histories from these.
+				tx.tr.Record(txtrace.KindCommitWord, ts, uint64(w.Addr), 0)
+			}
 			tx.work++
 		}
 	}

@@ -1,0 +1,68 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestExtensionRefusesZombieAcrossOwnWriteLock pins the opacity fix the
+// trace checker forced: snapshot extension must NOT exempt pairs whose
+// w-lock the transaction holds, because the r-lock may have been
+// advanced by a foreign commit between our read and our acquisition.
+//
+// The directed interleaving: the victim reads X at its initial
+// version, a writer then commits {X, Y} atomically, the victim
+// write-locks X (free again after the writer released it) and reads Y.
+// Extension over Y's new version must kill the attempt — with the old
+// w-lock exemption it skipped X's moved version, extended, and let the
+// victim observe old-X alongside new-Y: a zombie running on a mixed
+// snapshot (it could never commit, but opacity forbids it ever
+// *seeing* that state).
+func TestExtensionRefusesZombieAcrossOwnWriteLock(t *testing.T) {
+	rt := New()
+	d := rt.Direct()
+	base := d.Alloc(2)
+	addrX, addrY := base, base+1
+
+	start := make(chan struct{})
+	committed := make(chan struct{})
+	var once sync.Once
+	go func() {
+		<-start
+		rt.Atomic(nil, func(tx *Tx) {
+			tx.Store(addrX, 1)
+			tx.Store(addrY, 1)
+		})
+		close(committed)
+	}()
+
+	attempts := 0
+	torn := false
+	rt.Atomic(nil, func(tx *Tx) {
+		attempts++
+		x := tx.Load(addrX)
+		once.Do(func() {
+			close(start)
+			<-committed
+		})
+		<-committed // no-op after the first attempt; orders the retry too
+		tx.Store(addrX, x+2)
+		y := tx.Load(addrY)
+		if x == 0 && y == 1 {
+			torn = true
+		}
+	})
+
+	if torn {
+		t.Fatalf("attempt observed old X with new Y: zombie snapshot survived extension")
+	}
+	if attempts < 2 {
+		t.Fatalf("victim committed in %d attempt(s); the interleaving never forced the doomed first attempt", attempts)
+	}
+	if got := d.Load(addrX); got != 3 {
+		t.Fatalf("X = %d, want 3 (writer's 1 + victim's +2)", got)
+	}
+	if got := d.Load(addrY); got != 1 {
+		t.Fatalf("Y = %d, want 1", got)
+	}
+}

@@ -26,6 +26,7 @@ package tl2
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -162,6 +163,18 @@ func New(bits int, opts ...Option) *Runtime {
 		rt.cmPol = cm.New(cm.KindSuicide)
 	}
 	rt.exclusive = rt.clk.Exclusive()
+	if rt.trace != nil {
+		// The offline opacity checker recomputes lock-table slots and
+		// picks its clock model from this metadata (txcheck).
+		rt.trace.SetMeta("tl2.lockbits", strconv.Itoa(bits))
+		rt.trace.SetMeta("tl2.clock", rt.clk.Name())
+		rt.trace.SetMeta("tl2.exclusive", strconv.FormatBool(rt.exclusive))
+		mvDepth := 0
+		if rt.mv != nil {
+			mvDepth = rt.mv.K()
+		}
+		rt.trace.SetMeta("tl2.mvdepth", strconv.Itoa(mvDepth))
+	}
 	return rt
 }
 
@@ -616,10 +629,12 @@ func (tx *Tx) loadMV(a tm.Addr) uint64 {
 			}
 			continue // torn read: version moved underneath us
 		}
-		if val, ok := tx.rt.mv.ReadAt(a, tx.rv); ok {
+		if val, from, ok := tx.rt.mv.ReadAt(a, tx.rv); ok {
 			tx.mvReads++
 			if tx.traced {
-				tx.tr.Record(txtrace.KindRead, tx.rv, uint64(a), 1)
+				// Clock carries the served version's birth stamp, not the
+				// snapshot: the opacity checker needs the observed version.
+				tx.tr.Record(txtrace.KindRead, from, uint64(a), 1)
 			}
 			return val
 		}
@@ -773,6 +788,9 @@ func (tx *Tx) commit() {
 
 	tx.writeSet.Range(func(a tm.Addr, v uint64) {
 		tx.rt.store.StoreWord(a, v)
+		if tx.traced {
+			tx.tr.Record(txtrace.KindCommitWord, wv, uint64(a), 0)
+		}
 		tx.work++
 	})
 	tx.held.Publish(wv)

@@ -113,11 +113,14 @@ func (vs *VersionedStore) Publish(a tm.Addr, val, from, to uint64) {
 }
 
 // ReadAt returns the retained value of a at snapshot snap, if the ring
-// still holds a version whose interval covers snap. A miss — no
-// covering entry, or a publisher overwriting the slot faster than the
-// bounded retries — returns ok == false and the caller falls back to
-// its validated read path. ReadAt is wait-free.
-func (vs *VersionedStore) ReadAt(a tm.Addr, snap uint64) (uint64, bool) {
+// still holds a version whose interval covers snap, together with the
+// version's birth stamp `from` (the committed version the value's
+// publisher displaced — what a trace event must carry as the observed
+// version stamp). A miss — no covering entry, or a publisher
+// overwriting the slot faster than the bounded retries — returns
+// ok == false and the caller falls back to its validated read path.
+// ReadAt is wait-free.
+func (vs *VersionedStore) ReadAt(a tm.Addr, snap uint64) (val, from uint64, ok bool) {
 	s := uint64(a) & vs.mask
 	seq := &vs.seqs[s]
 	base := int(s) * vs.k * mvWords
@@ -127,16 +130,17 @@ func (vs *VersionedStore) ReadAt(a tm.Addr, snap uint64) (uint64, bool) {
 			continue // publisher mid-write: reread the seqlock
 		}
 		matched := false
-		var val uint64
+		var mval, mfrom uint64
 		for i := 0; i < vs.k; i++ {
 			e := base + i*mvWords
 			if vs.vers[e].Load() != uint64(a) {
 				continue
 			}
-			from := vs.vers[e+2].Load()
+			f := vs.vers[e+2].Load()
 			to := vs.vers[e+3].Load()
-			if from <= snap && snap < to {
-				val = vs.vers[e+1].Load()
+			if f <= snap && snap < to {
+				mval = vs.vers[e+1].Load()
+				mfrom = f
 				matched = true
 				break
 			}
@@ -144,7 +148,7 @@ func (vs *VersionedStore) ReadAt(a tm.Addr, snap uint64) (uint64, bool) {
 		if seq.Load() != v1 {
 			continue // slot changed under the scan: retry
 		}
-		return val, matched
+		return mval, mfrom, matched
 	}
-	return 0, false
+	return 0, 0, false
 }

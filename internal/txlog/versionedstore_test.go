@@ -11,19 +11,19 @@ func TestVersionedStoreIntervalSemantics(t *testing.T) {
 	a := tm.Addr(7)
 	vs.Publish(a, 42, 5, 9)
 
-	if v, ok := vs.ReadAt(a, 5); !ok || v != 42 {
-		t.Fatalf("ReadAt(snap=from) = %d, %v; want 42, true", v, ok)
+	if v, from, ok := vs.ReadAt(a, 5); !ok || v != 42 || from != 5 {
+		t.Fatalf("ReadAt(snap=from) = %d (from %d), %v; want 42 (from 5), true", v, from, ok)
 	}
-	if v, ok := vs.ReadAt(a, 8); !ok || v != 42 {
-		t.Fatalf("ReadAt(snap inside) = %d, %v; want 42, true", v, ok)
+	if v, from, ok := vs.ReadAt(a, 8); !ok || v != 42 || from != 5 {
+		t.Fatalf("ReadAt(snap inside) = %d (from %d), %v; want 42 (from 5), true", v, from, ok)
 	}
-	if _, ok := vs.ReadAt(a, 4); ok {
+	if _, _, ok := vs.ReadAt(a, 4); ok {
 		t.Fatalf("ReadAt(snap < from) hit; want miss")
 	}
-	if _, ok := vs.ReadAt(a, 9); ok {
+	if _, _, ok := vs.ReadAt(a, 9); ok {
 		t.Fatalf("ReadAt(snap = to) hit; the interval is half-open, want miss")
 	}
-	if _, ok := vs.ReadAt(tm.Addr(8), 6); ok {
+	if _, _, ok := vs.ReadAt(tm.Addr(8), 6); ok {
 		t.Fatalf("ReadAt on an unpublished address hit; want miss")
 	}
 }
@@ -34,7 +34,7 @@ func TestVersionedStoreEmptyIntervalIgnored(t *testing.T) {
 	vs.Publish(a, 99, 6, 6) // from >= to: no reader could use it
 	vs.Publish(a, 98, 7, 5)
 	for snap := uint64(0); snap < 10; snap++ {
-		if v, ok := vs.ReadAt(a, snap); ok {
+		if v, _, ok := vs.ReadAt(a, snap); ok {
 			t.Fatalf("empty-interval publish became readable: snap=%d val=%d", snap, v)
 		}
 	}
@@ -54,14 +54,14 @@ func TestVersionedStoreRingWraparound(t *testing.T) {
 	}
 	// Snapshots covered by evicted entries must miss.
 	for snap := uint64(1); snap <= 2; snap++ {
-		if v, ok := vs.ReadAt(a, snap); ok {
+		if v, _, ok := vs.ReadAt(a, snap); ok {
 			t.Fatalf("snap=%d served %d after ring wraparound; want miss", snap, v)
 		}
 	}
 	// The last k published versions are still served exactly.
 	for i := uint64(3); i <= k+2; i++ {
-		if v, ok := vs.ReadAt(a, i); !ok || v != 100+i {
-			t.Fatalf("snap=%d = %d, %v; want %d, true", i, v, ok, 100+i)
+		if v, from, ok := vs.ReadAt(a, i); !ok || v != 100+i || from != i {
+			t.Fatalf("snap=%d = %d (from %d), %v; want %d (from %d), true", i, v, from, ok, 100+i, i)
 		}
 	}
 }
@@ -77,11 +77,11 @@ func TestVersionedStoreK1Degenerate(t *testing.T) {
 	a := tm.Addr(5)
 	vs.Publish(a, 10, 1, 2)
 	vs.Publish(a, 20, 2, 3)
-	if _, ok := vs.ReadAt(a, 1); ok {
+	if _, _, ok := vs.ReadAt(a, 1); ok {
 		t.Fatalf("K=1 retained the displaced version; want miss at snap=1")
 	}
-	if v, ok := vs.ReadAt(a, 2); !ok || v != 20 {
-		t.Fatalf("ReadAt(2) = %d, %v; want 20, true", v, ok)
+	if v, from, ok := vs.ReadAt(a, 2); !ok || v != 20 || from != 2 {
+		t.Fatalf("ReadAt(2) = %d (from %d), %v; want 20 (from 2), true", v, from, ok)
 	}
 	if c := NewVersionedStore(0, 4); c.K() != 1 {
 		t.Fatalf("K clamp: NewVersionedStore(0).K() = %d, want 1", c.K())
@@ -97,16 +97,16 @@ func TestVersionedStoreSlotCollision(t *testing.T) {
 	b := a + 16 // same slot under 2^4 slots
 	vs.Publish(a, 111, 1, 5)
 	vs.Publish(b, 222, 1, 5)
-	if v, ok := vs.ReadAt(a, 3); !ok || v != 111 {
+	if v, _, ok := vs.ReadAt(a, 3); !ok || v != 111 {
 		t.Fatalf("ReadAt(a) = %d, %v; want 111, true", v, ok)
 	}
-	if v, ok := vs.ReadAt(b, 3); !ok || v != 222 {
+	if v, _, ok := vs.ReadAt(b, 3); !ok || v != 222 {
 		t.Fatalf("ReadAt(b) = %d, %v; want 222, true", v, ok)
 	}
 	// A third publish into the shared ring evicts a's entry; a must then
 	// miss rather than serve b's value.
 	vs.Publish(b, 333, 5, 6)
-	if v, ok := vs.ReadAt(a, 3); ok {
+	if v, _, ok := vs.ReadAt(a, 3); ok {
 		t.Fatalf("evicted address served %d from a colliding slot; want miss", v)
 	}
 }

@@ -1,15 +1,21 @@
 package txtrace
 
 // Binary trace serialization. The format is the contract between the
-// recorder and cmd/tlstm-trace (and the future opacity checker), so it
-// is deliberately boring: little-endian, fixed-width, versioned by an
+// recorder, cmd/tlstm-trace, and the txcheck opacity checker, so it is
+// deliberately boring: little-endian, fixed-width, versioned by an
 // 8-byte magic, nothing implicit.
 //
-//	header:   magic "TXTRACE1" | startUnixNanos i64 | ringCount u32
+//	header:   magic "TXTRACE2" | startUnixNanos i64 | ringCount u32 |
+//	          metaCount u32 | metaCount × meta
+//	meta:     keyLen u32 | key bytes | valLen u32 | val bytes
 //	per ring: id u32 | labelLen u32 | label bytes | drops u64 | count u64
 //	          count × event
 //	event:    seq u64 | time i64 | clock u64 | arg u64 | aux u32 |
 //	          kind u8 | pad [3]u8                       (40 bytes)
+//
+// ReadTrace also accepts the previous "TXTRACE1" magic, which lacks the
+// metaCount section (everything after ringCount is identical). Dump
+// always writes TXTRACE2.
 
 import (
 	"bufio"
@@ -17,10 +23,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Magic identifies (and versions) the binary trace format.
-const Magic = "TXTRACE1"
+const Magic = "TXTRACE2"
+
+// MagicV1 is the previous format version: no metadata section.
+// ReadTrace still accepts it; Dump no longer writes it.
+const MagicV1 = "TXTRACE1"
 
 // EventSize is the on-disk size of one event record.
 const EventSize = 40
@@ -33,9 +44,10 @@ type RingDump struct {
 	Events []Event
 }
 
-// Trace is a deserialized dump.
+// Trace is a deserialized dump. Meta is nil for TXTRACE1 traces.
 type Trace struct {
 	StartUnixNanos int64
+	Meta           map[string]string
 	Rings          []RingDump
 }
 
@@ -68,15 +80,39 @@ func getEvent(b []byte) Event {
 func (rec *Recorder) Dump(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	rings := rec.Rings()
+	meta := rec.Meta()
 
 	if _, err := bw.WriteString(Magic); err != nil {
 		return err
 	}
-	var hdr [12]byte
+	var hdr [16]byte
 	binary.LittleEndian.PutUint64(hdr[0:], uint64(rec.started))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(rings)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(meta)))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
+	}
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic dumps
+	var lenBuf [4]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(k)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(k); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(meta[k])))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(meta[k]); err != nil {
+			return err
+		}
 	}
 
 	var scratch [EventSize]byte
@@ -117,7 +153,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("txtrace: reading magic: %w", err)
 	}
-	if string(magic) != Magic {
+	if string(magic) != Magic && string(magic) != MagicV1 {
 		return nil, fmt.Errorf("txtrace: bad magic %q (not a %s trace)", magic, Magic)
 	}
 	var hdr [12]byte
@@ -126,6 +162,27 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	}
 	tr := &Trace{StartUnixNanos: int64(binary.LittleEndian.Uint64(hdr[0:]))}
 	ringCount := binary.LittleEndian.Uint32(hdr[8:])
+	if string(magic) == Magic {
+		var mc [4]byte
+		if _, err := io.ReadFull(br, mc[:]); err != nil {
+			return nil, fmt.Errorf("txtrace: reading meta count: %w", err)
+		}
+		metaCount := binary.LittleEndian.Uint32(mc[:])
+		if metaCount > 0 {
+			tr.Meta = make(map[string]string, metaCount)
+		}
+		for i := uint32(0); i < metaCount; i++ {
+			key, err := readLenString(br)
+			if err != nil {
+				return nil, fmt.Errorf("txtrace: meta %d key: %w", i, err)
+			}
+			val, err := readLenString(br)
+			if err != nil {
+				return nil, fmt.Errorf("txtrace: meta %d value: %w", i, err)
+			}
+			tr.Meta[key] = val
+		}
+	}
 
 	var scratch [EventSize]byte
 	for i := uint32(0); i < ringCount; i++ {
@@ -166,6 +223,23 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	return tr, nil
+}
+
+// readLenString reads a u32 length-prefixed string, bounded like labels.
+func readLenString(br *bufio.Reader) (string, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(br, lb[:]); err != nil {
+		return "", err
+	}
+	n := binary.LittleEndian.Uint32(lb[:])
+	if n > maxLabelLen {
+		return "", fmt.Errorf("length %d exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 func min64(a, b uint64) uint64 {

@@ -71,6 +71,12 @@ const (
 	// thread's home lock-table shard changed. Arg: the new home shard;
 	// Aux: the previous home shard.
 	KindRemap
+	// KindCommitWord records one word published by a committing
+	// transaction, emitted between a successful KindValidate and the
+	// closing KindCommit. Arg: word address; Clock: the commit
+	// timestamp. These events give the opacity checker the written-word
+	// identities it needs to rebuild per-slot version histories.
+	KindCommitWord
 
 	kindMax
 )
@@ -87,6 +93,7 @@ var kindNames = [...]string{
 	KindCommit:       "Commit",
 	KindReclaim:      "Reclaim",
 	KindRemap:        "Remap",
+	KindCommitWord:   "CommitWord",
 }
 
 // String names the kind for dumps.
@@ -261,6 +268,7 @@ type Recorder struct {
 
 	mu    sync.Mutex
 	rings []*Ring
+	meta  map[string]string
 }
 
 // NewRecorder builds a recorder whose rings each hold ringCap events,
@@ -291,6 +299,32 @@ func (rec *Recorder) NewRing(label string) *Ring {
 	}
 	rec.rings = append(rec.rings, r)
 	return r
+}
+
+// SetMeta records one key/value pair in the recorder's metadata table,
+// serialized into the dump header (TXTRACE2). Runtimes register the
+// configuration the offline checker needs to reinterpret raw events —
+// lock-table bits, clock strategy — under namespaced keys ("stm.lockbits",
+// "core.clock", ...) so several runtimes can share one recorder.
+// Registration-time only, like NewRing: never called on a hot path.
+func (rec *Recorder) SetMeta(key, value string) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.meta == nil {
+		rec.meta = make(map[string]string)
+	}
+	rec.meta[key] = value
+}
+
+// Meta returns a copy of the recorder's metadata table.
+func (rec *Recorder) Meta() map[string]string {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	out := make(map[string]string, len(rec.meta))
+	for k, v := range rec.meta {
+		out[k] = v
+	}
+	return out
 }
 
 // Rings returns the registered rings (registration order).

@@ -29,6 +29,7 @@ package wtstm
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -171,6 +172,14 @@ func New(bits int, opts ...Option) *Runtime {
 		rt.cmPol = cm.New(cm.KindSuicide)
 	}
 	rt.exclusive = rt.clk.Exclusive()
+	if rt.trace != nil {
+		// The offline opacity checker recomputes lock-table slots and
+		// picks its clock model from this metadata (txcheck).
+		rt.trace.SetMeta("wtstm.lockbits", strconv.Itoa(bits))
+		rt.trace.SetMeta("wtstm.clock", rt.clk.Name())
+		rt.trace.SetMeta("wtstm.exclusive", strconv.FormatBool(rt.exclusive))
+		rt.trace.SetMeta("wtstm.mvdepth", strconv.Itoa(rt.MVDepth()))
+	}
 	return rt
 }
 
@@ -656,10 +665,12 @@ func (tx *Tx) loadMV(a tm.Addr) uint64 {
 			}
 			continue // torn read: version moved underneath us
 		}
-		if val, ok := tx.rt.mv.ReadAt(a, tx.rv); ok {
+		if val, from, ok := tx.rt.mv.ReadAt(a, tx.rv); ok {
 			tx.mvReads++
 			if tx.traced {
-				tx.tr.Record(txtrace.KindRead, tx.rv, uint64(a), 1)
+				// Clock carries the served version's birth stamp, not the
+				// snapshot: the opacity checker needs the observed version.
+				tx.tr.Record(txtrace.KindRead, from, uint64(a), 1)
 			}
 			return val
 		}
@@ -807,6 +818,15 @@ func (tx *Tx) commit() {
 	// undo record, valid over [displaced lock version, wv).
 	if mv := tx.rt.mv; mv != nil {
 		tx.publishVersions(wv)
+	}
+	if tx.traced {
+		// Written-word identities for the opacity checker, taken from the
+		// undo log before it is dropped. Per-address repeats (a word this
+		// transaction overwrote more than once) are fine: the checker
+		// dedups (slot, stamp) pairs within one attempt.
+		for _, rec := range tx.undo.Recs() {
+			tx.tr.Record(txtrace.KindCommitWord, wv, uint64(rec.Addr), 0)
+		}
 	}
 	tx.lastWrites = tx.held.Len()
 	tx.undo.Reset()
