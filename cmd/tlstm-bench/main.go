@@ -12,6 +12,8 @@
 //	tlstm-bench -clocks         # clock-strategy sweep across runtimes
 //	tlstm-bench -cm karma       # figures under the Karma contention manager
 //	tlstm-bench -cms            # contention-policy sweep across runtimes
+//	tlstm-bench -mode adaptive  # figures under the adaptive execution-mode ladder
+//	tlstm-bench -modes          # execution-mode sweep (karma conflict storm)
 //	tlstm-bench -mv 2           # figures with 2 retained versions per word
 //	tlstm-bench -mvs            # multi-version depth sweep (read-mostly mixes)
 //	tlstm-bench -mvs -json out.json  # ... also persisted as JSON
@@ -29,6 +31,7 @@ import (
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
 	"tlstm/internal/harness"
+	"tlstm/internal/mode"
 	"tlstm/internal/txtrace"
 )
 
@@ -46,6 +49,8 @@ func run() int {
 	clockCmp := flag.Bool("clocks", false, "sweep all commit-clock strategies across all four runtimes on a write-heavy workload (throughput, abort rate, snapshot extensions and clock CAS retries per strategy)")
 	cmName := flag.String("cm", "default", `contention-management policy for figure/headline runs: "suicide", "backoff", "greedy", "karma", "taskaware" or "default" (each runtime's own)`)
 	cmCmp := flag.Bool("cms", false, "sweep all contention-management policies across all four runtimes on a write-contended workload (throughput, abort rate and policy decision counters per policy)")
+	modeName := flag.String("mode", "spec", `execution-mode policy for figure/headline runs: "spec" (always speculative), "adaptive" (ladder with serialized fallback) or "serial"`)
+	modeCmp := flag.Bool("modes", false, "sweep all execution-mode policies across all four runtimes on the karma conflict storm (throughput, abort rate and ladder fallback/recovery counters per policy)")
 	mvDepth := flag.Int("mv", 0, "retained version depth for figure/headline runs (0 disables multi-versioning)")
 	mvCmp := flag.Bool("mvs", false, "sweep retained version depths K=0..3 across all four runtimes on read-mostly workloads at 90/10 and 99/1 mixes (throughput, aborts, wait-free reads and fallback misses per depth)")
 	shards := flag.Int("shards", 0, "lock-table shard count for figure/headline runs (a power of two; 0 or 1 keeps the flat table)")
@@ -55,6 +60,21 @@ func run() int {
 	format := flag.String("format", "table", `output format: "table" or "csv"`)
 	traceFile := flag.String("trace", "", "arm the flight recorder in every runtime the figures build and write the binary trace dump (TXTRACE1) here on exit; inspect with tlstm-trace")
 	flag.Parse()
+
+	// Fail fast on malformed flags instead of clamping or misbehaving
+	// several minutes into a figure run.
+	if *mvDepth < 0 {
+		fmt.Fprintf(os.Stderr, "tlstm-bench: -mv %d: retained version depth cannot be negative\n", *mvDepth)
+		return 2
+	}
+	if *shards < 0 || (*shards > 1 && *shards&(*shards-1) != 0) {
+		fmt.Fprintf(os.Stderr, "tlstm-bench: -shards %d: shard count must be a power of two\n", *shards)
+		return 2
+	}
+	if *affinity && *shards <= 1 {
+		fmt.Fprintf(os.Stderr, "tlstm-bench: -affinity requires -shards > 1 (a flat lock table has nowhere to place threads)\n")
+		return 2
+	}
 
 	sc := harness.DefaultScale()
 	if *quick {
@@ -92,6 +112,12 @@ func run() int {
 		return 2
 	}
 	sc.CM = cmKind
+	modePol, err := mode.Parse(*modeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlstm-bench: %v\n", err)
+		return 2
+	}
+	sc.Mode = mode.Config{Policy: modePol}
 	sc.MV = *mvDepth
 	sc.Shards = *shards
 	sc.Affinity = *affinity
@@ -150,6 +176,17 @@ func run() int {
 		}
 		fmt.Println("## Contention-management policy comparison (write-contended, 4 threads, all runtimes)")
 		for _, r := range harness.CompareCM(4, txs) {
+			fmt.Println(r)
+		}
+		return 0
+	}
+	if *modeCmp {
+		txs := 20_000
+		if *quick {
+			txs = 2_000
+		}
+		fmt.Println("## Execution-mode policy comparison (karma conflict storm, 4 threads, all runtimes)")
+		for _, r := range harness.CompareModes(4, txs) {
 			fmt.Println(r)
 		}
 		return 0

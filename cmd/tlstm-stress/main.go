@@ -12,7 +12,10 @@
 // any contention-management policy (-cm karma); -clocks swaps the soak
 // for the invariant-checked clock-strategy sweep across all four
 // runtimes (harness.CompareClocks), and -cms for the policy sweep
-// (harness.CompareCM). Entry reclamation can be forced aggressive
+// (harness.CompareCM). -mode adaptive arms the execution-mode ladder
+// (speculative until sustained conflict, then a serialized global-lock
+// rung, recovering once the storm passes); -modes swaps the soak for
+// the invariant-checked mode sweep (harness.CompareModes). Entry reclamation can be forced aggressive
 // (-reclaim 1: single-slot quiescence rings, recycling on almost every
 // commit) and audited (-audit: every recycle re-verifies the
 // quiescence invariant and panics on violation). -mv K retains K
@@ -39,6 +42,7 @@ import (
 	"tlstm/internal/cm"
 	"tlstm/internal/core"
 	"tlstm/internal/harness"
+	"tlstm/internal/mode"
 	"tlstm/internal/sched"
 	"tlstm/internal/tm"
 	"tlstm/internal/txcheck"
@@ -66,6 +70,8 @@ func run() int {
 	clockCmp := flag.Bool("clocks", false, "run the invariant-checked clock-strategy sweep (all strategies × all runtimes) instead of the soak; -seconds scales the transaction count")
 	cmName := flag.String("cm", "default", `contention-management policy: "suicide", "backoff", "greedy", "karma", "taskaware" or "default" (task-aware)`)
 	cmCmp := flag.Bool("cms", false, "run the invariant-checked contention-policy sweep (all policies × all runtimes) instead of the soak; -seconds scales the transaction count")
+	modeName := flag.String("mode", "spec", `execution-mode policy: "spec" (always speculative), "adaptive" (ladder with serialized fallback under sustained conflict) or "serial"`)
+	modeCmp := flag.Bool("modes", false, "run the invariant-checked execution-mode sweep (all policies × all runtimes, karma conflict storm) instead of the soak; -seconds scales the transaction count")
 	reclaimRing := flag.Int("reclaim", 0, "cap each descriptor's quiescence ring of retired write-lock entries (0 = unbounded; 1 = aggressive, recycling exercised on almost every commit)")
 	reclaimAudit := flag.Bool("audit", false, "enable the entry-reclamation invariant checker: every recycle re-verifies the quiescence horizon against all live task attempts (panics on violation)")
 	mvDepth := flag.Int("mv", 0, "retained version depth for the soak runtime (0 disables multi-versioning)")
@@ -78,6 +84,30 @@ func run() int {
 	check := flag.Bool("check", false, "arm the flight recorder (even without -trace) and run the offline opacity checker (internal/txcheck) on the recorded trace at soak exit; fails the run on any violation")
 	metricsAddr := flag.String("metrics", "", "serve live metrics over HTTP on this address (/debug/vars, /debug/pprof) and print one-line stat deltas every 2s; threads sync their stats shards periodically so the feed is live")
 	flag.Parse()
+
+	// Fail fast on malformed flags: every one of these used to be
+	// swallowed (clamped, ignored, or deferred to a panic mid-soak), so a
+	// typo cost a full soak run before anyone noticed.
+	if *roMix < 0 || *roMix > 100 {
+		fmt.Fprintf(os.Stderr, "tlstm-stress: -romix %d: must be a percentage in 0..100\n", *roMix)
+		return 2
+	}
+	if *mvDepth < 0 {
+		fmt.Fprintf(os.Stderr, "tlstm-stress: -mv %d: retained version depth cannot be negative\n", *mvDepth)
+		return 2
+	}
+	if *reclaimRing < 0 {
+		fmt.Fprintf(os.Stderr, "tlstm-stress: -reclaim %d: ring cap cannot be negative\n", *reclaimRing)
+		return 2
+	}
+	if *shards < 0 || (*shards > 1 && *shards&(*shards-1) != 0) {
+		fmt.Fprintf(os.Stderr, "tlstm-stress: -shards %d: shard count must be a power of two\n", *shards)
+		return 2
+	}
+	if *affinity && *shards <= 1 {
+		fmt.Fprintf(os.Stderr, "tlstm-stress: -affinity requires -shards > 1 (a flat lock table has nowhere to place threads)\n")
+		return 2
+	}
 
 	if *shardCmp {
 		txs := 2_000 * *seconds
@@ -120,6 +150,15 @@ func run() int {
 		fmt.Println("OK: all policy/runtime end states verified")
 		return 0
 	}
+	if *modeCmp {
+		txs := 5_000 * *seconds
+		fmt.Printf("## Execution-mode policy sweep (%d threads, %d tx/thread)\n", *threads, txs)
+		for _, r := range harness.CompareModes(*threads, txs) {
+			fmt.Println(r)
+		}
+		fmt.Println("OK: all mode/runtime end states verified")
+		return 0
+	}
 
 	policy := sched.Pooled
 	if *schedMode == "inline" {
@@ -135,14 +174,30 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "tlstm-stress: %v\n", err)
 		return 2
 	}
+	modePol, err := mode.Parse(*modeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlstm-stress: %v\n", err)
+		return 2
+	}
 	var rec *txtrace.Recorder
+	var traceOut *os.File
 	if *traceFile != "" || *check {
 		rec = txtrace.NewRecorder(0)
+	}
+	if *traceFile != "" {
+		// Create the dump file before the soak: an unwritable -trace path
+		// fails here in a millisecond instead of after the whole run.
+		traceOut, err = os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlstm-stress: -trace: %v\n", err)
+			return 2
+		}
 	}
 	rt := core.New(core.Config{
 		SpecDepth: *depth, Policy: policy, Clock: clock.New(kind), CM: cm.New(cmKind),
 		ReclaimRing: *reclaimRing, ReclaimAudit: *reclaimAudit, MVDepth: *mvDepth,
 		Shards: *shards, Affinity: *affinity,
+		Mode:  mode.Config{Policy: modePol},
 		Trace: rec,
 	})
 	defer rt.Close()
@@ -172,6 +227,8 @@ func run() int {
 					"backoffSpins": st.BackoffSpins, "entryReclaims": st.EntryReclaims,
 					"horizonStalls": st.HorizonStalls, "mvReads": st.MVReads, "mvMisses": st.MVMisses,
 					"crossShardConflicts": st.CrossShardConflicts, "remaps": st.Remaps,
+					"modeFallbacks": st.ModeFallbacks, "modeRecoveries": st.ModeRecoveries,
+					"retryWakes": st.RetryWakes,
 				},
 				Hists: map[string]txstats.Hist{
 					"commitLat": st.CommitLatency, "restartLat": st.RestartLatency,
@@ -303,20 +360,16 @@ func run() int {
 	}
 	close(stopMetrics)
 
-	if *traceFile != "" {
+	if traceOut != nil {
 		// Every thread has Synced and its completion was received above,
-		// so every ring owner is quiesced: the dump is race-free.
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tlstm-stress: -trace: %v\n", err)
-			return 1
-		}
-		if err := rec.Dump(f); err != nil {
-			f.Close()
+		// so every ring owner is quiesced: the dump is race-free. The
+		// file itself was created before the soak started.
+		if err := rec.Dump(traceOut); err != nil {
+			traceOut.Close()
 			fmt.Fprintf(os.Stderr, "tlstm-stress: writing trace: %v\n", err)
 			return 1
 		}
-		if err := f.Close(); err != nil {
+		if err := traceOut.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "tlstm-stress: writing trace: %v\n", err)
 			return 1
 		}
@@ -360,11 +413,12 @@ func run() int {
 		sum += d.Load(base + tm.Addr(i))
 	}
 	want := uint64(*accounts) * initial
-	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d clock=%s ext=%d clkRetry=%d cm=%s cmSelf=%d cmOwner=%d spins=%d reclaim=%d stall=%d mv=%d mvRead=%d mvMiss=%d shards=%d place=%s xshard=%d remap=%d rset[%s] wset[%s] commitLat[%s] attempts[%s] restartLat[%s]\n",
+	fmt.Printf("committed=%d txAborts=%d taskRestarts=%d work=%d workers=%d descReuse=%d clock=%s ext=%d clkRetry=%d cm=%s cmSelf=%d cmOwner=%d spins=%d mode=%s fallback=%d recover=%d retryWake=%d reclaim=%d stall=%d mv=%d mvRead=%d mvMiss=%d shards=%d place=%s xshard=%d remap=%d rset[%s] wset[%s] commitLat[%s] attempts[%s] restartLat[%s]\n",
 		total.TxCommitted, total.TxAborted, total.TaskRestarts, total.Work,
 		total.WorkersSpawned, total.DescriptorReuses,
 		rt.ClockName(), total.SnapshotExtensions, total.ClockCASRetries,
 		rt.CMName(), total.CMAbortsSelf, total.CMAbortsOwner, total.BackoffSpins,
+		rt.ModeName(), total.ModeFallbacks, total.ModeRecoveries, total.RetryWakes,
 		total.EntryReclaims, total.HorizonStalls,
 		rt.MVDepth(), total.MVReads, total.MVMisses,
 		rt.Shards(), rt.PlacementName(), total.CrossShardConflicts, total.Remaps,

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"tlstm/internal/cm"
+	"tlstm/internal/mode"
 	"tlstm/internal/txcheck"
 	"tlstm/internal/txtrace"
 )
@@ -163,6 +164,14 @@ func describe(e txtrace.Event) string {
 		return fmt.Sprintf("homeShard=%d prevShard=%d", e.Arg, e.Aux)
 	case txtrace.KindCommitWord:
 		return fmt.Sprintf("addr=%#x stamp=%d", e.Arg, e.Clock)
+	case txtrace.KindModeShift:
+		return fmt.Sprintf("mode=%s from=%s", mode.State(e.Arg), mode.State(e.Aux))
+	case txtrace.KindRetryPark:
+		what := "park"
+		if e.Aux == 1 {
+			what = "wake"
+		}
+		return fmt.Sprintf("%s fp=%#x", what, e.Arg)
 	default:
 		return fmt.Sprintf("arg=%d aux=%d", e.Arg, e.Aux)
 	}
@@ -240,6 +249,11 @@ type ringSummary struct {
 	cmSeen, cmDefeats, cmWins, cmWaits uint64
 	// remaps counts affinity placement rebinds (KindRemap).
 	remaps uint64
+	// Mode-ladder transitions (KindModeShift): fallbacks are shifts to
+	// the serialized rung, recoveries shifts back to speculative.
+	fallbacks, recoveries uint64
+	// Retry cond-var activity (KindRetryPark): parks and doorbell wakes.
+	parks, wakes uint64
 	// seqGaps counts mid-ring sequence discontinuities: events lost
 	// inside the retained window (distinct from Drops, which counts
 	// oldest events the ring overwrote).
@@ -281,6 +295,18 @@ func summarize(rd txtrace.RingDump) ringSummary {
 			}
 		case txtrace.KindRemap:
 			s.remaps++
+		case txtrace.KindModeShift:
+			if mode.State(e.Arg) == mode.StateSerial {
+				s.fallbacks++
+			} else {
+				s.recoveries++
+			}
+		case txtrace.KindRetryPark:
+			if e.Aux == 1 {
+				s.wakes++
+			} else {
+				s.parks++
+			}
 		}
 	}
 	return s
@@ -304,15 +330,19 @@ func writeSummary(w io.Writer, tr *txtrace.Trace) error {
 		total.cmWins += s.cmWins
 		total.cmWaits += s.cmWaits
 		total.remaps += s.remaps
+		total.fallbacks += s.fallbacks
+		total.recoveries += s.recoveries
+		total.parks += s.parks
+		total.wakes += s.wakes
 		total.seqGaps += s.seqGaps
 		totalDrops += rd.Drops
 		for k, v := range s.byReason {
 			total.byReason[k] += v
 		}
-		if _, err := fmt.Fprintf(w, "ring %3d %-24q events=%-7d drops=%-5d commits=%-6d aborts=%-6d chains=%d maxChain=%d remaps=%d cm[seen=%d defeats=%d wins=%d waits=%d]%s\n",
+		if _, err := fmt.Fprintf(w, "ring %3d %-24q events=%-7d drops=%-5d commits=%-6d aborts=%-6d chains=%d maxChain=%d remaps=%d cm[seen=%d defeats=%d wins=%d waits=%d]%s%s\n",
 			rd.ID, rd.Label, len(rd.Events), rd.Drops, s.commits, s.aborts,
 			s.chains, s.chainMax, s.remaps, s.cmSeen, s.cmDefeats, s.cmWins, s.cmWaits,
-			reasonList(s.byReason)); err != nil {
+			modeList(s), reasonList(s.byReason)); err != nil {
 			return err
 		}
 		// Event loss is reported, never silently summarized away: a
@@ -325,9 +355,10 @@ func writeSummary(w io.Writer, tr *txtrace.Trace) error {
 			}
 		}
 	}
-	if _, err := fmt.Fprintf(w, "total: rings=%d commits=%d aborts=%d abortChains=%d maxChain=%d remaps=%d cm[seen=%d defeats=%d wins=%d waits=%d]%s\n",
+	if _, err := fmt.Fprintf(w, "total: rings=%d commits=%d aborts=%d abortChains=%d maxChain=%d remaps=%d cm[seen=%d defeats=%d wins=%d waits=%d]%s%s\n",
 		len(tr.Rings), total.commits, total.aborts, total.chains, total.chainMax,
-		total.remaps, total.cmSeen, total.cmDefeats, total.cmWins, total.cmWaits, reasonList(total.byReason)); err != nil {
+		total.remaps, total.cmSeen, total.cmDefeats, total.cmWins, total.cmWaits,
+		modeList(total), reasonList(total.byReason)); err != nil {
 		return err
 	}
 	if totalDrops > 0 || total.seqGaps > 0 {
@@ -337,6 +368,16 @@ func writeSummary(w io.Writer, tr *txtrace.Trace) error {
 		}
 	}
 	return nil
+}
+
+// modeList formats mode-ladder and Retry activity, omitted entirely for
+// rings that never shifted or parked.
+func modeList(s ringSummary) string {
+	if s.fallbacks == 0 && s.recoveries == 0 && s.parks == 0 && s.wakes == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" mode[fallbacks=%d recoveries=%d parks=%d wakes=%d]",
+		s.fallbacks, s.recoveries, s.parks, s.wakes)
 }
 
 // reasonList formats abort counts by reason, stable order.
@@ -438,6 +479,22 @@ func writePerfetto(w io.Writer, tr *txtrace.Trace) error {
 					Name: "remap", Cat: "placement", Ph: "i", Ts: us(e.Time),
 					Pid: 1, Tid: rd.ID, S: "t",
 					Args: map[string]any{"homeShard": e.Arg, "prevShard": e.Aux},
+				})
+			case txtrace.KindModeShift:
+				out = append(out, perfettoEvent{
+					Name: "mode:" + mode.State(e.Arg).String(), Cat: "mode", Ph: "i",
+					Ts: us(e.Time), Pid: 1, Tid: rd.ID, S: "t",
+					Args: map[string]any{"from": mode.State(e.Aux).String()},
+				})
+			case txtrace.KindRetryPark:
+				name := "retry:park"
+				if e.Aux == 1 {
+					name = "retry:wake"
+				}
+				out = append(out, perfettoEvent{
+					Name: name, Cat: "retry", Ph: "i", Ts: us(e.Time),
+					Pid: 1, Tid: rd.ID, S: "t",
+					Args: map[string]any{"fingerprint": e.Arg},
 				})
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
 	"tlstm/internal/core"
+	"tlstm/internal/mode"
 	"tlstm/internal/stm"
 	"tlstm/internal/tl2"
 	"tlstm/internal/tm"
@@ -635,6 +636,134 @@ func TestDifferentialTracing(t *testing.T) {
 			cfg := core.Config{SpecDepth: 2, LockTableBits: 14, Trace: rec}
 			got := runOnTLSTMCfg(prog, true, cfg)
 			check("TLSTM", got, rec)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Execution-mode ladder leg
+// ---------------------------------------------------------------------------
+
+// TestDifferentialModeLadder is the mode-ladder leg: the same programs
+// under a forced ladder (every full window falls back, every served
+// residency recovers), traced and pushed through the opacity checker on
+// all four runtimes. The runs oscillate speculative↔serialized many
+// times mid-program, so the leg proves the rung transitions are pure
+// scheduling — bit-identical final state, zero opacity violations,
+// complete verdicts — and the trace must actually contain both
+// directions of KindModeShift, or the ladder never engaged and the leg
+// proved nothing.
+func TestDifferentialModeLadder(t *testing.T) {
+	forced := mode.Config{Policy: mode.Adaptive, Window: 2, SerialWindow: 2, FallbackRatio: -1}
+	const seeds = 4
+	for seed := int64(0); seed < seeds; seed++ {
+		prog := genProgram(seed+500, 30)
+		want := runOnSTM(prog, clock.KindGV4, cm.KindDefault)
+
+		check := func(name string, got [diffWords]uint64, rec *txtrace.Recorder) {
+			t.Helper()
+			if got != want {
+				t.Fatalf("seed %d: %s ladder run diverges\n got: %v\nwant: %v", seed, name, got, want)
+			}
+			var buf bytes.Buffer
+			if err := rec.Dump(&buf); err != nil {
+				t.Fatalf("seed %d: %s dump: %v", seed, name, err)
+			}
+			tr, err := txtrace.ReadTrace(&buf)
+			if err != nil {
+				t.Fatalf("seed %d: %s trace round-trip: %v", seed, name, err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("seed %d: %s trace invalid: %v", seed, name, err)
+			}
+			var fallbacks, recoveries int
+			for _, rd := range tr.Rings {
+				for _, e := range rd.Events {
+					if txtrace.Kind(e.Kind) == txtrace.KindModeShift {
+						if mode.State(e.Arg) == mode.StateSerial {
+							fallbacks++
+						} else {
+							recoveries++
+						}
+					}
+				}
+			}
+			if fallbacks == 0 || recoveries == 0 {
+				t.Fatalf("seed %d: %s forced ladder never oscillated (fallbacks=%d recoveries=%d)",
+					seed, name, fallbacks, recoveries)
+			}
+			rep, err := txcheck.Check(tr)
+			if err != nil {
+				t.Fatalf("seed %d: %s opacity check: %v", seed, name, err)
+			}
+			if !rep.Ok() {
+				for _, v := range rep.Violations {
+					t.Errorf("seed %d: %s ring %q seq %d: %s: %s",
+						seed, name, v.Ring, v.Seq, v.Code, v.Msg)
+				}
+				t.Fatalf("seed %d: %s opacity violated across rung transitions (%d violations)",
+					seed, name, len(rep.Violations))
+			}
+			if !rep.Complete() {
+				t.Fatalf("seed %d: %s verdict partial (dropped=%d) on a drop-free run",
+					seed, name, rep.DroppedEvents)
+			}
+			if rep.TxsChecked == 0 {
+				t.Fatalf("seed %d: %s checker saw no transactions", seed, name)
+			}
+		}
+
+		{
+			rec := txtrace.NewRecorder(1 << 10)
+			rt := stm.New(stm.WithTrace(rec), stm.WithMode(forced))
+			base := rt.Direct().Alloc(diffWords)
+			for _, ops := range prog {
+				ops := ops
+				rt.Atomic(nil, func(tx *stm.Tx) {
+					for _, op := range ops {
+						applyOp(tx, base, op)
+					}
+				})
+			}
+			check("SwissTM", snapshot(rt.Direct(), base), rec)
+		}
+		{
+			rec := txtrace.NewRecorder(1 << 10)
+			rt := tl2.New(16, tl2.WithTrace(rec), tl2.WithMode(forced))
+			base := rt.Direct().Alloc(diffWords)
+			// TL2/write-through hang the ladder controller off the
+			// caller-owned Stats shard; a nil shard runs modeless.
+			st := &tl2.Stats{}
+			for _, ops := range prog {
+				ops := ops
+				rt.Atomic(st, func(tx *tl2.Tx) {
+					for _, op := range ops {
+						applyOp(tx, base, op)
+					}
+				})
+			}
+			check("TL2", snapshot(rt.Direct(), base), rec)
+		}
+		{
+			rec := txtrace.NewRecorder(1 << 10)
+			rt := wtstm.New(16, wtstm.WithTrace(rec), wtstm.WithMode(forced))
+			base := rt.Direct().Alloc(diffWords)
+			st := &wtstm.Stats{}
+			for _, ops := range prog {
+				ops := ops
+				rt.Atomic(st, func(tx *wtstm.Tx) {
+					for _, op := range ops {
+						applyOp(tx, base, op)
+					}
+				})
+			}
+			check("write-through", snapshot(rt.Direct(), base), rec)
+		}
+		for _, split := range []bool{false, true} {
+			rec := txtrace.NewRecorder(1 << 10)
+			cfg := core.Config{SpecDepth: 2, LockTableBits: 14, Trace: rec, Mode: forced}
+			got := runOnTLSTMCfg(prog, split, cfg)
+			check(fmt.Sprintf("TLSTM(split=%v)", split), got, rec)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"tlstm/internal/locktable"
+	"tlstm/internal/mode"
 	"tlstm/internal/sched"
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
@@ -54,6 +55,29 @@ const benchAddrs = 8
 // rings) write-lock entries all recycled, allocs/op must be 0.
 func BenchmarkThreadCommitSmallTx(b *testing.B) {
 	rt := New(Config{SpecDepth: 2})
+	defer rt.Close()
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	body := func(t *Task) { t.Store(a, t.Load(a)+1) }
+	_ = thr.Atomic(body)
+	thr.Sync()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = thr.Atomic(body)
+	}
+	b.StopTimer()
+	thr.Sync()
+}
+
+// BenchmarkThreadCommitSmallTxAdaptive is the same transaction with
+// the execution-mode controller armed (Policy adaptive). The ladder's
+// bookkeeping — attempt escalation checks, the per-commit outcome fold,
+// the window poll — rides the existing counters, so arming it must not
+// cost an allocation: allocs/op stays 0.
+func BenchmarkThreadCommitSmallTxAdaptive(b *testing.B) {
+	rt := New(Config{SpecDepth: 2, Mode: mode.Config{Policy: mode.Adaptive}})
 	defer rt.Close()
 	thr := rt.NewThread()
 	d := rt.Direct()

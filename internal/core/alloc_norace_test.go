@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"tlstm/internal/mode"
 	"tlstm/internal/sched"
 	"tlstm/internal/tm"
 	"tlstm/internal/txtrace"
@@ -131,6 +132,35 @@ func TestWriterTxZeroAllocWarmed(t *testing.T) {
 	}
 	if st := thr.Stats(); st.EntryReclaims == 0 {
 		t.Fatal("EntryReclaims = 0 after a warmed writer run; the zero-alloc floor must come from reclamation, not dead code")
+	}
+}
+
+// TestWriterTxZeroAllocModeArmed repeats the writer floor with the
+// execution-mode controller armed: the adaptive ladder's escalation
+// checks, outcome folds and window polls must ride the existing
+// counters without adding an allocation to the commit path.
+func TestWriterTxZeroAllocModeArmed(t *testing.T) {
+	rt := New(Config{SpecDepth: 2, Mode: mode.Config{Policy: mode.Adaptive}})
+	defer rt.Close()
+	thr := rt.NewThread()
+	d := rt.Direct()
+	a := d.Alloc(1)
+	body := func(tk *Task) { tk.Store(a, tk.Load(a)+1) }
+	for i := 0; i < 2*rt.SpecDepth(); i++ {
+		_ = thr.Atomic(body)
+	}
+	thr.Sync()
+	got := testing.AllocsPerRun(200, func() {
+		if err := thr.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	thr.Sync()
+	if got != 0 {
+		t.Fatalf("armed-controller single-write Atomic allocates %.1f objects/op, want 0", got)
+	}
+	if st := thr.Stats(); st.ModeFallbacks != 0 {
+		t.Fatalf("uncontended run must not fall back: %+v", st)
 	}
 }
 

@@ -3,9 +3,11 @@ package core
 import (
 	"runtime"
 	"time"
+	"unsafe"
 
 	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
+	"tlstm/internal/mode"
 	"tlstm/internal/txlog"
 	"tlstm/internal/txstats"
 	"tlstm/internal/txtrace"
@@ -218,6 +220,21 @@ func (t *Task) commitTransaction() {
 		}
 	}
 
+	// Ring the Retry doorbells of waiters whose read sets intersect this
+	// commit's writes — after the versions above are published, so a
+	// woken waiter revalidates against post-commit state. One atomic
+	// load when nobody waits; the entries are still live (retirement
+	// happens in finishCommit).
+	if hub := rt.hub; hub.Active() {
+		var fp mode.Fingerprint
+		for _, task := range tx.tasks {
+			for _, e := range task.writeLog.Entries() {
+				fp = mode.FPAdd(fp, uintptr(unsafe.Pointer(e.Pair)))
+			}
+		}
+		hub.Notify(fp)
+	}
+
 	t.finishCommit(ts, true)
 }
 
@@ -315,8 +332,20 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 	thr.stats.RestartExtend += tx.restartKind[restartExtend].Load()
 	thr.stats.RestartCM += tx.restartKind[restartCM].Load()
 	thr.stats.RestartSandbox += tx.restartKind[restartSandbox].Load()
+	thr.stats.RestartRetry += tx.restartKind[restartRetry].Load()
 	thr.stats.Work += work
 	thr.stats.VirtualTime += finish
+
+	// Execution-mode ladder signals: finishCommit runs on a worker while
+	// the controller is submitter-owned, so the outcome flows through
+	// the thread's signal atomics and the submitter folds the deltas
+	// into its controller at the next submission boundary.
+	thr.ctlCommits.Add(1)
+	// Aborts fold at abort time (cleanupTx), so a storm registers while
+	// it is happening; only the commit and defeat outcomes fold here.
+	if tx.cmDefeats.Load() > 0 {
+		thr.ctlDefeats.Add(1)
+	}
 
 	// Clock- and contention-probe counters fold (and clear) per task
 	// under the same serialization that protects workAcc: intermediate
@@ -362,6 +391,8 @@ func (t *Task) finishCommit(ts uint64, writeTx bool) {
 		// completedTask store below).
 		thr.stats.RestartLatency.Merge(task.restartLat)
 		task.restartLat = txstats.Hist{}
+		thr.stats.RetryWakes += task.retryWakes
+		task.retryWakes = 0
 		cm.Committed(thr.rt.cm, &task.cmSelf)
 	}
 	thr.stats.CommitLatency.Observe(int(time.Since(t.attemptStart)))

@@ -31,6 +31,7 @@ import (
 	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
 	"tlstm/internal/mem"
+	"tlstm/internal/mode"
 	"tlstm/internal/sched"
 	"tlstm/internal/txlog"
 	"tlstm/internal/txstats"
@@ -112,6 +113,14 @@ type Config struct {
 	// commits, entry reclaims). nil keeps tracing off — the default
 	// no-op tracer compiles to a dead branch on the hot paths.
 	Trace *txtrace.Recorder
+	// Mode configures the execution-mode ladder (internal/mode): under
+	// the adaptive policy each thread starts transactions in the
+	// cheapest viable mode (inline sequential at SpecDepth 1, pooled
+	// speculative otherwise) and falls back to a serialized global-lock
+	// rung when its commit window turns abort-heavy, recovering after a
+	// clean serialized window. The zero value keeps the ladder disarmed
+	// (always speculative).
+	Mode mode.Config
 }
 
 func (c *Config) fill() {
@@ -131,6 +140,7 @@ func (c *Config) fill() {
 			c.CM = cm.New(cm.KindTaskAware)
 		}
 	}
+	c.Mode = c.Mode.Fill()
 }
 
 // Runtime is one TLSTM instance. Independent Runtimes are fully isolated.
@@ -158,6 +168,14 @@ type Runtime struct {
 	// the affinity policy, rebinds it toward where the thread's
 	// conflicts concentrate (finishCommit's remap step).
 	placement sched.Placement
+
+	// modeCfg/gate/hub are the execution-mode ladder (Config.Mode): the
+	// gate serializes fallback entrants while speculative threads keep
+	// running (their conflict ride-out loops yield to it), and the hub
+	// parks Retry waiters until a conflicting commit rings them.
+	modeCfg mode.Config
+	gate    mode.Gate
+	hub     *mode.WaitHub
 
 	specDepth    int
 	policy       sched.Policy
@@ -188,6 +206,8 @@ func New(cfg Config) *Runtime {
 		}),
 		clk:          cfg.Clock,
 		cm:           cfg.CM,
+		modeCfg:      cfg.Mode,
+		hub:          mode.NewWaitHub(),
 		specDepth:    cfg.SpecDepth,
 		policy:       cfg.Policy,
 		reclaimRing:  cfg.ReclaimRing,
@@ -259,6 +279,10 @@ func (rt *Runtime) ClockName() string { return rt.clk.Name() }
 // CMName reports the contention-management policy this runtime uses.
 func (rt *Runtime) CMName() string { return rt.cm.Name() }
 
+// ModeName reports the execution-mode policy this runtime's threads
+// ladder under.
+func (rt *Runtime) ModeName() string { return rt.modeCfg.Policy.String() }
+
 // Stats returns the runtime-global statistics aggregate: the sum of
 // every per-thread shard merged so far (threads merge at Sync).
 func (rt *Runtime) Stats() Stats { return rt.stats.Snapshot() }
@@ -287,8 +311,16 @@ func (rt *Runtime) NewThread() *Thread {
 		slots:  make([]atomic.Pointer[Task], rt.specDepth),
 		ring:   make([]*Task, rt.specDepth),
 		txRing: make([]*txState, rt.specDepth),
+		ctl:    mode.NewController(rt.modeCfg),
 	}
 	thr.homeShard.Store(int32(rt.placement.Home(int(id))))
+	thr.tr = txtrace.Nop
+	if rt.trace != nil {
+		// Mode-ladder transitions happen on the submitting goroutine,
+		// never on a task's worker, so they get their own ring.
+		thr.tr = rt.trace.NewRing(fmt.Sprintf("core-thr%d-mode", id))
+		thr.traced = true
+	}
 	for i := range thr.ring {
 		t := &Task{thr: thr, waitBeforeRestart: -1}
 		// The per-context owner-header fields are wired once for the

@@ -23,7 +23,7 @@ func TestRestartKindsSumToTotal(t *testing.T) {
 	}
 	thr.Sync()
 	st := thr.Stats()
-	sum := st.RestartWAR + st.RestartWAW + st.RestartExtend + st.RestartCM + st.RestartSandbox
+	sum := st.RestartWAR + st.RestartWAW + st.RestartExtend + st.RestartCM + st.RestartSandbox + st.RestartRetry
 	if sum != st.TaskRestarts {
 		t.Fatalf("kind sum %d != TaskRestarts %d", sum, st.TaskRestarts)
 	}
@@ -57,7 +57,7 @@ func TestRestartKindWARAttribution(t *testing.T) {
 	}
 	// Some runs may schedule task 2 after task 1 every time (no WAR),
 	// so only check attribution consistency, not a minimum count.
-	sum := total.RestartWAR + total.RestartWAW + total.RestartExtend + total.RestartCM + total.RestartSandbox
+	sum := total.RestartWAR + total.RestartWAW + total.RestartExtend + total.RestartCM + total.RestartSandbox + total.RestartRetry
 	if sum != total.TaskRestarts {
 		t.Fatalf("kind sum %d != TaskRestarts %d (%+v)", sum, total.TaskRestarts, total)
 	}

@@ -5,10 +5,12 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
+	"tlstm/internal/mode"
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
 	"tlstm/internal/txstats"
@@ -148,6 +150,17 @@ type Task struct {
 	// serialization that protects workAcc).
 	attemptStart time.Time
 	restartLat   txstats.Hist
+
+	// Retry/Wait cond-var state: Retry subscribes the waiter on the
+	// attempt's read-set fingerprint and sets parkPending; the next
+	// attempt parks on the doorbell before re-executing (after the
+	// rollback released the attempt's locks). retryWakes accumulates
+	// doorbell wakes across the incarnation and folds in finishCommit
+	// like the probes.
+	waiter      mode.Waiter
+	parkPending bool
+	parkFP      mode.Fingerprint
+	retryWakes  uint64
 }
 
 // Read entries are txlog.ReadEntry at lock-pair granularity (SwissTM's
@@ -286,6 +299,9 @@ func (t *Task) attempt() (restart bool) {
 		panic(r)
 	}()
 
+	if t.parkPending {
+		t.parkRetry()
+	}
 	t.preRestartWait()
 	t.begin()
 	t.fn(t)
@@ -435,6 +451,7 @@ const (
 	restartExtend
 	restartCM
 	restartSandbox
+	restartRetry
 	numRestartKinds
 )
 
@@ -447,6 +464,7 @@ var restartAbortCode = [numRestartKinds]uint32{
 	restartExtend:  txtrace.AbortExtend,
 	restartCM:      txtrace.AbortCM,
 	restartSandbox: txtrace.AbortSpec,
+	restartRetry:   txtrace.AbortRetry,
 }
 
 // noteConflict attributes one conflict to the lock-table shard of the
@@ -864,6 +882,22 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 			case cm.AbortOwner:
 				e.Owner.AbortTx.Load().Store(true)
 			}
+			// A serialized-fallback entrant is draining: riding the
+			// conflict out here can deadlock — the entrant waits for
+			// in-flight speculation to finish while this wait loop may
+			// (transitively) depend on a lock the gated transaction will
+			// only take once inside. Abort the whole transaction, not
+			// just the task: a task restart cannot release locks held by
+			// this transaction's sibling tasks, and those are exactly
+			// what the entrant can be stuck behind. Transactions already
+			// under the gate are exempt.
+			if gatePendingBreak && !t.tx.inSerial && t.thr.rt.gate.Pending() {
+				t.noteConflict(a)
+				if t.traced {
+					t.tr.Record(txtrace.KindAbort, t.validTS, uint64(ser), txtrace.AbortCM)
+				}
+				t.abortOwnTx()
+			}
 			// AbortOwner and Wait both ride the conflict out for a
 			// round; waiting on another thread's lock costs parallel
 			// time (about one quantum of owner progress per round).
@@ -920,6 +954,101 @@ func (t *Task) Store(a tm.Addr, v uint64) {
 // its retirement serial.
 func (t *Task) newEntry(p *locktable.Pair, a tm.Addr, v uint64, ser int64) *locktable.WEntry {
 	return t.writeLog.NewEntryAt(&t.ownerRef, ser, p, a, v, t.thr.txDone.Seq())
+}
+
+// gatePendingBreak arms the wait-loop break above. It exists as a
+// package variable only so the directed deadlock regression
+// (gate_test.go) can verify the break is load-bearing by disarming it;
+// it is never cleared in production.
+var gatePendingBreak = true
+
+// Retry implements the transactional cond-var wait: the caller's
+// predicate over its reads failed, so abandon the attempt and block
+// until a conflicting commit changes something the attempt read. The
+// task subscribes a fingerprint over its read-set's lock pairs, then
+// revalidates — if the reads are already stale the wake may have
+// happened before the subscription, so the re-execution proceeds
+// immediately; otherwise the next attempt parks on the doorbell first
+// (after this attempt's rollback has released its locks and, under the
+// serialized rung, the gate).
+//
+// Only a single-task transaction may park: a parked intermediate task
+// would strand the locks its sibling tasks hold (and cannot observe the
+// abort signals that resolve such stand-offs). Multi-task transactions
+// therefore respin with exponential backoff instead — the predicate is
+// re-checked from scratch each round.
+func (t *Task) Retry() {
+	if t.mvActive {
+		// Wait-free reads are unlogged: there is no read set to
+		// fingerprint or revalidate. Re-execute validated.
+		t.mvFallback()
+	}
+	tx := t.tx
+	if tx.startSerial != tx.commitSerial {
+		cfg := &t.thr.rt.modeCfg
+		if t.backoff == 0 {
+			t.backoff = cfg.SpinInit
+		} else if t.backoff < cfg.SpinCell {
+			t.backoff *= cfg.SpinFactor
+			if t.backoff > cfg.SpinCell {
+				t.backoff = cfg.SpinCell
+			}
+		}
+		t.rollbackTask(restartRetry)
+	}
+	var fp mode.Fingerprint
+	for _, re := range t.readLog.Entries() {
+		fp = mode.FPAdd(fp, uintptr(unsafe.Pointer(re.Pair)))
+	}
+	if fp != 0 {
+		hub := t.thr.rt.hub
+		hub.Subscribe(&t.waiter, fp)
+		valid := true
+		for _, re := range t.readLog.Entries() {
+			if re.Version == noVersion {
+				continue
+			}
+			if re.Pair.R.Load() != re.Version {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			t.parkPending = true
+			t.parkFP = fp
+		} else {
+			hub.Unsubscribe(&t.waiter)
+		}
+	}
+	t.rollbackTask(restartRetry)
+}
+
+// parkRetry blocks the task on its Retry doorbell until a conflicting
+// commit rings it (see Retry). Under the serialized rung the gate is
+// released across the park — holding it would stall every other
+// fallback entrant behind a predicate only a speculative committer can
+// change — and retaken before the re-execution. Cross-goroutine
+// Exit/Enter is sound: the gate's mutex is not owner-tracked, and the
+// submitting goroutine is itself blocked on this transaction's latch
+// for the whole window.
+func (t *Task) parkRetry() {
+	t.parkPending = false
+	if t.traced {
+		t.tr.Record(txtrace.KindRetryPark, t.thr.rt.clk.Now(), uint64(t.parkFP), 0)
+	}
+	gated := t.tx.inSerial
+	if gated {
+		t.thr.rt.gate.Exit()
+	}
+	t.waiter.Park()
+	t.thr.rt.hub.Unsubscribe(&t.waiter)
+	if gated {
+		t.thr.rt.gate.Enter()
+	}
+	t.retryWakes++
+	if t.traced {
+		t.tr.Record(txtrace.KindRetryPark, t.thr.rt.clk.Now(), uint64(t.parkFP), 1)
+	}
 }
 
 // Alloc implements tm.Tx; the block is reclaimed if the attempt aborts.

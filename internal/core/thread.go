@@ -5,9 +5,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tlstm/internal/mode"
 	"tlstm/internal/sched"
 	"tlstm/internal/txlog"
 	"tlstm/internal/txstats"
+	"tlstm/internal/txtrace"
 )
 
 // Thread is one user-thread: a serial stream of user-transactions, each
@@ -80,6 +82,7 @@ type Thread struct {
 	chainMu sync.Mutex
 
 	nextSerial int64 // owned by the submitting goroutine
+	inlineRuns int64 // inline-rung executions (submitter-owned; see submit)
 
 	// homeShard is the thread's current home lock-table shard under the
 	// runtime's placement policy. Tasks read it from their workers while
@@ -106,6 +109,24 @@ type Thread struct {
 	// thread (see stats above), so one scratch per thread suffices and
 	// writer commits allocate nothing at steady state.
 	commitScratch txlog.CommitScratch
+
+	// ctl is the thread's execution-mode ladder controller
+	// (Config.Mode), owned by the submitting goroutine. Its signals
+	// arrive through the atomics below: finishCommit runs on a worker,
+	// so it bumps ctlCommits/ctlAborts/ctlDefeats there, and submit
+	// feeds the controller the deltas against the seen* snapshots
+	// (submitter-owned) at each submission boundary.
+	ctl                                  mode.Controller
+	ctlCommits                           atomic.Uint64
+	ctlAborts                            atomic.Uint64
+	ctlDefeats                           atomic.Uint64
+	seenCommits, seenAborts, seenDefeats uint64
+
+	// tr records the thread-level ladder events (KindModeShift) on a
+	// dedicated ring: mode shifts happen on the submitting goroutine,
+	// not on any task's worker, so they must not share a task ring.
+	tr     txtrace.Tracer
+	traced bool
 }
 
 // ID reports the thread's identifier within its runtime.
@@ -185,12 +206,28 @@ func (thr *Thread) submit(ro bool, fns ...TaskFunc) (TxHandle, error) {
 	tx := thr.txRing[thr.txSeq%depth]
 	thr.txSeq++
 	for tx.live.Load() != 0 {
+		// The previous incarnation is stuck re-aborting under a storm:
+		// keep feeding the controller while we stall, so the fallback
+		// decision below is made on the storm's live signals rather than
+		// whatever was known when the stall started.
+		if thr.ctl.Armed() {
+			thr.pollMode()
+		}
 		runtime.Gosched()
 	}
+
+	// Execution-mode ladder (Config.Mode): fold the outcome signals
+	// accumulated by finishCommit/cleanupTx since the last submission
+	// into the controller, then pick this transaction's rung.
+	if thr.ctl.Armed() {
+		thr.pollMode()
+	}
+	serial := thr.ctl.Serial()
 
 	tx.startSerial = start
 	tx.commitSerial = commit
 	tx.readOnly = ro
+	tx.inSerial = serial
 	tx.mvOff.Store(false)
 	tx.snapshot.Store(mvSnapUnset)
 	tx.gen = 0
@@ -216,6 +253,32 @@ func (thr *Thread) submit(ro bool, fns ...TaskFunc) (TxHandle, error) {
 		tx.tasks = append(tx.tasks, thr.ring[(start+int64(i))%depth])
 	}
 
+	if serial {
+		// Serialized-fallback rung: drain this thread's own in-flight
+		// speculation first (no mixed-mode commits — every transaction
+		// of this thread either finished before the gate was taken or
+		// runs entirely under it), then hold the global gate across the
+		// whole transaction. The tasks still run the unchanged
+		// speculative protocol, so opacity is untouched; the gate only
+		// removes the concurrent fallback entrants it would conflict
+		// with, and other threads' optimists yield to Pending() instead
+		// of riding conflicts out against us.
+		for i := range thr.slots {
+			thr.pool.WaitIdle(i)
+		}
+		thr.rt.gate.Enter()
+	}
+
+	// Inline rung: at SpecDepth 1 with the ladder armed, a single-task
+	// speculative transaction runs on the submitting goroutine itself —
+	// the cheapest viable mode, no worker handoff or wakeup. The
+	// WaitIdle in the arm loop makes the submitter the descriptor's
+	// owner, so executing it here keeps every per-descriptor structure
+	// (logs, free ring, trace ring) single-owner; the slot simply stays
+	// idle for the next occupant.
+	inline := !serial && thr.depth == 1 && len(fns) == 1 &&
+		thr.rt.policy == sched.Pooled && thr.ctl.Armed()
+
 	for i, fn := range fns {
 		serial := start + int64(i)
 		s := int(serial % depth)
@@ -225,9 +288,10 @@ func (thr *Thread) submit(ro bool, fns ...TaskFunc) (TxHandle, error) {
 		// scheduler's idle state is the retirement signal; once it is
 		// observed the submitter owns the descriptor.
 		thr.pool.WaitIdle(s)
-		if thr.pool.Generation(s) > 0 {
+		if thr.pool.Generation(s) > 0 || thr.inlineRuns > 0 {
 			// The scheduler's generation stamp is the source of truth
 			// for descriptor reuse: any slot armed before is recycled.
+			// Inline runs bypass Arm, so they are counted separately.
 			thr.stats.DescriptorReuses++
 		}
 		t := thr.ring[s]
@@ -251,11 +315,49 @@ func (thr *Thread) submit(ro bool, fns ...TaskFunc) (TxHandle, error) {
 		t.cmSelf.Start = start
 		thr.slots[s].Store(t)
 		tx.armed.Add(1)
-		if thr.pool.Arm(s) {
+		if inline {
+			thr.inlineRuns++
+			thr.runSlot(s)
+		} else if thr.pool.Arm(s) {
 			thr.stats.WorkersSpawned++
 		}
 	}
+	if serial {
+		thr.txDone.Wait(commit)
+		thr.rt.gate.Exit()
+	}
 	return TxHandle{thr: thr, commit: commit}, nil
+}
+
+// pollMode feeds the mode controller the commit/abort/defeat deltas
+// since the last submission and folds any rung transition into the
+// thread's stats shard (ModeFallbacks/ModeRecoveries are
+// submitter-written fields, disjoint from finishCommit's — see the
+// Stats contract above).
+func (thr *Thread) pollMode() {
+	c := thr.ctlCommits.Load()
+	a := thr.ctlAborts.Load()
+	d := thr.ctlDefeats.Load()
+	dc, da, dd := c-thr.seenCommits, a-thr.seenAborts, d-thr.seenDefeats
+	if dc == 0 && da == 0 && dd == 0 {
+		return
+	}
+	thr.seenCommits, thr.seenAborts, thr.seenDefeats = c, a, d
+	fell, recovered := thr.ctl.OnWindow(dc, da, dd)
+	if fell {
+		thr.stats.ModeFallbacks++
+		if thr.traced {
+			thr.tr.Record(txtrace.KindModeShift, thr.rt.clk.Now(),
+				uint64(mode.StateSerial), uint32(mode.StateSpec))
+		}
+	}
+	if recovered {
+		thr.stats.ModeRecoveries++
+		if thr.traced {
+			thr.tr.Record(txtrace.KindModeShift, thr.rt.clk.Now(),
+				uint64(mode.StateSpec), uint32(mode.StateSerial))
+		}
+	}
 }
 
 // Atomic runs one user-transaction decomposed into the given tasks and
@@ -322,12 +424,16 @@ type Stats struct {
 	//   RestartExtend  — failed snapshot extensions (inter-thread read invalidation);
 	//   RestartCM      — inter-thread contention-manager defeats;
 	//   RestartSandbox — panics converted to restarts by the
-	//                    inconsistent-read sandbox.
+	//                    inconsistent-read sandbox;
+	//   RestartRetry   — Tx.Retry unwinds (cond-var waits; the restart
+	//                    re-executes the task after its predicate may
+	//                    have changed).
 	RestartWAR     uint64
 	RestartWAW     uint64
 	RestartExtend  uint64
 	RestartCM      uint64
 	RestartSandbox uint64
+	RestartRetry   uint64
 	// Work is the total work in abstract units across all attempts,
 	// including aborted ones.
 	Work uint64
@@ -400,6 +506,13 @@ type Stats struct {
 	RestartLatency txstats.Hist
 	CommitLatency  txstats.Hist
 	Attempts       txstats.Hist
+	// ModeFallbacks counts speculative→serialized ladder transitions
+	// (adaptive policy only); ModeRecoveries the serialized→speculative
+	// returns after a served residency. RetryWakes counts Retry parks
+	// that were woken by a conflicting commit's doorbell.
+	ModeFallbacks  uint64
+	ModeRecoveries uint64
+	RetryWakes     uint64
 }
 
 // Add folds o into s.
@@ -412,6 +525,7 @@ func (s *Stats) Add(o Stats) {
 	s.RestartExtend += o.RestartExtend
 	s.RestartCM += o.RestartCM
 	s.RestartSandbox += o.RestartSandbox
+	s.RestartRetry += o.RestartRetry
 	s.Work += o.Work
 	s.VirtualTime += o.VirtualTime
 	s.WorkersSpawned += o.WorkersSpawned
@@ -433,6 +547,9 @@ func (s *Stats) Add(o Stats) {
 	s.RestartLatency.Merge(o.RestartLatency)
 	s.CommitLatency.Merge(o.CommitLatency)
 	s.Attempts.Merge(o.Attempts)
+	s.ModeFallbacks += o.ModeFallbacks
+	s.ModeRecoveries += o.ModeRecoveries
+	s.RetryWakes += o.RetryWakes
 }
 
 // minus returns the fieldwise difference s−o. It is only meaningful
@@ -448,6 +565,7 @@ func (s Stats) minus(o Stats) Stats {
 		RestartExtend:       s.RestartExtend - o.RestartExtend,
 		RestartCM:           s.RestartCM - o.RestartCM,
 		RestartSandbox:      s.RestartSandbox - o.RestartSandbox,
+		RestartRetry:        s.RestartRetry - o.RestartRetry,
 		Work:                s.Work - o.Work,
 		VirtualTime:         s.VirtualTime - o.VirtualTime,
 		WorkersSpawned:      s.WorkersSpawned - o.WorkersSpawned,
@@ -469,6 +587,9 @@ func (s Stats) minus(o Stats) Stats {
 		RestartLatency:      s.RestartLatency.Minus(o.RestartLatency),
 		CommitLatency:       s.CommitLatency.Minus(o.CommitLatency),
 		Attempts:            s.Attempts.Minus(o.Attempts),
+		ModeFallbacks:       s.ModeFallbacks - o.ModeFallbacks,
+		ModeRecoveries:      s.ModeRecoveries - o.ModeRecoveries,
+		RetryWakes:          s.RetryWakes - o.RetryWakes,
 	}
 }
 
@@ -516,6 +637,14 @@ type txState struct {
 	// to their slots. The decrement in Task.run is each task's final
 	// access to this state; Submit reuses the descriptor only at zero.
 	live atomic.Int32
+
+	// inSerial marks a transaction running under the serialized-fallback
+	// gate (submit holds the gate across its whole lifetime). Tasks read
+	// it to exempt themselves from the gate-yield break in conflict
+	// ride-out loops and to release the gate across a Retry park. Plain
+	// field: written by submit before arming, read by this transaction's
+	// own tasks after the arm that published the descriptor.
+	inSerial bool
 
 	// Multi-version read-only state (SubmitRO with Config.MVDepth > 0).
 	// readOnly is the caller's declaration, set by submit. snapshot is

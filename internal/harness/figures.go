@@ -6,6 +6,7 @@ import (
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
 	"tlstm/internal/core"
+	"tlstm/internal/mode"
 	"tlstm/internal/rbtree"
 	"tlstm/internal/sb7"
 	"tlstm/internal/stm"
@@ -49,6 +50,10 @@ type Scale struct {
 	// the static round-robin one (cmd/tlstm-bench -affinity); it only
 	// matters with Shards > 1.
 	Affinity bool
+	// Mode is the execution-mode ladder config every runtime in the
+	// figures is built with (cmd/tlstm-bench -mode); the zero value is
+	// always-speculative.
+	Mode mode.Config
 }
 
 // DefaultScale is used by the CLI and benches.
@@ -62,14 +67,16 @@ func QuickScale() Scale { return Scale{Fig1aTx: 40, Fig1bTx: 8, SB7Tx: 4} }
 func (sc Scale) newSTM() *stm.Runtime {
 	return stm.New(stm.WithClock(clock.New(sc.Clock)), stm.WithCM(cm.New(sc.CM)),
 		stm.WithMultiVersion(sc.MV), stm.WithTrace(sc.Trace),
-		stm.WithShards(sc.Shards), stm.WithAffinity(sc.Affinity))
+		stm.WithShards(sc.Shards), stm.WithAffinity(sc.Affinity),
+		stm.WithMode(sc.Mode))
 }
 
 // newTLSTM builds a TLSTM runtime with the configured clock strategy
 // and contention-management policy.
 func (sc Scale) newTLSTM(depth int) *core.Runtime {
 	return core.New(core.Config{SpecDepth: depth, Clock: clock.New(sc.Clock), CM: cm.New(sc.CM),
-		MVDepth: sc.MV, Trace: sc.Trace, Shards: sc.Shards, Affinity: sc.Affinity})
+		MVDepth: sc.MV, Trace: sc.Trace, Shards: sc.Shards, Affinity: sc.Affinity,
+		Mode: sc.Mode})
 }
 
 func mix64(x uint64) uint64 {

@@ -24,6 +24,7 @@ import (
 	"tlstm/internal/cm"
 	"tlstm/internal/core"
 	"tlstm/internal/locktable"
+	"tlstm/internal/mode"
 	"tlstm/internal/sched"
 	"tlstm/internal/stm"
 	"tlstm/internal/tl2"
@@ -145,6 +146,15 @@ type Result struct {
 	RestartLatency txstats.Hist
 	CommitLatency  txstats.Hist
 	Attempts       txstats.Hist
+	// Mode is the run's execution-mode policy ("spec", "adaptive",
+	// "serial"); ModeFallbacks counts speculative→serialized ladder
+	// transitions, ModeRecoveries the returns to speculation, and
+	// RetryWakes the Retry parks woken by a conflicting commit. Folded
+	// from the per-thread stats shards.
+	Mode           string
+	ModeFallbacks  uint64
+	ModeRecoveries uint64
+	RetryWakes     uint64
 }
 
 // Throughput reports application operations per 1000 virtual work units
@@ -189,6 +199,11 @@ func (r Result) String() string {
 		if r.RestartLatency.Total() > 0 {
 			s += fmt.Sprintf(" restartLat[%s]", r.RestartLatency)
 		}
+	}
+	if (r.Mode != "" && r.Mode != mode.Speculative.String()) ||
+		r.ModeFallbacks > 0 || r.ModeRecoveries > 0 || r.RetryWakes > 0 {
+		s += fmt.Sprintf(" mode=%-8s fallback=%-4d recover=%-4d retryWake=%d",
+			r.Mode, r.ModeFallbacks, r.ModeRecoveries, r.RetryWakes)
 	}
 	return s
 }
@@ -252,6 +267,9 @@ func RunSTM(rt *stm.Runtime, w Workload) Result {
 		res.HorizonStalls += st.HorizonStalls
 		res.MVReads += st.MVReads
 		res.MVMisses += st.MVMisses
+		res.ModeFallbacks += st.ModeFallbacks
+		res.ModeRecoveries += st.ModeRecoveries
+		res.RetryWakes += st.RetryWakes
 		res.ReadSets.Merge(st.ReadSetSizes)
 		res.WriteSets.Merge(st.WriteSetSizes)
 		res.RestartLatency.Merge(st.RestartLatency)
@@ -275,6 +293,7 @@ type flatStats struct {
 	readSets, writeSets                             txstats.Hist
 	restartLat, commitLat, attempts                 txstats.Hist
 	crossShardConflicts, remaps                     uint64
+	modeFallbacks, modeRecoveries, retryWakes       uint64
 }
 
 // runFlat drives a flat-transaction runtime: one goroutine per thread,
@@ -333,6 +352,9 @@ func runFlat[S any](w Workload, clockName, cmName string, mvDepth, shards int, p
 		res.HorizonStalls += st.horizonStalls
 		res.MVReads += st.mvReads
 		res.MVMisses += st.mvMisses
+		res.ModeFallbacks += st.modeFallbacks
+		res.ModeRecoveries += st.modeRecoveries
+		res.RetryWakes += st.retryWakes
 		res.ReadSets.Merge(st.readSets)
 		res.WriteSets.Merge(st.writeSets)
 		res.RestartLatency.Merge(st.restartLat)
@@ -360,7 +382,8 @@ func RunTL2(rt *tl2.Runtime, w Workload) Result {
 				st.EntryReclaims, st.HorizonStalls,
 				st.MVReads, st.MVMisses, st.ReadSetSizes, st.WriteSetSizes,
 				st.RestartLatency, st.CommitLatency, st.Attempts,
-				st.CrossShardConflicts, st.Remaps}
+				st.CrossShardConflicts, st.Remaps,
+				st.ModeFallbacks, st.ModeRecoveries, st.RetryWakes}
 		})
 }
 
@@ -379,7 +402,8 @@ func RunWTSTM(rt *wtstm.Runtime, w Workload) Result {
 				st.EntryReclaims, st.HorizonStalls,
 				st.MVReads, st.MVMisses, st.ReadSetSizes, st.WriteSetSizes,
 				st.RestartLatency, st.CommitLatency, st.Attempts,
-				st.CrossShardConflicts, st.Remaps}
+				st.CrossShardConflicts, st.Remaps,
+				st.ModeFallbacks, st.ModeRecoveries, st.RetryWakes}
 		})
 }
 
@@ -448,6 +472,9 @@ func RunTLSTM(rt *core.Runtime, w Workload) Result {
 		res.HorizonStalls += st.HorizonStalls
 		res.MVReads += st.MVReads
 		res.MVMisses += st.MVMisses
+		res.ModeFallbacks += st.ModeFallbacks
+		res.ModeRecoveries += st.ModeRecoveries
+		res.RetryWakes += st.RetryWakes
 		res.ReadSets.Merge(st.ReadSetSizes)
 		res.WriteSets.Merge(st.WriteSetSizes)
 		res.RestartLatency.Merge(st.RestartLatency)
@@ -669,6 +696,56 @@ func CompareCM(threads, txPerThread int) []Result {
 			base := rt.Direct().Alloc(cmSweepAlloc(threads))
 			w := cmSweepWorkload("TLSTM/"+kind.String(), base, threads, txPerThread)
 			out = append(out, RunTLSTM(rt, w))
+			checkCMSweep(rt.Direct().Load, base, threads, txPerThread)
+			rt.Close()
+		}
+	}
+	return out
+}
+
+// CompareModes runs the CompareCM conflict storm (karma contention
+// management, one hot word) on all four runtimes under each execution
+// mode policy — always-speculative, the adaptive ladder, and
+// always-serialized — and reports throughput, abort rate and the
+// ladder's fallback/recovery counters per policy. The storm is exactly
+// the workload the serialized rung exists for, so the sweep measures
+// what fallback buys (and what the serial rung costs when contention is
+// absent the ladder still pays nothing: it only engages on pressure).
+// Each run's end state is invariant-checked.
+func CompareModes(threads, txPerThread int) []Result {
+	var out []Result
+	tag := func(r Result, pol mode.Policy) Result {
+		r.Mode = pol.String()
+		return r
+	}
+	for _, pol := range mode.Policies() {
+		mc := mode.Config{Policy: pol}
+		{
+			rt := stm.New(stm.WithCM(cm.New(cm.KindKarma)), stm.WithMode(mc))
+			base := rt.Direct().Alloc(cmSweepAlloc(threads))
+			w := cmSweepWorkload("SwissTM/"+pol.String(), base, threads, txPerThread)
+			out = append(out, tag(RunSTM(rt, w), pol))
+			checkCMSweep(rt.Direct().Load, base, threads, txPerThread)
+		}
+		{
+			rt := tl2.New(20, tl2.WithCM(cm.New(cm.KindKarma)), tl2.WithMode(mc))
+			base := rt.Direct().Alloc(cmSweepAlloc(threads))
+			w := cmSweepWorkload("TL2/"+pol.String(), base, threads, txPerThread)
+			out = append(out, tag(RunTL2(rt, w), pol))
+			checkCMSweep(rt.Direct().Load, base, threads, txPerThread)
+		}
+		{
+			rt := wtstm.New(20, wtstm.WithCM(cm.New(cm.KindKarma)), wtstm.WithMode(mc))
+			base := rt.Direct().Alloc(cmSweepAlloc(threads))
+			w := cmSweepWorkload("wtstm/"+pol.String(), base, threads, txPerThread)
+			out = append(out, tag(RunWTSTM(rt, w), pol))
+			checkCMSweep(rt.Direct().Load, base, threads, txPerThread)
+		}
+		{
+			rt := core.New(core.Config{SpecDepth: 1, CM: cm.New(cm.KindKarma), Mode: mc})
+			base := rt.Direct().Alloc(cmSweepAlloc(threads))
+			w := cmSweepWorkload("TLSTM/"+pol.String(), base, threads, txPerThread)
+			out = append(out, tag(RunTLSTM(rt, w), pol))
 			checkCMSweep(rt.Direct().Load, base, threads, txPerThread)
 			rt.Close()
 		}

@@ -9,6 +9,7 @@ import (
 	"tlstm/internal/cm"
 	"tlstm/internal/core"
 	"tlstm/internal/locktable"
+	"tlstm/internal/mode"
 	"tlstm/internal/sb7"
 	"tlstm/internal/stm"
 	"tlstm/internal/tl2"
@@ -166,6 +167,34 @@ func TestCompareCMMatrix(t *testing.T) {
 	}
 	if decisions == 0 && spins == 0 {
 		t.Fatal("sweep produced no contention-manager activity: the workload is not contended")
+	}
+}
+
+// CompareModes must cover the full policy × runtime matrix, commit
+// everything (the sweep invariant-checks its own end state), label each
+// run with its mode policy, and the adaptive rows must keep the ladder
+// counters wired through: the per-policy Mode label is what the report
+// keys on.
+func TestCompareModesMatrix(t *testing.T) {
+	rs := CompareModes(2, 150)
+	if want := len(mode.Policies()) * 4; len(rs) != want {
+		t.Fatalf("CompareModes returned %d results, want %d (%d policies × 4 runtimes)", len(rs), want, len(mode.Policies()))
+	}
+	labels := map[string]bool{}
+	for _, r := range rs {
+		if labels[r.Label] {
+			t.Fatalf("duplicate label %q", r.Label)
+		}
+		labels[r.Label] = true
+		if r.TxCommitted == 0 {
+			t.Fatalf("%s committed nothing", r.Label)
+		}
+		if r.Mode == "" {
+			t.Fatalf("%s has no mode label", r.Label)
+		}
+		if !strings.HasSuffix(r.Label, "/"+r.Mode) {
+			t.Fatalf("label %q does not carry its mode %q", r.Label, r.Mode)
+		}
 	}
 }
 

@@ -1,0 +1,508 @@
+// Package mode is the execution-mode ladder of the runtime: a
+// per-thread controller that starts transactions in the cheapest viable
+// mode and moves between modes from live contention signals, plus the
+// serialized-fallback gate and the Retry/Wait registry the runtimes
+// share.
+//
+// The ladder ports the aahtm exemplar's production answer to
+// pathological conflict storms (SNIPPETS.md 1-2): speculate a bounded
+// number of tries with tuned backoff, then fall to a global lock, and
+// probe back to speculation once the storm passes. "On the Cost of
+// Concurrency in Transactional Memory" formalizes the regime where this
+// wins: under sustained write/write storms an optimistic runtime burns
+// unbounded work on aborted attempts while a single lock makes linear
+// progress.
+//
+// Three pieces, deliberately decoupled from any one runtime:
+//
+//   - Controller: a single-owner state machine (one per thread/worker,
+//     no atomics) fed commit/abort/CM-defeat outcomes. In Adaptive
+//     policy it trips from speculative to serialized when a window's
+//     aborts-per-commit ratio, its CM-defeat count, or one
+//     transaction's attempt count crosses the configured thresholds,
+//     and probes back after a serial window; rapid re-fallback doubles
+//     the next serial window (SpinFactor, capped by SpinCell), the
+//     exemplar's exponential-backoff idea applied to mode residency.
+//
+//   - Gate: the serialized-fallback lock. Pending() is exported so a
+//     speculative transaction riding out a CM Wait decision can yield
+//     to an entrant instead of deadlocking against it (the entrant
+//     drains its own pipeline first; see the runtimes' wait loops).
+//     Serialized transactions still run the full STM protocol under
+//     the gate — locks, validation, commit clock — so opacity is
+//     preserved by construction and no mixed-mode commit exists: the
+//     gate only serializes the fallback cohort against itself.
+//
+//   - WaitHub: the Retry/Wait (cond-var) registry. A transaction whose
+//     predicate fails subscribes a read-set fingerprint, re-validates
+//     its reads (the lost-wakeup guard), and parks on a one-token
+//     doorbell; a committing writer whose write set intersects the
+//     fingerprint wakes it. The commit path pays one atomic load when
+//     no one waits.
+package mode
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy selects how a runtime's threads choose execution modes.
+type Policy int
+
+const (
+	// Speculative always runs optimistically: the controller is
+	// disarmed and the runtime behaves exactly as before the ladder
+	// existed. The default.
+	Speculative Policy = iota
+	// Adaptive arms the ladder: transactions start in the cheapest
+	// viable mode and fall back to the serialized gate under sustained
+	// contention, recovering when it passes.
+	Adaptive
+	// Serial always serializes transactions through the global gate —
+	// the degenerate bottom rung, useful as a baseline and for tests.
+	Serial
+)
+
+// String names the policy for flags and labels.
+func (p Policy) String() string {
+	switch p {
+	case Speculative:
+		return "spec"
+	case Adaptive:
+		return "adaptive"
+	case Serial:
+		return "serial"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Parse resolves a policy name from a flag.
+func Parse(s string) (Policy, error) {
+	switch s {
+	case "spec", "speculative", "":
+		return Speculative, nil
+	case "adaptive":
+		return Adaptive, nil
+	case "serial":
+		return Serial, nil
+	default:
+		return 0, fmt.Errorf("unknown execution-mode policy %q (want %v)", s, Names())
+	}
+}
+
+// Names lists the policy names accepted by Parse, sweep order.
+func Names() []string { return []string{"spec", "adaptive", "serial"} }
+
+// Policies lists the policies in sweep order.
+func Policies() []Policy { return []Policy{Speculative, Adaptive, Serial} }
+
+// Config tunes the ladder. The zero value (with Policy Speculative)
+// disarms everything; fill picks the aahtm-style defaults for the rest.
+type Config struct {
+	Policy Policy
+
+	// FallbackAttempts is the per-transaction attempt budget before a
+	// mid-transaction escalation to the gate (the aahtm TK_NUM_TRIES
+	// analogue): a single transaction that aborts this many times stops
+	// speculating immediately instead of waiting for the window.
+	FallbackAttempts int
+
+	// FallbackRatio is the windowed aborts-per-commit threshold: when a
+	// window of Window commits accumulates at least
+	// FallbackRatio×Window aborts, the thread falls back. Negative
+	// forces a fallback at every full window regardless of aborts —
+	// a test hook that exercises the full ladder deterministically.
+	FallbackRatio int
+
+	// DefeatStreak is the CM-defeat budget per window: losing this many
+	// contention-manager decisions (AbortSelf verdicts) within one
+	// window trips the fallback without waiting for the ratio.
+	DefeatStreak int
+
+	// Window is the speculative observation window, in commits.
+	Window int
+
+	// SerialWindow is how many serialized commits a fallen-back thread
+	// performs before probing recovery back to speculation.
+	SerialWindow int
+
+	// SpinInit is the backoff, in scheduler yields, charged to a
+	// speculative attempt that aborted itself to let a gate entrant
+	// pass (the Pending() wait-loop break), so the serialized cohort
+	// gets cycles before the optimist relaunches.
+	SpinInit int
+
+	// SpinFactor multiplies the serial window on a rapid re-fallback
+	// (falling back again within one Window of recovering); SpinCell
+	// caps the growth. Together they are the exemplar's exponential
+	// backoff applied to serial-mode residency.
+	SpinFactor int
+	SpinCell   int
+}
+
+// Defaults (aahtm exemplar constants adapted to window units).
+const (
+	DefaultFallbackAttempts = 8
+	DefaultFallbackRatio    = 2
+	DefaultDefeatStreak     = 16
+	DefaultWindow           = 64
+	DefaultSerialWindow     = 16
+	DefaultSpinInit         = 16
+	DefaultSpinFactor       = 2
+	DefaultSpinCell         = 1024
+)
+
+// Fill replaces unset fields with defaults. FallbackRatio keeps
+// negative values (the force-fallback test hook). The runtimes call it
+// once at construction so wait loops read tuned constants directly.
+func (c Config) Fill() Config {
+	if c.FallbackAttempts <= 0 {
+		c.FallbackAttempts = DefaultFallbackAttempts
+	}
+	if c.FallbackRatio == 0 {
+		c.FallbackRatio = DefaultFallbackRatio
+	}
+	if c.DefeatStreak <= 0 {
+		c.DefeatStreak = DefaultDefeatStreak
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.SerialWindow <= 0 {
+		c.SerialWindow = DefaultSerialWindow
+	}
+	if c.SpinInit <= 0 {
+		c.SpinInit = DefaultSpinInit
+	}
+	if c.SpinFactor <= 1 {
+		c.SpinFactor = DefaultSpinFactor
+	}
+	if c.SpinCell <= 0 {
+		c.SpinCell = DefaultSpinCell
+	}
+	return c
+}
+
+// State is a controller's current rung.
+type State int32
+
+const (
+	// StateSpec: transactions run optimistically.
+	StateSpec State = iota
+	// StateSerial: transactions run serialized under the gate.
+	StateSerial
+)
+
+// String names the state for trace rendering.
+func (s State) String() string {
+	switch s {
+	case StateSpec:
+		return "spec"
+	case StateSerial:
+		return "serial"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Controller is one thread's mode state machine. Single-owner: exactly
+// one goroutine (the thread's submitter / the worker) feeds and reads
+// it, so it uses no atomics and embedding it costs no allocation.
+type Controller struct {
+	cfg Config
+
+	state State
+
+	// Speculative observation window.
+	winCommits uint64
+	winAborts  uint64
+	winDefeats uint64
+
+	// Serialized residency.
+	serialLeft int
+	span       int
+
+	// Rapid-refallback detection: commits since the last recovery.
+	sinceRecover uint64
+	recoveredYet bool
+
+	fallbacks  uint64
+	recoveries uint64
+}
+
+// NewController builds a controller for cfg (defaults filled).
+func NewController(cfg Config) Controller {
+	cfg = cfg.Fill()
+	c := Controller{cfg: cfg, span: cfg.SerialWindow}
+	if cfg.Policy == Serial {
+		c.state = StateSerial
+	}
+	return c
+}
+
+// Config reports the filled configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Armed reports whether the adaptive ladder is active.
+func (c *Controller) Armed() bool { return c.cfg.Policy == Adaptive }
+
+// Serial reports whether the next transaction must run serialized
+// under the gate.
+func (c *Controller) Serial() bool {
+	return c.cfg.Policy == Serial || (c.cfg.Policy == Adaptive && c.state == StateSerial)
+}
+
+// State reports the current rung.
+func (c *Controller) State() State { return c.state }
+
+// Fallbacks reports speculative→serialized transitions so far.
+func (c *Controller) Fallbacks() uint64 { return c.fallbacks }
+
+// Recoveries reports serialized→speculative transitions so far.
+func (c *Controller) Recoveries() uint64 { return c.recoveries }
+
+// Escalate is the mid-transaction hook: called with the running
+// transaction's abort count after each failed attempt, it reports
+// whether the controller just fell back — the caller must then move the
+// in-flight transaction under the gate before retrying.
+func (c *Controller) Escalate(attempts int) bool {
+	if c.cfg.Policy != Adaptive || c.state != StateSpec {
+		return false
+	}
+	if attempts < c.cfg.FallbackAttempts {
+		return false
+	}
+	c.fallBack()
+	return true
+}
+
+// OnOutcome feeds one committed transaction's outcome: its abort count
+// and whether it lost at least one CM decision. It reports whether the
+// call tripped a fallback or a recovery (for the caller's stats).
+func (c *Controller) OnOutcome(aborts uint64, defeated bool) (fellBack, recovered bool) {
+	var d uint64
+	if defeated {
+		d = 1
+	}
+	return c.OnWindow(1, aborts, d)
+}
+
+// OnWindow is the batch form of OnOutcome: commits transactions with
+// aborts total aborts and defeats total CM defeats since the last call.
+// TLSTM's submitter uses it — task outcomes fold in on worker
+// goroutines, so the submitter observes cumulative counter deltas at
+// submit boundaries rather than per-commit callbacks. Abort-only
+// windows (commits == 0) are meaningful and feed the eager ratio
+// check: a transaction stuck re-aborting in a storm may never commit,
+// and waiting for its commit to report the aborts would starve the
+// controller of exactly the signal that should trip the fallback.
+func (c *Controller) OnWindow(commits, aborts, defeats uint64) (fellBack, recovered bool) {
+	if c.cfg.Policy != Adaptive || (commits == 0 && aborts == 0 && defeats == 0) {
+		return false, false
+	}
+	if c.state == StateSerial {
+		c.serialLeft -= int(commits)
+		if c.serialLeft > 0 {
+			return false, false
+		}
+		// Residency served: probe recovery.
+		c.state = StateSpec
+		c.recoveries++
+		c.recoveredYet = true
+		c.sinceRecover = 0
+		c.resetWindow()
+		return false, true
+	}
+	c.winCommits += commits
+	c.winAborts += aborts
+	c.winDefeats += defeats
+	c.sinceRecover += commits
+	w := uint64(c.cfg.Window)
+	switch {
+	case c.winDefeats >= uint64(c.cfg.DefeatStreak):
+		c.fallBack()
+		return true, false
+	case c.cfg.FallbackRatio >= 0 && c.recoveredYet &&
+		c.sinceRecover <= w && c.winAborts > uint64(c.cfg.FallbackRatio):
+		// Recovery probe: this thread was serialized a moment ago, so an
+		// abort burst within one window of recovering means the storm is
+		// still on — refall immediately instead of paying a full window
+		// of storm-priced aborts to rediscover it. (fallBack sees the
+		// short sinceRecover and doubles the next serial residency.)
+		c.fallBack()
+		return true, false
+	case c.cfg.FallbackRatio >= 0 && c.winAborts >= uint64(c.cfg.FallbackRatio)*w:
+		// Already more aborts than a full window tolerates: don't wait
+		// for the window to fill.
+		c.fallBack()
+		return true, false
+	case c.winCommits >= w:
+		if c.cfg.FallbackRatio < 0 || c.winAborts >= uint64(c.cfg.FallbackRatio)*c.winCommits {
+			c.fallBack() // negative ratio: forced-ladder test hook
+			return true, false
+		}
+		c.resetWindow()
+	}
+	return false, false
+}
+
+func (c *Controller) resetWindow() {
+	c.winCommits, c.winAborts, c.winDefeats = 0, 0, 0
+}
+
+func (c *Controller) fallBack() {
+	if c.recoveredYet && c.sinceRecover <= uint64(c.cfg.Window) {
+		// Re-fell within one window of recovering: the storm is still
+		// on — double the residency, capped.
+		if c.span < c.cfg.SpinCell {
+			c.span *= c.cfg.SpinFactor
+			if c.span > c.cfg.SpinCell {
+				c.span = c.cfg.SpinCell
+			}
+		}
+	} else {
+		c.span = c.cfg.SerialWindow
+	}
+	c.state = StateSerial
+	c.serialLeft = c.span
+	c.fallbacks++
+	c.resetWindow()
+}
+
+// Gate is the serialized-fallback lock, one per runtime. Enter raises
+// the pending count before blocking on the mutex, so speculative
+// transactions riding out CM Wait decisions can observe Pending() and
+// yield (abort themselves) instead of deadlocking against a draining
+// entrant; the entrant itself is exempt from that break.
+type Gate struct {
+	pending atomic.Int32
+	mu      sync.Mutex
+}
+
+// Enter announces the entrant (Pending becomes true) and acquires the
+// serialization lock. The caller must have drained its own speculative
+// pipeline first: no mixed-mode commits from one thread.
+func (g *Gate) Enter() {
+	g.pending.Add(1)
+	g.mu.Lock()
+}
+
+// Exit releases the lock and withdraws the announcement.
+func (g *Gate) Exit() {
+	g.mu.Unlock()
+	g.pending.Add(-1)
+}
+
+// Pending reports whether any thread holds or awaits the gate. Wait
+// loops in the runtimes consult it every round.
+func (g *Gate) Pending() bool { return g.pending.Load() != 0 }
+
+// Fingerprint is a 64-bit bloom filter over lock-pair identities: the
+// read set of a parked waiter, the write set of a notifying committer.
+// A shared bit is necessary for a true intersection, so false positives
+// cost only a spurious wake and false negatives cannot occur — both
+// sides hash the same pointer.
+type Fingerprint uint64
+
+// FPAdd folds one lock-pair identity (its pointer) into fp.
+func FPAdd(fp Fingerprint, key uintptr) Fingerprint {
+	h := uint64(key) * 0x9e3779b97f4a7c15 // Fibonacci mix, top bits well-stirred
+	return fp | 1<<(h>>58)
+}
+
+// Waiter is one thread's parking slot in a WaitHub, embedded in the
+// owning worker/task so the park path allocates only once (the bell).
+type Waiter struct {
+	fp     Fingerprint
+	bell   chan struct{}
+	queued bool
+}
+
+// WaitHub is one runtime's Retry registry. The commit-side fast path is
+// a single atomic load (Active); everything else happens under the
+// registry mutex on the cold park/wake paths.
+type WaitHub struct {
+	active  atomic.Int32
+	mu      sync.Mutex
+	waiters map[*Waiter]struct{}
+}
+
+// NewWaitHub builds an empty registry.
+func NewWaitHub() *WaitHub {
+	return &WaitHub{waiters: make(map[*Waiter]struct{})}
+}
+
+// Active reports whether any waiter is subscribed. Commit paths gate
+// fingerprint computation and Notify on it.
+func (h *WaitHub) Active() bool { return h.active.Load() != 0 }
+
+// Subscribe registers w with a read-set fingerprint. The caller must
+// then re-validate its read set before parking: a conflicting commit
+// that published before this call is visible to that validation, and
+// one that publishes after it will find w registered — no lost wakeup
+// (the operations on the active counter and the lock-pair versions are
+// all sequentially consistent atomics).
+func (h *WaitHub) Subscribe(w *Waiter, fp Fingerprint) {
+	if w.bell == nil {
+		w.bell = make(chan struct{}, 1)
+	}
+	// Drain a stale token from an earlier aborted subscription so Park
+	// cannot return spuriously on it.
+	select {
+	case <-w.bell:
+	default:
+	}
+	w.fp = fp
+	h.mu.Lock()
+	h.waiters[w] = struct{}{}
+	w.queued = true
+	h.mu.Unlock()
+	h.active.Add(1)
+}
+
+// Unsubscribe removes w (idempotent).
+func (h *WaitHub) Unsubscribe(w *Waiter) {
+	h.mu.Lock()
+	if w.queued {
+		delete(h.waiters, w)
+		w.queued = false
+		h.mu.Unlock()
+		h.active.Add(-1)
+		return
+	}
+	h.mu.Unlock()
+}
+
+// Park blocks until a conflicting commit (or WakeAll) rings w's bell.
+// The caller must have subscribed and re-validated first.
+func (w *Waiter) Park() { <-w.bell }
+
+// Notify wakes every waiter whose fingerprint intersects fp. Called by
+// committers after publishing, only when Active reported waiters.
+func (h *WaitHub) Notify(fp Fingerprint) {
+	h.mu.Lock()
+	for w := range h.waiters {
+		if w.fp&fp != 0 {
+			select {
+			case w.bell <- struct{}{}:
+			default:
+			}
+		}
+	}
+	h.mu.Unlock()
+}
+
+// WakeAll rings every bell regardless of fingerprints — the safety
+// valve for shutdown paths.
+func (h *WaitHub) WakeAll() {
+	h.mu.Lock()
+	for w := range h.waiters {
+		select {
+		case w.bell <- struct{}{}:
+		default:
+		}
+	}
+	h.mu.Unlock()
+}

@@ -1,0 +1,274 @@
+package mode
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("Parse(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("Parse accepted a bogus policy")
+	}
+	if p, err := Parse("speculative"); err != nil || p != Speculative {
+		t.Fatalf("Parse(speculative) = %v, %v", p, err)
+	}
+}
+
+func TestControllerDisarmed(t *testing.T) {
+	c := NewController(Config{Policy: Speculative})
+	if c.Armed() || c.Serial() {
+		t.Fatal("speculative policy must disarm the ladder")
+	}
+	if c.Escalate(1 << 20) {
+		t.Fatal("disarmed controller escalated")
+	}
+	for i := 0; i < 10_000; i++ {
+		c.OnOutcome(100, true)
+	}
+	if c.Serial() || c.Fallbacks() != 0 {
+		t.Fatal("disarmed controller changed state")
+	}
+
+	s := NewController(Config{Policy: Serial})
+	if !s.Serial() || s.Armed() {
+		t.Fatal("serial policy must pin the gate rung")
+	}
+	s.OnOutcome(0, false)
+	if !s.Serial() {
+		t.Fatal("serial policy recovered")
+	}
+}
+
+func TestControllerRatioFallbackAndRecovery(t *testing.T) {
+	c := NewController(Config{Policy: Adaptive, Window: 8, FallbackRatio: 2, SerialWindow: 4})
+	// Clean commits: no fallback across many windows.
+	for i := 0; i < 100; i++ {
+		if fb, _ := c.OnOutcome(0, false); fb {
+			t.Fatal("fell back on clean commits")
+		}
+	}
+	// A storm of 2 aborts/commit trips it within a couple of windows
+	// regardless of where the clean run left the window cursor.
+	var fell bool
+	for i := 0; i < 24 && !fell; i++ {
+		fell, _ = c.OnOutcome(2, false)
+	}
+	if !fell || !c.Serial() || c.Fallbacks() != 1 {
+		t.Fatalf("ratio fallback did not trip: serial=%v fallbacks=%d", c.Serial(), c.Fallbacks())
+	}
+	// Serve the serial window; the 4th commit recovers.
+	for i := 0; i < 3; i++ {
+		if _, rec := c.OnOutcome(0, false); rec {
+			t.Fatal("recovered early")
+		}
+	}
+	if _, rec := c.OnOutcome(0, false); !rec || c.Serial() || c.Recoveries() != 1 {
+		t.Fatalf("recovery did not trip: serial=%v recoveries=%d", c.Serial(), c.Recoveries())
+	}
+}
+
+func TestControllerDefeatStreakAndEscalate(t *testing.T) {
+	c := NewController(Config{Policy: Adaptive, Window: 64, DefeatStreak: 3})
+	c.OnOutcome(0, true)
+	c.OnOutcome(0, true)
+	if fb, _ := c.OnOutcome(0, true); !fb || !c.Serial() {
+		t.Fatal("defeat streak did not trip the fallback")
+	}
+
+	e := NewController(Config{Policy: Adaptive, FallbackAttempts: 4})
+	if e.Escalate(3) {
+		t.Fatal("escalated under budget")
+	}
+	if !e.Escalate(4) || !e.Serial() || e.Fallbacks() != 1 {
+		t.Fatal("mid-transaction escalation did not trip")
+	}
+	if e.Escalate(100) {
+		t.Fatal("escalated while already serial")
+	}
+}
+
+func TestControllerRapidRefallbackDoublesResidency(t *testing.T) {
+	cfg := Config{Policy: Adaptive, Window: 4, FallbackRatio: -1, SerialWindow: 2, SpinFactor: 2, SpinCell: 8}
+	c := NewController(cfg)
+	serve := func(n int) {
+		for i := 0; i < n; i++ {
+			c.OnOutcome(0, false)
+		}
+	}
+	// Forced ladder: every full window falls back. First residency = 2.
+	serve(4)
+	if !c.Serial() {
+		t.Fatal("forced fallback did not trip")
+	}
+	serve(2) // recover
+	if c.Serial() {
+		t.Fatal("did not recover after the serial window")
+	}
+	// Refalling within one window of recovery doubles the span: 4, 8, 8 (capped).
+	for _, wantSpan := range []int{4, 8, 8} {
+		serve(4) // forced re-fallback
+		if !c.Serial() {
+			t.Fatal("forced re-fallback did not trip")
+		}
+		if c.span != wantSpan {
+			t.Fatalf("span = %d, want %d", c.span, wantSpan)
+		}
+		serve(wantSpan)
+		if c.Serial() {
+			t.Fatal("did not recover")
+		}
+	}
+}
+
+func TestControllerWindowBatch(t *testing.T) {
+	c := NewController(Config{Policy: Adaptive, Window: 8, FallbackRatio: 2, SerialWindow: 4})
+	if fb, _ := c.OnWindow(4, 16, 0); !fb {
+		t.Fatal("batched aborts did not trip the early ratio check")
+	}
+	if _, rec := c.OnWindow(4, 0, 0); !rec {
+		t.Fatal("batched serial commits did not recover")
+	}
+}
+
+func TestGatePending(t *testing.T) {
+	var g Gate
+	if g.Pending() {
+		t.Fatal("fresh gate pending")
+	}
+	g.Enter()
+	if !g.Pending() {
+		t.Fatal("held gate not pending")
+	}
+	entered := make(chan struct{})
+	go func() {
+		g.Enter()
+		close(entered)
+		g.Exit()
+	}()
+	// The second entrant is blocked but already pending.
+	for !g.Pending() {
+		time.Sleep(time.Millisecond)
+	}
+	g.Exit()
+	<-entered
+	for g.Pending() {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWaitHubNotifyByFingerprint(t *testing.T) {
+	h := NewWaitHub()
+	if h.Active() {
+		t.Fatal("fresh hub active")
+	}
+	var a, b Waiter
+	fpA := FPAdd(0, 0x1000)
+	fpB := FPAdd(0, 0x2000)
+	if fpA == fpB {
+		t.Skip("fingerprint collision between test keys") // astronomically unlikely
+	}
+	h.Subscribe(&a, fpA)
+	h.Subscribe(&b, fpB)
+	if !h.Active() {
+		t.Fatal("hub inactive with two waiters")
+	}
+	wokeA := make(chan struct{})
+	go func() { a.Park(); close(wokeA) }()
+	h.Notify(fpA)
+	select {
+	case <-wokeA:
+	case <-time.After(5 * time.Second):
+		t.Fatal("intersecting waiter not woken")
+	}
+	select {
+	case <-b.bell:
+		t.Fatal("disjoint waiter woken")
+	default:
+	}
+	h.Unsubscribe(&a)
+	h.Unsubscribe(&b)
+	h.Unsubscribe(&b) // idempotent
+	if h.Active() {
+		t.Fatal("hub active after unsubscribes")
+	}
+}
+
+func TestWaitHubStaleTokenDrained(t *testing.T) {
+	h := NewWaitHub()
+	var w Waiter
+	fp := FPAdd(0, 0xabc)
+	h.Subscribe(&w, fp)
+	h.Notify(fp) // token delivered, but the waiter aborts instead of parking
+	h.Unsubscribe(&w)
+	h.Subscribe(&w, fp) // re-subscribe must drain the stale token
+	select {
+	case <-w.bell:
+		t.Fatal("stale token survived re-subscription")
+	default:
+	}
+	h.WakeAll()
+	select {
+	case <-w.bell:
+	default:
+		t.Fatal("WakeAll missed a waiter")
+	}
+	h.Unsubscribe(&w)
+}
+
+// TestWaitHubNoLostWakeup hammers the subscribe/validate/park vs
+// publish/notify race: a "committer" flips an atomic-ish word and
+// notifies; the waiter subscribes, validates the word, and parks only
+// if unchanged. The waiter must always terminate.
+func TestWaitHubNoLostWakeup(t *testing.T) {
+	h := NewWaitHub()
+	for round := 0; round < 2000; round++ {
+		var versionMu sync.Mutex
+		version := 0
+		readVersion := func() int {
+			versionMu.Lock()
+			defer versionMu.Unlock()
+			return version
+		}
+		fp := FPAdd(0, uintptr(round))
+		done := make(chan struct{})
+		go func() { // committer
+			versionMu.Lock()
+			version = 1
+			versionMu.Unlock()
+			if h.Active() {
+				h.Notify(fp)
+			}
+		}()
+		go func() { // waiter
+			defer close(done)
+			var w Waiter
+			for {
+				if readVersion() != 0 {
+					return
+				}
+				h.Subscribe(&w, fp)
+				if readVersion() != 0 { // validate after subscribe
+					h.Unsubscribe(&w)
+					return
+				}
+				w.Park()
+				h.Unsubscribe(&w)
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: lost wakeup", round)
+		}
+	}
+}

@@ -34,11 +34,13 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"tlstm/internal/clock"
 	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
 	"tlstm/internal/mem"
+	"tlstm/internal/mode"
 	"tlstm/internal/sched"
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
@@ -58,6 +60,7 @@ type config struct {
 	pol           cm.Policy
 	mvDepth       int
 	trace         *txtrace.Recorder
+	mode          mode.Config
 }
 
 // DefaultLockTableBits is the lock-table size (2^bits pairs) used when
@@ -119,6 +122,15 @@ func WithTrace(rec *txtrace.Recorder) Option {
 	return func(c *config) { c.trace = rec }
 }
 
+// WithMode configures the execution-mode ladder (internal/mode): each
+// Worker owns a controller that, under mode.Adaptive, falls back from
+// speculation to the runtime's serialized gate when the configured
+// contention thresholds trip, and recovers when the storm passes. The
+// default (mode.Speculative) disarms the ladder entirely.
+func WithMode(cfg mode.Config) Option {
+	return func(c *config) { c.mode = cfg }
+}
+
 // Runtime is one SwissTM instance: a word store, an allocator, a lock
 // table, the global commit clock and a contention manager. Independent
 // Runtimes are fully isolated from each other.
@@ -137,6 +149,13 @@ type Runtime struct {
 	// trace, when non-nil, is the flight recorder Workers register
 	// their event rings with (WithTrace).
 	trace *txtrace.Recorder
+
+	// modeCfg is the filled ladder configuration Workers build their
+	// controllers from; gate is the serialized-fallback lock and hub
+	// the Retry/Wait registry, both runtime-global.
+	modeCfg mode.Config
+	gate    mode.Gate
+	hub     *mode.WaitHub
 
 	// placement maps workers to home lock-table shards; workers offer
 	// it their conflict-sketch windows at commit boundaries.
@@ -175,9 +194,11 @@ func New(opts ...Option) *Runtime {
 			Shards: c.shards,
 			Padded: c.padded,
 		}),
-		clk:   c.clk,
-		cm:    c.pol,
-		trace: c.trace,
+		clk:     c.clk,
+		cm:      c.pol,
+		trace:   c.trace,
+		modeCfg: c.mode.Fill(),
+		hub:     mode.NewWaitHub(),
 	}
 	if c.affinity {
 		rt.placement = sched.NewAffinity(rt.locks.Shards())
@@ -303,6 +324,13 @@ type Stats struct {
 	ConflictSketch      txstats.Sketch
 	CrossShardConflicts uint64
 	Remaps              uint64
+	// ModeFallbacks counts speculative→serialized ladder transitions
+	// (mid-transaction escalations included) and ModeRecoveries the
+	// returns to speculation; RetryWakes counts Retry parks woken by a
+	// conflicting commit's doorbell.
+	ModeFallbacks  uint64
+	ModeRecoveries uint64
+	RetryWakes     uint64
 }
 
 // Add folds o into s.
@@ -327,6 +355,9 @@ func (s *Stats) Add(o Stats) {
 	s.ConflictSketch.Merge(o.ConflictSketch)
 	s.CrossShardConflicts += o.CrossShardConflicts
 	s.Remaps += o.Remaps
+	s.ModeFallbacks += o.ModeFallbacks
+	s.ModeRecoveries += o.ModeRecoveries
+	s.RetryWakes += o.RetryWakes
 }
 
 // Stats returns the runtime-global aggregate: the sum of every shard
@@ -437,6 +468,21 @@ type Tx struct {
 	// predicted branch instead of an interface call per operation.
 	tr     txtrace.Tracer
 	traced bool
+
+	// inSerial marks a transaction running under the runtime's
+	// serialized-fallback gate: it is exempt from the gate-pending
+	// yield in the conflict wait loop (it IS the entrant).
+	inSerial bool
+	// gateYield asks the retry loop for one SpinInit backoff: the
+	// attempt aborted itself to let a gate entrant pass.
+	gateYield bool
+	// waiter/parkPending/parkFP implement Retry: the attempt that
+	// called Retry subscribed the waiter and unwinds; the retry loop
+	// parks it before re-running.
+	waiter      mode.Waiter
+	parkPending bool
+	parkFP      uint64
+	retryAborts uint64
 }
 
 // completedZero is a shared always-zero counter: the baseline has no
@@ -452,6 +498,11 @@ type Worker struct {
 	rt    *Runtime
 	tx    Tx
 	stats Stats // unshared shard; merged into rt.stats by Close
+
+	// ctl is the worker's execution-mode controller (single-owner, no
+	// atomics): disarmed under mode.Speculative, it costs two branches
+	// per transaction.
+	ctl mode.Controller
 
 	// id is the worker's placement identity; remapWindow accumulates
 	// the conflict sketch since the last Rebalance offer, made every
@@ -470,6 +521,7 @@ const remapPeriod = 64
 // NewWorker creates a worker context for this runtime.
 func (rt *Runtime) NewWorker() *Worker {
 	w := &Worker{rt: rt, id: int(rt.workerIDs.Add(1) - 1)}
+	w.ctl = mode.NewController(rt.modeCfg)
 	w.tx.rt = rt
 	w.tx.home = int32(rt.placement.Home(w.id))
 	w.tx.owner = locktable.OwnerRef{
@@ -558,6 +610,7 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 	tx.cmSelf.Defeats = 0
 	tx.work = 0
 	tx.aborts = 0
+	tx.retryAborts = 0
 	tx.extends = 0
 	tx.sketch = txstats.Sketch{}
 	tx.crossShard = 0
@@ -567,8 +620,19 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 	if tx.traced {
 		tx.tr.Record(txtrace.KindTxBegin, tx.rt.clk.Now(), 0, 0)
 	}
+	// Ladder: a serialized transaction takes the runtime gate before
+	// its first attempt (announcing itself so speculative wait loops
+	// yield) and runs the unchanged STM protocol under it — opacity by
+	// construction, serialization only against other fallback entrants.
+	serial := w.ctl.Serial()
+	if serial {
+		w.enterGate()
+	}
 	var lastAttempt time.Time
 	for {
+		if tx.parkPending {
+			w.parkRetry(st, serial)
+		}
 		lastAttempt = time.Now()
 		tx.beginAttempt()
 		if tx.traced {
@@ -581,12 +645,56 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 			st.RestartLatency.Observe(int(time.Since(lastAttempt)))
 		}
 		tx.aborts++
+		if tx.parkPending {
+			// A Retry unwound this attempt; it parks at the top of the
+			// loop — no contention backoff, no escalation pressure.
+			tx.retryAborts++
+			continue
+		}
+		if !serial && w.ctl.Escalate(int(tx.aborts-tx.retryAborts)) {
+			// Attempt budget exhausted mid-transaction (TK_NUM_TRIES):
+			// move this transaction under the gate and retry there.
+			serial = true
+			if st != nil {
+				st.ModeFallbacks++
+			}
+			if tx.traced {
+				tx.tr.Record(txtrace.KindModeShift, tx.rt.clk.Now(),
+					uint64(mode.StateSerial), uint32(mode.StateSpec))
+			}
+			w.enterGate()
+			continue
+		}
+		if tx.gateYield {
+			// We aborted to let a gate entrant pass: back off SpinInit
+			// yields so the serialized cohort gets cycles first.
+			tx.gateYield = false
+			for i := 0; i < tx.rt.modeCfg.SpinInit; i++ {
+				runtime.Gosched()
+			}
+		}
 		// Back off per policy so the conflict window is not re-entered
 		// immediately (and, on a single CPU, so the lock owner we lost
 		// to gets scheduled before we re-acquire).
 		tx.cmSelf.Aborts = tx.aborts
 		for i, n := 0, cm.AbortBackoff(tx.rt.cm, &tx.cmSelf); i < n; i++ {
 			runtime.Gosched()
+		}
+	}
+	if serial {
+		w.exitGate()
+	}
+	if fell, rec := w.ctl.OnOutcome(tx.aborts-tx.retryAborts, tx.cmSelf.Defeats > 0); fell || rec {
+		if st != nil {
+			if fell {
+				st.ModeFallbacks++
+			} else {
+				st.ModeRecoveries++
+			}
+		}
+		if tx.traced {
+			tx.tr.Record(txtrace.KindModeShift, tx.rt.clk.Now(),
+				uint64(w.ctl.State()), uint32(1-w.ctl.State()))
 		}
 	}
 	cm.Committed(tx.rt.cm, &tx.cmSelf)
@@ -613,6 +721,47 @@ func (w *Worker) atomic(st *Stats, fn func(tx *Tx)) {
 		st.CrossShardConflicts += tx.crossShard
 	}
 	w.maybeRemap(st)
+}
+
+// enterGate moves the worker's transaction under the serialized
+// fallback gate. The baseline has no speculative pipeline of its own to
+// drain — the in-flight attempt (if any) has already unwound — so
+// announcing and locking is the whole entry protocol.
+func (w *Worker) enterGate() {
+	w.rt.gate.Enter()
+	w.tx.inSerial = true
+}
+
+func (w *Worker) exitGate() {
+	w.tx.inSerial = false
+	w.rt.gate.Exit()
+}
+
+// parkRetry blocks the worker on its Retry doorbell until a
+// conflicting commit rings it. A serialized transaction releases the
+// gate across the park (parking while holding it would block every
+// fallback entrant, possibly including the very producer it waits for)
+// and re-enters afterwards.
+func (w *Worker) parkRetry(st *Stats, serial bool) {
+	tx := &w.tx
+	tx.parkPending = false
+	if tx.traced {
+		tx.tr.Record(txtrace.KindRetryPark, tx.rt.clk.Now(), tx.parkFP, 0)
+	}
+	if serial {
+		w.exitGate()
+	}
+	tx.waiter.Park()
+	tx.rt.hub.Unsubscribe(&tx.waiter)
+	if serial {
+		w.enterGate()
+	}
+	if st != nil {
+		st.RetryWakes++
+	}
+	if tx.traced {
+		tx.tr.Record(txtrace.KindRetryPark, tx.rt.clk.Now(), tx.parkFP, 1)
+	}
 }
 
 // maybeRemap is the commit-epilogue placement step: every remapPeriod
@@ -900,6 +1049,16 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 			case cm.AbortOwner:
 				e.Owner.AbortTx.Load().Store(true)
 			}
+			if !tx.inSerial && tx.rt.gate.Pending() {
+				// A serialized entrant holds or awaits the gate: riding
+				// this conflict out could deadlock against it (the owner
+				// may be parked behind the same gate). Yield instead —
+				// the retry loop charges SpinInit backoff first.
+				tx.cmSelf.Defeats++
+				tx.gateYield = true
+				tx.noteConflict(a)
+				tx.abort(txtrace.AbortCM)
+			}
 			// AbortOwner and Wait both ride the conflict out for a
 			// round; waiting costs real parallel time (the owner
 			// progresses about one quantum per scheduler round).
@@ -924,6 +1083,51 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 		tx.noteConflict(a)
 		tx.abort(txtrace.AbortExtend)
 	}
+}
+
+// Retry is the transactional cond-var wait (aahtm TM_COND_VARS): a
+// transaction whose predicate over transactional reads is not yet
+// satisfied calls Retry to abandon the attempt and block until a
+// conflicting commit — one whose write set intersects this attempt's
+// read set — publishes, then re-runs from the top. fn observes a new
+// snapshot on each wake, so the predicate is simply re-evaluated.
+//
+// The lost-wakeup guard: the waiter subscribes its read-set
+// fingerprint first, then re-validates the read log. A commit that
+// published before the subscription is caught by the validation (no
+// park); one that publishes after it finds the waiter registered and
+// rings its doorbell. Retry never parks on an empty or already-stale
+// read set — those cases restart immediately.
+func (tx *Tx) Retry() {
+	if tx.mvOn {
+		// Multi-version reads are unlogged: there is nothing to
+		// fingerprint or validate. Re-run on the validated path, where
+		// the next Retry can park.
+		tx.mvOn = false
+		tx.abort(txtrace.AbortRetry)
+	}
+	var fp mode.Fingerprint
+	for _, re := range tx.readLog.Entries() {
+		fp = mode.FPAdd(fp, uintptr(unsafe.Pointer(re.Pair)))
+	}
+	if fp != 0 {
+		hub := tx.rt.hub
+		hub.Subscribe(&tx.waiter, fp)
+		valid := true
+		for _, re := range tx.readLog.Entries() {
+			if re.Pair.R.Load() != re.Version {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			tx.parkPending = true
+			tx.parkFP = uint64(fp)
+		} else {
+			hub.Unsubscribe(&tx.waiter)
+		}
+	}
+	tx.abort(txtrace.AbortRetry)
 }
 
 // Alloc implements tm.Tx: allocation is undone if the attempt aborts.
@@ -1006,6 +1210,16 @@ func (tx *Tx) commit() {
 	for _, e := range tx.writeLog.Entries() {
 		e.Pair.R.Store(ts)
 		e.Pair.W.CompareAndSwap(e, nil)
+	}
+	// Ring Retry waiters whose read fingerprints intersect this write
+	// set. The fast path (no waiters) is one atomic load; the
+	// fingerprint is only computed when someone is parked.
+	if hub := tx.rt.hub; hub.Active() {
+		var fp mode.Fingerprint
+		for _, e := range tx.writeLog.Entries() {
+			fp = mode.FPAdd(fp, uintptr(unsafe.Pointer(e.Pair)))
+		}
+		hub.Notify(fp)
 	}
 	tx.applyFrees()
 	if tx.traced {

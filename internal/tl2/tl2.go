@@ -36,6 +36,7 @@ import (
 	"tlstm/internal/cm"
 	"tlstm/internal/locktable"
 	"tlstm/internal/mem"
+	"tlstm/internal/mode"
 	"tlstm/internal/sched"
 	"tlstm/internal/tm"
 	"tlstm/internal/txlog"
@@ -104,6 +105,15 @@ func WithAffinity(on bool) Option {
 	return func(rt *Runtime) { rt.affinity = on }
 }
 
+// WithMode configures the execution-mode ladder (internal/mode): the
+// adaptive policy starts transactions speculative and falls back to a
+// serialized global-lock rung under sustained conflict, recovering
+// once the serialized window drains cleanly. The default keeps the
+// ladder disarmed (always speculative).
+func WithMode(cfg mode.Config) Option {
+	return func(rt *Runtime) { rt.modeCfg = cfg }
+}
+
 // Runtime is one TL2 instance.
 type Runtime struct {
 	store *mem.Store
@@ -133,6 +143,12 @@ type Runtime struct {
 	// register their event rings with (WithTrace).
 	trace *txtrace.Recorder
 
+	// modeCfg/gate/hub are the execution-mode ladder (WithMode): the
+	// gate serializes fallback entrants, the hub parks Retry waiters.
+	modeCfg mode.Config
+	gate    mode.Gate
+	hub     *mode.WaitHub
+
 	txPool sync.Pool // *Tx descriptors, reused across Atomic calls
 }
 
@@ -149,6 +165,8 @@ func New(bits int, opts ...Option) *Runtime {
 	for _, o := range opts {
 		o(rt)
 	}
+	rt.modeCfg = rt.modeCfg.Fill()
+	rt.hub = mode.NewWaitHub()
 	rt.layout = locktable.NewLayout(bits, rt.shards)
 	rt.locks = make([]atomic.Uint64, rt.layout.Slots())
 	if rt.affinity {
@@ -268,17 +286,25 @@ type Stats struct {
 	ConflictSketch      txstats.Sketch
 	CrossShardConflicts uint64
 	Remaps              uint64
+	// ModeFallbacks counts speculative→serialized ladder transitions
+	// (mid-transaction escalations included) and ModeRecoveries the
+	// returns to speculation; RetryWakes counts Retry parks woken by a
+	// conflicting commit's doorbell.
+	ModeFallbacks  uint64
+	ModeRecoveries uint64
+	RetryWakes     uint64
 
 	// TL2 has no thread descriptor (Tx descriptors are pooled per
 	// runtime, not per caller), so the caller-owned Stats shard IS the
 	// logical thread: its placement identity lives here, assigned on
 	// the shard's first transaction and touched only by the owning
-	// goroutine.
+	// goroutine — as is the execution-mode controller.
 	bound        bool
 	threadID     int32
 	home         int32
 	txSinceRemap int
 	remapWindow  txstats.Sketch
+	ctl          mode.Controller
 }
 
 // Add folds o into s.
@@ -303,6 +329,9 @@ func (s *Stats) Add(o Stats) {
 	s.ConflictSketch.Merge(o.ConflictSketch)
 	s.CrossShardConflicts += o.CrossShardConflicts
 	s.Remaps += o.Remaps
+	s.ModeFallbacks += o.ModeFallbacks
+	s.ModeRecoveries += o.ModeRecoveries
+	s.RetryWakes += o.RetryWakes
 }
 
 type rollbackSignal struct{}
@@ -356,6 +385,22 @@ type Tx struct {
 	cmProbe cm.Probe
 	greedTS atomic.Uint64
 
+	// inSerial marks a transaction running under the ladder's
+	// serialized gate (exempt from the gate-yield wait-loop breaks);
+	// gateYield asks the retry loop for one SpinInit backoff after an
+	// abort taken to let a gate entrant pass.
+	inSerial  bool
+	gateYield bool
+
+	// waiter/parkPending/parkFP are the Retry cond-var state: Retry
+	// subscribes the read-set fingerprint and sets parkPending; the
+	// retry loop parks before the next attempt. retryAborts counts
+	// Retry unwinds, excluded from the ladder's escalation signals.
+	waiter      mode.Waiter
+	parkPending bool
+	parkFP      uint64
+	retryAborts uint64
+
 	// tr is this descriptor's flight recorder (txtrace.Nop by default);
 	// traced caches tr.Enabled() so the disabled hot path costs one
 	// predicted branch instead of an interface call per operation.
@@ -394,6 +439,8 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 	}
 	tx.work = 0
 	tx.aborts = 0
+	tx.retryAborts = 0
+	tx.gateYield = false
 	tx.greedTS.Store(0)
 	tx.cmSelf.Defeats = 0
 	tx.ro = ro
@@ -408,14 +455,26 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 			st.bound = true
 			st.threadID = rt.threadIDs.Add(1) - 1
 			st.home = int32(rt.placement.Home(int(st.threadID)))
+			st.ctl = mode.NewController(rt.modeCfg)
 		}
 		tx.home = st.home
 	}
 	if tx.traced {
 		tx.tr.Record(txtrace.KindTxBegin, rt.clk.Now(), 0, 0)
 	}
+	// Ladder: a serialized transaction takes the runtime gate before
+	// its first attempt (announcing itself so speculative wait loops
+	// yield) and runs the unchanged TL2 protocol under it — opacity by
+	// construction, serialization only against other fallback entrants.
+	serial := st != nil && st.ctl.Serial()
+	if serial {
+		tx.enterGate()
+	}
 	var lastAttempt time.Time
 	for {
+		if tx.parkPending {
+			tx.parkRetry(st, serial)
+		}
 		lastAttempt = time.Now()
 		tx.rv = rt.clk.Now()
 		tx.readLog.Reset()
@@ -435,9 +494,51 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 			st.RestartLatency.Observe(int(time.Since(lastAttempt)))
 		}
 		tx.aborts++
+		if tx.parkPending {
+			// A Retry unwound this attempt; it parks at the top of the
+			// loop — no contention backoff, no escalation pressure.
+			tx.retryAborts++
+			continue
+		}
+		if !serial && st != nil && st.ctl.Escalate(int(tx.aborts-tx.retryAborts)) {
+			// Attempt budget exhausted mid-transaction (TK_NUM_TRIES):
+			// move this transaction under the gate and retry there.
+			serial = true
+			st.ModeFallbacks++
+			if tx.traced {
+				tx.tr.Record(txtrace.KindModeShift, rt.clk.Now(),
+					uint64(mode.StateSerial), uint32(mode.StateSpec))
+			}
+			tx.enterGate()
+			continue
+		}
+		if tx.gateYield {
+			// We aborted to let a gate entrant pass: back off SpinInit
+			// yields so the serialized cohort gets cycles first.
+			tx.gateYield = false
+			for i := 0; i < rt.modeCfg.SpinInit; i++ {
+				runtime.Gosched()
+			}
+		}
 		tx.cmSelf.Aborts = tx.aborts
 		for i, n := 0, cm.AbortBackoff(rt.cmPol, &tx.cmSelf); i < n; i++ {
 			runtime.Gosched()
+		}
+	}
+	if serial {
+		tx.exitGate()
+	}
+	if st != nil {
+		if fell, rec := st.ctl.OnOutcome(tx.aborts-tx.retryAborts, tx.cmSelf.Defeats > 0); fell || rec {
+			if fell {
+				st.ModeFallbacks++
+			} else {
+				st.ModeRecoveries++
+			}
+			if tx.traced {
+				tx.tr.Record(txtrace.KindModeShift, rt.clk.Now(),
+					uint64(st.ctl.State()), uint32(1-st.ctl.State()))
+			}
 		}
 	}
 	cm.Committed(rt.cmPol, &tx.cmSelf)
@@ -462,6 +563,44 @@ func (rt *Runtime) run(st *Stats, fn func(tx *Tx), ro bool) {
 	}
 	tx.ro = false
 	rt.txPool.Put(tx)
+}
+
+// enterGate moves the transaction under the serialized rung: pending
+// is raised before the lock is contended so speculative wait loops
+// start yielding immediately.
+func (tx *Tx) enterGate() {
+	tx.inSerial = true
+	tx.rt.gate.Enter()
+}
+
+func (tx *Tx) exitGate() {
+	tx.rt.gate.Exit()
+	tx.inSerial = false
+}
+
+// parkRetry blocks the transaction on its Retry doorbell until a
+// conflicting commit rings it. A serialized transaction releases the
+// gate across the park (its producer may need the serialized rung) and
+// re-enters after.
+func (tx *Tx) parkRetry(st *Stats, serial bool) {
+	tx.parkPending = false
+	if tx.traced {
+		tx.tr.Record(txtrace.KindRetryPark, tx.rt.clk.Now(), tx.parkFP, 0)
+	}
+	if serial {
+		tx.exitGate()
+	}
+	tx.waiter.Park()
+	tx.rt.hub.Unsubscribe(&tx.waiter)
+	if serial {
+		tx.enterGate()
+	}
+	if st != nil {
+		st.RetryWakes++
+	}
+	if tx.traced {
+		tx.tr.Record(txtrace.KindRetryPark, tx.rt.clk.Now(), tx.parkFP, 1)
+	}
 }
 
 // remapPeriod is how many transactions a thread commits between
@@ -581,6 +720,15 @@ func (tx *Tx) Load(a tm.Addr) uint64 {
 				tx.noteConflict(a)
 				tx.abort(txtrace.AbortCM)
 			}
+			if !tx.inSerial && tx.rt.gate.Pending() {
+				// A serialized entrant holds or awaits the gate: riding
+				// this conflict out could starve it. Yield instead —
+				// the retry loop charges SpinInit backoff first.
+				tx.cmSelf.Defeats++
+				tx.gateYield = true
+				tx.noteConflict(a)
+				tx.abort(txtrace.AbortCM)
+			}
 			waited++
 			runtime.Gosched()
 			continue
@@ -666,6 +814,45 @@ func (tx *Tx) Store(a tm.Addr, v uint64) {
 	}
 }
 
+// Retry is the transactional cond-var wait: abandon this attempt and
+// block until a commit whose write set intersects this attempt's read
+// set publishes, then re-run fn against a fresh snapshot. The waiter
+// subscribes its read-set fingerprint first, then re-validates the
+// read log — a commit that published before the subscription fails the
+// validation (immediate re-run, no park); one that publishes after it
+// finds the waiter registered and rings its doorbell. An empty or
+// already-stale read set never parks.
+func (tx *Tx) Retry() {
+	if tx.mvOn {
+		// Multi-version reads are unlogged: nothing to fingerprint.
+		// Re-run on the validated path, where the next Retry can park.
+		tx.mvOn = false
+		tx.abort(txtrace.AbortRetry)
+	}
+	var fp mode.Fingerprint
+	for _, l := range tx.readLog.Locks() {
+		fp = mode.FPAdd(fp, uintptr(unsafe.Pointer(l)))
+	}
+	if fp != 0 {
+		hub := tx.rt.hub
+		hub.Subscribe(&tx.waiter, fp)
+		valid := true
+		for _, l := range tx.readLog.Locks() {
+			if v := l.Load(); v == locked || v > tx.rv {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			tx.parkPending = true
+			tx.parkFP = uint64(fp)
+		} else {
+			hub.Unsubscribe(&tx.waiter)
+		}
+	}
+	tx.abort(txtrace.AbortRetry)
+}
+
 // Alloc implements tm.Tx.
 func (tx *Tx) Alloc(n int) tm.Addr {
 	tx.work++
@@ -714,6 +901,13 @@ func (tx *Tx) commit() {
 				}
 				if dec == cm.AbortSelf {
 					tx.cmSelf.Defeats++
+					tx.held.Restore()
+					tx.noteConflict(a)
+					tx.abort(txtrace.AbortCM)
+				}
+				if !tx.inSerial && tx.rt.gate.Pending() {
+					tx.cmSelf.Defeats++
+					tx.gateYield = true
 					tx.held.Restore()
 					tx.noteConflict(a)
 					tx.abort(txtrace.AbortCM)
@@ -794,6 +988,15 @@ func (tx *Tx) commit() {
 		tx.work++
 	})
 	tx.held.Publish(wv)
+	// Ring Retry waiters whose read fingerprints intersect this write
+	// set; the no-waiter fast path is one atomic load.
+	if hub := tx.rt.hub; hub.Active() {
+		var fp mode.Fingerprint
+		tx.writeSet.Range(func(a tm.Addr, _ uint64) {
+			fp = mode.FPAdd(fp, uintptr(unsafe.Pointer(tx.rt.lockFor(a))))
+		})
+		hub.Notify(fp)
+	}
 	tx.applyFrees()
 	if tx.traced {
 		tx.tr.Record(txtrace.KindCommit, wv, uint64(tx.writeSet.Len()), 0)

@@ -129,11 +129,11 @@ type RingReport struct {
 	ReadsChecked    int
 	CommitWords     int
 
-	DroppedEvents  uint64 // ring-overwrite loss (oldest events)
-	SeqGaps        int    // mid-ring discontinuities (defensive)
-	SkippedEvents  int    // events discarded while resyncing to an AttemptStart
-	Verdict        string
-	Violations     []Violation
+	DroppedEvents uint64 // ring-overwrite loss (oldest events)
+	SeqGaps       int    // mid-ring discontinuities (defensive)
+	SkippedEvents int    // events discarded while resyncing to an AttemptStart
+	Verdict       string
+	Violations    []Violation
 }
 
 // Report is a whole-trace verdict.

@@ -50,7 +50,9 @@ func (b *traceBuilder) ev(k txtrace.Kind, clock, arg uint64, aux uint32) *traceB
 	return b
 }
 
-func (b *traceBuilder) begin() *traceBuilder { return b.ev(txtrace.KindTxBegin, 0, 0, 0).ev(txtrace.KindAttemptStart, 0, 1, 0) }
+func (b *traceBuilder) begin() *traceBuilder {
+	return b.ev(txtrace.KindTxBegin, 0, 0, 0).ev(txtrace.KindAttemptStart, 0, 1, 0)
+}
 func (b *traceBuilder) read(addr, stamp uint64) *traceBuilder {
 	return b.ev(txtrace.KindRead, stamp, addr, 0)
 }

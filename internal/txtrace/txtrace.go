@@ -77,6 +77,13 @@ const (
 	// timestamp. These events give the opacity checker the written-word
 	// identities it needs to rebuild per-slot version histories.
 	KindCommitWord
+	// KindModeShift records an execution-mode ladder transition on the
+	// recording thread. Arg: the new mode.State; Aux: the previous one.
+	KindModeShift
+	// KindRetryPark records the Retry/Wait cond-var path. Aux: 0 when
+	// the transaction parks on its doorbell, 1 when a conflicting
+	// commit wakes it; Arg: the read-set fingerprint it parked on.
+	KindRetryPark
 
 	kindMax
 )
@@ -94,6 +101,8 @@ var kindNames = [...]string{
 	KindReclaim:      "Reclaim",
 	KindRemap:        "Remap",
 	KindCommitWord:   "CommitWord",
+	KindModeShift:    "ModeShift",
+	KindRetryPark:    "RetryPark",
 }
 
 // String names the kind for dumps.
@@ -120,6 +129,9 @@ const (
 	// AbortSpec: a TLSTM task restarted for a speculation-specific
 	// reason (stale intra-thread read, redo-chain change, sandboxing).
 	AbortSpec
+	// AbortRetry: the transaction called Retry — the attempt unwinds,
+	// parks on the wait hub, and re-runs after a conflicting commit.
+	AbortRetry
 )
 
 // AbortReasonString names an abort code for dumps.
@@ -137,6 +149,8 @@ func AbortReasonString(code uint32) string {
 		return "signal"
 	case AbortSpec:
 		return "speculation"
+	case AbortRetry:
+		return "retry"
 	default:
 		return fmt.Sprintf("reason(%d)", code)
 	}

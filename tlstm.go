@@ -69,6 +69,7 @@ import (
 	"tlstm/internal/cm"
 	"tlstm/internal/core"
 	"tlstm/internal/mem"
+	"tlstm/internal/mode"
 	"tlstm/internal/rbtree"
 	"tlstm/internal/sched"
 	"tlstm/internal/stm"
@@ -120,6 +121,16 @@ type (
 	// NewBaselineWithCM): how write/write conflicts between
 	// transactions are resolved. See NewCM for the built-in policies.
 	CMPolicy = cm.Policy
+
+	// ModeConfig tunes the execution-mode ladder for Config.Mode: the
+	// zero value keeps transactions always-speculative; Policy
+	// ModeAdaptive arms per-thread fallback to a serialized global-lock
+	// rung under sustained conflict (and recovery once the storm
+	// passes). See ParseMode for the policy names.
+	ModeConfig = mode.Config
+	// ModePolicy selects the execution-mode ladder's behavior; see
+	// ModeSpeculative, ModeAdaptive and ModeSerial.
+	ModePolicy = mode.Policy
 
 	// Direct is the non-transactional setup handle returned by
 	// (*Runtime).Direct and (*BaselineRuntime).Direct; it implements Tx.
@@ -173,6 +184,24 @@ func NewCM(name string) (CMPolicy, error) {
 // NilAddr is the nil word address (a NULL pointer for word-encoded
 // structures).
 const NilAddr = tm.NilAddr
+
+// Execution-mode policies for Config.Mode.Policy.
+const (
+	// ModeSpeculative runs every transaction optimistically (the
+	// default; zero value).
+	ModeSpeculative = mode.Speculative
+	// ModeAdaptive starts speculative and falls back to the serialized
+	// global-lock rung when the abort-rate window or a CM-defeat streak
+	// says speculation is losing, recovering after a served residency.
+	ModeAdaptive = mode.Adaptive
+	// ModeSerial runs every transaction under the global gate
+	// (measurement baseline for the ladder).
+	ModeSerial = mode.Serial
+)
+
+// ParseMode parses an execution-mode policy name: "spec" (or ""),
+// "adaptive" or "serial".
+func ParseMode(name string) (ModePolicy, error) { return mode.Parse(name) }
 
 // Scheduling policies for Config.Policy.
 const (
